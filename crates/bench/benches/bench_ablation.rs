@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * sparse (§4.1) vs dense DP arrays in Algorithm 1,
+//! * the `D_P` remainder-map ML computation vs the naive
+//!   substitute-and-count definition,
+//! * circuit-based (shared DAG) vs flat polynomial evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_core::loss::{ml_naive, TreeLoss};
+use provabs_core::optimal::{optimal_vvs, optimal_vvs_dense};
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_provenance::circuit::Circuit;
+use provabs_provenance::var::VarId;
+use provabs_trees::cut::Vvs;
+
+fn bench_dp_variants(c: &mut Criterion) {
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 1.0,
+        ..WorkloadConfig::default()
+    });
+    let forest = data.primary_tree(2, 1);
+    let bound = data.polys.size_m() / 2;
+    let mut group = c.benchmark_group("ablation/dp");
+    group.sample_size(10);
+    group.bench_function("sparse", |b| {
+        b.iter(|| optimal_vvs(&data.polys, &forest, bound))
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| optimal_vvs_dense(&data.polys, &forest, bound))
+    });
+    group.finish();
+}
+
+fn bench_ml_variants(c: &mut Criterion) {
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 1.0,
+        ..WorkloadConfig::default()
+    });
+    let forest = data.primary_tree(1, 2);
+    let cleaned = provabs_trees::clean::clean_forest(&forest, &data.polys);
+    let tree = cleaned.tree(0).clone();
+    let mut group = c.benchmark_group("ablation/ml");
+    group.sample_size(10);
+    // Efficient: one pass computes ML for every node.
+    group.bench_function("remainder_maps_all_nodes", |b| {
+        b.iter(|| TreeLoss::build(&data.polys, &tree))
+    });
+    // Naive: substitute-and-count per internal node.
+    group.bench_function("naive_all_nodes", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for node in tree.node_ids() {
+                if tree.is_leaf(node) {
+                    continue;
+                }
+                let mut chosen: Vec<_> = tree
+                    .leaves()
+                    .into_iter()
+                    .filter(|&l| !tree.is_ancestor_or_self(node, l))
+                    .collect();
+                chosen.push(node);
+                let vvs = Vvs::from_per_tree(vec![chosen]);
+                total += ml_naive(&data.polys, &cleaned, &vvs);
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+fn bench_circuit_vs_flat(c: &mut Criterion) {
+    // A deeply shared circuit: ((x0 + x1) * (x2 + x3))^8 built by
+    // repeated squaring shares every level.
+    let leaf = |i| Circuit::<f64>::var(VarId(i));
+    let base = Circuit::prod(vec![
+        Circuit::sum(vec![leaf(0), leaf(1)]),
+        Circuit::sum(vec![leaf(2), leaf(3)]),
+    ]);
+    let mut pow = base;
+    for _ in 0..3 {
+        pow = Circuit::prod(vec![pow.clone(), pow]);
+    }
+    let flat = pow.expand();
+    let val = |v: VarId| 1.0 + v.0 as f64;
+    let mut group = c.benchmark_group("ablation/circuit");
+    group.bench_function("shared_dag_eval", |b| b.iter(|| pow.eval(val)));
+    group.bench_function("flat_polynomial_eval", |b| b.iter(|| flat.eval(val)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_variants,
+    bench_ml_variants,
+    bench_circuit_vs_flat
+);
+criterion_main!(benches);

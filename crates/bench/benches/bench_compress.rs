@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks of the three compression algorithms
+//! (Figures 5–7's inner loop): Opt (Algorithm 1), Greedy (Algorithm 2)
+//! and Brute-Force, on the telephony workload with a type-1 tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provabs_core::brute::brute_force_vvs;
+use provabs_core::greedy::greedy_vvs;
+use provabs_core::optimal::optimal_vvs;
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+
+fn bench_compress(c: &mut Criterion) {
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    let bound = data.polys.size_m() / 2;
+    let mut group = c.benchmark_group("compress/telephony");
+    group.sample_size(10);
+    for (idx, cuts) in [(1usize, 17u128), (2, 257), (3, 65_537)] {
+        let forest = data.primary_tree(1, idx);
+        group.bench_with_input(BenchmarkId::new("opt", cuts), &forest, |b, f| {
+            b.iter(|| optimal_vvs(&data.polys, f, bound))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", cuts), &forest, |b, f| {
+            b.iter(|| greedy_vvs(&data.polys, f, bound))
+        });
+        if cuts <= 80_000 {
+            group.bench_with_input(BenchmarkId::new("brute", cuts), &forest, |b, f| {
+                b.iter(|| brute_force_vvs(&data.polys, f, bound, 100_000))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

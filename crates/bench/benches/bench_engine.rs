@@ -1,0 +1,50 @@
+//! Criterion benchmark of provenance-aware query evaluation: the cost of
+//! generating the provenance in the first place (the paper's offline
+//! phase).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_datagen::telephony;
+use provabs_datagen::tpch;
+use provabs_provenance::var::VarTable;
+
+fn bench_engine(c: &mut Criterion) {
+    let tele = telephony::generate(telephony::TelephonyConfig {
+        customers: 2_000,
+        ..telephony::TelephonyConfig::default()
+    });
+    let tp = tpch::generate(tpch::TpchConfig {
+        scale: 4.0,
+        ..tpch::TpchConfig::default()
+    });
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("telephony_revenue", |b| {
+        b.iter(|| {
+            let mut vars = VarTable::new();
+            telephony::revenue_provenance(&tele, &mut vars)
+        })
+    });
+    group.bench_function("tpch_q1", |b| {
+        b.iter(|| {
+            let mut vars = VarTable::new();
+            tpch::q1(&tp, &mut vars)
+        })
+    });
+    group.bench_function("tpch_q5", |b| {
+        b.iter(|| {
+            let mut vars = VarTable::new();
+            tpch::q5(&tp, &mut vars)
+        })
+    });
+    group.bench_function("tpch_q10", |b| {
+        b.iter(|| {
+            let mut vars = VarTable::new();
+            tpch::q10(&tp, &mut vars)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Runs every experiment and prints one consolidated markdown document —
+//! the data behind EXPERIMENTS.md.
+//!
+//! Usage: `all_experiments [scale]` (default 4; figures default to 10
+//! when run individually, the consolidated run trades size for coverage).
+
+use provabs_bench::experiments::*;
+use std::time::Instant;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    let start = Instant::now();
+    println!("# provabs — full experiment suite (scale {scale})\n");
+
+    println!("## Figure 5 — compression time vs #cuts (type 1)\n");
+    for r in fig_compression_vs_cuts(&cfg, &[1], true) {
+        r.print();
+    }
+    println!("## Figure 6 — compression time vs #cuts (types 2–4)\n");
+    for r in fig_compression_vs_cuts(&cfg, &[2, 3, 4], false) {
+        r.print();
+    }
+    println!("## Figure 7 — compression time vs #cuts (types 5–7)\n");
+    for r in fig_compression_vs_cuts(&cfg, &[5, 6, 7], false) {
+        r.print();
+    }
+    println!("## Figure 8 — compression time vs input data size\n");
+    for r in fig8_data_size(&cfg) {
+        r.print();
+    }
+    println!("## Figure 9 — compression time vs bound\n");
+    for r in fig9_bound(&cfg) {
+        r.print();
+    }
+    println!("## Figure 10 — assignment speedup vs bound\n");
+    for r in fig10_speedup(&cfg, 50) {
+        r.print();
+    }
+    println!("## Figure 11 — compression time vs number of trees\n");
+    for r in fig11_num_trees(&cfg) {
+        r.print();
+    }
+    println!("## Figure 12 — Opt vs competitor [3]\n");
+    for r in fig12_competitor(&cfg) {
+        r.print();
+    }
+    println!("## Figure 14 — compression time vs number of variables\n");
+    for r in fig14_num_variables(&cfg) {
+        r.print();
+    }
+    println!("## Extension (§6) — online compression via sampling\n");
+    for r in ext_online_sampling(&cfg) {
+        r.print();
+    }
+    println!("## Table 1 — greedy accuracy and speedup\n");
+    for r in table1_greedy_quality(&cfg) {
+        r.print();
+    }
+    println!("## Table 2 — abstraction tree inventory\n");
+    table2_tree_inventory().print();
+
+    eprintln!(
+        "all experiments finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,20 @@
+//! Figure 10: assignment-time speedup vs bound.
+//!
+//! Usage: `fig10 [scale] [scenarios]` (defaults: scale 10, 50 scenarios
+//! per batch).
+
+use provabs_bench::experiments::{fig10_speedup, ExpConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale = args.next().and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let scenarios = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 10 — assignment time speedup vs bound\n");
+    for report in fig10_speedup(&cfg, scenarios) {
+        report.print();
+    }
+}

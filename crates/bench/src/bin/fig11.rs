@@ -1,0 +1,23 @@
+//! Figure 11: compression time vs number of abstraction trees — Greedy vs
+//! Brute-Force (brute force is skipped above its feasibility limit,
+//! mirroring the paper's observation that it only completes below ~80 000
+//! cuts).
+//!
+//! Usage: `fig11 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{fig11_num_trees, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 11 — compression time vs number of trees\n");
+    for report in fig11_num_trees(&cfg) {
+        report.print();
+    }
+}

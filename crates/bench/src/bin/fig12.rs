@@ -1,0 +1,22 @@
+//! Figure 12: compression time vs bound — Opt vs the competitor
+//! summarization (Ainy et al., the paper's [3]) on TPC-H Q1 and Q5.
+//!
+//! Usage: `fig12 [scale]` (default scale 10; the competitor runs at a
+//! fifth of it, being quadratic in the provenance size).
+
+use provabs_bench::experiments::{fig12_competitor, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 12 — Opt vs competitor [3], compression time vs bound\n");
+    for report in fig12_competitor(&cfg) {
+        report.print();
+    }
+}

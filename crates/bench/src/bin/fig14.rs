@@ -1,0 +1,20 @@
+//! Figure 14 (Appendix B): compression time vs number of variables.
+//!
+//! Usage: `fig14 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{fig14_num_variables, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 14 — compression time vs number of variables\n");
+    for report in fig14_num_variables(&cfg) {
+        report.print();
+    }
+}

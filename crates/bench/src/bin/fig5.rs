@@ -1,0 +1,21 @@
+//! Figure 5: compression time vs number of cuts for 2-level trees
+//! (type 1) — Opt vs Greedy vs Brute-Force, four workloads.
+//!
+//! Usage: `fig5 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{fig_compression_vs_cuts, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 5 — compression time vs #cuts (2-level trees, type 1)\n");
+    for report in fig_compression_vs_cuts(&cfg, &[1], true) {
+        report.print();
+    }
+}

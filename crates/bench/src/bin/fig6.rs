@@ -1,0 +1,21 @@
+//! Figure 6: compression time vs number of cuts for 3-level trees
+//! (types 2–4) — Opt vs Greedy, four workloads.
+//!
+//! Usage: `fig6 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{fig_compression_vs_cuts, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 6 — compression time vs #cuts (3-level trees, types 2–4)\n");
+    for report in fig_compression_vs_cuts(&cfg, &[2, 3, 4], false) {
+        report.print();
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 7: compression time vs number of cuts for 4-level trees
+//! (types 5–7) — Opt vs Greedy, four workloads.
+//!
+//! Usage: `fig7 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{fig_compression_vs_cuts, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 7 — compression time vs #cuts (4-level trees, types 5–7)\n");
+    for report in fig_compression_vs_cuts(&cfg, &[5, 6, 7], false) {
+        report.print();
+    }
+}

@@ -1,0 +1,20 @@
+//! Figure 8: compression time vs input data size — Opt vs Greedy.
+//!
+//! Usage: `fig8 [scale]` (default 10; the sweep spans 0.25×–4× of it).
+
+use provabs_bench::experiments::{fig8_data_size, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 8 — compression time vs input data size\n");
+    for report in fig8_data_size(&cfg) {
+        report.print();
+    }
+}

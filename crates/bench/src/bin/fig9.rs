@@ -1,0 +1,20 @@
+//! Figure 9: compression time vs bound — Opt vs Greedy.
+//!
+//! Usage: `fig9 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{fig9_bound, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Figure 9 — compression time vs bound\n");
+    for report in fig9_bound(&cfg) {
+        report.print();
+    }
+}

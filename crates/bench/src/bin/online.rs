@@ -1,0 +1,24 @@
+//! Extension experiment: online compression via sampling (§6).
+//!
+//! Sweeps the sampling fraction and reports how close the sampled VVS
+//! gets to the offline optimum on the full provenance, and how much
+//! compression time the sampling saves.
+//!
+//! Usage: `online [scale]` (default scale 10).
+
+use provabs_bench::experiments::{ext_online_sampling, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Extension — online compression via sampling (§6)\n");
+    for report in ext_online_sampling(&cfg) {
+        report.print();
+    }
+}

@@ -1,0 +1,21 @@
+//! Table 1: greedy accuracy (retained granularity vs optimal) and
+//! compression-time speedup, per tree type and workload.
+//!
+//! Usage: `table1 [scale]` (default scale 10).
+
+use provabs_bench::experiments::{table1_greedy_quality, ExpConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let cfg = ExpConfig {
+        scale,
+        ..ExpConfig::default()
+    };
+    println!("# Table 1 — greedy algorithm accuracy and speedup\n");
+    for report in table1_greedy_quality(&cfg) {
+        report.print();
+    }
+}

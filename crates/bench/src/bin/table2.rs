@@ -1,0 +1,9 @@
+//! Table 2 (Appendix): abstraction-tree inventory — nodes, fan-outs and
+//! the number of valid variable sets for every tree type over 128 leaves.
+
+use provabs_bench::experiments::table2_tree_inventory;
+
+fn main() {
+    println!("# Table 2 — abstraction tree types\n");
+    table2_tree_inventory().print();
+}

@@ -1,0 +1,102 @@
+//! Timing and reporting helpers for the experiment binaries.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once, returning its value and wall-clock time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Milliseconds with three decimals, or `-` for absent measurements.
+pub fn fmt_ms(d: Option<Duration>) -> String {
+    match d {
+        Some(d) => format!("{:.3}", d.as_secs_f64() * 1e3),
+        None => "-".to_string(),
+    }
+}
+
+/// A simple markdown table accumulator.
+#[derive(Clone, Debug)]
+pub struct Report {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    /// The accumulated rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders the report as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Prints the markdown to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_measures() {
+        let (v, d) = time(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        let md = r.to_markdown();
+        assert!(md.contains("### t"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn report_checks_arity() {
+        let mut r = Report::new("t", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_ms_formats() {
+        assert_eq!(fmt_ms(None), "-");
+        assert_eq!(fmt_ms(Some(Duration::from_millis(1500))), "1500.000");
+    }
+}

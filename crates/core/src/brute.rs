@@ -1,0 +1,389 @@
+//! Brute-force baseline: exhaustive search over every cut.
+//!
+//! The evaluation's baseline "loops over all possible VVS and selects the
+//! optimal one" (§4.3). The number of cuts is exponential (Table 2), so —
+//! exactly like the paper, where brute force "was able to complete the
+//! computation only when the number of VVS was less than 80,000" — the
+//! search refuses instances above a configurable limit with
+//! [`TreeError::SearchSpaceTooLarge`].
+
+use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::polyset::PolySet;
+use provabs_trees::cut::{enumerate_forest_cuts, Vvs};
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+
+/// Default enumeration limit, chosen to match the paper's observed
+/// feasibility threshold for the brute-force baseline.
+pub const DEFAULT_CUT_LIMIT: u128 = 80_000;
+
+/// Exhaustively finds the optimal VVS for `bound` (max granularity among
+/// adequate cuts), or reports that no adequate cut exists / the space is
+/// too large.
+pub fn brute_force_vvs<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    cut_limit: u128,
+) -> Result<AbstractionResult, TreeError> {
+    let cleaned = prepare(polys, forest)?;
+    let total_m = polys.size_m();
+    if bound >= total_m {
+        let vvs = Vvs::identity(&cleaned);
+        return Ok(evaluate_vvs(polys, &cleaned, vvs));
+    }
+    let cuts = cleaned.count_cuts();
+    if cuts > cut_limit {
+        return Err(TreeError::SearchSpaceTooLarge {
+            cuts,
+            limit: cut_limit,
+        });
+    }
+    let all = enumerate_forest_cuts(&cleaned, cut_limit as usize, cut_limit)
+        .expect("count checked against limit");
+
+    // Fast path: when no monomial contains variables of two *different*
+    // trees, ML and VL are additive over all chosen nodes (compatibility
+    // already makes sibling subtrees compress disjoint monomial groups —
+    // the same insight Algorithm 1 builds on; disjoint tree footprints
+    // extend it across trees). Each cut is then scored in O(|S|) from the
+    // precomputed per-node losses instead of materialising `𝒫↓S`.
+    // Whenever a monomial touches two trees (e.g. `p1·m1` under the plans
+    // + months forest of Example 15), merges interact and cuts must be
+    // materialised.
+    let interacting = polys.monomials().any(|(_, mono, _)| {
+        let mut seen_tree = None;
+        for v in mono.vars() {
+            if let Some((ti, _)) = cleaned.locate(v) {
+                if seen_tree.is_some_and(|prev| prev != ti) {
+                    return true;
+                }
+                seen_tree = Some(ti);
+            }
+        }
+        false
+    });
+    let additive_loss: Option<Vec<crate::loss::TreeLoss>> = (!interacting).then(|| {
+        cleaned
+            .trees()
+            .iter()
+            .map(|t| crate::loss::TreeLoss::build(polys, t))
+            .collect()
+    });
+    let total_v = polys.size_v();
+
+    let mut best: Option<(usize, Vvs)> = None; // (compressed_v, vvs) among adequate
+    let mut floor = usize::MAX; // smallest size seen, for error reporting
+    for vvs in all {
+        let (size_m, size_v) = match &additive_loss {
+            Some(losses) => {
+                let (mut ml, mut vl) = (0usize, 0usize);
+                for (ti, loss) in losses.iter().enumerate() {
+                    for &n in vvs.tree_nodes(ti) {
+                        ml += loss.ml_of(n);
+                        vl += loss.vl_of(n);
+                    }
+                }
+                (total_m - ml, total_v - vl)
+            }
+            None => {
+                let down = vvs.apply(polys, &cleaned);
+                (down.size_m(), down.size_v())
+            }
+        };
+        floor = floor.min(size_m);
+        if size_m <= bound && best.as_ref().is_none_or(|(bv, _)| size_v > *bv) {
+            best = Some((size_v, vvs));
+        }
+    }
+    match best {
+        Some((_, vvs)) => Ok(evaluate_vvs(polys, &cleaned, vvs)),
+        None => Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: floor,
+        }),
+    }
+}
+
+/// Parallel brute force: scores the enumerated cuts across `threads`
+/// OS threads (plain `std::thread::scope`; the shared state — cleaned
+/// forest, polynomials, per-node losses — is read-only). Produces exactly
+/// the same result as [`brute_force_vvs`]: ties on granularity resolve
+/// towards the earliest enumerated cut in both variants.
+pub fn brute_force_vvs_parallel<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    cut_limit: u128,
+    threads: usize,
+) -> Result<AbstractionResult, TreeError> {
+    let cleaned = prepare(polys, forest)?;
+    let total_m = polys.size_m();
+    if bound >= total_m {
+        let vvs = Vvs::identity(&cleaned);
+        return Ok(evaluate_vvs(polys, &cleaned, vvs));
+    }
+    let cuts = cleaned.count_cuts();
+    if cuts > cut_limit {
+        return Err(TreeError::SearchSpaceTooLarge {
+            cuts,
+            limit: cut_limit,
+        });
+    }
+    let all = enumerate_forest_cuts(&cleaned, cut_limit as usize, cut_limit)
+        .expect("count checked against limit");
+    let interacting = polys.monomials().any(|(_, mono, _)| {
+        let mut seen_tree = None;
+        for v in mono.vars() {
+            if let Some((ti, _)) = cleaned.locate(v) {
+                if seen_tree.is_some_and(|prev| prev != ti) {
+                    return true;
+                }
+                seen_tree = Some(ti);
+            }
+        }
+        false
+    });
+    let additive_loss: Option<Vec<crate::loss::TreeLoss>> = (!interacting).then(|| {
+        cleaned
+            .trees()
+            .iter()
+            .map(|t| crate::loss::TreeLoss::build(polys, t))
+            .collect()
+    });
+    let total_v = polys.size_v();
+
+    // Score one cut (shared with the serial path's semantics).
+    let score = |vvs: &Vvs| -> (usize, usize) {
+        match &additive_loss {
+            Some(losses) => {
+                let (mut ml, mut vl) = (0usize, 0usize);
+                for (ti, loss) in losses.iter().enumerate() {
+                    for &n in vvs.tree_nodes(ti) {
+                        ml += loss.ml_of(n);
+                        vl += loss.vl_of(n);
+                    }
+                }
+                (total_m - ml, total_v - vl)
+            }
+            None => {
+                let down = vvs.apply(polys, &cleaned);
+                (down.size_m(), down.size_v())
+            }
+        }
+    };
+
+    let threads = threads.max(1).min(all.len().max(1));
+    let chunk = all.len().div_ceil(threads);
+    // Per-chunk partial results: (floor, Option<(size_v, global index)>).
+    type Partial = (usize, Option<(usize, usize)>);
+    let partials: Vec<Partial> = std::thread::scope(|s| {
+        let handles: Vec<_> = all
+            .chunks(chunk.max(1))
+            .enumerate()
+            .map(|(ci, cuts)| {
+                let score = &score;
+                s.spawn(move || {
+                    let mut floor = usize::MAX;
+                    let mut best: Option<(usize, usize)> = None;
+                    for (i, vvs) in cuts.iter().enumerate() {
+                        let (size_m, size_v) = score(vvs);
+                        floor = floor.min(size_m);
+                        if size_m <= bound
+                            && best.is_none_or(|(bv, _)| size_v > bv)
+                        {
+                            best = Some((size_v, ci * chunk + i));
+                        }
+                    }
+                    (floor, best)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoring threads do not panic"))
+            .collect()
+    });
+
+    let floor = partials.iter().map(|&(f, _)| f).min().unwrap_or(usize::MAX);
+    // Deterministic reduce: max granularity, then smallest index.
+    let best = partials
+        .iter()
+        .filter_map(|&(_, b)| b)
+        .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    match best {
+        Some((_, idx)) => Ok(evaluate_vvs(polys, &cleaned, all[idx].clone())),
+        None => Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: floor,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_vvs;
+    use crate::optimal::optimal_vvs;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+    use provabs_trees::generate::{months_tree, plans_tree};
+
+    fn example_13() -> (PolySet<f64>, Forest) {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3\n\
+             77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let forest = Forest::single(plans_tree(&mut vars));
+        (polys, forest)
+    }
+
+    #[test]
+    fn brute_force_matches_optimal_on_single_tree() {
+        let (polys, forest) = example_13();
+        for bound in 4..=14 {
+            let b = brute_force_vvs(&polys, &forest, bound, DEFAULT_CUT_LIMIT);
+            let o = optimal_vvs(&polys, &forest, bound);
+            match (b, o) {
+                (Ok(b), Ok(o)) => {
+                    assert_eq!(b.compressed_size_v, o.compressed_size_v, "bound {bound}");
+                    assert!(b.is_adequate_for(bound));
+                }
+                (Err(eb), Err(eo)) => assert_eq!(eb, eo, "bound {bound}"),
+                (b, o) => panic!("bound {bound}: brute {b:?} vs optimal {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_beats_or_equals_greedy_on_forest() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3\n\
+             77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let forest =
+            Forest::new(vec![plans_tree(&mut vars), months_tree(&mut vars)]).expect("disjoint");
+        // Example 15's bound: greedy reaches VL 5, the optimum is VL 4.
+        let b = brute_force_vvs(&polys, &forest, 4, DEFAULT_CUT_LIMIT).expect("adequate");
+        let g = greedy_vvs(&polys, &forest, 4).expect("adequate");
+        assert_eq!(b.vl(), 4);
+        assert!(g.vl() >= b.vl());
+    }
+
+    #[test]
+    fn additive_multi_tree_fast_path_matches_materialisation() {
+        // Two trees over disjoint variable families, and no monomial
+        // touches both — the additive fast path applies. Cross-check its
+        // result against explicit materialisation of every cut.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "1·x1·c0 + 2·x2·c0 + 3·x1·c1 + 4·x2·c1\n5·y1·c0 + 6·y2·c0 + 7·y1·c1",
+            &mut vars,
+        )
+        .expect("parse");
+        let tx = provabs_trees::builder::TreeBuilder::new("X")
+            .leaves("X", ["x1", "x2"])
+            .build(&mut vars)
+            .expect("tree");
+        let ty = provabs_trees::builder::TreeBuilder::new("Y")
+            .leaves("Y", ["y1", "y2"])
+            .build(&mut vars)
+            .expect("tree");
+        let forest = Forest::new(vec![tx, ty]).expect("disjoint");
+        for bound in 1..=polys.size_m() {
+            // Reference: materialise every cut by hand.
+            let cuts = provabs_trees::cut::enumerate_forest_cuts(&forest, 100, 100)
+                .expect("4 cuts");
+            let mut best: Option<usize> = None;
+            let mut floor = usize::MAX;
+            for vvs in cuts {
+                let down = vvs.apply(&polys, &forest);
+                floor = floor.min(down.size_m());
+                if down.size_m() <= bound {
+                    best = Some(best.map_or(down.size_v(), |b: usize| b.max(down.size_v())));
+                }
+            }
+            match (brute_force_vvs(&polys, &forest, bound, 100), best) {
+                (Ok(r), Some(v)) => {
+                    assert_eq!(r.compressed_size_v, v, "bound {bound}");
+                    assert!(r.is_adequate_for(bound));
+                }
+                (Err(TreeError::BoundUnattainable { best_possible, .. }), None) => {
+                    assert_eq!(best_possible, floor, "bound {bound}");
+                }
+                (r, b) => panic!("bound {bound}: {r:?} vs reference {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn search_space_limit_is_enforced() {
+        let (polys, forest) = example_13();
+        let err = brute_force_vvs(&polys, &forest, 9, 3).expect_err("limit 3");
+        assert!(matches!(err, TreeError::SearchSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn unattainable_bound_reports_floor() {
+        let (polys, forest) = example_13();
+        let err = brute_force_vvs(&polys, &forest, 3, DEFAULT_CUT_LIMIT).expect_err("floor 4");
+        assert_eq!(
+            err,
+            TreeError::BoundUnattainable {
+                bound: 3,
+                best_possible: 4
+            }
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_every_bound_and_thread_count() {
+        let (polys, forest) = example_13();
+        for bound in 3..=14 {
+            let serial = brute_force_vvs(&polys, &forest, bound, DEFAULT_CUT_LIMIT);
+            for threads in [1, 2, 4, 16] {
+                let parallel = brute_force_vvs_parallel(
+                    &polys,
+                    &forest,
+                    bound,
+                    DEFAULT_CUT_LIMIT,
+                    threads,
+                );
+                match (&serial, &parallel) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.compressed_size_v, b.compressed_size_v,
+                            "bound {bound}, threads {threads}"
+                        );
+                        assert_eq!(
+                            a.vvs.labels(&a.forest),
+                            b.vvs.labels(&b.forest),
+                            "deterministic tie-break at bound {bound}, threads {threads}"
+                        );
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb, "bound {bound}"),
+                    (a, b) => panic!("bound {bound}: serial {a:?} vs parallel {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_cut_limit() {
+        let (polys, forest) = example_13();
+        let err =
+            brute_force_vvs_parallel(&polys, &forest, 9, 3, 4).expect_err("limit 3");
+        assert!(matches!(err, TreeError::SearchSpaceTooLarge { .. }));
+    }
+}

@@ -1,0 +1,400 @@
+//! Algorithm 2: greedy valid-variable selection for multiple trees.
+//!
+//! Optimal selection over an arbitrary forest is NP-hard (Prop. 11), so
+//! the greedy heuristic maintains a VVS `S` (initially all leaves) and a
+//! candidate set `C` of nodes whose children are all in `S`. While the
+//! accumulated monomial loss is below `k = |𝒫|_M − B` and candidates
+//! remain, it replaces the children of the candidate with the *minimal
+//! variable loss* by the candidate itself. Ties on variable loss are
+//! broken towards the larger monomial loss measured on the *current*
+//! (partially abstracted) polynomials — this reproduces Example 15, where
+//! `q1` is preferred over `SB` (both lose one variable, but `q1` saves 7
+//! monomials and `SB` only 2); remaining ties fall back to label order
+//! for determinism ("ties are broken arbitrarily").
+//!
+//! Complexity: `O(n · |𝒫|_M)` — each of the at most `n` iterations
+//! rewrites the current polynomials once (§3.2).
+
+use crate::loss::ml_delta_of_group_in;
+use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::fxhash::{FxHashMap, FxHashSet};
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarId;
+use provabs_trees::cut::Vvs;
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+use provabs_trees::tree::NodeId;
+
+/// Sorted list of polynomial indices containing any variable of `group`.
+fn affected_polys(
+    postings: &FxHashMap<VarId, FxHashSet<usize>>,
+    group: &FxHashSet<VarId>,
+) -> Vec<usize> {
+    let mut out: Vec<usize> = group
+        .iter()
+        .filter_map(|v| postings.get(v))
+        .flatten()
+        .copied()
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Runs Algorithm 2. Works for any number of trees (including one, where
+/// it is a fast but possibly sub-optimal alternative to
+/// [`crate::optimal::optimal_vvs`]).
+///
+/// Returns [`TreeError::BoundUnattainable`] when even exhausting every
+/// candidate cannot reach `bound`; the error carries the best size the
+/// greedy run achieved.
+///
+/// ```
+/// use provabs_provenance::{parse::parse_polyset, VarTable};
+/// use provabs_trees::{builder::TreeBuilder, forest::Forest};
+/// use provabs_core::greedy::greedy_vvs;
+///
+/// let mut vars = VarTable::new();
+/// let polys = parse_polyset("1·a·x + 2·b·x + 3·a·y + 4·b·y", &mut vars).unwrap();
+/// let t1 = TreeBuilder::new("AB").leaves("AB", ["a", "b"]).build(&mut vars).unwrap();
+/// let t2 = TreeBuilder::new("XY").leaves("XY", ["x", "y"]).build(&mut vars).unwrap();
+/// let forest = Forest::new(vec![t1, t2]).unwrap();
+/// // Two trees: the optimal DP does not apply, the greedy does.
+/// let result = greedy_vvs(&polys, &forest, 2).unwrap();
+/// assert!(result.compressed_size_m <= 2);
+/// ```
+pub fn greedy_vvs<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<AbstractionResult, TreeError> {
+    let cleaned = prepare(polys, forest)?;
+    let total_m = polys.size_m();
+    if bound >= total_m {
+        let vvs = Vvs::identity(&cleaned);
+        return Ok(evaluate_vvs(polys, &cleaned, vvs));
+    }
+    if cleaned.num_trees() == 0 {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: total_m,
+        });
+    }
+    let k = total_m - bound;
+    let in_s = run(polys, &cleaned, k, |_, _| {});
+    let vvs = vvs_from_membership(&in_s);
+    debug_assert!(vvs.validate(&cleaned).is_ok());
+    let result = evaluate_vvs(polys, &cleaned, vvs);
+    if !result.is_adequate_for(bound) {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: result.compressed_size_m,
+        });
+    }
+    Ok(result)
+}
+
+/// The greedy trade-off trace: runs Algorithm 2 to exhaustion and records
+/// `(|𝒫↓S|_M, |𝒫↓S|_V)` after every step — the multi-tree counterpart of
+/// [`crate::optimal::optimal_frontier`] (approximate: each point is the
+/// greedy choice, not necessarily Pareto-optimal). The first entry is the
+/// identity abstraction.
+pub fn greedy_frontier<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+) -> Result<Vec<(usize, usize)>, TreeError> {
+    let cleaned = prepare(polys, forest)?;
+    let total_m = polys.size_m();
+    let total_v = polys.size_v();
+    let mut out = vec![(total_m, total_v)];
+    if cleaned.num_trees() == 0 {
+        return Ok(out);
+    }
+    run(polys, &cleaned, usize::MAX, |ml, vl| {
+        out.push((total_m - ml, total_v - vl));
+    });
+    Ok(out)
+}
+
+/// Converts per-tree membership bitmaps into a [`Vvs`].
+fn vvs_from_membership(in_s: &[Vec<bool>]) -> Vvs {
+    Vvs::from_per_tree(
+        in_s.iter()
+            .map(|bits| {
+                bits.iter()
+                    .enumerate()
+                    .filter_map(|(i, &b)| b.then_some(NodeId(i as u32)))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+/// The greedy main loop: starts from all leaves, swaps in candidates
+/// until the monomial loss reaches `k` or candidates run out. Calls
+/// `observer(ml_total, vl_total)` after every applied step. Returns the
+/// final membership bitmaps.
+fn run<C: Coefficient>(
+    polys: &PolySet<C>,
+    cleaned: &Forest,
+    k: usize,
+    mut observer: impl FnMut(usize, usize),
+) -> Vec<Vec<bool>> {
+    // S as per-tree membership bitmaps, initialised to the leaves
+    // (lines 1–5).
+    let mut in_s: Vec<Vec<bool>> = cleaned
+        .trees()
+        .iter()
+        .map(|t| {
+            let mut v = vec![false; t.num_nodes()];
+            for l in t.leaves() {
+                v[l.index()] = true;
+            }
+            v
+        })
+        .collect();
+
+    // Candidates: nodes whose children are all in S (lines 6–9).
+    let mut candidates: Vec<(usize, NodeId)> = Vec::new();
+    for (ti, tree) in cleaned.trees().iter().enumerate() {
+        for n in tree.node_ids() {
+            if !tree.is_leaf(n) && tree.children(n).iter().all(|c| in_s[ti][c.index()]) {
+                candidates.push((ti, n));
+            }
+        }
+    }
+
+    // Working copy of the polynomials plus an inverted index
+    // `variable → polynomial postings`, so candidate evaluation and
+    // application touch only affected polynomials.
+    let mut current: Vec<provabs_provenance::polynomial::Polynomial<C>> =
+        polys.iter().cloned().collect();
+    let mut postings: FxHashMap<VarId, FxHashSet<usize>> = FxHashMap::default();
+    for (pi, p) in current.iter().enumerate() {
+        for (m, _) in p.iter() {
+            for v in m.vars() {
+                postings.entry(v).or_default().insert(pi);
+            }
+        }
+    }
+    let mut ml_total = 0usize;
+    let mut vl_total = 0usize;
+
+    // Main loop (lines 10–14).
+    while ml_total < k && !candidates.is_empty() {
+        // Variable loss of swapping in a candidate: children − 1 (after
+        // cleaning every child variable occurs in the polynomials).
+        let min_vl = candidates
+            .iter()
+            .map(|&(ti, n)| cleaned.tree(ti).children(n).len() - 1)
+            .min()
+            .expect("non-empty");
+        // Tie-break on the larger monomial loss, then label order.
+        let mut best: Option<(usize, (usize, NodeId))> = None; // (ml_delta, cand)
+        for &(ti, n) in &candidates {
+            let tree = cleaned.tree(ti);
+            if tree.children(n).len() - 1 != min_vl {
+                continue;
+            }
+            let group: FxHashSet<VarId> =
+                tree.children(n).iter().map(|&c| tree.var_of(c)).collect();
+            let affected = affected_polys(&postings, &group);
+            let delta = ml_delta_of_group_in(&current, &affected, &group);
+            let replace = match &best {
+                None => true,
+                Some((best_delta, (bti, bn))) => {
+                    delta > *best_delta
+                        || (delta == *best_delta
+                            && tree.label_of(n) < cleaned.tree(*bti).label_of(*bn))
+                }
+            };
+            if replace {
+                best = Some((delta, (ti, n)));
+            }
+        }
+        let (delta, (ti, chosen)) = best.expect("min_vl came from candidates");
+        let tree = cleaned.tree(ti);
+
+        // Apply: children leave S, the candidate joins (lines 11–12).
+        let chosen_var = tree.var_of(chosen);
+        let group: FxHashSet<VarId> = tree
+            .children(chosen)
+            .iter()
+            .map(|&c| tree.var_of(c))
+            .collect();
+        let affected = affected_polys(&postings, &group);
+        for &pi in &affected {
+            current[pi] =
+                current[pi].map_vars(|v| if group.contains(&v) { chosen_var } else { v });
+        }
+        for v in &group {
+            postings.remove(v);
+        }
+        postings
+            .entry(chosen_var)
+            .or_default()
+            .extend(affected.iter().copied());
+        ml_total += delta;
+        vl_total += tree.children(chosen).len() - 1;
+        for &c in tree.children(chosen) {
+            in_s[ti][c.index()] = false;
+        }
+        in_s[ti][chosen.index()] = true;
+        candidates.retain(|&c| c != (ti, chosen));
+
+        // The parent may have become a candidate (lines 13–14).
+        if let Some(parent) = tree.parent(chosen) {
+            if tree.children(parent).iter().all(|c| in_s[ti][c.index()]) {
+                candidates.push((ti, parent));
+            }
+        }
+        observer(ml_total, vl_total);
+    }
+    in_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+    use provabs_trees::builder::TreeBuilder;
+    use provabs_trees::generate::{months_tree, plans_tree};
+
+    fn example_15() -> (PolySet<f64>, Forest, VarTable) {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3\n\
+             77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let forest =
+            Forest::new(vec![plans_tree(&mut vars), months_tree(&mut vars)]).expect("disjoint");
+        (polys, forest, vars)
+    }
+
+    #[test]
+    fn example_15_trace() {
+        // B = 4, k = 10. The greedy run of Example 15 selects q1, SB, B
+        // (Business), Sp (Special) and terminates with ML = 11, VL = 5.
+        let (polys, forest, _) = example_15();
+        let r = greedy_vvs(&polys, &forest, 4).expect("adequate");
+        assert_eq!(r.ml(), 11);
+        assert_eq!(r.vl(), 5);
+        assert_eq!(r.compressed_size_m, 3);
+        // S = {p1, Business, Special, q1} (p1 stays a leaf).
+        assert_eq!(
+            r.vvs.labels(&r.forest),
+            ["Business", "Special", "p1", "q1"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+        // The optimal VVS for this bound is {q1, Sp, SB, e, p1} with
+        // ML = 10, VL = 4 — the greedy result is adequate but not optimal
+        // (exactly the paper's observation).
+        let opt_labels = ["SB", "Special", "e", "p1", "q1"];
+        let opt = Vvs::from_labels(&r.forest, &{
+            // labels live in the shared table; rebuild lookup through it
+            let (_, _, vars) = example_15();
+            vars
+        }, &opt_labels)
+        .expect("labels");
+        let opt_res = evaluate_vvs(&polys, &r.forest, opt);
+        assert_eq!(opt_res.ml(), 10);
+        assert_eq!(opt_res.vl(), 4);
+    }
+
+    #[test]
+    fn greedy_is_adequate_when_possible() {
+        let (polys, forest, _) = example_15();
+        for bound in 3..polys.size_m() {
+            match greedy_vvs(&polys, &forest, bound) {
+                Ok(r) => {
+                    assert!(r.is_adequate_for(bound), "bound {bound}");
+                    r.vvs.validate(&r.forest).expect("valid VVS");
+                }
+                Err(TreeError::BoundUnattainable { best_possible, .. }) => {
+                    // Full compression leaves one monomial per (poly, month
+                    // structure): here 2 polys × 1 merged monomial… the
+                    // floor is what exhausting all candidates achieves.
+                    assert!(best_possible > bound, "bound {bound}");
+                }
+                Err(e) => panic!("unexpected error at bound {bound}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unattainable_bound_reports_floor() {
+        let (polys, forest, _) = example_15();
+        // Maximal compression: Plans ∪ Year → each poly collapses to a
+        // single monomial Plans·Year ⇒ floor is 2.
+        let err = greedy_vvs(&polys, &forest, 1).expect_err("floor is 2");
+        assert_eq!(
+            err,
+            TreeError::BoundUnattainable {
+                bound: 1,
+                best_possible: 2
+            }
+        );
+    }
+
+    #[test]
+    fn loose_bound_returns_identity() {
+        let (polys, forest, _) = example_15();
+        let r = greedy_vvs(&polys, &forest, 100).expect("identity");
+        assert_eq!(r.ml(), 0);
+        assert_eq!(r.vl(), 0);
+    }
+
+    #[test]
+    fn frontier_traces_every_step() {
+        let (polys, forest, _) = example_15();
+        let frontier = greedy_frontier(&polys, &forest).expect("runs");
+        // Starts at the identity point.
+        assert_eq!(frontier[0], (polys.size_m(), polys.size_v()));
+        // Sizes weakly decrease, granularity strictly decreases per step.
+        for w in frontier.windows(2) {
+            assert!(w[1].0 <= w[0].0);
+            assert!(w[1].1 < w[0].1);
+        }
+        // Exhaustion: the last point is the maximal greedy compression —
+        // both trees fully abstracted, 1 monomial per polynomial.
+        assert_eq!(frontier.last().expect("non-empty").0, 2);
+        // Every frontier point is realised by some greedy run: checking
+        // the recorded sizes against an actual run at that bound.
+        for &(size, granularity) in &frontier {
+            match greedy_vvs(&polys, &forest, size) {
+                Ok(r) => {
+                    assert!(r.compressed_size_m <= size);
+                    assert!(r.compressed_size_v >= granularity);
+                }
+                Err(e) => panic!("frontier point ({size}, {granularity}) unreachable: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_tree_greedy_matches_optimal_on_easy_instance() {
+        // A flat instance where greedy and optimal coincide.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·a·x + 1·b·x + 1·c·y + 1·d·y", &mut vars).expect("parse");
+        let tree = TreeBuilder::new("R")
+            .child("R", "g1")
+            .child("R", "g2")
+            .leaves("g1", ["a", "b"])
+            .leaves("g2", ["c", "d"])
+            .build(&mut vars)
+            .expect("tree");
+        let forest = Forest::single(tree);
+        let g = greedy_vvs(&polys, &forest, 3).expect("adequate");
+        let o = crate::optimal::optimal_vvs(&polys, &forest, 3).expect("adequate");
+        assert_eq!(g.vl(), o.vl());
+        assert_eq!(g.compressed_size_m, 3);
+    }
+}

@@ -1,0 +1,419 @@
+//! NP-hardness apparatus (Appendix A).
+//!
+//! The decision problem is NP-hard already for abstraction trees of height
+//! two and a single polynomial whose monomials contain exactly two
+//! variables. The proof reduces Vertex Cover to the existence of a precise
+//! abstraction over a *uniformly partitioned polynomial* `P⟨X, n, I⟩`
+//! (Def. 16) with its *flat abstraction* forest (Def. 20):
+//!
+//! * each graph node `v_a` becomes a meta-variable `x(a)` with `n` copies
+//!   `x(a)_1 .. x(a)_n`,
+//! * each edge `(v_a, v_b)` becomes the `n²` monomials
+//!   `x(a)_i · x(b)_j`,
+//! * `G` has a vertex cover of size `k` iff `P⟨X, |V|³, I⟩` has a precise
+//!   abstraction for some `B ∈ {2..|V|⁵}` and
+//!   `K = (|V|−k)·|V|³ + k` (Lemma 29).
+//!
+//! This module builds those objects, provides the closed-form size
+//! accounting of Claims 18 and 23, a brute-force Vertex Cover solver, and
+//! a fast flat-abstraction decision procedure used by the tests to verify
+//! the reduction end-to-end.
+
+// The `for a in 1..=x { in_y[a] = … }` loops mirror the paper's 1-based
+// metavariable indexing (slot 0 deliberately unused).
+#![allow(clippy::needless_range_loop)]
+
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::{VarId, VarTable};
+use provabs_trees::builder::TreeBuilder;
+use provabs_trees::forest::Forest;
+
+/// A simple undirected graph for the Vertex Cover side of the reduction.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Builds a graph on nodes `0..n`. Self-loops are rejected, duplicate
+    /// and reversed edges are normalised away.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .map(|(a, b)| {
+                assert!(a != b, "self-loops are excluded (Thm. 28)");
+                assert!(a < n && b < n, "edge endpoint out of range");
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        Self { n, edges: es }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The normalised edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Whether `cover` (a node set) touches every edge.
+    pub fn is_vertex_cover(&self, cover: &[bool]) -> bool {
+        self.edges.iter().all(|&(a, b)| cover[a] || cover[b])
+    }
+
+    /// Brute-force: does a vertex cover of size exactly `k` exist?
+    /// (Any cover of size < k extends to one of size k, so this equals
+    /// "of size ≤ k" for k ≤ n.)
+    pub fn has_vertex_cover_of_size(&self, k: usize) -> bool {
+        assert!(self.n <= 24, "brute-force solver is for small graphs");
+        if k > self.n {
+            return false;
+        }
+        (0u32..(1 << self.n))
+            .filter(|m| m.count_ones() as usize == k)
+            .any(|m| {
+                let cover: Vec<bool> = (0..self.n).map(|i| m & (1 << i) != 0).collect();
+                self.is_vertex_cover(&cover)
+            })
+    }
+
+    /// Size of a minimum vertex cover (brute force).
+    pub fn min_vertex_cover_size(&self) -> usize {
+        (0..=self.n)
+            .find(|&k| self.has_vertex_cover_of_size(k))
+            .expect("the full node set always covers")
+    }
+}
+
+/// Variable name of the copy `x(a)_i` (1-indexed like the paper).
+pub fn copy_name(a: usize, i: usize) -> String {
+    format!("x{a}_{i}")
+}
+
+/// Meta-variable name `x(a)`.
+pub fn meta_name(a: usize) -> String {
+    format!("x{a}")
+}
+
+/// Builds the uniformly partitioned polynomial `P⟨X, n, I⟩` of Def. 16:
+/// `P = Σ_{(a,b)∈I} Σ_{i,j ∈ 1..n} x(a)_i · x(b)_j`, all coefficients 1.
+///
+/// `pairs` uses 1-based metavariable indexes `1..=x_count` with `a < b`,
+/// exactly as in the paper's examples.
+pub fn uniformly_partitioned(
+    vars: &mut VarTable,
+    x_count: usize,
+    n: usize,
+    pairs: &[(usize, usize)],
+) -> PolySet<f64> {
+    // Intern all copies first so ids are contiguous per metavariable.
+    let ids: Vec<Vec<VarId>> = (1..=x_count)
+        .map(|a| (1..=n).map(|i| vars.intern(&copy_name(a, i))).collect())
+        .collect();
+    let mut p = Polynomial::zero();
+    for &(a, b) in pairs {
+        assert!(a < b, "Def. 16 requires a < b");
+        assert!(b <= x_count, "pair index out of range");
+        for i in 0..n {
+            for j in 0..n {
+                p.add_term(Monomial::from_vars([ids[a - 1][i], ids[b - 1][j]]), 1.0);
+            }
+        }
+    }
+    PolySet::from_vec(vec![p])
+}
+
+/// Builds the flat abstraction forest of Def. 20: one height-one tree per
+/// metavariable, `x(a)` over `x(a)_1 .. x(a)_n`.
+pub fn flat_abstraction(vars: &mut VarTable, x_count: usize, n: usize) -> Forest {
+    let trees = (1..=x_count)
+        .map(|a| {
+            TreeBuilder::new(meta_name(a))
+                .leaves(meta_name(a), (1..=n).map(|i| copy_name(a, i)))
+                .build(vars)
+                .expect("flat tree labels are unique")
+        })
+        .collect();
+    Forest::new(trees).expect("flat trees are disjoint")
+}
+
+/// Claim 18: `|P|_M = |I|·n²`, `|P|_V = |X|·n`.
+pub fn claim_18_sizes(x_count: usize, n: usize, num_pairs: usize) -> (usize, usize) {
+    (num_pairs * n * n, x_count * n)
+}
+
+/// Claim 23: sizes after abstracting exactly the metavariable set `Y`
+/// (given as a membership bitmap over `1..=x_count`, index 0 unused):
+///
+/// * each pair `(i, j)` contributes 1 monomial if both ends are in `Y`,
+///   `n²` if neither is, and `n` otherwise;
+/// * `|P↓S|_V = |Y| + (|X| − |Y|)·n`.
+pub fn claim_23_sizes(
+    x_count: usize,
+    n: usize,
+    pairs: &[(usize, usize)],
+    in_y: &[bool],
+) -> (usize, usize) {
+    let m = pairs
+        .iter()
+        .map(|&(a, b)| match (in_y[a], in_y[b]) {
+            (true, true) => 1,
+            (false, false) => n * n,
+            _ => n,
+        })
+        .sum();
+    let y = in_y.iter().filter(|&&b| b).count();
+    (m, y + (x_count - y) * n)
+}
+
+/// The full Vertex-Cover reduction of Lemma 29 for a graph `G` and cover
+/// size `k`.
+#[derive(Debug)]
+pub struct VcReduction {
+    /// The uniformly partitioned polynomial (blow-up `n = |V|³`).
+    pub polys: PolySet<f64>,
+    /// Its flat abstraction forest.
+    pub forest: Forest,
+    /// The pairs `I` (1-based, `a < b`).
+    pub pairs: Vec<(usize, usize)>,
+    /// Number of metavariables `|X| = |V|`.
+    pub x_count: usize,
+    /// The blow-up factor `n = |V|³`.
+    pub blowup: usize,
+    /// The target granularity `K = (|V|−k)·|V|³ + k`.
+    pub granularity: usize,
+    /// The size range `B ∈ {2..|V|⁵}` of the lemma.
+    pub bound_range: (usize, usize),
+}
+
+/// Builds the reduction instance. The graph must satisfy Thm. 28's
+/// conditions (≥ 2 nodes, ≥ 1 edge, no self-loops).
+pub fn reduce_vertex_cover(vars: &mut VarTable, g: &Graph, k: usize) -> VcReduction {
+    let v = g.num_nodes();
+    assert!(v >= 2 && !g.edges().is_empty(), "Thm. 28 preconditions");
+    let blowup = v * v * v;
+    let pairs: Vec<(usize, usize)> = g.edges().iter().map(|&(a, b)| (a + 1, b + 1)).collect();
+    let polys = uniformly_partitioned(vars, v, blowup, &pairs);
+    let forest = flat_abstraction(vars, v, blowup);
+    VcReduction {
+        polys,
+        forest,
+        pairs,
+        x_count: v,
+        blowup,
+        granularity: (v - k) * blowup + k,
+        bound_range: (2, v.pow(5)),
+    }
+}
+
+/// Decides, via the Claim 23 closed form, whether the flat-abstraction
+/// instance admits a precise abstraction with `|P↓S|_M = B` and
+/// `|P↓S|_V = K` — enumerating the `2^|X|` choices of `Y` without
+/// materialising any polynomial.
+pub fn decide_precise_flat(
+    x_count: usize,
+    n: usize,
+    pairs: &[(usize, usize)],
+    size_b: usize,
+    granularity_k: usize,
+) -> bool {
+    assert!(x_count <= 25, "closed-form enumeration is for small X");
+    (0u32..(1 << x_count)).any(|mask| {
+        let mut in_y = vec![false; x_count + 1];
+        for a in 1..=x_count {
+            in_y[a] = mask & (1 << (a - 1)) != 0;
+        }
+        claim_23_sizes(x_count, n, pairs, &in_y) == (size_b, granularity_k)
+    })
+}
+
+/// Lemma 29, forward direction test helper: whether the reduction instance
+/// admits a precise abstraction for *some* `B` in the lemma's range with
+/// the lemma's `K`.
+pub fn reduction_answer(g: &Graph, k: usize) -> bool {
+    let v = g.num_nodes();
+    let blowup = v * v * v;
+    let pairs: Vec<(usize, usize)> = g.edges().iter().map(|&(a, b)| (a + 1, b + 1)).collect();
+    let granularity = (v - k) * blowup + k;
+    // B ∈ {2 .. |V|⁵}: enumerate Y once and check its (m, v) lands in
+    // range with the right granularity.
+    (0u32..(1 << v)).any(|mask| {
+        let mut in_y = vec![false; v + 1];
+        for a in 1..=v {
+            in_y[a] = mask & (1 << (a - 1)) != 0;
+        }
+        let (m, vv) = claim_23_sizes(v, blowup, &pairs, &in_y);
+        vv == granularity && (2..=v.pow(5)).contains(&m)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::decide_precise;
+
+    /// Example 17's instance: X = 4 metavariables, n = 3,
+    /// I = {(1,2), (1,3), (2,3), (2,4)}.
+    fn example_17(vars: &mut VarTable) -> (PolySet<f64>, Vec<(usize, usize)>) {
+        let pairs = vec![(1, 2), (1, 3), (2, 3), (2, 4)];
+        let polys = uniformly_partitioned(vars, 4, 3, &pairs);
+        (polys, pairs)
+    }
+
+    #[test]
+    fn example_19_sizes() {
+        let mut vars = VarTable::new();
+        let (polys, pairs) = example_17(&mut vars);
+        // Claim 18: |P|_M = 4·3² = 36, |P|_V = 4·3 = 12.
+        assert_eq!(polys.size_m(), 36);
+        assert_eq!(polys.size_v(), 12);
+        assert_eq!(claim_18_sizes(4, 3, pairs.len()), (36, 12));
+    }
+
+    #[test]
+    fn example_24_abstraction_sizes() {
+        // Y = {x(1), x(3)}: P↓S = 3 + 1 + 3 + 9 = 16 monomials,
+        // 2 + 2·3 = 8 variables.
+        let mut vars = VarTable::new();
+        let (polys, pairs) = example_17(&mut vars);
+        let forest = flat_abstraction(&mut vars, 4, 3);
+        let in_y = [false, true, false, true, false]; // 1-indexed
+        assert_eq!(claim_23_sizes(4, 3, &pairs, &in_y), (16, 8));
+        // Cross-check against an actual application.
+        let vvs = provabs_trees::cut::Vvs::from_labels(
+            &forest,
+            &vars,
+            &[
+                "x1", "x2_1", "x2_2", "x2_3", "x3", "x4_1", "x4_2", "x4_3",
+            ],
+        )
+        .expect("labels");
+        vvs.validate(&forest).expect("valid");
+        let down = vvs.apply(&polys, &forest);
+        assert_eq!(down.size_m(), 16);
+        assert_eq!(down.size_v(), 8);
+    }
+
+    #[test]
+    fn claim_23_matches_application_for_every_y() {
+        let mut vars = VarTable::new();
+        let (polys, pairs) = example_17(&mut vars);
+        let forest = flat_abstraction(&mut vars, 4, 3);
+        for mask in 0u32..16 {
+            let mut in_y = vec![false; 5];
+            let mut labels: Vec<String> = Vec::new();
+            for a in 1..=4 {
+                if mask & (1 << (a - 1)) != 0 {
+                    in_y[a] = true;
+                    labels.push(meta_name(a));
+                } else {
+                    labels.extend((1..=3).map(|i| copy_name(a, i)));
+                }
+            }
+            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+            let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &refs)
+                .expect("labels");
+            let down = vvs.apply(&polys, &forest);
+            assert_eq!(
+                claim_23_sizes(4, 3, &pairs, &in_y),
+                (down.size_m(), down.size_v()),
+                "mask {mask:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn claim_25_positive_size() {
+        // Coefficients are positive so abstraction never cancels monomials.
+        let mut vars = VarTable::new();
+        let (polys, _) = example_17(&mut vars);
+        let forest = flat_abstraction(&mut vars, 4, 3);
+        let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &["x1", "x2", "x3", "x4"])
+            .expect("labels");
+        let down = vvs.apply(&polys, &forest);
+        assert!(down.size_m() > 0);
+    }
+
+    #[test]
+    fn reduction_agrees_with_vertex_cover_small_graphs() {
+        // Triangle: min VC = 2. Path a-b-c: min VC = 1. Square: min VC = 2.
+        let graphs = [
+            Graph::new(3, [(0, 1), (1, 2), (0, 2)]),
+            Graph::new(3, [(0, 1), (1, 2)]),
+            Graph::new(4, [(0, 1), (1, 2), (2, 3), (3, 0)]),
+            Graph::new(4, [(0, 1), (0, 2), (0, 3)]),
+        ];
+        for g in &graphs {
+            for k in 1..g.num_nodes() {
+                assert_eq!(
+                    g.has_vertex_cover_of_size(k),
+                    reduction_answer(g, k),
+                    "graph {:?} k={k}",
+                    g.edges()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_matches_generic_decision_solver() {
+        // Small enough to run the real (exponential) decision procedure:
+        // |V| = 3, blow-up overridden to 2 via the raw builders would break
+        // the lemma's arithmetic, so use the real |V|³ = 27 but check a
+        // specific Y against decide_precise on a *scaled-down* instance
+        // where the closed form is verified separately above. Here: path
+        // graph, blow-up 2 (illustrative), full enumeration.
+        let mut vars = VarTable::new();
+        let pairs = vec![(1, 2), (2, 3)];
+        let polys = uniformly_partitioned(&mut vars, 3, 2, &pairs);
+        let forest = flat_abstraction(&mut vars, 3, 2);
+        for mask in 0u32..8 {
+            let mut in_y = vec![false; 4];
+            for a in 1..=3 {
+                in_y[a] = mask & (1 << (a - 1)) != 0;
+            }
+            let (m, v) = claim_23_sizes(3, 2, &pairs, &in_y);
+            assert!(
+                decide_precise(&polys, &forest, m, v, 100).expect("small"),
+                "closed-form point (m={m}, v={v}) must be realisable"
+            );
+        }
+        // And a point no Y realises: B = |P|_M − 1 keeps all variables? No
+        // abstraction yields 7 monomials with full granularity 6.
+        assert!(!decide_precise(&polys, &forest, 7, 6, 100).expect("small"));
+    }
+
+    #[test]
+    fn graph_normalisation() {
+        let g = Graph::new(3, [(1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(g.min_vertex_cover_size(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let _ = Graph::new(2, [(0, 0)]);
+    }
+
+    #[test]
+    fn reduce_vertex_cover_builds_lemma_29_instance() {
+        let mut vars = VarTable::new();
+        let g = Graph::new(2, [(0, 1)]);
+        let r = reduce_vertex_cover(&mut vars, &g, 1);
+        assert_eq!(r.blowup, 8);
+        assert_eq!(r.polys.size_m(), 64); // 1 edge × 8²
+        assert_eq!(r.polys.size_v(), 16);
+        assert_eq!(r.granularity, 8 + 1);
+        assert_eq!(r.bound_range, (2, 32));
+        assert_eq!(r.forest.num_trees(), 2);
+    }
+}

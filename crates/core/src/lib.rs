@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! The provenance-abstraction optimization problem and its algorithms.
+//!
+//! This crate is the paper's primary contribution (§2.4–§3 and the
+//! appendix):
+//!
+//! * [`problem`] — precise / adequate / optimal abstractions (Def. 7),
+//!   instance evaluation and result types,
+//! * [`loss`] — monomial loss `ML` and variable loss `VL`, both the naive
+//!   definition and the efficient `D_P` remainder-map computation of §4.1,
+//! * [`optimal`] — Algorithm 1: the optimal single-tree selection via
+//!   bottom-up dynamic programming (PTIME, Prop. 12/14). The sparse
+//!   hash-map variant of §4.1 is the default; a dense reference
+//!   implementation is kept for testing and ablation,
+//! * [`greedy`] — Algorithm 2: the greedy multi-tree heuristic,
+//! * [`brute`] — exhaustive search over all cuts (the evaluation's
+//!   brute-force baseline),
+//! * [`competitor`] — a tree-oracle adaptation of the pairwise-merge
+//!   summarization of Ainy et al. (CIKM'15), the paper's `[3]`,
+//! * [`decision`] — the decision problem (Def. 10): existence of a
+//!   *precise* abstraction for a size `B` and granularity `K`,
+//! * [`hardness`] — the NP-hardness apparatus of Appendix A: uniformly
+//!   partitioned polynomials, flat abstractions and the reduction from
+//!   Vertex Cover,
+//! * [`online`] — the sampling-based online compression scheme the paper
+//!   sketches as future work in §6, implemented end to end (sampling,
+//!   bound adaptation, size extrapolation).
+
+pub mod brute;
+pub mod competitor;
+pub mod decision;
+pub mod greedy;
+pub mod hardness;
+pub mod loss;
+pub mod online;
+pub mod optimal;
+pub mod problem;
+
+pub use greedy::greedy_vvs;
+pub use optimal::{optimal_vvs, optimal_vvs_dense};
+pub use problem::{evaluate_vvs, AbstractionResult};

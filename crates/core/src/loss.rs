@@ -1,0 +1,298 @@
+//! Monomial loss (`ML`) and variable loss (`VL`) computation.
+//!
+//! `ML_𝒫(S) = |𝒫|_M − |𝒫↓S|_M` and `VL_𝒫(S) = |𝒫|_V − |𝒫↓S|_V` (§3.1).
+//!
+//! [`ml_naive`] follows the definition (substitute and count). For a whole
+//! tree, [`TreeLoss`] implements the efficient computation of §4.1: one
+//! pass over the polynomials builds, for each leaf `l`, the set
+//! `D_P[l] = { (M_l, exp) | M ∈ M(P), l ∈ M }` of *remainders* (the
+//! monomial with `l` removed, plus `l`'s exponent — two monomials merge
+//! under abstraction iff their remainders and exponents agree). Then for a
+//! node `v` with descendant leaves `l_0..l_m`,
+//! `ML({v}) = Σᵢ |D_P[l_i]| − |∪ᵢ D_P[l_i]|`, computed for *every* node in
+//! one bottom-up merge (small-to-large, so the total work is
+//! `O(|𝒫|_M · log n)`).
+
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarId;
+use provabs_trees::cut::Vvs;
+use provabs_trees::forest::Forest;
+use provabs_trees::tree::{AbsTree, NodeId};
+
+/// `ML` of a full VVS by direct application (used as the test oracle and
+/// for one-off evaluations).
+pub fn ml_naive<C: Coefficient>(polys: &PolySet<C>, forest: &Forest, vvs: &Vvs) -> usize {
+    polys.size_m() - vvs.apply(polys, forest).size_m()
+}
+
+/// `VL` of a full VVS by direct application.
+pub fn vl_naive<C: Coefficient>(polys: &PolySet<C>, forest: &Forest, vvs: &Vvs) -> usize {
+    polys.size_v() - vvs.apply(polys, forest).size_v()
+}
+
+/// Per-node `ML({v})` and `VL({v})` for one tree, precomputed with the
+/// `D_P` remainder maps of §4.1.
+#[derive(Clone, Debug)]
+pub struct TreeLoss {
+    /// `ml[v] = ML({v})`: monomials saved if all leaves below `v` merge.
+    pub ml: Vec<usize>,
+    /// `vl[v] = VL({v})`: number of descendant leaves minus one (0 for
+    /// leaves). Assumes a cleaned tree (every leaf occurs in `𝒫`).
+    pub vl: Vec<usize>,
+}
+
+impl TreeLoss {
+    /// Builds the index for `tree` against `polys`.
+    ///
+    /// Requires compatibility: each monomial contains at most one node of
+    /// `tree` (checked by [`Forest::check_compatible`] upstream; here a
+    /// debug assertion).
+    pub fn build<C: Coefficient>(polys: &PolySet<C>, tree: &AbsTree) -> Self {
+        let n = tree.num_nodes();
+        // Intern remainder keys (poly index, exponent, remainder monomial)
+        // into dense ids; collect per-leaf id lists.
+        let mut key_ids: FxHashMap<(usize, u32, Monomial), u32> = FxHashMap::default();
+        let mut per_leaf: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (pi, mono, _) in polys.monomials() {
+            for v in mono.vars() {
+                let Some(node) = tree.node_of_var(v) else {
+                    continue;
+                };
+                debug_assert!(tree.is_leaf(node), "meta-variable in polynomials");
+                let (rem, exp) = mono.remove_var(v);
+                let next = key_ids.len() as u32;
+                let id = *key_ids.entry((pi, exp, rem)).or_insert(next);
+                per_leaf[node.index()].push(id);
+                break; // compatibility: at most one tree node per monomial
+            }
+        }
+
+        // Bottom-up: per node keep (count map id→occurrences, total), merge
+        // children small-to-large.
+        let mut ml = vec![0usize; n];
+        let mut vl = vec![0usize; n];
+        let mut maps: Vec<Option<(FxHashMap<u32, u32>, usize)>> = (0..n).map(|_| None).collect();
+        for id in tree.postorder() {
+            if tree.is_leaf(id) {
+                let entries = std::mem::take(&mut per_leaf[id.index()]);
+                let total = entries.len();
+                let mut map = FxHashMap::default();
+                map.reserve(total);
+                for e in entries {
+                    *map.entry(e).or_insert(0) += 1;
+                }
+                maps[id.index()] = Some((map, total));
+                // ml, vl stay 0 for leaves.
+            } else {
+                let mut acc: Option<(FxHashMap<u32, u32>, usize)> = None;
+                for &c in tree.children(id) {
+                    let child = maps[c.index()].take().expect("postorder visits children first");
+                    acc = Some(match acc {
+                        None => child,
+                        Some((mut big, big_total)) => {
+                            let (mut small, small_total) = child;
+                            if small.len() > big.len() {
+                                std::mem::swap(&mut big, &mut small);
+                            }
+                            for (k, v) in small {
+                                *big.entry(k).or_insert(0) += v;
+                            }
+                            (big, big_total + small_total)
+                        }
+                    });
+                }
+                let (map, total) = acc.expect("internal node has children");
+                ml[id.index()] = total - map.len();
+                vl[id.index()] = tree.num_descendant_leaves(id) - 1;
+                maps[id.index()] = Some((map, total));
+            }
+        }
+        Self { ml, vl }
+    }
+
+    /// `ML({v})` for a single node.
+    pub fn ml_of(&self, v: NodeId) -> usize {
+        self.ml[v.index()]
+    }
+
+    /// `VL({v})` for a single node.
+    pub fn vl_of(&self, v: NodeId) -> usize {
+        self.vl[v.index()]
+    }
+}
+
+/// The monomial-loss *delta* of replacing the variables `group` by a
+/// single fresh variable, computed on the given polynomials. Used by the
+/// greedy algorithm, whose candidate gains must be measured against the
+/// *current* (already partially abstracted) polynomials.
+pub fn ml_delta_of_group<C: Coefficient>(polys: &PolySet<C>, group: &[VarId]) -> usize {
+    if group.len() < 2 {
+        return 0;
+    }
+    let group_set: provabs_provenance::fxhash::FxHashSet<VarId> = group.iter().copied().collect();
+    let indices: Vec<usize> = (0..polys.len()).collect();
+    ml_delta_of_group_in(polys.as_slice(), &indices, &group_set)
+}
+
+/// [`ml_delta_of_group`] restricted to the polynomials at `poly_indices`
+/// — the greedy algorithm keeps an inverted index `variable → polynomial
+/// postings` so only affected polynomials are scanned.
+pub fn ml_delta_of_group_in<C: Coefficient>(
+    polys: &[provabs_provenance::polynomial::Polynomial<C>],
+    poly_indices: &[usize],
+    group: &provabs_provenance::fxhash::FxHashSet<VarId>,
+) -> usize {
+    if group.len() < 2 {
+        return 0;
+    }
+    let mut affected = 0usize;
+    let mut distinct: FxHashMap<(usize, u32, Monomial), ()> = FxHashMap::default();
+    for &pi in poly_indices {
+        for (mono, _) in polys[pi].iter() {
+            for v in mono.vars() {
+                if group.contains(&v) {
+                    let (rem, exp) = mono.remove_var(v);
+                    affected += 1;
+                    distinct.insert((pi, exp, rem), ());
+                    break;
+                }
+            }
+        }
+    }
+    affected - distinct.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+    use provabs_trees::builder::TreeBuilder;
+
+    /// The cleaned plans tree of Example 13 over P1, P2.
+    fn example_13() -> (PolySet<f64>, AbsTree, VarTable) {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3\n\
+             77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let tree = TreeBuilder::new("Plans")
+            .child("Plans", "p1")
+            .child("Plans", "Special")
+            .child("Plans", "Business")
+            .leaves("Special", ["f1", "y1", "v"])
+            .child("Business", "SB")
+            .child("Business", "e")
+            .leaves("SB", ["b1", "b2"])
+            .build(&mut vars)
+            .expect("tree");
+        (polys, tree, vars)
+    }
+
+    #[test]
+    fn example_13_losses_via_remainder_maps() {
+        let (polys, tree, vars) = example_13();
+        let loss = TreeLoss::build(&polys, &tree);
+        let node = |l: &str| {
+            tree.node_of_var(vars.lookup(l).expect("interned"))
+                .expect("in tree")
+        };
+        // "ASB[2] = 1 ... reduce the provenance by two monomials".
+        assert_eq!(loss.ml_of(node("SB")), 2);
+        assert_eq!(loss.vl_of(node("SB")), 1);
+        // ASp[4] = 2 (Special merges f1, y1, v in both months).
+        assert_eq!(loss.ml_of(node("Special")), 4);
+        assert_eq!(loss.vl_of(node("Special")), 2);
+        // Business merges b1, b2, e: 3 monomials → 1 per month.
+        assert_eq!(loss.ml_of(node("Business")), 4);
+        assert_eq!(loss.vl_of(node("Business")), 2);
+        // Root merges everything: P1 8→2, P2 6→2 → ML = 10.
+        assert_eq!(loss.ml_of(node("Plans")), 10);
+        assert_eq!(loss.vl_of(node("Plans")), 6);
+        // Leaves lose nothing.
+        assert_eq!(loss.ml_of(node("p1")), 0);
+        assert_eq!(loss.vl_of(node("p1")), 0);
+    }
+
+    #[test]
+    fn efficient_ml_matches_naive_for_every_node() {
+        let (polys, tree, _) = example_13();
+        let forest = Forest::single(tree.clone());
+        let loss = TreeLoss::build(&polys, &tree);
+        for node in tree.node_ids() {
+            if tree.is_leaf(node) {
+                continue;
+            }
+            // VVS choosing only `node` (and every other leaf as itself).
+            let mut chosen: Vec<NodeId> = tree
+                .leaves()
+                .into_iter()
+                .filter(|&l| !tree.is_ancestor_or_self(node, l))
+                .collect();
+            chosen.push(node);
+            let vvs = Vvs::from_per_tree(vec![chosen]);
+            vvs.validate(&forest).expect("valid");
+            assert_eq!(
+                loss.ml_of(node),
+                ml_naive(&polys, &forest, &vvs),
+                "node {}",
+                tree.label_of(node)
+            );
+        }
+    }
+
+    #[test]
+    fn exponents_distinguish_remainders() {
+        // x²·a and x·a must not merge with y·a when x,y → g, because the
+        // exponents differ: x²·a → g²·a ≠ g·a.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·x^2·a + 2·x·a + 3·y·a", &mut vars).expect("parse");
+        let tree = TreeBuilder::new("g")
+            .leaves("g", ["x", "y"])
+            .build(&mut vars)
+            .expect("tree");
+        let loss = TreeLoss::build(&polys, &tree);
+        // Only x·a and y·a merge → ML = 1.
+        assert_eq!(loss.ml_of(tree.root()), 1);
+        let forest = Forest::single(tree.clone());
+        let vvs = Vvs::from_labels(&forest, &vars, &["g"]).expect("labels");
+        assert_eq!(ml_naive(&polys, &forest, &vvs), 1);
+    }
+
+    #[test]
+    fn monomials_in_different_polynomials_never_merge() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·x·a\n1·y·a", &mut vars).expect("parse");
+        let tree = TreeBuilder::new("g")
+            .leaves("g", ["x", "y"])
+            .build(&mut vars)
+            .expect("tree");
+        let loss = TreeLoss::build(&polys, &tree);
+        assert_eq!(loss.ml_of(tree.root()), 0);
+    }
+
+    #[test]
+    fn ml_delta_of_group_matches_substitution() {
+        let (polys, tree, vars) = example_13();
+        let group: Vec<VarId> = ["b1", "b2", "e"]
+            .iter()
+            .map(|l| vars.lookup(l).expect("interned"))
+            .collect();
+        let delta = ml_delta_of_group(&polys, &group);
+        // Same as abstracting Business directly.
+        let loss = TreeLoss::build(&polys, &tree);
+        let business = tree
+            .node_of_var(vars.lookup("Business").expect("interned"))
+            .expect("node");
+        assert_eq!(delta, loss.ml_of(business));
+        // Single-variable groups lose nothing.
+        assert_eq!(ml_delta_of_group(&polys, &group[..1]), 0);
+    }
+}

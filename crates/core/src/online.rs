@@ -1,0 +1,275 @@
+//! Online compression via sampling — the extension sketched in §6.
+//!
+//! The paper's algorithms take fully materialised provenance; §6 proposes
+//! compressing *on the fly*: "generate only a sample of the provenance,
+//! apply our algorithms to the sample, and obtain a choice of Valid
+//! Variable Set. Then use the same VVS to group variables in the full
+//! input database". Two gaps are identified there and realised here:
+//!
+//! 1. **Sampling** ([`sample_polys`]): the heuristic "tailored for simple
+//!    GROUPBY queries" — sample whole output polynomials (each output
+//!    group corresponds to rows of the relation holding the grouping
+//!    attribute, so sampling groups approximates sampling that relation
+//!    while leaving the other relations intact).
+//! 2. **Bound adaptation** ([`adapt_bound`]): "set this bound as a
+//!    function of (1) the original bound and (2) the ratio between the
+//!    full provenance size and the sample provenance size, e.g. the first
+//!    multiplied by the second", with the full size estimated by
+//!    extrapolation from growing samples ([`estimate_full_size`],
+//!    following the paper's pointer to extrapolation methods).
+
+use crate::greedy::greedy_vvs;
+use crate::optimal::optimal_vvs;
+use crate::problem::{evaluate_vvs, AbstractionResult};
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+
+/// Which offline algorithm the online wrapper drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Solver {
+    /// Algorithm 1 (single tree).
+    Optimal,
+    /// Algorithm 2 (any forest).
+    Greedy,
+}
+
+/// Samples roughly `fraction` of the polynomials (at least one),
+/// deterministically in `seed`. This models sampling "from the relations
+/// that include the grouping attributes, leaving the other relations
+/// intact": each output polynomial is one group.
+pub fn sample_polys<C: Coefficient>(polys: &PolySet<C>, fraction: f64, seed: u64) -> PolySet<C> {
+    assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let picked: Vec<Polynomial<C>> = polys
+        .iter()
+        .filter(|_| (next() % 1_000_000) as f64 / 1_000_000.0 < fraction)
+        .cloned()
+        .collect();
+    if picked.is_empty() {
+        // Degenerate draw: keep the first polynomial so the sample is
+        // never empty.
+        return PolySet::from_vec(polys.iter().take(1).cloned().collect());
+    }
+    PolySet::from_vec(picked)
+}
+
+/// §6's bound adaptation: the original bound scaled by the
+/// sample-to-full size ratio (clamped to at least 1).
+pub fn adapt_bound(bound: usize, full_size_m: usize, sample_size_m: usize) -> usize {
+    if full_size_m == 0 {
+        return bound.max(1);
+    }
+    let ratio = sample_size_m as f64 / full_size_m as f64;
+    ((bound as f64 * ratio).round() as usize).max(1)
+}
+
+/// Estimates the full provenance size by least-squares extrapolation of
+/// `(sampling fraction, observed |sample|_M)` points to fraction 1.0 —
+/// the paper's "perform multiple samples of increasing sizes … and
+/// extrapolate".
+pub fn extrapolate_size(points: &[(f64, usize)]) -> usize {
+    assert!(!points.is_empty(), "need at least one sample point");
+    if points.len() == 1 {
+        let (f, m) = points[0];
+        return (m as f64 / f.max(1e-9)).round() as usize;
+    }
+    // Least squares for m ≈ a·f + b, evaluated at f = 1.
+    let n = points.len() as f64;
+    let sum_f: f64 = points.iter().map(|&(f, _)| f).sum();
+    let sum_m: f64 = points.iter().map(|&(_, m)| m as f64).sum();
+    let sum_ff: f64 = points.iter().map(|&(f, _)| f * f).sum();
+    let sum_fm: f64 = points.iter().map(|&(f, m)| f * m as f64).sum();
+    let denom = n * sum_ff - sum_f * sum_f;
+    if denom.abs() < 1e-12 {
+        return (sum_m / sum_f.max(1e-9)).round() as usize;
+    }
+    let a = (n * sum_fm - sum_f * sum_m) / denom;
+    let b = (sum_m - a * sum_f) / n;
+    (a + b).round().max(1.0) as usize
+}
+
+/// Estimates the full size from samples at the given fractions.
+pub fn estimate_full_size<C: Coefficient>(
+    polys: &PolySet<C>,
+    fractions: &[f64],
+    seed: u64,
+) -> usize {
+    let points: Vec<(f64, usize)> = fractions
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (f, sample_polys(polys, f, seed + i as u64).size_m()))
+        .collect();
+    extrapolate_size(&points)
+}
+
+/// The outcome of one online-compression run.
+#[derive(Clone, Debug)]
+pub struct OnlineOutcome {
+    /// Sizes of the sample the VVS was chosen on.
+    pub sample_size_m: usize,
+    /// The bound handed to the offline algorithm on the sample.
+    pub adapted_bound: usize,
+    /// The chosen VVS evaluated against the *full* provenance.
+    pub full: AbstractionResult,
+}
+
+/// §6's end-to-end scheme: sample, adapt the bound, choose a VVS on the
+/// sample with the requested solver, then apply that VVS to the full
+/// provenance and report the real outcome.
+///
+/// The returned result may be inadequate for the original bound — that is
+/// the scheme's inherent risk ("this sample is still not guaranteed to be
+/// representative"); callers check [`AbstractionResult::is_adequate_for`]
+/// and the experiment binary quantifies how often that happens.
+pub fn online_compress<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    fraction: f64,
+    seed: u64,
+    solver: Solver,
+) -> Result<OnlineOutcome, TreeError> {
+    let sample = sample_polys(polys, fraction, seed);
+    let adapted = adapt_bound(bound, polys.size_m(), sample.size_m());
+    let on_sample = match solver {
+        Solver::Optimal => optimal_vvs(&sample, forest, adapted)?,
+        Solver::Greedy => greedy_vvs(&sample, forest, adapted)?,
+    };
+    // Re-evaluate the chosen VVS against the full provenance. The VVS
+    // lives on the sample-cleaned forest; variables absent from the
+    // sample but present in the full set stay unabstracted, exactly as
+    // the scheme prescribes.
+    let full = evaluate_vvs(polys, &on_sample.forest, on_sample.vvs);
+    Ok(OnlineOutcome {
+        sample_size_m: sample.size_m(),
+        adapted_bound: adapted,
+        full,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_provenance::monomial::Monomial;
+    use provabs_provenance::var::{VarId, VarTable};
+    use provabs_trees::builder::TreeBuilder;
+
+    /// Many structurally-identical polynomials over a shared variable
+    /// pool — the regime where a sample is representative.
+    fn uniform_instance() -> (PolySet<f64>, Forest) {
+        let mut vars = VarTable::new();
+        let leaves: Vec<VarId> = (0..8).map(|i| vars.intern(&format!("x{i}"))).collect();
+        let ctx: Vec<VarId> = (0..4).map(|i| vars.intern(&format!("c{i}"))).collect();
+        let mut polys = Vec::new();
+        for p in 0..40 {
+            let mut poly = Polynomial::zero();
+            for (i, &l) in leaves.iter().enumerate() {
+                poly.add_term(
+                    Monomial::from_vars([l, ctx[(p + i) % 4]]),
+                    1.0 + p as f64,
+                );
+            }
+            polys.push(poly);
+        }
+        let tree = TreeBuilder::new("X")
+            .child("X", "lo")
+            .child("X", "hi")
+            .leaves("lo", (0..4).map(|i| format!("x{i}")))
+            .leaves("hi", (4..8).map(|i| format!("x{i}")))
+            .build(&mut vars)
+            .expect("tree");
+        (PolySet::from_vec(polys), Forest::single(tree))
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_bounded() {
+        let (polys, _) = uniform_instance();
+        let a = sample_polys(&polys, 0.3, 9);
+        let b = sample_polys(&polys, 0.3, 9);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() < polys.len());
+        assert!(!a.is_empty());
+        let c = sample_polys(&polys, 0.0, 9);
+        assert_eq!(c.len(), 1, "never empty");
+        let d = sample_polys(&polys, 1.0, 9);
+        assert_eq!(d.len(), polys.len());
+    }
+
+    #[test]
+    fn bound_adaptation_scales_by_ratio() {
+        assert_eq!(adapt_bound(100, 1000, 250), 25);
+        assert_eq!(adapt_bound(100, 1000, 1000), 100);
+        assert_eq!(adapt_bound(1, 1000, 10), 1, "clamped to 1");
+        assert_eq!(adapt_bound(5, 0, 0), 5);
+    }
+
+    #[test]
+    fn extrapolation_recovers_linear_growth() {
+        // Perfectly linear: m = 1000·f.
+        let points: Vec<(f64, usize)> = [0.1, 0.2, 0.4]
+            .iter()
+            .map(|&f| (f, (1000.0 * f) as usize))
+            .collect();
+        let est = extrapolate_size(&points);
+        assert!((est as i64 - 1000).abs() <= 1, "got {est}");
+        // Single point falls back to proportional scaling.
+        assert_eq!(extrapolate_size(&[(0.25, 250)]), 1000);
+    }
+
+    #[test]
+    fn estimate_is_close_on_uniform_polynomials() {
+        let (polys, _) = uniform_instance();
+        let est = estimate_full_size(&polys, &[0.2, 0.4, 0.6], 3);
+        let real = polys.size_m();
+        let rel = (est as f64 - real as f64).abs() / real as f64;
+        assert!(rel < 0.35, "estimate {est} vs real {real}");
+    }
+
+    #[test]
+    fn online_vvs_matches_offline_on_uniform_instance() {
+        // With identical polynomial structure the sample sees the same
+        // merge opportunities, so the online VVS equals the offline one.
+        let (polys, forest) = uniform_instance();
+        let bound = polys.size_m() / 2;
+        let offline = optimal_vvs(&polys, &forest, bound).expect("attainable");
+        let online =
+            online_compress(&polys, &forest, bound, 0.3, 5, Solver::Optimal).expect("sampled");
+        assert!(online.full.is_adequate_for(bound));
+        assert_eq!(
+            online.full.vvs.labels(&online.full.forest),
+            offline.vvs.labels(&offline.forest)
+        );
+        assert!(online.sample_size_m < polys.size_m());
+        assert!(online.adapted_bound < bound);
+    }
+
+    #[test]
+    fn online_greedy_solver_works() {
+        let (polys, forest) = uniform_instance();
+        let bound = polys.size_m() / 2;
+        let online =
+            online_compress(&polys, &forest, bound, 0.5, 11, Solver::Greedy).expect("sampled");
+        online
+            .full
+            .vvs
+            .validate(&online.full.forest)
+            .expect("valid VVS");
+        assert!(online.full.is_adequate_for(bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0, 1]")]
+    fn invalid_fraction_panics() {
+        let (polys, _) = uniform_instance();
+        let _ = sample_polys(&polys, 1.5, 0);
+    }
+}

@@ -1,0 +1,553 @@
+//! Algorithm 1: optimal valid-variable selection for a single tree.
+//!
+//! For every node `v` and every monomial loss `i ∈ 0..k` (where
+//! `k = |𝒫|_M − B`), the dynamic program records the minimal variable loss
+//! of a VVS drawn from the subtree of `v` achieving monomial loss exactly
+//! `i`; index `k` is the "≥ k" bucket. A node's array is either the
+//! knapsack combination of its children's arrays (losses add, because
+//! compatibility makes sibling subtrees compress disjoint monomial
+//! groups — the paper's key insight) or the singleton choice `S = {v}`.
+//! The answer is the VVS encoded at the root's `k` entry, reconstructed by
+//! walking the recorded choices (Prop. 12/14: PTIME, `O(n·w·k²·|𝒫|_M)`).
+//!
+//! Two implementations are provided:
+//!
+//! * [`optimal_vvs`] — the sparse variant of §4.1: arrays are hash maps
+//!   holding only non-⊥ entries, with the height-1 shortcut,
+//! * [`optimal_vvs_dense`] — a dense reference implementation, used to
+//!   cross-check the sparse one in tests and as an ablation baseline.
+
+use crate::loss::TreeLoss;
+use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::polyset::PolySet;
+use provabs_trees::cut::Vvs;
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+use provabs_trees::tree::{AbsTree, NodeId};
+
+/// How a DP entry was obtained, for reconstruction.
+#[derive(Clone, Debug)]
+enum Choice {
+    /// `S = {v}`: the node itself is chosen, abstracting its whole
+    /// subtree.
+    Take,
+    /// Union of children VVSs; `alloc[i]` is the loss allocated to the
+    /// `i`-th child.
+    Split(Vec<usize>),
+}
+
+/// A DP cell: minimal variable loss and the choice realising it.
+#[derive(Clone, Debug)]
+struct Entry {
+    vl: u64,
+    choice: Choice,
+}
+
+/// Sparse per-node array: monomial loss → entry (only non-⊥ kept).
+type SparseArray = FxHashMap<usize, Entry>;
+
+fn better(slot: &mut Option<Entry>, vl: u64, choice: impl FnOnce() -> Choice) {
+    if slot.as_ref().is_none_or(|e| vl < e.vl) {
+        *slot = Some(Entry {
+            vl,
+            choice: choice(),
+        });
+    }
+}
+
+/// Runs the sparse DP over one (cleaned) tree; returns per-node arrays.
+fn solve_sparse(tree: &AbsTree, loss: &TreeLoss, k: usize) -> Vec<SparseArray> {
+    let mut arrays: Vec<SparseArray> = vec![SparseArray::default(); tree.num_nodes()];
+    for v in tree.postorder() {
+        let mut arr = SparseArray::default();
+        if tree.is_leaf(v) {
+            arr.insert(
+                0,
+                Entry {
+                    vl: 0,
+                    choice: Choice::Take,
+                },
+            );
+        } else {
+            let children = tree.children(v);
+            let height_one = children.iter().all(|&c| tree.is_leaf(c));
+            if height_one {
+                // §4.1 shortcut: all-leaf children contribute only the
+                // zero-loss entry, so skip computeArray entirely.
+                arr.insert(
+                    0,
+                    Entry {
+                        vl: 0,
+                        choice: Choice::Split(vec![0; children.len()]),
+                    },
+                );
+            } else {
+                // computeArray: fold children with a sparse knapsack.
+                let mut cur: FxHashMap<usize, (u64, Vec<usize>)> = FxHashMap::default();
+                for (s, e) in &arrays[children[0].index()] {
+                    cur.insert(*s, (e.vl, vec![*s]));
+                }
+                for &c in &children[1..] {
+                    let carr = &arrays[c.index()];
+                    let mut next: FxHashMap<usize, (u64, Vec<usize>)> = FxHashMap::default();
+                    for (s, (vs, alloc)) in &cur {
+                        for (t, et) in carr {
+                            let j = (s + t).min(k);
+                            let cand = vs + et.vl;
+                            let slot = next.entry(j);
+                            use std::collections::hash_map::Entry as E;
+                            match slot {
+                                E::Occupied(mut o) => {
+                                    if cand < o.get().0 {
+                                        let mut a = alloc.clone();
+                                        a.push(*t);
+                                        o.insert((cand, a));
+                                    }
+                                }
+                                E::Vacant(vac) => {
+                                    let mut a = alloc.clone();
+                                    a.push(*t);
+                                    vac.insert((cand, a));
+                                }
+                            }
+                        }
+                    }
+                    cur = next;
+                }
+                for (j, (vl, alloc)) in cur {
+                    arr.insert(
+                        j,
+                        Entry {
+                            vl,
+                            choice: Choice::Split(alloc),
+                        },
+                    );
+                }
+            }
+            // The S = {v} option (lines 8–11 of Algorithm 1).
+            let j = loss.ml_of(v).min(k);
+            let vl_v = loss.vl_of(v) as u64;
+            let mut slot = arr.remove(&j);
+            better(&mut slot, vl_v, || Choice::Take);
+            arr.insert(j, slot.expect("just set"));
+        }
+        arrays[v.index()] = arr;
+    }
+    arrays
+}
+
+/// Walks the recorded choices, collecting the chosen nodes.
+fn reconstruct(
+    tree: &AbsTree,
+    arrays: &[SparseArray],
+    v: NodeId,
+    j: usize,
+    out: &mut Vec<NodeId>,
+) {
+    let entry = arrays[v.index()]
+        .get(&j)
+        .expect("reconstruction follows recorded entries");
+    match &entry.choice {
+        Choice::Take => out.push(v),
+        Choice::Split(alloc) => {
+            for (&c, &jc) in tree.children(v).iter().zip(alloc) {
+                reconstruct(tree, arrays, c, jc, out);
+            }
+        }
+    }
+}
+
+/// Shared preamble / trivial-case handling. Returns `Ok(Err(result))` for
+/// trivially-solved instances, `Ok(Ok((cleaned, k)))` otherwise.
+#[allow(clippy::type_complexity)]
+fn preamble<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<Result<(Forest, usize), AbstractionResult>, TreeError> {
+    let cleaned = prepare(polys, forest)?;
+    let total_m = polys.size_m();
+    if bound >= total_m {
+        // Nothing to do: the identity abstraction is optimal (VL = 0).
+        let vvs = Vvs::identity(&cleaned);
+        return Ok(Err(evaluate_vvs(polys, &cleaned, vvs)));
+    }
+    if cleaned.num_trees() == 0 {
+        // No abstraction possible at all (trees were all trivial).
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: total_m,
+        });
+    }
+    if cleaned.num_trees() != 1 {
+        return Err(TreeError::ExpectedSingleTree(cleaned.num_trees()));
+    }
+    Ok(Ok((cleaned, total_m - bound)))
+}
+
+/// Algorithm 1 with the sparse arrays of §4.1 (the default).
+///
+/// Returns the optimal abstraction for `bound`: adequate
+/// (`|𝒫↓S|_M ≤ bound`) with minimal variable loss, or
+/// [`TreeError::BoundUnattainable`] when no VVS reaches the bound
+/// (Example 8), or [`TreeError::ExpectedSingleTree`] for multi-tree
+/// forests (use [`crate::greedy::greedy_vvs`] there).
+///
+/// ```
+/// use provabs_provenance::{parse::parse_polyset, VarTable};
+/// use provabs_trees::{builder::TreeBuilder, forest::Forest};
+/// use provabs_core::optimal::optimal_vvs;
+///
+/// let mut vars = VarTable::new();
+/// // Example 2's quarterly grouping: m1, m3 merge into q1.
+/// let polys = parse_polyset("220.8·p1·m1 + 240·p1·m3", &mut vars).unwrap();
+/// let tree = TreeBuilder::new("q1").leaves("q1", ["m1", "m3"]).build(&mut vars).unwrap();
+/// let result = optimal_vvs(&polys, &Forest::single(tree), 1).unwrap();
+/// assert_eq!(result.compressed_size_m, 1); // 460.8·p1·q1
+/// assert_eq!(result.vl(), 1);
+/// ```
+pub fn optimal_vvs<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<AbstractionResult, TreeError> {
+    let (cleaned, k) = match preamble(polys, forest, bound)? {
+        Err(done) => return Ok(done),
+        Ok(v) => v,
+    };
+    let tree = cleaned.tree(0);
+    let loss = TreeLoss::build(polys, tree);
+    let arrays = solve_sparse(tree, &loss, k);
+    let root = tree.root();
+    if !arrays[root.index()].contains_key(&k) {
+        let best_ml = arrays[root.index()].keys().copied().max().unwrap_or(0);
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: polys.size_m() - best_ml,
+        });
+    }
+    let mut chosen = Vec::new();
+    reconstruct(tree, &arrays, root, k, &mut chosen);
+    let vvs = Vvs::from_per_tree(vec![chosen]);
+    debug_assert!(vvs.validate(&cleaned).is_ok());
+    Ok(evaluate_vvs(polys, &cleaned, vvs))
+}
+
+/// Algorithm 1 with dense `k+1`-length arrays — the straightforward
+/// transcription of the pseudo-code, kept as a reference implementation
+/// (tests assert it agrees with [`optimal_vvs`]) and an ablation baseline.
+pub fn optimal_vvs_dense<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<AbstractionResult, TreeError> {
+    let (cleaned, k) = match preamble(polys, forest, bound)? {
+        Err(done) => return Ok(done),
+        Ok(v) => v,
+    };
+    let tree = cleaned.tree(0);
+    let loss = TreeLoss::build(polys, tree);
+
+    // Dense arrays: index j holds Option<Entry>.
+    let mut arrays: Vec<Vec<Option<Entry>>> = vec![Vec::new(); tree.num_nodes()];
+    for v in tree.postorder() {
+        let mut arr: Vec<Option<Entry>> = vec![None; k + 1];
+        if tree.is_leaf(v) {
+            arr[0] = Some(Entry {
+                vl: 0,
+                choice: Choice::Take,
+            });
+        } else {
+            let children = tree.children(v);
+            // computeArray, dense: τ[i][j] over prefix of children.
+            let mut cur: Vec<Option<(u64, Vec<usize>)>> = vec![None; k + 1];
+            for (j, e) in arrays[children[0].index()].iter().enumerate() {
+                if let Some(e) = e {
+                    cur[j] = Some((e.vl, vec![j]));
+                }
+            }
+            for &c in &children[1..] {
+                let carr = &arrays[c.index()];
+                let mut next: Vec<Option<(u64, Vec<usize>)>> = vec![None; k + 1];
+                for (s, cell) in cur.iter().enumerate() {
+                    let Some((vs, alloc)) = cell else { continue };
+                    for (t, ct) in carr.iter().enumerate() {
+                        let Some(et) = ct else { continue };
+                        let j = (s + t).min(k);
+                        let cand = vs + et.vl;
+                        if next[j].as_ref().is_none_or(|(v, _)| cand < *v) {
+                            let mut a = alloc.clone();
+                            a.push(t);
+                            next[j] = Some((cand, a));
+                        }
+                    }
+                }
+                cur = next;
+            }
+            for (j, cell) in cur.into_iter().enumerate() {
+                if let Some((vl, alloc)) = cell {
+                    arr[j] = Some(Entry {
+                        vl,
+                        choice: Choice::Split(alloc),
+                    });
+                }
+            }
+            let j = loss.ml_of(v).min(k);
+            better(&mut arr[j], loss.vl_of(v) as u64, || Choice::Take);
+        }
+        arrays[v.index()] = arr;
+    }
+
+    let root = tree.root();
+    if arrays[root.index()][k].is_none() {
+        let best_ml = arrays[root.index()]
+            .iter()
+            .enumerate()
+            .rev()
+            .find_map(|(j, e)| e.as_ref().map(|_| j))
+            .unwrap_or(0);
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: polys.size_m() - best_ml,
+        });
+    }
+    // Reconstruct through the dense arrays.
+    fn rec_dense(
+        tree: &AbsTree,
+        arrays: &[Vec<Option<Entry>>],
+        v: NodeId,
+        j: usize,
+        out: &mut Vec<NodeId>,
+    ) {
+        let entry = arrays[v.index()][j].as_ref().expect("recorded entry");
+        match &entry.choice {
+            Choice::Take => out.push(v),
+            Choice::Split(alloc) => {
+                for (&c, &jc) in tree.children(v).iter().zip(alloc) {
+                    rec_dense(tree, arrays, c, jc, out);
+                }
+            }
+        }
+    }
+    let mut chosen = Vec::new();
+    rec_dense(tree, &arrays, root, k, &mut chosen);
+    let vvs = Vvs::from_per_tree(vec![chosen]);
+    Ok(evaluate_vvs(polys, &cleaned, vvs))
+}
+
+/// The full size/granularity trade-off frontier of a single tree: for
+/// every attainable compressed size, the maximal attainable granularity.
+///
+/// One DP run (with `k` set to the maximal attainable loss) answers every
+/// bound at once — handy for bound sweeps (Figures 9/10) and an extension
+/// beyond the paper's single-bound API.
+///
+/// Returns `(compressed_size_m, compressed_size_v)` pairs sorted by
+/// decreasing size, already filtered to the Pareto frontier.
+pub fn optimal_frontier<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+) -> Result<Vec<(usize, usize)>, TreeError> {
+    let cleaned = prepare(polys, forest)?;
+    let total_m = polys.size_m();
+    let total_v = polys.size_v();
+    if cleaned.num_trees() == 0 {
+        return Ok(vec![(total_m, total_v)]);
+    }
+    if cleaned.num_trees() != 1 {
+        return Err(TreeError::ExpectedSingleTree(cleaned.num_trees()));
+    }
+    let tree = cleaned.tree(0);
+    let loss = TreeLoss::build(polys, tree);
+    let k_max = loss.ml_of(tree.root()); // coarsening is monotone in ML
+    let arrays = solve_sparse(tree, &loss, k_max);
+    let mut points: Vec<(usize, u64)> = arrays[tree.root().index()]
+        .iter()
+        .map(|(&j, e)| (j, e.vl))
+        .collect();
+    points.sort_unstable();
+    // Suffix-min of VL over ML ≥ j, then convert to sizes.
+    let mut out = Vec::with_capacity(points.len() + 1);
+    out.push((total_m, total_v)); // identity point (ML = 0 always present)
+    let mut best_vl = u64::MAX;
+    let mut frontier: Vec<(usize, usize)> = Vec::with_capacity(points.len());
+    for &(j, vl) in points.iter().rev() {
+        if vl < best_vl {
+            best_vl = vl;
+            frontier.push((total_m - j, total_v - best_vl as usize));
+        }
+    }
+    frontier.reverse();
+    for p in frontier {
+        if p.0 < total_m {
+            out.push(p);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+    use provabs_trees::builder::TreeBuilder;
+    use provabs_trees::generate::{months_tree, plans_tree};
+
+    /// P1, P2 of Example 13 plus the Figure 2 plans tree (raw; algorithms
+    /// clean it internally).
+    fn example_13() -> (PolySet<f64>, Forest, VarTable) {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3\n\
+             77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let forest = Forest::single(plans_tree(&mut vars));
+        (polys, forest, vars)
+    }
+
+    #[test]
+    fn example_13_optimal_selection() {
+        // B = 9, k = 5: the optimal VVS is {SB, Special, e, p1} with
+        // ML = 6 and VL = 3 (the paper's Sp is shorthand for Special).
+        let (polys, forest, vars) = example_13();
+        let r = optimal_vvs(&polys, &forest, 9).expect("solvable");
+        assert!(r.is_adequate_for(9));
+        assert_eq!(r.vl(), 3);
+        assert_eq!(r.ml(), 6);
+        assert_eq!(r.compressed_size_m, 8);
+        assert_eq!(
+            r.vvs.labels(&r.forest),
+            vec!["SB", "Special", "e", "p1"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+        let _ = vars;
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_example_13() {
+        let (polys, forest, _) = example_13();
+        for bound in 4..=14 {
+            let sparse = optimal_vvs(&polys, &forest, bound);
+            let dense = optimal_vvs_dense(&polys, &forest, bound);
+            match (sparse, dense) {
+                (Ok(s), Ok(d)) => {
+                    assert_eq!(s.vl(), d.vl(), "bound {bound}");
+                    assert!(s.is_adequate_for(bound));
+                    assert!(d.is_adequate_for(bound));
+                }
+                (Err(es), Err(ed)) => assert_eq!(es, ed, "bound {bound}"),
+                (s, d) => panic!("disagreement at bound {bound}: {s:?} vs {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn example_8_bound_unattainable() {
+        // P of Example 2 with the months tree: maximal compression is
+        // size 4, so B = 3 has no adequate VVS.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let forest = Forest::single(months_tree(&mut vars));
+        let err = optimal_vvs(&polys, &forest, 3).expect_err("unattainable");
+        assert_eq!(
+            err,
+            TreeError::BoundUnattainable {
+                bound: 3,
+                best_possible: 4
+            }
+        );
+        // B = 4 is attainable: group m1, m3 under q1.
+        let r = optimal_vvs(&polys, &forest, 4).expect("attainable");
+        assert_eq!(r.compressed_size_m, 4);
+        assert_eq!(r.vl(), 1);
+    }
+
+    #[test]
+    fn loose_bound_returns_identity() {
+        let (polys, forest, _) = example_13();
+        let r = optimal_vvs(&polys, &forest, polys.size_m()).expect("identity");
+        assert_eq!(r.vl(), 0);
+        assert_eq!(r.ml(), 0);
+        assert_eq!(r.compressed_size_m, polys.size_m());
+    }
+
+    #[test]
+    fn tightest_bound_takes_the_root() {
+        let (polys, forest, _) = example_13();
+        // Maximal compression: both polynomials collapse to 2 monomials
+        // each (one per month) → size 4, via S = {Plans}.
+        let r = optimal_vvs(&polys, &forest, 4).expect("solvable");
+        assert_eq!(r.compressed_size_m, 4);
+        assert_eq!(r.vvs.labels(&r.forest), vec!["Plans".to_string()]);
+        let err = optimal_vvs(&polys, &forest, 3).expect_err("below maximal compression");
+        assert!(matches!(err, TreeError::BoundUnattainable { .. }));
+    }
+
+    #[test]
+    fn multi_tree_forest_is_rejected() {
+        let (polys, _, mut vars) = example_13();
+        let f2 = Forest::new(vec![plans_tree_clone(&mut vars), months_tree(&mut vars)])
+            .expect("disjoint");
+        let err = optimal_vvs(&polys, &f2, 9).expect_err("two trees");
+        assert_eq!(err, TreeError::ExpectedSingleTree(2));
+    }
+
+    /// Rebuild the plans tree under fresh labels is impossible (labels are
+    /// global), so reuse the generator — the vars are already interned.
+    fn plans_tree_clone(vars: &mut VarTable) -> provabs_trees::tree::AbsTree {
+        plans_tree(vars)
+    }
+
+    #[test]
+    fn frontier_covers_all_bounds() {
+        let (polys, forest, _) = example_13();
+        let frontier = optimal_frontier(&polys, &forest).expect("frontier");
+        // Identity point plus strictly improving compressed sizes.
+        assert_eq!(frontier[0], (14, 9));
+        assert!(frontier.windows(2).all(|w| w[1].0 < w[0].0));
+        // The frontier agrees with per-bound optimal runs.
+        for &(size, granularity) in &frontier {
+            let r = optimal_vvs(&polys, &forest, size).expect("attainable");
+            assert_eq!(r.compressed_size_v, granularity, "size {size}");
+        }
+        // Best possible size is 4 (Example 13's tree merges plans only).
+        assert_eq!(frontier.last().expect("non-empty").0, 4);
+    }
+
+    #[test]
+    fn single_leaf_monomials_merge_into_constants() {
+        // Abstracting x,y in "2·x + 3·y" gives 5·g — a single monomial.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("2·x + 3·y", &mut vars).expect("parse");
+        let tree = TreeBuilder::new("g")
+            .leaves("g", ["x", "y"])
+            .build(&mut vars)
+            .expect("tree");
+        let forest = Forest::single(tree);
+        let r = optimal_vvs(&polys, &forest, 1).expect("solvable");
+        assert_eq!(r.compressed_size_m, 1);
+        assert_eq!(r.compressed_size_v, 1);
+        let down = r.apply(&polys);
+        let g = vars.lookup("g").expect("interned");
+        assert_eq!(
+            down.iter().next().expect("one poly").coefficient(
+                &provabs_provenance::monomial::Monomial::var(g)
+            ),
+            5.0
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Problem definitions (§2.4) and result types.
+//!
+//! Given a polynomial set `𝒫`, a compatible abstraction forest `𝒯` and a
+//! bound `B ∈ {1..|𝒫|_M}`, a VVS `S` is
+//!
+//! * **adequate** for `B` if `|𝒫↓S|_M ≤ B`,
+//! * **precise** for `B, K` if `|𝒫↓S|_M = B` and `|𝒫↓S|_V = K`,
+//! * **optimal** for `B` if adequate and no adequate VVS retains more
+//!   distinct variables.
+//!
+//! All algorithms in this crate return an [`AbstractionResult`] carrying
+//! the chosen VVS together with the (cleaned) forest it refers to and the
+//! four size/granularity measures.
+
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::polyset::PolySet;
+use provabs_trees::clean::clean_forest;
+use provabs_trees::cut::Vvs;
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+
+/// The outcome of choosing a VVS for a polynomial set.
+#[derive(Clone, Debug)]
+pub struct AbstractionResult {
+    /// The forest the VVS refers to (cleaned against the polynomials).
+    pub forest: Forest,
+    /// The chosen valid variable set.
+    pub vvs: Vvs,
+    /// `|𝒫|_M` before abstraction.
+    pub original_size_m: usize,
+    /// `|𝒫|_V` before abstraction.
+    pub original_size_v: usize,
+    /// `|𝒫↓S|_M` after abstraction.
+    pub compressed_size_m: usize,
+    /// `|𝒫↓S|_V` after abstraction.
+    pub compressed_size_v: usize,
+}
+
+impl AbstractionResult {
+    /// The induced monomial loss `ML(S) = |𝒫|_M − |𝒫↓S|_M`.
+    pub fn ml(&self) -> usize {
+        self.original_size_m - self.compressed_size_m
+    }
+
+    /// The induced variable loss `VL(S) = |𝒫|_V − |𝒫↓S|_V`.
+    pub fn vl(&self) -> usize {
+        self.original_size_v - self.compressed_size_v
+    }
+
+    /// Whether the abstraction is adequate for `bound` (Def. 7).
+    pub fn is_adequate_for(&self, bound: usize) -> bool {
+        self.compressed_size_m <= bound
+    }
+
+    /// Whether the abstraction is precise for `bound` and `granularity`.
+    pub fn is_precise_for(&self, bound: usize, granularity: usize) -> bool {
+        self.compressed_size_m == bound && self.compressed_size_v == granularity
+    }
+
+    /// Applies the chosen abstraction to a polynomial set (normally the
+    /// one it was computed from): `𝒫↓S`.
+    pub fn apply<C: Coefficient>(&self, polys: &PolySet<C>) -> PolySet<C> {
+        self.vvs.apply(polys, &self.forest)
+    }
+
+    /// Compression ratio `|𝒫↓S|_M / |𝒫|_M` in `(0, 1]`.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.original_size_m == 0 {
+            1.0
+        } else {
+            self.compressed_size_m as f64 / self.original_size_m as f64
+        }
+    }
+}
+
+/// Applies `vvs` to `polys` and measures everything. `forest` must be the
+/// forest the VVS was built over (typically already cleaned).
+pub fn evaluate_vvs<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    vvs: Vvs,
+) -> AbstractionResult {
+    let down = vvs.apply(polys, forest);
+    AbstractionResult {
+        forest: forest.clone(),
+        vvs,
+        original_size_m: polys.size_m(),
+        original_size_v: polys.size_v(),
+        compressed_size_m: down.size_m(),
+        compressed_size_v: down.size_v(),
+    }
+}
+
+/// Cleans the forest against the polynomials and checks compatibility —
+/// the shared preamble of every algorithm. Returns the cleaned forest.
+pub fn prepare<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+) -> Result<Forest, TreeError> {
+    let cleaned = clean_forest(forest, polys);
+    cleaned.check_compatible(polys)?;
+    Ok(cleaned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+    use provabs_trees::builder::TreeBuilder;
+
+    #[test]
+    fn evaluate_vvs_measures_example_6() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let tree = TreeBuilder::new("Plans")
+            .child("Plans", "Special")
+            .leaves("Special", ["f1", "y1", "v"])
+            .child("Plans", "p1")
+            .build(&mut vars)
+            .expect("tree");
+        let forest = Forest::single(tree);
+        let vvs = Vvs::from_labels(&forest, &vars, &["Plans"]).expect("labels");
+        let r = evaluate_vvs(&polys, &forest, vvs);
+        assert_eq!(r.original_size_m, 8);
+        assert_eq!(r.original_size_v, 6);
+        assert_eq!(r.compressed_size_m, 2);
+        assert_eq!(r.compressed_size_v, 3);
+        assert_eq!(r.ml(), 6);
+        assert_eq!(r.vl(), 3);
+        assert!(r.is_adequate_for(2));
+        assert!(!r.is_adequate_for(1));
+        assert!(r.is_precise_for(2, 3));
+        assert!((r.compression_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prepare_cleans_and_checks() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·m1 + 2·m3", &mut vars).expect("parse");
+        let tree = TreeBuilder::new("Year")
+            .child("Year", "q1")
+            .leaves("q1", ["m1", "m2", "m3"])
+            .build(&mut vars)
+            .expect("tree");
+        let forest = Forest::single(tree);
+        // m2 does not occur: raw forest is incompatible, prepare fixes it.
+        assert!(forest.check_compatible(&polys).is_err());
+        let cleaned = prepare(&polys, &forest).expect("prepare");
+        assert_eq!(cleaned.num_trees(), 1);
+        assert_eq!(cleaned.tree(0).num_leaves(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Benchmark data generators (§4.2).
+//!
+//! The paper evaluates on two workloads, both regenerated here at a
+//! configurable scale:
+//!
+//! * [`telephony`] — the running example: customers with calling plans,
+//!   monthly call durations and per-month plan prices; the revenue query
+//!   grouped by zip code, parameterized by 128 plan variables and 12
+//!   month variables,
+//! * [`tpch`] — a TPC-H-style database (REGION, NATION, SUPPLIER,
+//!   CUSTOMER, ORDERS, LINEITEM, PART) with deterministic pseudo-random
+//!   contents and the three representative queries Q1, Q5 and Q10, with
+//!   the discount parameterized by `s{suppkey mod 128}` and
+//!   `p{partkey mod 128}`,
+//! * [`workload`] — a uniform façade over the four evaluation workloads
+//!   (Q1, Q5, Q10, telephony) used by every experiment binary,
+//! * [`fixture`] — the exact Figure 1 database fragment, whose revenue
+//!   provenance reproduces the polynomials of Examples 2 and 13 to the
+//!   digit.
+
+pub mod fixture;
+pub mod telephony;
+pub mod tpch;
+pub mod workload;
+
+pub use workload::{Workload, WorkloadConfig, WorkloadData};

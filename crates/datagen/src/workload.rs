@@ -1,0 +1,229 @@
+//! A uniform façade over the four evaluation workloads.
+//!
+//! Every experiment of §4.3 runs over the same four provenance sets —
+//! TPC-H Q5, Q10, Q1 and the running-example (telephony) query — combined
+//! with abstraction trees over the "primary" variable family (suppliers
+//! for TPC-H, plans for telephony). [`Workload::generate`] produces the
+//! polynomials plus everything needed to build those trees.
+
+use crate::{telephony, tpch};
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarTable;
+use provabs_trees::forest::Forest;
+use provabs_trees::generate::{binary_forest, paper_tree, shaped_tree};
+
+/// One of the paper's four evaluation workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// TPC-H Q5: 25 polynomials, many monomials each.
+    TpchQ5,
+    /// TPC-H Q10: many polynomials, few monomials each.
+    TpchQ10,
+    /// TPC-H Q1: 8 polynomials, many monomials each.
+    TpchQ1,
+    /// The telephony running example.
+    Telephony,
+}
+
+impl Workload {
+    /// All four, in the order the paper's figures show them.
+    pub const ALL: [Workload; 4] = [
+        Workload::TpchQ5,
+        Workload::TpchQ10,
+        Workload::TpchQ1,
+        Workload::Telephony,
+    ];
+
+    /// Display name matching the figure captions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::TpchQ5 => "TPC-H query 5",
+            Workload::TpchQ10 => "TPC-H query 10",
+            Workload::TpchQ1 => "TPC-H query 1",
+            Workload::Telephony => "Running example query",
+        }
+    }
+
+    /// Generates the workload's provenance.
+    pub fn generate(self, config: &WorkloadConfig) -> WorkloadData {
+        let mut vars = VarTable::new();
+        match self {
+            Workload::TpchQ5 | Workload::TpchQ10 | Workload::TpchQ1 => {
+                let data = tpch::generate(tpch::TpchConfig {
+                    scale: config.scale,
+                    param_modulus: config.param_modulus,
+                    seed: config.seed,
+                });
+                let grouped = match self {
+                    Workload::TpchQ5 => tpch::q5(&data, &mut vars),
+                    Workload::TpchQ10 => tpch::q10(&data, &mut vars),
+                    _ => tpch::q1(&data, &mut vars),
+                };
+                WorkloadData {
+                    workload: self,
+                    total_tuples: data.catalog.total_tuples(),
+                    polys: grouped.polys,
+                    primary_leaves: tpch::supplier_leaves(&data.config),
+                    secondary_leaves: tpch::part_leaves(&data.config),
+                    vars,
+                }
+            }
+            Workload::Telephony => {
+                let tcfg = telephony::TelephonyConfig {
+                    customers: (2_000.0 * config.scale) as usize,
+                    zips: ((50.0 * config.scale) as usize).clamp(5, 5_000),
+                    plans: config.param_modulus as usize,
+                    months: 12,
+                    seed: config.seed,
+                };
+                let data = telephony::generate(tcfg.clone());
+                let grouped = telephony::revenue_provenance(&data, &mut vars);
+                WorkloadData {
+                    workload: self,
+                    total_tuples: data.catalog.total_tuples(),
+                    polys: grouped.polys,
+                    primary_leaves: telephony::plan_leaves(&tcfg),
+                    secondary_leaves: telephony::month_leaves(&tcfg),
+                    vars,
+                }
+            }
+        }
+    }
+}
+
+/// Shared generator knobs.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Size multiplier (1.0 = laptop-scale defaults).
+    pub scale: f64,
+    /// Number of primary (and secondary) parameterization variables
+    /// (paper: 128).
+    pub param_modulus: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            param_modulus: 128,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated workload: polynomials plus tree-building material.
+#[derive(Debug)]
+pub struct WorkloadData {
+    /// Which workload this is.
+    pub workload: Workload,
+    /// The provenance polynomials `𝒫`.
+    pub polys: PolySet<f64>,
+    /// The shared variable table (parameterization variables interned;
+    /// tree meta-variables are added by the tree builders below).
+    pub vars: VarTable,
+    /// Leaf names of the primary abstraction family (suppliers / plans).
+    pub primary_leaves: Vec<String>,
+    /// Leaf names of the secondary family (parts / months).
+    pub secondary_leaves: Vec<String>,
+    /// Total input tuples that produced the provenance (Figure 8 x-axis).
+    pub total_tuples: usize,
+}
+
+impl WorkloadData {
+    /// The paper's tree of `tree_type ∈ 1..=7` and shape index, over the
+    /// primary leaves (the "suppliers abstraction tree" of the figures).
+    pub fn primary_tree(&mut self, tree_type: u8, shape_idx: usize) -> Forest {
+        Forest::single(paper_tree(
+            tree_type,
+            shape_idx,
+            "Supp",
+            &self.primary_leaves,
+            &mut self.vars,
+        ))
+    }
+
+    /// A layered tree with explicit fan-outs over the primary leaves.
+    pub fn primary_shaped(&mut self, fanouts: &[usize]) -> Forest {
+        Forest::single(shaped_tree(
+            "Supp",
+            &self.primary_leaves,
+            fanouts,
+            &mut self.vars,
+        ))
+    }
+
+    /// The Figure 11 forest: `num_trees` binary 3-level trees, 16 primary
+    /// leaves each.
+    pub fn binary_forest(&mut self, num_trees: usize) -> Forest {
+        binary_forest(num_trees, &self.primary_leaves, &mut self.vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            scale: 0.2,
+            param_modulus: 32,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn all_workloads_generate_non_empty_provenance() {
+        for w in Workload::ALL {
+            let data = w.generate(&cfg());
+            assert!(!data.polys.is_empty(), "{}", w.name());
+            assert!(data.polys.size_m() > 0, "{}", w.name());
+            assert!(data.total_tuples > 0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let q1 = Workload::TpchQ1.generate(&cfg());
+        let q10 = Workload::TpchQ10.generate(&cfg());
+        assert!(q1.polys.len() <= 8);
+        assert!(q10.polys.len() > q1.polys.len() * 3, "Q10 has many groups");
+        let q1_avg = q1.polys.size_m() as f64 / q1.polys.len() as f64;
+        let q10_avg = q10.polys.size_m() as f64 / q10.polys.len() as f64;
+        assert!(q1_avg > q10_avg, "Q1 polys are fatter than Q10's");
+    }
+
+    #[test]
+    fn primary_tree_is_compatible_after_cleaning() {
+        for w in Workload::ALL {
+            let mut data = w.generate(&cfg());
+            let forest = data.primary_tree(1, 1);
+            let cleaned = provabs_trees::clean::clean_forest(&forest, &data.polys);
+            cleaned
+                .check_compatible(&data.polys)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name()));
+        }
+    }
+
+    #[test]
+    fn binary_forest_builds_over_primary_leaves() {
+        let mut data = Workload::TpchQ5.generate(&cfg());
+        let f = data.binary_forest(2);
+        assert_eq!(f.num_trees(), 2);
+    }
+
+    #[test]
+    fn param_modulus_controls_variable_count() {
+        let narrow = Workload::TpchQ1.generate(&WorkloadConfig {
+            param_modulus: 8,
+            ..cfg()
+        });
+        let wide = Workload::TpchQ1.generate(&WorkloadConfig {
+            param_modulus: 64,
+            ..cfg()
+        });
+        assert!(wide.polys.size_v() > narrow.polys.size_v());
+        assert!(narrow.polys.size_v() <= 16); // ≤ 8 supplier + 8 part vars
+    }
+}

@@ -1,0 +1,509 @@
+//! K-relations: tables whose tuples carry semiring annotations.
+//!
+//! Implements the provenance-semiring framework of Green, Karvounarakis
+//! and Tannen (the paper's `[36]`, §2.1 case 1): selection keeps
+//! annotations, projection and union combine merged tuples with `⊕`, join
+//! combines with `⊗`. Instantiating `K = Polynomial<u64>` (the free
+//! semiring `N[X]`) yields how-provenance polynomials; by Green's
+//! universality, any other semiring's result is recovered by specialising
+//! those polynomials ([`provabs_provenance::semiring::specialize`]), which
+//! the tests verify directly.
+
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Row;
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::semiring::Semiring;
+
+/// A relation over semiring `K`: each tuple has an annotation, and equal
+/// tuples are kept merged (their annotations added), so the relation is a
+/// finite-support map `tuple → K`.
+#[derive(Clone, Debug)]
+pub struct KRelation<K: Semiring> {
+    schema: Schema,
+    rows: Vec<(Row, K)>,
+}
+
+impl<K: Semiring> KRelation<K> {
+    /// Annotates every row of `table` using `annot(row_index, row)`,
+    /// merging duplicate rows with `⊕`.
+    pub fn from_table_with(table: &Table, mut annot: impl FnMut(usize, &Row) -> K) -> Self {
+        let mut rel = Self {
+            schema: table.schema().clone(),
+            rows: Vec::with_capacity(table.len()),
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (i, row) in table.rows().iter().enumerate() {
+            let k = annot(i, row);
+            rel.merge_in(&mut index, row.clone(), k);
+        }
+        rel
+    }
+
+    fn merge_in(&mut self, index: &mut FxHashMap<Row, usize>, row: Row, k: K) {
+        if k == K::zero() {
+            return;
+        }
+        match index.get(&row) {
+            Some(&i) => {
+                let merged = self.rows[i].1.plus(&k);
+                self.rows[i].1 = merged;
+            }
+            None => {
+                index.insert(row.clone(), self.rows.len());
+                self.rows.push((row, k));
+            }
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of (distinct) annotated tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates `(tuple, annotation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &K)> {
+        self.rows.iter().map(|(r, k)| (r, k))
+    }
+
+    /// The annotation of `row` (`⊕`-merged; `zero` if absent).
+    pub fn annotation_of(&self, row: &Row) -> K {
+        self.rows
+            .iter()
+            .find(|(r, _)| r == row)
+            .map(|(_, k)| k.clone())
+            .unwrap_or_else(K::zero)
+    }
+
+    /// σ: keeps tuples satisfying `pred`, annotations unchanged.
+    pub fn select(&self, pred: &Expr) -> Result<Self, EngineError> {
+        let resolved = pred.resolve(&self.schema)?;
+        let mut rows = Vec::new();
+        for (r, k) in &self.rows {
+            if resolved.eval_bool(r)? {
+                rows.push((r.clone(), k.clone()));
+            }
+        }
+        Ok(Self {
+            schema: self.schema.clone(),
+            rows,
+        })
+    }
+
+    /// π: projects to the named columns; merged tuples combine with `⊕`.
+    pub fn project(&self, columns: &[&str]) -> Result<Self, EngineError> {
+        let (schema, idx) = self.schema.project(columns)?;
+        let mut out = Self {
+            schema,
+            rows: Vec::new(),
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (r, k) in &self.rows {
+            let projected: Row = idx.iter().map(|&i| r[i].clone()).collect();
+            out.merge_in(&mut index, projected, k.clone());
+        }
+        Ok(out)
+    }
+
+    /// ⋈: equi-join on `on = [(left column, right column)]` pairs;
+    /// annotations combine with `⊗`. Colliding right-side column names are
+    /// prefixed with `prefix`.
+    pub fn join(
+        &self,
+        other: &Self,
+        on: &[(&str, &str)],
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
+        let schema = self.schema.join(&other.schema, prefix)?;
+        let left_keys: Vec<usize> = on
+            .iter()
+            .map(|(l, _)| self.schema.index_of(l))
+            .collect::<Result<_, _>>()?;
+        let right_keys: Vec<usize> = on
+            .iter()
+            .map(|(_, r)| other.schema.index_of(r))
+            .collect::<Result<_, _>>()?;
+        // Build side: the smaller relation.
+        let mut built: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
+        for (i, (r, _)) in other.rows.iter().enumerate() {
+            let key: Row = right_keys.iter().map(|&c| r[c].clone()).collect();
+            built.entry(key).or_default().push(i);
+        }
+        let mut out = Self {
+            schema,
+            rows: Vec::new(),
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (lr, lk) in &self.rows {
+            let key: Row = left_keys.iter().map(|&c| lr[c].clone()).collect();
+            if let Some(matches) = built.get(&key) {
+                for &ri in matches {
+                    let (rr, rk) = &other.rows[ri];
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    out.merge_in(&mut index, row, lk.times(rk));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// ∪: bag union; equal tuples combine with `⊕`. Schemas must have the
+    /// same column names in the same order.
+    pub fn union(&self, other: &Self) -> Result<Self, EngineError> {
+        for (i, (name, _)) in self.schema.iter().enumerate() {
+            if i >= other.schema.arity() || other.schema.name(i) != name {
+                return Err(EngineError::UnknownColumn(name.to_string()));
+            }
+        }
+        let mut out = Self {
+            schema: self.schema.clone(),
+            rows: Vec::new(),
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (r, k) in self.rows.iter().chain(other.rows.iter()) {
+            out.merge_in(&mut index, r.clone(), k.clone());
+        }
+        Ok(out)
+    }
+}
+
+/// A fluent pipeline over K-relations — the semiring-model counterpart of
+/// [`crate::query::Pipeline`]. Chains SPJU operators; for `K = N[X]` the
+/// end state converts into a [`provabs_provenance::polyset::PolySet`]
+/// ready for abstraction.
+#[derive(Clone, Debug)]
+pub struct KPipeline<K: Semiring> {
+    rel: KRelation<K>,
+}
+
+impl<K: Semiring> KPipeline<K> {
+    /// Starts from an explicitly annotated relation.
+    pub fn from_relation(rel: KRelation<K>) -> Self {
+        Self { rel }
+    }
+
+    /// Annotates a catalog table with `annot(row index, row)`.
+    pub fn annotate(
+        catalog: &crate::catalog::Catalog,
+        table: &str,
+        annot: impl FnMut(usize, &Row) -> K,
+    ) -> Result<Self, EngineError> {
+        Ok(Self {
+            rel: KRelation::from_table_with(catalog.get(table)?, annot),
+        })
+    }
+
+    /// σ.
+    pub fn select(self, pred: &Expr) -> Result<Self, EngineError> {
+        Ok(Self {
+            rel: self.rel.select(pred)?,
+        })
+    }
+
+    /// π (annotations merge with `⊕`).
+    pub fn project(self, columns: &[&str]) -> Result<Self, EngineError> {
+        Ok(Self {
+            rel: self.rel.project(columns)?,
+        })
+    }
+
+    /// ⋈ (annotations combine with `⊗`).
+    pub fn join(self, other: &Self, on: &[(&str, &str)], prefix: &str) -> Result<Self, EngineError> {
+        Ok(Self {
+            rel: self.rel.join(&other.rel, on, prefix)?,
+        })
+    }
+
+    /// ∪ (annotations merge with `⊕`).
+    pub fn union(self, other: &Self) -> Result<Self, EngineError> {
+        Ok(Self {
+            rel: self.rel.union(&other.rel)?,
+        })
+    }
+
+    /// The current annotated relation.
+    pub fn relation(&self) -> &KRelation<K> {
+        &self.rel
+    }
+}
+
+impl KPipeline<provabs_provenance::polynomial::Polynomial<u64>> {
+    /// Annotates every tuple of a catalog table with a fresh provenance
+    /// variable `{prefix}{row}` — the standard `N[X]` source annotation.
+    pub fn annotate_with_vars(
+        catalog: &crate::catalog::Catalog,
+        table: &str,
+        prefix: &str,
+        vars: &mut provabs_provenance::var::VarTable,
+    ) -> Result<Self, EngineError> {
+        let t = catalog.get(table)?;
+        let ids: Vec<_> = (0..t.len())
+            .map(|i| vars.intern(&format!("{prefix}{i}")))
+            .collect();
+        Ok(Self {
+            rel: KRelation::from_table_with(t, |i, _| {
+                provabs_provenance::polynomial::Polynomial::variable(ids[i])
+            }),
+        })
+    }
+
+    /// Splits the relation into its tuples and their how-provenance
+    /// polynomials — the multiset `𝒫` the abstraction algorithms consume
+    /// (§2.1 case 1).
+    pub fn into_polys(
+        self,
+    ) -> (
+        Vec<Row>,
+        provabs_provenance::polyset::PolySet<u64>,
+    ) {
+        let mut rows = Vec::with_capacity(self.rel.len());
+        let mut polys = Vec::with_capacity(self.rel.len());
+        for (r, k) in self.rel.iter() {
+            rows.push(r.clone());
+            polys.push(k.clone());
+        }
+        (rows, provabs_provenance::polyset::PolySet::from_vec(polys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::value::Value;
+    use provabs_provenance::polynomial::Polynomial;
+    use provabs_provenance::semiring::{specialize, Bool, Count};
+    use provabs_provenance::var::{VarId, VarTable};
+
+    type NX = Polynomial<u64>;
+
+    fn table(rows: &[(i64, &str)]) -> Table {
+        let mut t = Table::new(Schema::of(&[("id", ColumnType::Int), ("tag", ColumnType::Str)]));
+        for &(id, tag) in rows {
+            t.push(vec![Value::Int(id), Value::str(tag)]).expect("ok");
+        }
+        t
+    }
+
+    /// Annotate row i with variable x_i.
+    fn annotated(t: &Table, vars: &mut VarTable, prefix: &str) -> KRelation<NX> {
+        let ids: Vec<VarId> = (0..t.len())
+            .map(|i| vars.intern(&format!("{prefix}{i}")))
+            .collect();
+        KRelation::from_table_with(t, |i, _| Polynomial::variable(ids[i]))
+    }
+
+    #[test]
+    fn join_multiplies_and_project_adds() {
+        let mut vars = VarTable::new();
+        let r = table(&[(1, "a"), (2, "b")]);
+        let s = table(&[(1, "x"), (1, "y")]);
+        let kr = annotated(&r, &mut vars, "r");
+        let ks = annotated(&s, &mut vars, "s");
+        let joined = kr.join(&ks, &[("id", "id")], "s").expect("join");
+        assert_eq!(joined.len(), 2); // (1,a,1,x) and (1,a,1,y)
+        // Project to id: annotations r0·s0 + r0·s1.
+        let projected = joined.project(&["id"]).expect("project");
+        assert_eq!(projected.len(), 1);
+        let p = projected.annotation_of(&vec![Value::Int(1)]);
+        assert_eq!(p.size_m(), 2);
+        // Every monomial contains r0.
+        let r0 = vars.lookup("r0").expect("interned");
+        assert!(p.iter().all(|(m, _)| m.contains(r0)));
+    }
+
+    #[test]
+    fn self_join_squares_annotations() {
+        // π_id(R ⋈ R) for the same tuple id yields x², demonstrating
+        // exponents in how-provenance.
+        let mut vars = VarTable::new();
+        let r = table(&[(1, "a")]);
+        let kr = annotated(&r, &mut vars, "x");
+        let joined = kr.join(&kr, &[("id", "id")], "r2").expect("join");
+        let projected = joined.project(&["id"]).expect("project");
+        let p = projected.annotation_of(&vec![Value::Int(1)]);
+        let x0 = vars.lookup("x0").expect("interned");
+        assert_eq!(p.size_m(), 1);
+        let (m, &c) = p.iter().next().expect("one term");
+        assert_eq!(m.exponent_of(x0), 2);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn union_adds_annotations() {
+        let mut vars = VarTable::new();
+        let r = table(&[(1, "a")]);
+        let s = table(&[(1, "a")]);
+        let kr = annotated(&r, &mut vars, "r");
+        let ks = annotated(&s, &mut vars, "s");
+        let u = kr.union(&ks).expect("union");
+        assert_eq!(u.len(), 1);
+        let p = u.annotation_of(&vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(p.size_m(), 2); // r0 + s0
+    }
+
+    #[test]
+    fn select_keeps_annotations() {
+        let mut vars = VarTable::new();
+        let r = table(&[(1, "a"), (2, "b")]);
+        let kr = annotated(&r, &mut vars, "r");
+        let sel = kr.select(&Expr::col("tag").eq(Expr::lit("b"))).expect("select");
+        assert_eq!(sel.len(), 1);
+        let p = sel.annotation_of(&vec![Value::Int(2), Value::str("b")]);
+        assert_eq!(p.size_m(), 1);
+    }
+
+    #[test]
+    fn polynomial_specialisation_commutes_with_direct_evaluation() {
+        // Green's universality: running the query over N[X] and then
+        // specialising equals running it directly over the target
+        // semiring. Checked for Bool (deletion propagation) and Count
+        // (bag multiplicity).
+        let mut vars = VarTable::new();
+        let r = table(&[(1, "a"), (1, "b"), (2, "c")]);
+        let s = table(&[(1, "x"), (2, "y"), (2, "z")]);
+        let kr = annotated(&r, &mut vars, "r");
+        let ks = annotated(&s, &mut vars, "s");
+        let prov = kr
+            .join(&ks, &[("id", "id")], "s")
+            .expect("join")
+            .project(&["id"])
+            .expect("project");
+
+        // Direct evaluation in Count with multiplicities = index + 1.
+        let count_of = |_prefix: &str, i: usize| Count((i + 1) as u64);
+        let kr_c = KRelation::from_table_with(&r, |i, _| count_of("r", i));
+        let ks_c = KRelation::from_table_with(&s, |i, _| count_of("s", i));
+        let direct = kr_c
+            .join(&ks_c, &[("id", "id")], "s")
+            .expect("join")
+            .project(&["id"])
+            .expect("project");
+
+        for (row, poly) in prov.iter() {
+            let specialised = specialize(poly, |v| {
+                let name = vars.name(v).to_string();
+                let i: usize = name[1..].parse().expect("r<i>/s<i>");
+                Count((i + 1) as u64)
+            });
+            assert_eq!(specialised, direct.annotation_of(row), "row {row:?}");
+        }
+
+        // Deletion propagation: removing s0 kills id 1 but not id 2.
+        let s0 = vars.lookup("s0").expect("interned");
+        let alive = |row: &Row| {
+            specialize(&prov.annotation_of(row), |v| Bool(v != s0))
+        };
+        assert_eq!(alive(&vec![Value::Int(1)]), Bool(false));
+        assert_eq!(alive(&vec![Value::Int(2)]), Bool(true));
+    }
+
+    #[test]
+    fn kpipeline_end_to_end_produces_abstractable_provenance() {
+        // suppliers ⋈ offers, projected to parts — via the pipeline API.
+        let mut catalog = crate::catalog::Catalog::new();
+        catalog
+            .register("sup", table(&[(1, "FR"), (2, "FR"), (3, "DE")]))
+            .expect("fresh");
+        let mut offers = Table::new(Schema::of(&[
+            ("oid", ColumnType::Int),
+            ("part", ColumnType::Str),
+        ]));
+        for (sid, part) in [(1, "bolt"), (2, "bolt"), (3, "nut")] {
+            offers
+                .push(vec![Value::Int(sid), Value::str(part)])
+                .expect("ok");
+        }
+        catalog.register("off", offers).expect("fresh");
+
+        let mut vars = VarTable::new();
+        let sup = KPipeline::annotate_with_vars(&catalog, "sup", "s", &mut vars)
+            .expect("annotate");
+        let off = KPipeline::annotate(&catalog, "off", |_, _| {
+            Polynomial::<u64>::constant(1)
+        })
+        .expect("annotate");
+        let (rows, polys) = sup
+            .join(&off, &[("id", "oid")], "o")
+            .expect("join")
+            .project(&["part"])
+            .expect("project")
+            .into_polys();
+        assert_eq!(rows.len(), 2); // bolt, nut
+        assert_eq!(polys.size_m(), 3); // s0 + s1 for bolt, s2 for nut
+        // The polynomials are immediately abstractable: group FR suppliers.
+        let tree = provabs_provenance_tree_stub(&mut vars);
+        let forest = provabs_trees_forest(tree);
+        // s2 is outside the forest and stays intact automatically.
+        let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &["FR"])
+            .expect("labels");
+        let down = vvs.apply(&polys, &forest);
+        assert_eq!(down.size_m(), 2); // 2·FR and s2
+    }
+
+    /// Local helpers keeping the test dependency-light: a tiny tree
+    /// FR(s0, s1) built through the public builder.
+    fn provabs_provenance_tree_stub(vars: &mut VarTable) -> provabs_trees::tree::AbsTree {
+        provabs_trees::builder::TreeBuilder::new("FR")
+            .leaves("FR", ["s0", "s1"])
+            .build(vars)
+            .expect("tree")
+    }
+
+    fn provabs_trees_forest(tree: provabs_trees::tree::AbsTree) -> provabs_trees::forest::Forest {
+        provabs_trees::forest::Forest::single(tree)
+    }
+
+    #[test]
+    fn kpipeline_select_and_union() {
+        let mut catalog = crate::catalog::Catalog::new();
+        catalog
+            .register("t", table(&[(1, "a"), (2, "b")]))
+            .expect("fresh");
+        let mut vars = VarTable::new();
+        let p = KPipeline::annotate_with_vars(&catalog, "t", "x", &mut vars)
+            .expect("annotate");
+        let selected = p.clone().select(&Expr::col("tag").eq(Expr::lit("a"))).expect("select");
+        assert_eq!(selected.relation().len(), 1);
+        let both = selected.union(&p).expect("union");
+        // (1, a) occurs in both branches: annotation x0 + x0 = 2·x0.
+        let ann = both
+            .relation()
+            .annotation_of(&vec![Value::Int(1), Value::str("a")]);
+        let x0 = vars.lookup("x0").expect("interned");
+        assert_eq!(
+            ann.coefficient(&provabs_provenance::monomial::Monomial::var(x0)),
+            2
+        );
+    }
+
+    #[test]
+    fn zero_annotations_are_dropped() {
+        let t = table(&[(1, "a"), (2, "b")]);
+        let rel: KRelation<NX> =
+            KRelation::from_table_with(&t, |i, _| if i == 0 { NX::zero() } else { NX::one() });
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn union_requires_matching_schemas() {
+        let mut vars = VarTable::new();
+        let r = annotated(&table(&[(1, "a")]), &mut vars, "r");
+        let other = Table::new(Schema::of(&[("x", ColumnType::Int)]));
+        let ko: KRelation<NX> = KRelation::from_table_with(&other, |_, _| NX::one());
+        assert!(r.union(&ko).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Scalar expressions over rows.
+//!
+//! Used for filter predicates (`WHERE`), join residuals and the numeric
+//! part of aggregate measures. Expressions are built against column
+//! *names* and resolved against a schema once, so evaluation is index
+//! chasing only.
+
+use crate::error::EngineError;
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// An unresolved scalar expression tree.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Column reference by name.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Arithmetic: `lhs op rhs` (numeric).
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Comparison: `lhs op rhs`.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (numeric or lexicographic).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+// The builder methods `add`/`mul`/`sub` intentionally mirror SQL-expression
+// chaining (`col("a").mul(col("b"))`), not the std operator traits.
+#[allow(clippy::should_implement_trait)]
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Self {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Expr::Lit(v.into())
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Self {
+        Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Self {
+        Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Self {
+        Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Self {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Self {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Self {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Self {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Self {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Resolves column names against `schema`.
+    pub fn resolve(&self, schema: &Schema) -> Result<Resolved, EngineError> {
+        Ok(match self {
+            Expr::Col(name) => Resolved::Col(schema.index_of(name)?),
+            Expr::Lit(v) => Resolved::Lit(v.clone()),
+            Expr::Arith(l, op, r) => Resolved::Arith(
+                Box::new(l.resolve(schema)?),
+                *op,
+                Box::new(r.resolve(schema)?),
+            ),
+            Expr::Cmp(l, op, r) => Resolved::Cmp(
+                Box::new(l.resolve(schema)?),
+                *op,
+                Box::new(r.resolve(schema)?),
+            ),
+            Expr::And(l, r) => {
+                Resolved::And(Box::new(l.resolve(schema)?), Box::new(r.resolve(schema)?))
+            }
+            Expr::Or(l, r) => {
+                Resolved::Or(Box::new(l.resolve(schema)?), Box::new(r.resolve(schema)?))
+            }
+            Expr::Not(e) => Resolved::Not(Box::new(e.resolve(schema)?)),
+        })
+    }
+}
+
+/// A resolved expression: column references are row indexes.
+#[derive(Clone, Debug)]
+pub enum Resolved {
+    /// Column by index.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Arithmetic node.
+    Arith(Box<Resolved>, ArithOp, Box<Resolved>),
+    /// Comparison node.
+    Cmp(Box<Resolved>, CmpOp, Box<Resolved>),
+    /// Conjunction.
+    And(Box<Resolved>, Box<Resolved>),
+    /// Disjunction.
+    Or(Box<Resolved>, Box<Resolved>),
+    /// Negation.
+    Not(Box<Resolved>),
+}
+
+impl Resolved {
+    /// Evaluates to a value.
+    pub fn eval(&self, row: &Row) -> Result<Value, EngineError> {
+        Ok(match self {
+            Resolved::Col(i) => row[*i].clone(),
+            Resolved::Lit(v) => v.clone(),
+            Resolved::Arith(l, op, r) => {
+                let a = l.eval(row)?.as_f64()?;
+                let b = r.eval(row)?.as_f64()?;
+                let out = match op {
+                    ArithOp::Add => a + b,
+                    ArithOp::Sub => a - b,
+                    ArithOp::Mul => a * b,
+                };
+                Value::float(out)
+            }
+            Resolved::Cmp(l, op, r) => {
+                let a = l.eval(row)?;
+                let b = r.eval(row)?;
+                Value::Int(i64::from(compare(&a, &b, *op)?))
+            }
+            Resolved::And(l, r) => {
+                Value::Int(i64::from(l.eval(row)?.as_i64()? != 0 && r.eval(row)?.as_i64()? != 0))
+            }
+            Resolved::Or(l, r) => {
+                Value::Int(i64::from(l.eval(row)?.as_i64()? != 0 || r.eval(row)?.as_i64()? != 0))
+            }
+            Resolved::Not(e) => Value::Int(i64::from(e.eval(row)?.as_i64()? == 0)),
+        })
+    }
+
+    /// Evaluates as a boolean (predicates).
+    pub fn eval_bool(&self, row: &Row) -> Result<bool, EngineError> {
+        Ok(self.eval(row)?.as_i64()? != 0)
+    }
+
+    /// Evaluates as a float (measures).
+    pub fn eval_f64(&self, row: &Row) -> Result<f64, EngineError> {
+        self.eval(row)?.as_f64()
+    }
+}
+
+fn compare(a: &Value, b: &Value, op: CmpOp) -> Result<bool, EngineError> {
+    use std::cmp::Ordering;
+    let ord = match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (x, y) => {
+            let (x, y) = (x.as_f64()?, y.as_f64()?);
+            x.partial_cmp(&y).expect("NaN excluded at construction")
+        }
+    };
+    Ok(match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("dur", ColumnType::Int),
+            ("price", ColumnType::Float),
+            ("plan", ColumnType::Str),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::Int(522), Value::float(0.4), Value::str("A")]
+    }
+
+    #[test]
+    fn measure_expression() {
+        // dur * price = 208.8 — the revenue term of the running example.
+        let e = Expr::col("dur").mul(Expr::col("price"));
+        let r = e.resolve(&schema()).expect("resolve");
+        assert!((r.eval_f64(&row()).expect("eval") - 208.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicates() {
+        let e = Expr::col("plan")
+            .eq(Expr::lit("A"))
+            .and(Expr::col("dur").gt(Expr::lit(500i64)));
+        let r = e.resolve(&schema()).expect("resolve");
+        assert!(r.eval_bool(&row()).expect("eval"));
+        let e2 = Expr::col("plan").eq(Expr::lit("B"));
+        let r2 = e2.resolve(&schema()).expect("resolve");
+        assert!(!r2.eval_bool(&row()).expect("eval"));
+    }
+
+    #[test]
+    fn string_comparisons_are_lexicographic() {
+        let e = Expr::col("plan").lt(Expr::lit("B"));
+        let r = e.resolve(&schema()).expect("resolve");
+        assert!(r.eval_bool(&row()).expect("eval"));
+    }
+
+    #[test]
+    fn or_and_not() {
+        let e = Expr::Not(Box::new(
+            Expr::col("dur").lt(Expr::lit(0i64)).or(Expr::col("dur").gt(Expr::lit(10_000i64))),
+        ));
+        let r = e.resolve(&schema()).expect("resolve");
+        assert!(r.eval_bool(&row()).expect("eval"));
+    }
+
+    #[test]
+    fn unknown_columns_fail_at_resolve_time() {
+        let e = Expr::col("zz");
+        assert!(e.resolve(&schema()).is_err());
+    }
+
+    #[test]
+    fn arithmetic_rejects_strings() {
+        let e = Expr::col("plan").mul(Expr::lit(2i64));
+        let r = e.resolve(&schema()).expect("resolve");
+        assert!(r.eval(&row()).is_err());
+    }
+}

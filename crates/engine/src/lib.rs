@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! An in-memory relational engine with provenance annotations.
+//!
+//! The paper's evaluation generates provenance with SQL queries over
+//! TPC-H and a telephony database (§4.2). This crate is that substrate:
+//!
+//! * [`value`] / [`schema`] / [`table`] / [`catalog`] — storage,
+//! * [`expr`] — scalar expressions for predicates and measures,
+//! * [`annot`] — K-relations: tables whose tuples carry commutative
+//!   semiring annotations, with the SPJU operators of the provenance
+//!   semiring framework (Green et al., the paper's `[36]`; §2.1 case 1),
+//! * [`ops`] — plain relational operators (scan/filter/project/hash
+//!   join/union) used to build query pipelines,
+//! * [`param`] — cell parameterization: attaching provenance variables to
+//!   measure attributes (§2.1 case 2 — "variables are placed/combined
+//!   with the values in certain cells"),
+//! * [`query`] — a small fluent pipeline API culminating in
+//!   [`query::Pipeline::aggregate_sum`], which produces one provenance
+//!   polynomial per group (the multiset `𝒫` the abstraction algorithms
+//!   consume).
+
+pub mod annot;
+pub mod catalog;
+pub mod error;
+pub mod expr;
+pub mod ops;
+pub mod param;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use error::EngineError;
+pub use expr::Expr;
+pub use schema::{ColumnType, Schema};
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,175 @@
+//! Plain relational operators over [`Table`]s.
+//!
+//! These drive the aggregate-provenance pipelines (the joins happen on
+//! plain tables; provenance enters at the aggregation step via
+//! [`crate::param`]). Joins are hash joins building on the smaller side.
+
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::value::Row;
+use provabs_provenance::fxhash::FxHashMap;
+
+/// σ: rows satisfying `pred`.
+pub fn filter(table: &Table, pred: &Expr) -> Result<Table, EngineError> {
+    let resolved = pred.resolve(table.schema())?;
+    let mut out = Table::new(table.schema().clone());
+    for row in table.rows() {
+        if resolved.eval_bool(row)? {
+            out.push_unchecked(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// π (without deduplication — bag semantics): the named columns, in order.
+pub fn project(table: &Table, columns: &[&str]) -> Result<Table, EngineError> {
+    let (schema, idx) = table.schema().project(columns)?;
+    let mut out = Table::new(schema);
+    out.reserve(table.len());
+    for row in table.rows() {
+        out.push_unchecked(idx.iter().map(|&i| row[i].clone()).collect());
+    }
+    Ok(out)
+}
+
+/// ⋈: equi-join on `on = [(left column, right column)]`. Colliding right
+/// column names are prefixed with `prefix`.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    on: &[(&str, &str)],
+    prefix: &str,
+) -> Result<Table, EngineError> {
+    let schema = left.schema().join(right.schema(), prefix)?;
+    let left_keys: Vec<usize> = on
+        .iter()
+        .map(|(l, _)| left.schema().index_of(l))
+        .collect::<Result<_, _>>()?;
+    let right_keys: Vec<usize> = on
+        .iter()
+        .map(|(_, r)| right.schema().index_of(r))
+        .collect::<Result<_, _>>()?;
+
+    let mut built: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
+    built.reserve(right.len());
+    for (i, row) in right.rows().iter().enumerate() {
+        let key: Row = right_keys.iter().map(|&c| row[c].clone()).collect();
+        built.entry(key).or_default().push(i);
+    }
+
+    let mut out = Table::new(schema);
+    for lrow in left.rows() {
+        let key: Row = left_keys.iter().map(|&c| lrow[c].clone()).collect();
+        if let Some(matches) = built.get(&key) {
+            for &ri in matches {
+                let mut row = lrow.clone();
+                row.extend(right.rows()[ri].iter().cloned());
+                out.push_unchecked(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// ∪ (bag): concatenation; schemas must agree on names and order.
+pub fn union(left: &Table, right: &Table) -> Result<Table, EngineError> {
+    for (i, (name, _)) in left.schema().iter().enumerate() {
+        if i >= right.schema().arity() || right.schema().name(i) != name {
+            return Err(EngineError::UnknownColumn(name.to_string()));
+        }
+    }
+    let mut out = Table::new(left.schema().clone());
+    out.reserve(left.len() + right.len());
+    for row in left.rows().iter().chain(right.rows()) {
+        out.push_unchecked(row.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+
+    fn cust() -> Table {
+        let mut t = Table::new(Schema::of(&[
+            ("ID", ColumnType::Int),
+            ("Plan", ColumnType::Str),
+            ("Zip", ColumnType::Str),
+        ]));
+        for (id, plan, zip) in [(1, "A", "10001"), (2, "F1", "10001"), (3, "SB1", "10002")] {
+            t.push(vec![Value::Int(id), Value::str(plan), Value::str(zip)])
+                .expect("ok");
+        }
+        t
+    }
+
+    fn calls() -> Table {
+        let mut t = Table::new(Schema::of(&[
+            ("CID", ColumnType::Int),
+            ("Mo", ColumnType::Int),
+            ("Dur", ColumnType::Int),
+        ]));
+        for (cid, mo, dur) in [(1, 1, 552), (2, 1, 364), (3, 1, 779), (1, 3, 480)] {
+            t.push(vec![Value::Int(cid), Value::Int(mo), Value::Int(dur)])
+                .expect("ok");
+        }
+        t
+    }
+
+    #[test]
+    fn filter_selects_matching_rows() {
+        let t = filter(&cust(), &Expr::col("Zip").eq(Expr::lit("10001"))).expect("filter");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let j = hash_join(&cust(), &calls(), &[("ID", "CID")], "c").expect("join");
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.schema().arity(), 6);
+        // Customer 1 appears twice (months 1 and 3).
+        let ones = j
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::Int(1))
+            .count();
+        assert_eq!(ones, 2);
+    }
+
+    #[test]
+    fn join_on_multiple_keys() {
+        let j = hash_join(
+            &calls(),
+            &calls(),
+            &[("CID", "CID"), ("Mo", "Mo")],
+            "r",
+        )
+        .expect("join");
+        assert_eq!(j.len(), 4); // each row matches itself only
+    }
+
+    #[test]
+    fn project_keeps_order_and_bag_semantics() {
+        let p = project(&calls(), &["Mo"]).expect("project");
+        assert_eq!(p.len(), 4); // no dedup
+        assert_eq!(p.schema().arity(), 1);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let u = union(&calls(), &calls()).expect("union");
+        assert_eq!(u.len(), 8);
+        assert!(union(&calls(), &cust()).is_err());
+    }
+
+    #[test]
+    fn empty_join_result() {
+        let mut other = Table::new(Schema::of(&[("CID", ColumnType::Int)]));
+        other.push(vec![Value::Int(99)]).expect("ok");
+        let j = hash_join(&other, &calls(), &[("CID", "CID")], "c").expect("join");
+        assert!(j.is_empty());
+    }
+}

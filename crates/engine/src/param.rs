@@ -1,0 +1,210 @@
+//! Cell parameterization: attaching provenance variables to measures.
+//!
+//! In the aggregate model (§2.1 case 2), the analyst "places variables
+//! with the values in certain cells". A [`VarRule`] describes, per input
+//! row, which provenance variable multiplies the measure:
+//!
+//! * the running example parameterizes the plan price by a per-plan
+//!   variable (`p1`, `f1`, …) and a per-month variable (`m1`, …, `m12`),
+//! * the TPC-H workloads parameterize the discount by
+//!   `s{suppkey mod 128}` and `p{partkey mod 128}` (§4.2).
+
+use crate::error::EngineError;
+use crate::schema::Schema;
+use crate::value::Row;
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::var::{VarId, VarTable};
+
+/// A rule mapping each row to one provenance variable.
+#[derive(Clone, Debug)]
+pub enum VarRule {
+    /// Variable `"{prefix}{value}"` — one variable per distinct value of
+    /// `column` (e.g. `m{Mo}` → `m1`, `m3`).
+    PerValue {
+        /// Source column.
+        column: String,
+        /// Name prefix.
+        prefix: String,
+    },
+    /// Variable `"{prefix}{key mod modulus}"` — the paper's TPC-H scheme
+    /// `s_i` for `suppkey mod 128 = i`.
+    PerMod {
+        /// Source (integer) column.
+        column: String,
+        /// Modulus (e.g. 128).
+        modulus: i64,
+        /// Name prefix.
+        prefix: String,
+    },
+    /// Explicit value → variable-name mapping (e.g. plan `A` → `p1`,
+    /// `SB1` → `b1` in the running example). Values without a mapping
+    /// error at evaluation time.
+    Mapped {
+        /// Source column.
+        column: String,
+        /// value (rendered) → variable name.
+        map: FxHashMap<String, String>,
+    },
+}
+
+impl VarRule {
+    /// Shorthand for [`VarRule::PerValue`].
+    pub fn per_value(column: impl Into<String>, prefix: impl Into<String>) -> Self {
+        VarRule::PerValue {
+            column: column.into(),
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Shorthand for [`VarRule::PerMod`].
+    pub fn per_mod(column: impl Into<String>, modulus: i64, prefix: impl Into<String>) -> Self {
+        VarRule::PerMod {
+            column: column.into(),
+            modulus,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Shorthand for [`VarRule::Mapped`].
+    pub fn mapped<'a>(
+        column: impl Into<String>,
+        pairs: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Self {
+        VarRule::Mapped {
+            column: column.into(),
+            map: pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Resolves the rule against a schema.
+    pub fn resolve(&self, schema: &Schema) -> Result<ResolvedRule, EngineError> {
+        Ok(match self {
+            VarRule::PerValue { column, prefix } => ResolvedRule {
+                col: schema.index_of(column)?,
+                kind: RuleKind::PerValue {
+                    prefix: prefix.clone(),
+                },
+            },
+            VarRule::PerMod {
+                column,
+                modulus,
+                prefix,
+            } => ResolvedRule {
+                col: schema.index_of(column)?,
+                kind: RuleKind::PerMod {
+                    modulus: *modulus,
+                    prefix: prefix.clone(),
+                },
+            },
+            VarRule::Mapped { column, map } => ResolvedRule {
+                col: schema.index_of(column)?,
+                kind: RuleKind::Mapped { map: map.clone() },
+            },
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+enum RuleKind {
+    PerValue { prefix: String },
+    PerMod { modulus: i64, prefix: String },
+    Mapped { map: FxHashMap<String, String> },
+}
+
+/// A [`VarRule`] bound to a column index, with a per-rule name cache so
+/// repeated rows intern once.
+#[derive(Clone, Debug)]
+pub struct ResolvedRule {
+    col: usize,
+    kind: RuleKind,
+}
+
+impl ResolvedRule {
+    /// The variable for `row`, interned in `vars`.
+    pub fn var(&self, row: &Row, vars: &mut VarTable) -> Result<VarId, EngineError> {
+        let value = &row[self.col];
+        let name = match &self.kind {
+            RuleKind::PerValue { prefix } => format!("{prefix}{value}"),
+            RuleKind::PerMod { modulus, prefix } => {
+                let k = value.as_i64()?;
+                format!("{prefix}{}", k.rem_euclid(*modulus))
+            }
+            RuleKind::Mapped { map } => {
+                let key = value.to_string();
+                map.get(&key)
+                    .ok_or(EngineError::TypeMismatch {
+                        expected: "a mapped parameterization value",
+                        got: key,
+                    })?
+                    .clone()
+            }
+        };
+        Ok(vars.intern(&name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("Plan", ColumnType::Str),
+            ("Mo", ColumnType::Int),
+            ("SuppKey", ColumnType::Int),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![Value::str("SB1"), Value::Int(3), Value::Int(1307)]
+    }
+
+    #[test]
+    fn per_value_rule() {
+        let mut vars = VarTable::new();
+        let rule = VarRule::per_value("Mo", "m").resolve(&schema()).expect("resolve");
+        let v = rule.var(&row(), &mut vars).expect("var");
+        assert_eq!(vars.name(v), "m3");
+    }
+
+    #[test]
+    fn per_mod_rule() {
+        let mut vars = VarTable::new();
+        let rule = VarRule::per_mod("SuppKey", 128, "s")
+            .resolve(&schema())
+            .expect("resolve");
+        let v = rule.var(&row(), &mut vars).expect("var");
+        assert_eq!(vars.name(v), format!("s{}", 1307 % 128));
+    }
+
+    #[test]
+    fn mapped_rule_and_missing_value() {
+        let mut vars = VarTable::new();
+        let rule = VarRule::mapped("Plan", [("SB1", "b1"), ("A", "p1")])
+            .resolve(&schema())
+            .expect("resolve");
+        let v = rule.var(&row(), &mut vars).expect("var");
+        assert_eq!(vars.name(v), "b1");
+        let bad_row = vec![Value::str("ZZ"), Value::Int(1), Value::Int(0)];
+        assert!(rule.var(&bad_row, &mut vars).is_err());
+    }
+
+    #[test]
+    fn unknown_column_fails_at_resolve() {
+        assert!(VarRule::per_value("zz", "x").resolve(&schema()).is_err());
+    }
+
+    #[test]
+    fn per_mod_requires_integers() {
+        let mut vars = VarTable::new();
+        let rule = VarRule::per_mod("Plan", 128, "s")
+            .resolve(&schema())
+            .expect("resolve");
+        assert!(rule.var(&row(), &mut vars).is_err());
+    }
+}

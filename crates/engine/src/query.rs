@@ -1,0 +1,530 @@
+//! Query pipelines producing provenance-annotated aggregates.
+//!
+//! [`Pipeline`] chains scans, filters and joins over plain tables, then
+//! [`Pipeline::aggregate_sum`] evaluates a `GROUP BY` + `SUM(measure)`
+//! where the measure is multiplied by the provenance variables produced by
+//! the [`crate::param::VarRule`]s. The result is one provenance polynomial
+//! per group — the multiset `𝒫` that the abstraction algorithms and the
+//! hypothetical-reasoning engine consume. Evaluating each polynomial at
+//! the all-ones valuation recovers the plain SQL answer (tested).
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::ops;
+use crate::param::VarRule;
+use crate::table::Table;
+use crate::value::Row;
+use provabs_provenance::coeff::{Coefficient, MaxF64, MinF64};
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarTable;
+
+/// A chain of relational operators over materialised tables.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    table: Table,
+}
+
+impl Pipeline {
+    /// Starts from a catalog table.
+    pub fn scan(catalog: &Catalog, name: &str) -> Result<Self, EngineError> {
+        Ok(Self {
+            table: catalog.get(name)?.clone(),
+        })
+    }
+
+    /// Starts from an explicit table.
+    pub fn from_table(table: Table) -> Self {
+        Self { table }
+    }
+
+    /// σ: keeps rows satisfying `pred`.
+    pub fn filter(self, pred: &Expr) -> Result<Self, EngineError> {
+        Ok(Self {
+            table: ops::filter(&self.table, pred)?,
+        })
+    }
+
+    /// ⋈ with a catalog table.
+    pub fn join(
+        self,
+        catalog: &Catalog,
+        other: &str,
+        on: &[(&str, &str)],
+    ) -> Result<Self, EngineError> {
+        let right = catalog.get(other)?;
+        Ok(Self {
+            table: ops::hash_join(&self.table, right, on, other)?,
+        })
+    }
+
+    /// ⋈ with an explicit table (`prefix` renames colliding columns).
+    pub fn join_table(
+        self,
+        right: &Table,
+        on: &[(&str, &str)],
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
+        Ok(Self {
+            table: ops::hash_join(&self.table, right, on, prefix)?,
+        })
+    }
+
+    /// π (bag semantics).
+    pub fn project(self, columns: &[&str]) -> Result<Self, EngineError> {
+        Ok(Self {
+            table: ops::project(&self.table, columns)?,
+        })
+    }
+
+    /// The current intermediate table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// `SELECT group_cols, SUM(measure · Π rules) GROUP BY group_cols`.
+    ///
+    /// Each row contributes the monomial formed by its rule variables,
+    /// weighted by the numeric measure; rows of a group sum into one
+    /// polynomial. Group order is first-occurrence (deterministic).
+    pub fn aggregate_sum(
+        &self,
+        group_cols: &[&str],
+        measure: &Expr,
+        rules: &[VarRule],
+        vars: &mut VarTable,
+    ) -> Result<GroupedProvenance, EngineError> {
+        self.aggregate_with(group_cols, measure, rules, vars, |x| x)
+    }
+
+    /// `SELECT group_cols, MIN(measure · Π rules) GROUP BY group_cols`:
+    /// aggregate provenance over the `(min, ×)` coefficients (§2.1 covers
+    /// commutative aggregates beyond SUM). Sound for non-negative
+    /// measures and valuations, where `min(a·x, b·x) = min(a, b)·x`.
+    pub fn aggregate_min(
+        &self,
+        group_cols: &[&str],
+        measure: &Expr,
+        rules: &[VarRule],
+        vars: &mut VarTable,
+    ) -> Result<GroupedProvenanceOf<MinF64>, EngineError> {
+        self.aggregate_with(group_cols, measure, rules, vars, MinF64)
+    }
+
+    /// `SELECT group_cols, MAX(measure · Π rules) GROUP BY group_cols`
+    /// over the `(max, ×)` coefficients. See [`Pipeline::aggregate_min`].
+    pub fn aggregate_max(
+        &self,
+        group_cols: &[&str],
+        measure: &Expr,
+        rules: &[VarRule],
+        vars: &mut VarTable,
+    ) -> Result<GroupedProvenanceOf<MaxF64>, EngineError> {
+        self.aggregate_with(group_cols, measure, rules, vars, MaxF64)
+    }
+
+    /// Grouped aggregation over any coefficient type; `wrap` lifts the
+    /// measured `f64` into the aggregate's carrier.
+    pub fn aggregate_with<C: Coefficient>(
+        &self,
+        group_cols: &[&str],
+        measure: &Expr,
+        rules: &[VarRule],
+        vars: &mut VarTable,
+        wrap: impl Fn(f64) -> C,
+    ) -> Result<GroupedProvenanceOf<C>, EngineError> {
+        let schema = self.table.schema();
+        let (_, group_idx) = schema.project(group_cols)?;
+        let resolved_measure = measure.resolve(schema)?;
+        let resolved_rules: Vec<_> = rules
+            .iter()
+            .map(|r| r.resolve(schema))
+            .collect::<Result<_, _>>()?;
+
+        let mut keys: Vec<Row> = Vec::new();
+        let mut polys: Vec<Polynomial<C>> = Vec::new();
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for row in self.table.rows() {
+            let key: Row = group_idx.iter().map(|&i| row[i].clone()).collect();
+            let coeff = wrap(resolved_measure.eval_f64(row)?);
+            let mono = Monomial::from_vars(
+                resolved_rules
+                    .iter()
+                    .map(|r| r.var(row, vars))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+            let slot = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    index.insert(key.clone(), polys.len());
+                    keys.push(key);
+                    polys.push(Polynomial::zero());
+                    polys.len() - 1
+                }
+            };
+            polys[slot].add_term(mono, coeff);
+        }
+        Ok(GroupedProvenanceOf {
+            keys,
+            polys: PolySet::from_vec(polys),
+        })
+    }
+}
+
+/// Output of a provenance aggregation: group keys aligned with one
+/// polynomial each.
+#[derive(Clone, Debug)]
+pub struct GroupedProvenanceOf<C: Coefficient> {
+    /// Group keys in first-occurrence order.
+    pub keys: Vec<Row>,
+    /// One polynomial per group, aligned with `keys`.
+    pub polys: PolySet<C>,
+}
+
+/// SUM-aggregate provenance (ordinary `f64` coefficients).
+pub type GroupedProvenance = GroupedProvenanceOf<f64>;
+
+impl<C: Coefficient> GroupedProvenanceOf<C> {
+    /// The polynomial of a specific group key.
+    pub fn poly_for(&self, key: &Row) -> Option<&Polynomial<C>> {
+        self.keys
+            .iter()
+            .position(|k| k == key)
+            .map(|i| &self.polys.as_slice()[i])
+    }
+
+    /// The plain (provenance-free) aggregate values: every variable set
+    /// to the multiplicative identity.
+    pub fn values_at_neutral(&self) -> Vec<C> {
+        self.polys.eval(|_| C::one())
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl GroupedProvenance {
+    /// The plain SQL answer: every variable set to 1.
+    pub fn plain_values(&self) -> Vec<f64> {
+        self.polys.eval(|_| 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, Schema};
+    use crate::value::Value;
+    use provabs_provenance::display::poly_to_string;
+    use provabs_provenance::parse::parse_polynomial;
+
+    /// The database fragment of Figure 1 (customer 1's January duration is
+    /// 552: the printed 522 is inconsistent with Example 2's coefficient
+    /// 220.8 = 552 × 0.4, and every other coefficient matches Figure 1, so
+    /// we follow the polynomial).
+    pub fn figure_1_catalog() -> Catalog {
+        let mut cust = Table::new(Schema::of(&[
+            ("ID", ColumnType::Int),
+            ("Plan", ColumnType::Str),
+            ("Zip", ColumnType::Str),
+        ]));
+        for (id, plan, zip) in [
+            (1, "A", "10001"),
+            (2, "F1", "10001"),
+            (3, "SB1", "10002"),
+            (4, "Y1", "10001"),
+            (5, "V", "10001"),
+            (6, "E", "10002"),
+            (7, "SB2", "10002"),
+        ] {
+            cust.push(vec![Value::Int(id), Value::str(plan), Value::str(zip)])
+                .expect("ok");
+        }
+        let mut calls = Table::new(Schema::of(&[
+            ("CID", ColumnType::Int),
+            ("Mo", ColumnType::Int),
+            ("Dur", ColumnType::Int),
+        ]));
+        for (cid, mo, dur) in [
+            (1, 1, 552),
+            (2, 1, 364),
+            (3, 1, 779),
+            (4, 1, 253),
+            (5, 1, 168),
+            (6, 1, 1044),
+            (7, 1, 697),
+            (1, 3, 480),
+            (2, 3, 327),
+            (3, 3, 805),
+            (4, 3, 290),
+            (5, 3, 121),
+            (6, 3, 1130),
+            (7, 3, 671),
+        ] {
+            calls
+                .push(vec![Value::Int(cid), Value::Int(mo), Value::Int(dur)])
+                .expect("ok");
+        }
+        let mut plans = Table::new(Schema::of(&[
+            ("Plan", ColumnType::Str),
+            ("PMo", ColumnType::Int),
+            ("Price", ColumnType::Float),
+        ]));
+        for (plan, mo, price) in [
+            ("A", 1, 0.4),
+            ("F1", 1, 0.35),
+            ("Y1", 1, 0.3),
+            ("V", 1, 0.25),
+            ("SB1", 1, 0.1),
+            ("SB2", 1, 0.1),
+            ("E", 1, 0.05),
+            ("A", 3, 0.5),
+            ("F1", 3, 0.35),
+            ("Y1", 3, 0.25),
+            ("V", 3, 0.2),
+            ("SB1", 3, 0.1),
+            ("SB2", 3, 0.15),
+            ("E", 3, 0.05),
+        ] {
+            plans
+                .push(vec![Value::str(plan), Value::Int(mo), Value::float(price)])
+                .expect("ok");
+        }
+        let mut catalog = Catalog::new();
+        catalog.register("Cust", cust).expect("ok");
+        catalog.register("Calls", calls).expect("ok");
+        catalog.register("Plans", plans).expect("ok");
+        catalog
+    }
+
+    /// The revenue query of Example 1 with the parameterization of
+    /// Example 2.
+    fn revenue_provenance() -> (GroupedProvenance, VarTable) {
+        let catalog = figure_1_catalog();
+        let mut vars = VarTable::new();
+        let joined = Pipeline::scan(&catalog, "Cust")
+            .expect("scan")
+            .join(&catalog, "Calls", &[("ID", "CID")])
+            .expect("join calls")
+            .join(&catalog, "Plans", &[("Plan", "Plan")])
+            .expect("join plans")
+            .filter(&Expr::col("Mo").eq(Expr::col("PMo")))
+            .expect("month equality");
+        let grouped = joined
+            .aggregate_sum(
+                &["Zip"],
+                &Expr::col("Dur").mul(Expr::col("Price")),
+                &[
+                    VarRule::mapped(
+                        "Plan",
+                        [
+                            ("A", "p1"),
+                            ("F1", "f1"),
+                            ("Y1", "y1"),
+                            ("V", "v"),
+                            ("SB1", "b1"),
+                            ("SB2", "b2"),
+                            ("E", "e"),
+                        ],
+                    ),
+                    VarRule::per_value("Mo", "m"),
+                ],
+                &mut vars,
+            )
+            .expect("aggregate");
+        (grouped, vars)
+    }
+
+    #[test]
+    fn example_2_polynomial_for_zip_10001() {
+        let (grouped, mut vars) = revenue_provenance();
+        let p = grouped
+            .poly_for(&vec![Value::str("10001")])
+            .expect("zip present");
+        let expected = parse_polynomial(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        assert_eq!(p.size_m(), 8);
+        for (m, &c) in expected.iter() {
+            let got = p.coefficient(m);
+            assert!(
+                (got - c).abs() < 1e-9,
+                "coefficient of {}: got {got}, want {c}",
+                poly_to_string(&Polynomial::from_terms([(m.clone(), c)]), &vars)
+            );
+        }
+    }
+
+    #[test]
+    fn example_13_polynomial_for_zip_10002() {
+        let (grouped, mut vars) = revenue_provenance();
+        let p = grouped
+            .poly_for(&vec![Value::str("10002")])
+            .expect("zip present");
+        let expected = parse_polynomial(
+            "77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        assert_eq!(p.size_m(), 6);
+        for (m, &c) in expected.iter() {
+            assert!((p.coefficient(m) - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn neutral_valuation_recovers_plain_sql_answer() {
+        // Summing Dur·Price per zip without provenance must equal the
+        // polynomial evaluated at all-ones.
+        let (grouped, _) = revenue_provenance();
+        let plain = grouped.plain_values();
+        let by_hand_10001 = 220.8 + 240.0 + 127.4 + 114.45 + 75.9 + 72.5 + 42.0 + 24.2;
+        let by_hand_10002 = 77.9 + 80.5 + 52.2 + 56.5 + 69.7 + 100.65;
+        let i1 = grouped
+            .keys
+            .iter()
+            .position(|k| k == &vec![Value::str("10001")])
+            .expect("zip");
+        let i2 = grouped
+            .keys
+            .iter()
+            .position(|k| k == &vec![Value::str("10002")])
+            .expect("zip");
+        assert!((plain[i1] - by_hand_10001).abs() < 1e-9);
+        assert!((plain[i2] - by_hand_10002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_without_rules_is_plain_sum() {
+        let catalog = figure_1_catalog();
+        let mut vars = VarTable::new();
+        let grouped = Pipeline::scan(&catalog, "Calls")
+            .expect("scan")
+            .aggregate_sum(&["Mo"], &Expr::col("Dur"), &[], &mut vars)
+            .expect("aggregate");
+        assert_eq!(grouped.len(), 2); // months 1 and 3
+        // A variable-free polynomial is a single constant monomial.
+        assert!(grouped.polys.iter().all(|p| p.size_m() == 1));
+        let total: f64 = grouped.plain_values().iter().sum();
+        assert!((total - (552 + 364 + 779 + 253 + 168 + 1044 + 697 + 480 + 327 + 805 + 290 + 121 + 1130 + 671) as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_min_tracks_cheapest_contribution() {
+        // MIN(Dur · Price) per zip: provenance carries the minimum per
+        // (plan, month) monomial; at the neutral valuation it equals the
+        // plain SQL MIN.
+        let catalog = figure_1_catalog();
+        let mut vars = VarTable::new();
+        let grouped = Pipeline::scan(&catalog, "Cust")
+            .expect("scan")
+            .join(&catalog, "Calls", &[("ID", "CID")])
+            .expect("join")
+            .join(&catalog, "Plans", &[("Plan", "Plan")])
+            .expect("join")
+            .filter(&Expr::col("Mo").eq(Expr::col("PMo")))
+            .expect("filter")
+            .aggregate_min(
+                &["Zip"],
+                &Expr::col("Dur").mul(Expr::col("Price")),
+                &[VarRule::per_value("Mo", "m")],
+                &mut vars,
+            )
+            .expect("aggregate");
+        let i = grouped
+            .keys
+            .iter()
+            .position(|k| k == &vec![Value::str("10001")])
+            .expect("zip");
+        let value = grouped.values_at_neutral()[i];
+        // Plain MIN over zip 10001: min of all Dur·Price terms = 24.2
+        // (customer 5 in March: 121 × 0.2).
+        assert!((value.0 - 24.2).abs() < 1e-9);
+        // Per-month granularity: the March monomial holds the March min.
+        let m3 = vars.lookup("m3").expect("interned");
+        let march = grouped.polys.as_slice()[i]
+            .coefficient(&provabs_provenance::monomial::Monomial::var(m3));
+        assert!((march.0 - 24.2).abs() < 1e-9);
+        let m1 = vars.lookup("m1").expect("interned");
+        let january = grouped.polys.as_slice()[i]
+            .coefficient(&provabs_provenance::monomial::Monomial::var(m1));
+        assert!((january.0 - 42.0).abs() < 1e-9); // customer 5: 168 × 0.25
+    }
+
+    #[test]
+    fn aggregate_max_mirrors_min() {
+        let catalog = figure_1_catalog();
+        let mut vars = VarTable::new();
+        let grouped = Pipeline::scan(&catalog, "Calls")
+            .expect("scan")
+            .aggregate_max(&["Mo"], &Expr::col("Dur"), &[], &mut vars)
+            .expect("aggregate");
+        let i = grouped
+            .keys
+            .iter()
+            .position(|k| k == &vec![Value::Int(1)])
+            .expect("month 1");
+        assert_eq!(grouped.values_at_neutral()[i].0, 1044.0);
+    }
+
+    #[test]
+    fn min_provenance_supports_abstraction_semantics() {
+        // Grouping months m1, m3 into one meta-variable takes the min of
+        // the merged monomials — scaling the group scales the min.
+        let catalog = figure_1_catalog();
+        let mut vars = VarTable::new();
+        let grouped = Pipeline::scan(&catalog, "Cust")
+            .expect("scan")
+            .join(&catalog, "Calls", &[("ID", "CID")])
+            .expect("join")
+            .join(&catalog, "Plans", &[("Plan", "Plan")])
+            .expect("join")
+            .filter(&Expr::col("Mo").eq(Expr::col("PMo")))
+            .expect("filter")
+            .aggregate_min(
+                &["Zip"],
+                &Expr::col("Dur").mul(Expr::col("Price")),
+                &[VarRule::per_value("Mo", "m")],
+                &mut vars,
+            )
+            .expect("aggregate");
+        let q1 = vars.intern("q1");
+        let m1 = vars.lookup("m1").expect("interned");
+        let m3 = vars.lookup("m3").expect("interned");
+        let merged = grouped
+            .polys
+            .map_vars(|v| if v == m1 || v == m3 { q1 } else { v });
+        assert!(merged.size_m() <= grouped.polys.size_m());
+        // Neutral evaluation is preserved by merging (min of mins).
+        let before: Vec<_> = grouped.polys.eval(|_| MinF64(1.0));
+        let after: Vec<_> = merged.eval(|_| MinF64(1.0));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn pipeline_project_and_filter() {
+        let catalog = figure_1_catalog();
+        let p = Pipeline::scan(&catalog, "Cust")
+            .expect("scan")
+            .filter(&Expr::col("Zip").eq(Expr::lit("10002")))
+            .expect("filter")
+            .project(&["Plan"])
+            .expect("project");
+        assert_eq!(p.table().len(), 3);
+        assert_eq!(p.table().schema().arity(), 1);
+    }
+}

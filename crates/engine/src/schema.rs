@@ -1,0 +1,188 @@
+//! Schemas: ordered, named, typed columns.
+
+use crate::error::EngineError;
+use crate::value::Value;
+use provabs_provenance::fxhash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Column type tags (checked on insert).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float (ints are accepted and widened).
+    Float,
+    /// String.
+    Str,
+}
+
+impl ColumnType {
+    /// Whether `v` inhabits this type.
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// An ordered list of named, typed columns with O(1) name lookup.
+#[derive(Clone)]
+pub struct Schema {
+    columns: Arc<[(String, ColumnType)]>,
+    index: Arc<FxHashMap<String, usize>>,
+}
+
+impl Schema {
+    /// Builds a schema; errors on duplicate names.
+    pub fn new(columns: Vec<(String, ColumnType)>) -> Result<Self, EngineError> {
+        let mut index = FxHashMap::default();
+        for (i, (name, _)) in columns.iter().enumerate() {
+            if index.insert(name.clone(), i).is_some() {
+                return Err(EngineError::DuplicateColumn(name.clone()));
+            }
+        }
+        Ok(Self {
+            columns: columns.into(),
+            index: Arc::new(index),
+        })
+    }
+
+    /// Convenience builder from `(name, type)` pairs.
+    pub fn of(columns: &[(&str, ColumnType)]) -> Self {
+        Self::new(
+            columns
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+        )
+        .expect("static schemas have unique names")
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize, EngineError> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
+    }
+
+    /// Name of the `i`-th column.
+    pub fn name(&self, i: usize) -> &str {
+        &self.columns[i].0
+    }
+
+    /// Type of the `i`-th column.
+    pub fn column_type(&self, i: usize) -> ColumnType {
+        self.columns[i].1
+    }
+
+    /// Iterates `(name, type)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, ColumnType)> {
+        self.columns.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// The schema of `self ⋈ other` with `prefix`-qualified collision
+    /// handling: columns of `other` that collide are renamed
+    /// `{prefix}.{name}`.
+    pub fn join(&self, other: &Schema, prefix: &str) -> Result<Schema, EngineError> {
+        let mut cols: Vec<(String, ColumnType)> = self
+            .columns
+            .iter()
+            .map(|(n, t)| (n.clone(), *t))
+            .collect();
+        for (n, t) in other.iter() {
+            let name = if self.index.contains_key(n) {
+                format!("{prefix}.{n}")
+            } else {
+                n.to_string()
+            };
+            cols.push((name, t));
+        }
+        Schema::new(cols)
+    }
+
+    /// The schema restricted to the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<(Schema, Vec<usize>), EngineError> {
+        let mut cols = Vec::with_capacity(names.len());
+        let mut idx = Vec::with_capacity(names.len());
+        for &n in names {
+            let i = self.index_of(n)?;
+            cols.push((n.to_string(), self.columns[i].1));
+            idx.push(i);
+        }
+        Ok((Schema::new(cols)?, idx))
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(")?;
+        for (i, (n, t)) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {t:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_types() {
+        let s = Schema::of(&[("id", ColumnType::Int), ("name", ColumnType::Str)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("name").expect("exists"), 1);
+        assert!(s.index_of("zz").is_err());
+        assert!(s.column_type(0).admits(&Value::Int(1)));
+        assert!(!s.column_type(0).admits(&Value::str("x")));
+        assert!(ColumnType::Float.admits(&Value::Int(1)), "ints widen");
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new(vec![
+            ("a".into(), ColumnType::Int),
+            ("a".into(), ColumnType::Int),
+        ])
+        .expect_err("duplicate");
+        assert_eq!(err, EngineError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn join_renames_collisions() {
+        let a = Schema::of(&[("id", ColumnType::Int), ("x", ColumnType::Int)]);
+        let b = Schema::of(&[("id", ColumnType::Int), ("y", ColumnType::Int)]);
+        let j = a.join(&b, "b").expect("join schema");
+        assert_eq!(j.arity(), 4);
+        assert_eq!(j.name(2), "b.id");
+        assert_eq!(j.index_of("y").expect("exists"), 3);
+    }
+
+    #[test]
+    fn project_selects_in_order() {
+        let s = Schema::of(&[
+            ("a", ColumnType::Int),
+            ("b", ColumnType::Str),
+            ("c", ColumnType::Float),
+        ]);
+        let (p, idx) = s.project(&["c", "a"]).expect("project");
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.name(0), "c");
+        assert_eq!(idx, vec![2, 0]);
+        assert!(s.project(&["zz"]).is_err());
+    }
+}

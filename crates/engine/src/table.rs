@@ -1,0 +1,123 @@
+//! In-memory row tables.
+
+use crate::error::EngineError;
+use crate::schema::Schema;
+use crate::value::{Row, Value};
+
+/// A schema-checked in-memory table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row, checking arity and column types.
+    pub fn push(&mut self, row: Row) -> Result<(), EngineError> {
+        if row.len() != self.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            if !self.schema.column_type(i).admits(v) {
+                return Err(EngineError::TypeMismatch {
+                    expected: "value matching the column type",
+                    got: format!("{}={} ({})", self.schema.name(i), v, v.type_name()),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Appends a row without checks (for internal operators whose output
+    /// is schema-correct by construction).
+    pub(crate) fn push_unchecked(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Reserves capacity for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        self.rows.reserve(additional);
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The value at `(row, column name)`.
+    pub fn get(&self, row: usize, column: &str) -> Result<&Value, EngineError> {
+        let c = self.schema.index_of(column)?;
+        Ok(&self.rows[row][c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn schema() -> Schema {
+        Schema::of(&[("id", ColumnType::Int), ("name", ColumnType::Str)])
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut t = Table::new(schema());
+        t.push(vec![Value::Int(1), Value::str("a")]).expect("ok");
+        t.push(vec![Value::Int(2), Value::str("b")]).expect("ok");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1, "name").expect("ok"), &Value::str("b"));
+        assert!(t.get(0, "zz").is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(schema());
+        let err = t.push(vec![Value::Int(1)]).expect_err("arity");
+        assert_eq!(err, EngineError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn types_checked() {
+        let mut t = Table::new(schema());
+        let err = t
+            .push(vec![Value::str("not an int"), Value::str("a")])
+            .expect_err("type");
+        assert!(matches!(err, EngineError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut t = Table::new(Schema::of(&[("price", ColumnType::Float)]));
+        t.push(vec![Value::Int(3)]).expect("ints widen");
+        t.push(vec![Value::float(0.5)]).expect("floats fit");
+        assert_eq!(t.len(), 2);
+    }
+}

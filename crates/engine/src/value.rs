@@ -1,0 +1,188 @@
+//! Runtime values.
+//!
+//! Three types cover the paper's workloads: 64-bit integers (keys,
+//! months, durations), floats (prices, discounts) and interned strings
+//! (plan names, zip codes, flags). `Value` implements `Eq`/`Hash` so it
+//! can serve as a join or group key — floats hash by bit pattern (NaN is
+//! rejected at construction).
+
+use crate::error::EngineError;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A runtime value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (never NaN).
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// String constructor.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Float constructor; rejects NaN so `Eq`/`Hash` stay lawful.
+    pub fn float(f: f64) -> Self {
+        assert!(!f.is_nan(), "NaN values are not supported");
+        Value::Float(f)
+    }
+
+    /// The value as an `f64` (ints widen), or a type error.
+    pub fn as_f64(&self) -> Result<f64, EngineError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Str(_) => Err(EngineError::TypeMismatch {
+                expected: "numeric",
+                got: format!("{self}"),
+            }),
+        }
+    }
+
+    /// The value as an `i64`, or a type error.
+    pub fn as_i64(&self) -> Result<i64, EngineError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            _ => Err(EngineError::TypeMismatch {
+                expected: "integer",
+                got: format!("{self}"),
+            }),
+        }
+    }
+
+    /// The value as a string slice, or a type error.
+    pub fn as_str(&self) -> Result<&str, EngineError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(EngineError::TypeMismatch {
+                expected: "string",
+                got: format!("{self}"),
+            }),
+        }
+    }
+
+    /// A short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Mixed int/float compare numerically (join keys may mix).
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // Integral floats hash like ints so mixed-type keys agree
+            // with the PartialEq above.
+            Value::Int(i) => state.write_i64(*i),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < i64::MAX as f64 {
+                    state.write_i64(*f as i64);
+                } else {
+                    state.write_u64(f.to_bits());
+                }
+            }
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn accessors_and_type_errors() {
+        assert_eq!(Value::Int(3).as_f64().expect("widen"), 3.0);
+        assert_eq!(Value::float(2.5).as_f64().expect("float"), 2.5);
+        assert!(Value::str("x").as_f64().is_err());
+        assert_eq!(Value::str("abc").as_str().expect("str"), "abc");
+        assert!(Value::Int(1).as_str().is_err());
+        assert_eq!(Value::Int(7).as_i64().expect("int"), 7);
+        assert!(Value::float(1.0).as_i64().is_err());
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash_agree() {
+        let a = Value::Int(4);
+        let b = Value::float(4.0);
+        assert_eq!(a, b);
+        let mut map = HashMap::new();
+        map.insert(a, "hit");
+        assert_eq!(map.get(&b), Some(&"hit"));
+    }
+
+    #[test]
+    fn values_as_group_keys() {
+        let mut counts: HashMap<Row, usize> = HashMap::new();
+        *counts.entry(vec![Value::str("10001")]).or_insert(0) += 1;
+        *counts.entry(vec![Value::str("10001")]).or_insert(0) += 1;
+        *counts.entry(vec![Value::str("10002")]).or_insert(0) += 1;
+        assert_eq!(counts[&vec![Value::str("10001")]], 2);
+        assert_eq!(counts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Value::float(f64::NAN);
+    }
+}

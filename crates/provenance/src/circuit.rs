@@ -1,0 +1,263 @@
+//! Provenance circuits: shared-DAG arithmetic expressions.
+//!
+//! Query plans naturally produce provenance with shared sub-derivations
+//! (the same joined tuple feeds many outputs). Materialising a polynomial
+//! per output duplicates that work exponentially in the worst case, so the
+//! engine builds *circuits* — `Arc`-shared DAGs of sums and products — and
+//! flattens or evaluates them on demand with pointer-identity memoisation
+//! (each shared node is expanded exactly once).
+
+use crate::coeff::Coefficient;
+use crate::fxhash::FxHashMap;
+use crate::polynomial::Polynomial;
+use crate::var::VarId;
+use std::sync::Arc;
+
+/// A node of a provenance circuit.
+#[derive(Debug)]
+pub enum Node<C> {
+    /// A provenance variable.
+    Var(VarId),
+    /// A constant coefficient.
+    Const(C),
+    /// Sum of the children.
+    Sum(Vec<Circuit<C>>),
+    /// Product of the children.
+    Prod(Vec<Circuit<C>>),
+}
+
+/// A handle to a (possibly shared) circuit node.
+#[derive(Debug)]
+pub struct Circuit<C>(Arc<Node<C>>);
+
+impl<C> Clone for Circuit<C> {
+    fn clone(&self) -> Self {
+        Circuit(Arc::clone(&self.0))
+    }
+}
+
+impl<C: Coefficient> Circuit<C> {
+    /// A variable leaf.
+    pub fn var(v: VarId) -> Self {
+        Circuit(Arc::new(Node::Var(v)))
+    }
+
+    /// A constant leaf.
+    pub fn constant(c: C) -> Self {
+        Circuit(Arc::new(Node::Const(c)))
+    }
+
+    /// The constant one.
+    pub fn one() -> Self {
+        Self::constant(C::one())
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Self {
+        Self::constant(C::zero())
+    }
+
+    /// Sum node over `children` (flattens the trivial cases).
+    pub fn sum(children: Vec<Circuit<C>>) -> Self {
+        match children.len() {
+            0 => Self::zero(),
+            1 => children.into_iter().next().expect("len checked"),
+            _ => Circuit(Arc::new(Node::Sum(children))),
+        }
+    }
+
+    /// Product node over `children` (flattens the trivial cases).
+    pub fn prod(children: Vec<Circuit<C>>) -> Self {
+        match children.len() {
+            0 => Self::one(),
+            1 => children.into_iter().next().expect("len checked"),
+            _ => Circuit(Arc::new(Node::Prod(children))),
+        }
+    }
+
+    /// The underlying node.
+    pub fn node(&self) -> &Node<C> {
+        &self.0
+    }
+
+    fn key(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    /// Number of *distinct* DAG nodes reachable from this handle (shared
+    /// nodes counted once).
+    pub fn dag_size(&self) -> usize {
+        fn walk<C: Coefficient>(c: &Circuit<C>, seen: &mut FxHashMap<usize, ()>) -> usize {
+            if seen.insert(c.key(), ()).is_some() {
+                return 0;
+            }
+            1 + match c.node() {
+                Node::Var(_) | Node::Const(_) => 0,
+                Node::Sum(ch) | Node::Prod(ch) => ch.iter().map(|c| walk(c, seen)).sum(),
+            }
+        }
+        walk(self, &mut FxHashMap::default())
+    }
+
+    /// Number of nodes of the fully unshared *tree* expansion — the size a
+    /// naive representation would need. Together with [`Self::dag_size`]
+    /// this quantifies sharing.
+    pub fn tree_size(&self) -> u64 {
+        let mut memo: FxHashMap<usize, u64> = FxHashMap::default();
+        fn walk<C: Coefficient>(c: &Circuit<C>, memo: &mut FxHashMap<usize, u64>) -> u64 {
+            if let Some(&n) = memo.get(&c.key()) {
+                return n;
+            }
+            let n = 1 + match c.node() {
+                Node::Var(_) | Node::Const(_) => 0,
+                Node::Sum(ch) | Node::Prod(ch) => {
+                    ch.iter().map(|c| walk(c, memo)).sum::<u64>()
+                }
+            };
+            memo.insert(c.key(), n);
+            n
+        }
+        walk(self, &mut memo)
+    }
+
+    /// Evaluates the circuit under a valuation, visiting each shared node
+    /// once.
+    pub fn eval(&self, mut val: impl FnMut(VarId) -> C) -> C {
+        let mut memo: FxHashMap<usize, C> = FxHashMap::default();
+        self.eval_memo(&mut val, &mut memo)
+    }
+
+    fn eval_memo(&self, val: &mut impl FnMut(VarId) -> C, memo: &mut FxHashMap<usize, C>) -> C {
+        if let Some(v) = memo.get(&self.key()) {
+            return v.clone();
+        }
+        let out = match self.node() {
+            Node::Var(v) => val(*v),
+            Node::Const(c) => c.clone(),
+            Node::Sum(ch) => {
+                let mut acc = C::zero();
+                for c in ch {
+                    acc = acc.add(&c.eval_memo(val, memo));
+                }
+                acc
+            }
+            Node::Prod(ch) => {
+                let mut acc = C::one();
+                for c in ch {
+                    acc = acc.mul(&c.eval_memo(val, memo));
+                }
+                acc
+            }
+        };
+        memo.insert(self.key(), out.clone());
+        out
+    }
+
+    /// Flattens the circuit into a polynomial, expanding each shared node
+    /// exactly once (results are memoised per DAG node).
+    pub fn expand(&self) -> Polynomial<C> {
+        let mut memo: FxHashMap<usize, Polynomial<C>> = FxHashMap::default();
+        self.expand_memo(&mut memo)
+    }
+
+    fn expand_memo(&self, memo: &mut FxHashMap<usize, Polynomial<C>>) -> Polynomial<C> {
+        if let Some(p) = memo.get(&self.key()) {
+            return p.clone();
+        }
+        let out = match self.node() {
+            Node::Var(v) => Polynomial::variable(*v),
+            Node::Const(c) => Polynomial::constant(c.clone()),
+            Node::Sum(ch) => {
+                let mut acc = Polynomial::zero();
+                for c in ch {
+                    acc = acc.add(&c.expand_memo(memo));
+                }
+                acc
+            }
+            Node::Prod(ch) => {
+                let mut acc = Polynomial::constant(C::one());
+                for c in ch {
+                    acc = acc.mul(&c.expand_memo(memo));
+                }
+                acc
+            }
+        };
+        memo.insert(self.key(), out.clone());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn expansion_of_simple_product() {
+        // (x + y) * 2 = 2x + 2y
+        let c = Circuit::prod(vec![
+            Circuit::sum(vec![Circuit::var(v(1)), Circuit::var(v(2))]),
+            Circuit::constant(2.0),
+        ]);
+        let p = c.expand();
+        assert_eq!(p.size_m(), 2);
+        assert_eq!(p.coefficient(&Monomial::var(v(1))), 2.0);
+        assert_eq!(p.coefficient(&Monomial::var(v(2))), 2.0);
+    }
+
+    #[test]
+    fn eval_matches_expansion() {
+        let shared: Circuit<f64> = Circuit::sum(vec![Circuit::var(v(1)), Circuit::constant(1.0)]);
+        // (x+1) * (x+1) + (x+1)
+        let c = Circuit::sum(vec![
+            Circuit::prod(vec![shared.clone(), shared.clone()]),
+            shared,
+        ]);
+        let val = |_x: VarId| 3.0;
+        assert_eq!(c.eval(val), c.expand().eval(val));
+        assert_eq!(c.eval(val), 20.0); // (3+1)² + (3+1)
+    }
+
+    #[test]
+    fn dag_size_counts_shared_nodes_once() {
+        let shared: Circuit<f64> = Circuit::sum(vec![Circuit::var(v(1)), Circuit::var(v(2))]); // 3 nodes
+        let c = Circuit::prod(vec![shared.clone(), shared]); // +1 node
+        assert_eq!(c.dag_size(), 4);
+        assert_eq!(c.tree_size(), 7); // unshared: prod + 2·(sum + 2 leaves)
+    }
+
+    #[test]
+    fn deep_sharing_expands_linearly() {
+        // A chain c_{i+1} = c_i + c_i doubles the tree but grows the DAG by
+        // one node per level; expansion must stay polynomial-time.
+        let mut c: Circuit<f64> = Circuit::var(v(0));
+        for _ in 0..30 {
+            c = Circuit::sum(vec![c.clone(), c]);
+        }
+        assert_eq!(c.dag_size(), 31);
+        assert_eq!(c.tree_size(), (1u64 << 31) - 1);
+        let p = c.expand();
+        assert_eq!(p.size_m(), 1);
+        assert_eq!(p.coefficient(&Monomial::var(v(0))), 2f64.powi(30));
+    }
+
+    #[test]
+    fn empty_sum_and_prod_are_identities() {
+        let s: Circuit<f64> = Circuit::sum(vec![]);
+        let p: Circuit<f64> = Circuit::prod(vec![]);
+        assert!(s.expand().is_zero());
+        assert_eq!(p.expand().coefficient(&Monomial::one()), 1.0);
+    }
+
+    #[test]
+    fn singleton_sum_passes_through() {
+        let c: Circuit<f64> = Circuit::sum(vec![Circuit::var(v(3))]);
+        let p = c.expand();
+        assert_eq!(p.coefficient(&Monomial::var(v(3))), 1.0);
+        assert_eq!(p.size_m(), 1);
+    }
+}

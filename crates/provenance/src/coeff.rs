@@ -1,0 +1,405 @@
+//! Coefficient rings for provenance polynomials.
+//!
+//! The paper treats coefficients as rational numbers (§2.1). In practice
+//! aggregate provenance uses floating point, counting provenance uses
+//! naturals, and tests want exact arithmetic; the [`Coefficient`] trait
+//! abstracts over all three.
+
+use std::fmt;
+
+/// A commutative ring of polynomial coefficients.
+///
+/// `add`/`mul` must be commutative and associative with `zero`/`one` as the
+/// respective identities. Implementations must keep `is_zero` consistent
+/// with `zero()` so that polynomials can drop vanished terms.
+pub trait Coefficient:
+    Clone + PartialEq + fmt::Debug + fmt::Display + Send + Sync + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Commutative addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Commutative multiplication.
+    fn mul(&self, other: &Self) -> Self;
+    /// Whether this value is (close enough to) the additive identity.
+    fn is_zero(&self) -> bool;
+    /// `self` raised to a small natural power (used when valuating
+    /// exponentiated variables).
+    fn pow(&self, exp: u32) -> Self {
+        let mut acc = Self::one();
+        for _ in 0..exp {
+            acc = acc.mul(self);
+        }
+        acc
+    }
+    /// `n · self`, i.e. `self` added to itself `n` times (used when
+    /// specialising `N[X]` polynomials whose coefficients are naturals).
+    fn nat_scale(&self, n: u64) -> Self {
+        let mut acc = Self::zero();
+        for _ in 0..n {
+            acc = acc.add(self);
+        }
+        acc
+    }
+}
+
+impl Coefficient for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn pow(&self, exp: u32) -> Self {
+        f64::powi(*self, exp as i32)
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        *self * n as f64
+    }
+}
+
+impl Coefficient for i64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+}
+
+impl Coefficient for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        self * n
+    }
+}
+
+/// Coefficients under `(min, ×)`: the carrier for MIN-aggregate
+/// provenance (§2.1: "the plus operation in our polynomial corresponds to
+/// the aggregate function"). Merging two identical monomials keeps the
+/// smaller contribution; multiplication scales it. Factoring a
+/// non-negative variable out of `min(a·x, b·x) = min(a, b)·x` is exactly
+/// the simplification abstraction relies on, so abstraction remains sound
+/// for non-negative valuations.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MinF64(pub f64);
+
+impl fmt::Display for MinF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Coefficient for MinF64 {
+    fn zero() -> Self {
+        MinF64(f64::INFINITY)
+    }
+    fn one() -> Self {
+        MinF64(1.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        MinF64(self.0.min(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        MinF64(self.0 * other.0)
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == f64::INFINITY
+    }
+    fn pow(&self, exp: u32) -> Self {
+        MinF64(f64::powi(self.0, exp as i32))
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        if n == 0 {
+            Self::zero()
+        } else {
+            *self
+        }
+    }
+}
+
+/// Coefficients under `(max, ×)`: the carrier for MAX-aggregate
+/// provenance. See [`MinF64`] for the soundness condition.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MaxF64(pub f64);
+
+impl fmt::Display for MaxF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Coefficient for MaxF64 {
+    fn zero() -> Self {
+        MaxF64(f64::NEG_INFINITY)
+    }
+    fn one() -> Self {
+        MaxF64(1.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        MaxF64(self.0.max(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        MaxF64(self.0 * other.0)
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+    fn pow(&self, exp: u32) -> Self {
+        MaxF64(f64::powi(self.0, exp as i32))
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        if n == 0 {
+            Self::zero()
+        } else {
+            *self
+        }
+    }
+}
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// Always kept in lowest terms with a positive denominator. Used by golden
+/// tests that reproduce the paper's worked examples without float error.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs());
+        let g = if g == 0 { 1 } else { g as i128 };
+        Self {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// An integer as a rational.
+    pub fn int(n: i128) -> Self {
+        Self { num: n, den: 1 }
+    }
+
+    /// Parses a decimal literal such as `220.8` exactly.
+    pub fn from_decimal_str(s: &str) -> Option<Self> {
+        let (int_part, frac_part) = match s.split_once('.') {
+            Some((i, f)) => (i, f),
+            None => (s, ""),
+        };
+        let negative = int_part.starts_with('-');
+        let int_digits = int_part.trim_start_matches(['-', '+']);
+        if !int_digits.chars().all(|c| c.is_ascii_digit())
+            || !frac_part.chars().all(|c| c.is_ascii_digit())
+            || (int_digits.is_empty() && frac_part.is_empty())
+        {
+            return None;
+        }
+        let mut num: i128 = 0;
+        for c in int_digits.chars().chain(frac_part.chars()) {
+            num = num.checked_mul(10)?.checked_add((c as u8 - b'0') as i128)?;
+        }
+        let den = 10i128.checked_pow(frac_part.len() as u32)?;
+        if negative {
+            num = -num;
+        }
+        Some(Self::new(num, den))
+    }
+
+    /// Numerator (lowest terms, sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (lowest terms, positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Nearest `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Coefficient for Rational {
+    fn zero() -> Self {
+        Self::int(0)
+    }
+    fn one() -> Self {
+        Self::int(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        let num = self
+            .num
+            .checked_mul(other.den)
+            .and_then(|l| other.num.checked_mul(self.den).and_then(|r| l.checked_add(r)))
+            .expect("rational overflow in add");
+        let den = self.den.checked_mul(other.den).expect("rational overflow");
+        Self::new(num, den)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        let num = self.num.checked_mul(other.num).expect("rational overflow");
+        let den = self.den.checked_mul(other.den).expect("rational overflow");
+        Self::new(num, den)
+    }
+    fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_normalises() {
+        let r = Rational::new(6, -4);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn rational_arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a.add(&b), Rational::new(5, 6));
+        assert_eq!(a.mul(&b), Rational::new(1, 6));
+        assert!(Rational::int(0).is_zero());
+    }
+
+    #[test]
+    fn rational_from_decimal() {
+        assert_eq!(
+            Rational::from_decimal_str("220.8"),
+            Some(Rational::new(2208, 10))
+        );
+        assert_eq!(Rational::from_decimal_str("-0.25"), Some(Rational::new(-1, 4)));
+        assert_eq!(Rational::from_decimal_str("42"), Some(Rational::int(42)));
+        assert_eq!(Rational::from_decimal_str("x"), None);
+        assert_eq!(Rational::from_decimal_str("."), None);
+    }
+
+    #[test]
+    fn pow_and_nat_scale_defaults() {
+        let r = Rational::new(2, 1);
+        assert_eq!(Coefficient::pow(&r, 3), Rational::int(8));
+        assert_eq!(r.nat_scale(5), Rational::int(10));
+        assert_eq!(Coefficient::pow(&2.0f64, 10), 1024.0);
+        assert_eq!(3.0f64.nat_scale(4), 12.0);
+    }
+
+    #[test]
+    fn zero_power_is_one() {
+        assert_eq!(Coefficient::pow(&5.0f64, 0), 1.0);
+        assert_eq!(Coefficient::pow(&Rational::int(7), 0), Rational::int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn min_coefficient_semantics() {
+        let a = MinF64(3.0);
+        let b = MinF64(5.0);
+        assert_eq!(a.add(&b), MinF64(3.0));
+        assert_eq!(a.mul(&b), MinF64(15.0));
+        assert_eq!(a.add(&MinF64::zero()), a);
+        assert_eq!(a.mul(&MinF64::one()), a);
+        assert!(MinF64::zero().is_zero());
+        assert_eq!(a.nat_scale(0), MinF64::zero());
+        assert_eq!(a.nat_scale(7), a);
+    }
+
+    #[test]
+    fn max_coefficient_semantics() {
+        let a = MaxF64(3.0);
+        let b = MaxF64(5.0);
+        assert_eq!(a.add(&b), MaxF64(5.0));
+        assert_eq!(a.mul(&b), MaxF64(15.0));
+        assert_eq!(a.add(&MaxF64::zero()), a);
+        assert!(MaxF64::zero().is_zero());
+    }
+
+    #[test]
+    fn min_polynomials_merge_with_min() {
+        // Two identical monomials under MIN-aggregation keep the smaller
+        // coefficient — the aggregate analogue of coefficient addition.
+        use crate::monomial::Monomial;
+        use crate::polynomial::Polynomial;
+        use crate::var::VarId;
+        let m = Monomial::var(VarId(1));
+        let p = Polynomial::from_terms([(m.clone(), MinF64(9.0)), (m.clone(), MinF64(4.0))]);
+        assert_eq!(p.coefficient(&m), MinF64(4.0));
+        assert_eq!(p.size_m(), 1);
+    }
+}

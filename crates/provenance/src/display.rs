@@ -1,0 +1,109 @@
+//! Human-readable rendering of polynomials with variable names.
+//!
+//! [`Polynomial`] itself has no access to names (variables are interned
+//! ids); the functions here pair a polynomial with a [`VarTable`] to print
+//! the paper's notation, e.g. `220.8·p1·m1 + 240·p1·m3`.
+
+use crate::coeff::Coefficient;
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use crate::polyset::PolySet;
+use crate::var::VarTable;
+use std::fmt::Write as _;
+
+/// Renders a monomial as `p1·m1^2` using names from `vars`.
+pub fn monomial_to_string(m: &Monomial, vars: &VarTable) -> String {
+    if m.is_one() {
+        return "1".to_string();
+    }
+    let mut out = String::new();
+    for (i, (v, e)) in m.factors().enumerate() {
+        if i > 0 {
+            out.push('·');
+        }
+        out.push_str(vars.name(v));
+        if e > 1 {
+            let _ = write!(out, "^{}", e);
+        }
+    }
+    out
+}
+
+/// Renders a polynomial in canonical (sorted-monomial) order, matching the
+/// text format accepted by [`crate::parse::parse_polynomial`].
+pub fn poly_to_string<C: Coefficient>(p: &Polynomial<C>, vars: &VarTable) -> String {
+    if p.is_zero() {
+        return "0".to_string();
+    }
+    let mut out = String::new();
+    for (i, (m, c)) in p.sorted_terms().into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(" + ");
+        }
+        if m.is_one() {
+            let _ = write!(out, "{}", c);
+        } else {
+            let _ = write!(out, "{}·{}", c, monomial_to_string(m, vars));
+        }
+    }
+    out
+}
+
+/// Renders a polynomial set, one polynomial per line.
+pub fn polyset_to_string<C: Coefficient>(ps: &PolySet<C>, vars: &VarTable) -> String {
+    let mut out = String::new();
+    for p in ps.iter() {
+        out.push_str(&poly_to_string(p, vars));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_notation() {
+        let mut vars = VarTable::new();
+        let p1 = vars.intern("p1");
+        let m1 = vars.intern("m1");
+        let m3 = vars.intern("m3");
+        let p = Polynomial::from_terms([
+            (Monomial::from_vars([p1, m1]), 220.8),
+            (Monomial::from_vars([p1, m3]), 240.0),
+        ]);
+        let s = poly_to_string(&p, &vars);
+        assert_eq!(s, "220.8·p1·m1 + 240·p1·m3");
+    }
+
+    #[test]
+    fn renders_exponents_and_constants() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let p = Polynomial::from_terms([
+            (Monomial::from_factors([(x, 2)]), 3.0),
+            (Monomial::one(), 1.5),
+        ]);
+        let s = poly_to_string(&p, &vars);
+        assert_eq!(s, "1.5 + 3·x^2");
+    }
+
+    #[test]
+    fn zero_renders_as_zero() {
+        let vars = VarTable::new();
+        let p: Polynomial<f64> = Polynomial::zero();
+        assert_eq!(poly_to_string(&p, &vars), "0");
+    }
+
+    #[test]
+    fn polyset_one_line_per_polynomial() {
+        let mut vars = VarTable::new();
+        let x = vars.intern("x");
+        let ps = PolySet::from_vec(vec![
+            Polynomial::from_terms([(Monomial::var(x), 1.0)]),
+            Polynomial::from_terms([(Monomial::var(x), 2.0)]),
+        ]);
+        assert_eq!(polyset_to_string(&ps, &vars), "1·x\n2·x\n");
+    }
+}

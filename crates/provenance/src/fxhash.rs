@@ -1,0 +1,105 @@
+//! A minimal FxHash-style hasher.
+//!
+//! Provenance compression is dominated by hash-map operations over small
+//! integer keys ([`crate::var::VarId`]s and interned monomials). The
+//! standard library's SipHash is collision-hardened but slow for such keys;
+//! the multiply-rotate scheme used by rustc (`FxHasher`) is a large win and
+//! trivially small, so we implement it in-crate rather than adding an
+//! external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher in the style of rustc's `FxHasher`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// Hash-map keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// Hash-set keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_stay_distinct() {
+        let mut set = FxHashSet::default();
+        for i in 0u64..10_000 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(1, "one");
+        map.insert(2, "two");
+        assert_eq!(map.get(&1), Some(&"one"));
+        assert_eq!(map.get(&2), Some(&"two"));
+        assert_eq!(map.get(&3), None);
+    }
+
+    #[test]
+    fn hashing_strings_works() {
+        let mut set: FxHashSet<String> = FxHashSet::default();
+        set.insert("alpha".to_string());
+        set.insert("beta".to_string());
+        set.insert("alpha".to_string());
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Provenance polynomials and their supporting algebra.
+//!
+//! This crate implements the provenance model of §2.1 of *Hypothetical
+//! Reasoning via Provenance Abstraction* (Deutch, Moskovitch, Rinetzky,
+//! SIGMOD 2019):
+//!
+//! * [`var`] — interned provenance variables (tuple / cell annotations and
+//!   the meta-variables introduced by abstraction),
+//! * [`monomial`] — products of variables with exponents,
+//! * [`polynomial`] — sums of coefficient-weighted monomials, with the size
+//!   measure `|P|_M` (number of monomials) and granularity `|P|_V` (number
+//!   of distinct variables),
+//! * [`polyset`] — multisets of polynomials as produced by provenance-aware
+//!   query evaluation, lifting both measures point-wise,
+//! * [`coeff`] — coefficient rings (`f64`, integers, exact rationals),
+//! * [`semiring`] — commutative semirings and the specialisation of
+//!   `N[X]` provenance polynomials into them (Green's observation that the
+//!   polynomial semiring is universal),
+//! * [`circuit`] — shared-DAG provenance circuits with flattening into
+//!   polynomials,
+//! * [`valuation`] — hypothetical-scenario valuations of variables,
+//! * [`parse`] / [`display`] — a small text format used by tests, examples
+//!   and golden files.
+
+pub mod circuit;
+pub mod coeff;
+pub mod display;
+pub mod fxhash;
+pub mod monomial;
+pub mod parse;
+pub mod polynomial;
+pub mod polyset;
+pub mod semiring;
+pub mod valuation;
+pub mod var;
+
+pub use circuit::Circuit;
+pub use coeff::{Coefficient, Rational};
+pub use monomial::Monomial;
+pub use polynomial::Polynomial;
+pub use polyset::PolySet;
+pub use valuation::Valuation;
+pub use var::{VarId, VarTable};

@@ -1,0 +1,213 @@
+//! A small parser for the polynomial text format.
+//!
+//! Accepts the notation used throughout the paper (and produced by
+//! [`crate::display`]): monomials joined by `+`, factors joined by `·` or
+//! `*`, optional numeric coefficient first, optional `^exp` per variable.
+//! Example: `220.8 * p1 * m1 + 240·p1·m3 + 2·x^2`.
+//!
+//! Used by tests and examples to state golden polynomials exactly as the
+//! paper prints them.
+
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use crate::var::VarTable;
+use std::fmt;
+
+/// Errors produced by [`parse_polynomial`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A term was empty (e.g. `x + + y`).
+    EmptyTerm,
+    /// A factor was neither a number nor a variable name.
+    BadFactor(String),
+    /// An exponent was not a positive integer.
+    BadExponent(String),
+    /// A second numeric coefficient appeared inside one term.
+    DuplicateCoefficient(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::EmptyTerm => write!(f, "empty term"),
+            ParseError::BadFactor(s) => write!(f, "bad factor: {s:?}"),
+            ParseError::BadExponent(s) => write!(f, "bad exponent: {s:?}"),
+            ParseError::DuplicateCoefficient(s) => {
+                write!(f, "more than one numeric coefficient in term {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn is_var_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+/// Parses a polynomial with `f64` coefficients, interning variables into
+/// `vars`.
+pub fn parse_polynomial(input: &str, vars: &mut VarTable) -> Result<Polynomial<f64>, ParseError> {
+    let input = input.trim();
+    if input.is_empty() || input == "0" {
+        return Ok(Polynomial::zero());
+    }
+    let mut poly = Polynomial::zero();
+    for raw_term in input.split('+') {
+        let term = raw_term.trim();
+        if term.is_empty() {
+            return Err(ParseError::EmptyTerm);
+        }
+        let mut coeff: Option<f64> = None;
+        let mut factors: Vec<(String, u32)> = Vec::new();
+        for raw_factor in term.split(['*', '·']) {
+            let factor = raw_factor.trim();
+            if factor.is_empty() {
+                return Err(ParseError::BadFactor(raw_term.to_string()));
+            }
+            let first = factor.chars().next().expect("non-empty");
+            if is_var_start(first) {
+                let (name, exp) = match factor.split_once('^') {
+                    Some((name, exp_str)) => {
+                        let exp: u32 = exp_str
+                            .trim()
+                            .parse()
+                            .map_err(|_| ParseError::BadExponent(exp_str.to_string()))?;
+                        if exp == 0 {
+                            return Err(ParseError::BadExponent(exp_str.to_string()));
+                        }
+                        (name.trim(), exp)
+                    }
+                    None => (factor, 1),
+                };
+                if !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Err(ParseError::BadFactor(factor.to_string()));
+                }
+                factors.push((name.to_string(), exp));
+            } else {
+                let value: f64 = factor
+                    .parse()
+                    .map_err(|_| ParseError::BadFactor(factor.to_string()))?;
+                if coeff.replace(value).is_some() {
+                    return Err(ParseError::DuplicateCoefficient(term.to_string()));
+                }
+            }
+        }
+        let mono = Monomial::from_factors(
+            factors
+                .into_iter()
+                .map(|(name, exp)| (vars.intern(&name), exp)),
+        );
+        poly.add_term(mono, coeff.unwrap_or(1.0));
+    }
+    Ok(poly)
+}
+
+/// Parses several polynomials, one per non-empty line.
+pub fn parse_polyset(
+    input: &str,
+    vars: &mut VarTable,
+) -> Result<crate::polyset::PolySet<f64>, ParseError> {
+    let mut out = crate::polyset::PolySet::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_polynomial(line, vars)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::poly_to_string;
+
+    #[test]
+    fn parses_paper_example_2() {
+        let mut vars = VarTable::new();
+        let p = parse_polynomial(
+            "220.8 * p1 * m1 + 240 * p1 * m3 + 127.4 * f1 * m1 + 114.45 * f1 * m3 \
+             + 75.9 * y1 * m1 + 72.5 * y1 * m3 + 42 * v * m1 + 24.2 * v * m3",
+            &mut vars,
+        )
+        .expect("parse");
+        assert_eq!(p.size_m(), 8);
+        assert_eq!(p.size_v(), 6); // p1 f1 y1 v m1 m3
+        let p1 = vars.lookup("p1").expect("interned");
+        let m1 = vars.lookup("m1").expect("interned");
+        assert_eq!(p.coefficient(&Monomial::from_vars([p1, m1])), 220.8);
+    }
+
+    #[test]
+    fn parses_exponents_and_bare_vars() {
+        let mut vars = VarTable::new();
+        let p = parse_polynomial("x^2 + 3·x·y + y", &mut vars).expect("parse");
+        assert_eq!(p.size_m(), 3);
+        let x = vars.lookup("x").expect("interned");
+        assert_eq!(p.coefficient(&Monomial::from_factors([(x, 2)])), 1.0);
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let mut vars = VarTable::new();
+        let p = parse_polynomial("1.5 + 2·a·b + 3·b^2", &mut vars).expect("parse");
+        let s = poly_to_string(&p, &vars);
+        let mut vars2 = VarTable::new();
+        let p2 = parse_polynomial(&s, &mut vars2).expect("reparse");
+        assert_eq!(p.size_m(), p2.size_m());
+        assert_eq!(p.coefficient_mass(), p2.coefficient_mass());
+    }
+
+    #[test]
+    fn merges_duplicate_monomials() {
+        let mut vars = VarTable::new();
+        let p = parse_polynomial("2·x + 3·x", &mut vars).expect("parse");
+        assert_eq!(p.size_m(), 1);
+        let x = vars.lookup("x").expect("interned");
+        assert_eq!(p.coefficient(&Monomial::var(x)), 5.0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut vars = VarTable::new();
+        assert!(matches!(
+            parse_polynomial("x + + y", &mut vars),
+            Err(ParseError::EmptyTerm)
+        ));
+        assert!(matches!(
+            parse_polynomial("2 * 3 * x", &mut vars),
+            Err(ParseError::DuplicateCoefficient(_))
+        ));
+        assert!(matches!(
+            parse_polynomial("x^z", &mut vars),
+            Err(ParseError::BadExponent(_))
+        ));
+        assert!(matches!(
+            parse_polynomial("x^0", &mut vars),
+            Err(ParseError::BadExponent(_))
+        ));
+        assert!(matches!(
+            parse_polynomial("@bad", &mut vars),
+            Err(ParseError::BadFactor(_))
+        ));
+    }
+
+    #[test]
+    fn zero_and_empty_inputs() {
+        let mut vars = VarTable::new();
+        assert!(parse_polynomial("0", &mut vars).expect("parse").is_zero());
+        assert!(parse_polynomial("  ", &mut vars).expect("parse").is_zero());
+    }
+
+    #[test]
+    fn parse_polyset_one_per_line() {
+        let mut vars = VarTable::new();
+        let ps = parse_polyset("2·x\n\n3·y + x\n", &mut vars).expect("parse");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.size_m(), 3);
+    }
+
+    use crate::monomial::Monomial;
+}

@@ -1,0 +1,209 @@
+//! Multisets of provenance polynomials.
+//!
+//! Provenance-aware query evaluation produces one polynomial per result
+//! tuple; the abstraction algorithms operate on the whole multiset `𝒫`
+//! (§2.1). Size and granularity lift point-wise:
+//! `|𝒫|_M = Σ |P|_M` and `V(𝒫) = ∪ V(P)`.
+
+use crate::coeff::Coefficient;
+use crate::fxhash::FxHashSet;
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use crate::var::VarId;
+
+/// A multiset of polynomials (the provenance of a whole query result).
+#[derive(Clone, Default)]
+pub struct PolySet<C> {
+    polys: Vec<Polynomial<C>>,
+}
+
+impl<C: Coefficient> PolySet<C> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self { polys: Vec::new() }
+    }
+
+    /// Wraps an existing vector of polynomials.
+    pub fn from_vec(polys: Vec<Polynomial<C>>) -> Self {
+        Self { polys }
+    }
+
+    /// Adds one polynomial.
+    pub fn push(&mut self, p: Polynomial<C>) {
+        self.polys.push(p);
+    }
+
+    /// Number of polynomials in the multiset.
+    pub fn len(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.polys.is_empty()
+    }
+
+    /// Iterates over the polynomials.
+    pub fn iter(&self) -> impl Iterator<Item = &Polynomial<C>> {
+        self.polys.iter()
+    }
+
+    /// The polynomials as a slice.
+    pub fn as_slice(&self) -> &[Polynomial<C>] {
+        &self.polys
+    }
+
+    /// `|𝒫|_M`: total number of monomials across all polynomials.
+    pub fn size_m(&self) -> usize {
+        self.polys.iter().map(Polynomial::size_m).sum()
+    }
+
+    /// `V(𝒫)`: union of the variable sets.
+    pub fn var_set(&self) -> FxHashSet<VarId> {
+        let mut set = FxHashSet::default();
+        for p in &self.polys {
+            for m in p.iter().map(|(m, _)| m) {
+                set.extend(m.vars());
+            }
+        }
+        set
+    }
+
+    /// `|𝒫|_V`: number of distinct variables across all polynomials.
+    pub fn size_v(&self) -> usize {
+        self.var_set().len()
+    }
+
+    /// Applies a substitution point-wise: `𝒫↓S = { P↓S | P ∈ 𝒫 }`.
+    pub fn map_vars(&self, mut map: impl FnMut(VarId) -> VarId) -> Self {
+        Self {
+            polys: self.polys.iter().map(|p| p.map_vars(&mut map)).collect(),
+        }
+    }
+
+    /// Evaluates every polynomial under the same valuation.
+    pub fn eval(&self, mut val: impl FnMut(VarId) -> C) -> Vec<C> {
+        self.polys.iter().map(|p| p.eval(&mut val)).collect()
+    }
+
+    /// Whether any monomial anywhere contains variable `v`.
+    pub fn contains_var(&self, v: VarId) -> bool {
+        self.polys
+            .iter()
+            .any(|p| p.iter().any(|(m, _)| m.contains(v)))
+    }
+
+    /// Rough heap footprint of the stored provenance in bytes — the
+    /// quantity behind the paper's "total size of over 8 GB" motivation.
+    /// Counts the monomial factor arrays, coefficients and hash-map
+    /// overhead; interned name storage lives in the [`crate::var::VarTable`].
+    pub fn estimated_bytes(&self) -> usize {
+        let mut bytes = self.polys.capacity() * std::mem::size_of::<Polynomial<C>>();
+        for p in &self.polys {
+            for (m, _) in p.iter() {
+                // Factor array + map entry (key, value, control byte).
+                bytes += m.num_vars() * std::mem::size_of::<(u32, u32)>()
+                    + std::mem::size_of::<Monomial>()
+                    + std::mem::size_of::<C>()
+                    + 8;
+            }
+        }
+        bytes
+    }
+
+    /// All monomials (with the index of their polynomial), useful for
+    /// building inverted indexes.
+    pub fn monomials(&self) -> impl Iterator<Item = (usize, &Monomial, &C)> {
+        self.polys
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.iter().map(move |(m, c)| (i, m, c)))
+    }
+}
+
+impl<C: Coefficient> FromIterator<Polynomial<C>> for PolySet<C> {
+    fn from_iter<T: IntoIterator<Item = Polynomial<C>>>(iter: T) -> Self {
+        Self {
+            polys: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<C: Coefficient> std::fmt::Debug for PolySet<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.polys.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn poly(terms: &[(&[u32], f64)]) -> Polynomial<f64> {
+        Polynomial::from_terms(
+            terms
+                .iter()
+                .map(|(vs, c)| (Monomial::from_vars(vs.iter().map(|&i| v(i))), *c)),
+        )
+    }
+
+    #[test]
+    fn sizes_lift_pointwise() {
+        let set = PolySet::from_vec(vec![
+            poly(&[(&[1, 2], 1.0), (&[1, 3], 2.0)]),
+            poly(&[(&[2, 4], 3.0)]),
+        ]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.size_m(), 3);
+        assert_eq!(set.size_v(), 4); // {1,2,3,4}
+    }
+
+    #[test]
+    fn map_vars_applies_to_every_polynomial() {
+        let set = PolySet::from_vec(vec![poly(&[(&[1], 1.0)]), poly(&[(&[2], 2.0)])]);
+        let mapped = set.map_vars(|_| v(7));
+        assert_eq!(mapped.size_v(), 1);
+        assert!(mapped.contains_var(v(7)));
+        assert!(!mapped.contains_var(v(1)));
+    }
+
+    #[test]
+    fn eval_returns_one_value_per_polynomial() {
+        let set = PolySet::from_vec(vec![poly(&[(&[1], 2.0)]), poly(&[(&[1], 3.0)])]);
+        let vals = set.eval(|_| 10.0);
+        assert_eq!(vals, vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_set_measures() {
+        let set: PolySet<f64> = PolySet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.size_m(), 0);
+        assert_eq!(set.size_v(), 0);
+    }
+
+    #[test]
+    fn estimated_bytes_tracks_size() {
+        let small = PolySet::from_vec(vec![poly(&[(&[1], 1.0)])]);
+        let big = PolySet::from_vec(vec![
+            poly(&[(&[1, 2], 1.0), (&[1, 3], 2.0), (&[2, 3], 3.0)]),
+            poly(&[(&[2, 4], 3.0), (&[1, 4], 4.0)]),
+        ]);
+        assert!(big.estimated_bytes() > small.estimated_bytes());
+        assert!(small.estimated_bytes() > 0);
+    }
+
+    #[test]
+    fn monomials_iterates_with_poly_index() {
+        let set = PolySet::from_vec(vec![poly(&[(&[1], 1.0)]), poly(&[(&[2], 1.0), (&[3], 1.0)])]);
+        let mut counts = [0usize; 2];
+        for (i, _, _) in set.monomials() {
+            counts[i] += 1;
+        }
+        assert_eq!(counts, [1, 2]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Commutative semirings and polynomial specialisation.
+//!
+//! In the semiring model (§2.1, case 1), SPJU query results over
+//! variable-annotated tuples carry polynomials in `N[X]` — the *free*
+//! commutative semiring. Green's observation (the paper's `[35]`) is that
+//! `N[X]` is universal: evaluating a provenance polynomial under a
+//! valuation into any commutative semiring recovers the annotation the
+//! query would have computed directly in that semiring. [`specialize`]
+//! implements that unique homomorphism, and the unit tests check the
+//! commutation property against a hand-rolled evaluation.
+
+use crate::polynomial::Polynomial;
+use crate::var::VarId;
+use std::fmt;
+
+/// A commutative semiring `(K, ⊕, ⊗, 0, 1)`.
+pub trait Semiring: Clone + PartialEq + fmt::Debug {
+    /// Additive identity; annihilates under `times`.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Commutative, associative addition.
+    fn plus(&self, other: &Self) -> Self;
+    /// Commutative, associative multiplication distributing over `plus`.
+    fn times(&self, other: &Self) -> Self;
+
+    /// `self ⊗ … ⊗ self`, `exp` times (`one()` when `exp == 0`).
+    fn pow(&self, exp: u32) -> Self {
+        let mut acc = Self::one();
+        for _ in 0..exp {
+            acc = acc.times(self);
+        }
+        acc
+    }
+
+    /// `n · self = self ⊕ … ⊕ self`, `n` times (`zero()` when `n == 0`).
+    fn nat_scale(&self, n: u64) -> Self {
+        let mut acc = Self::zero();
+        for _ in 0..n {
+            acc = acc.plus(self);
+        }
+        acc
+    }
+}
+
+/// The Boolean semiring `({false,true}, ∨, ∧)`: tuple existence under
+/// hypothetical deletions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+    fn times(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+    fn pow(&self, exp: u32) -> Self {
+        if exp == 0 {
+            Bool(true)
+        } else {
+            *self
+        }
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        if n == 0 {
+            Bool(false)
+        } else {
+            *self
+        }
+    }
+}
+
+/// The counting semiring `(ℕ, +, ×)`: bag multiplicity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Count(pub u64);
+
+impl Semiring for Count {
+    fn zero() -> Self {
+        Count(0)
+    }
+    fn one() -> Self {
+        Count(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Count(self.0 + other.0)
+    }
+    fn times(&self, other: &Self) -> Self {
+        Count(self.0 * other.0)
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        Count(self.0 * n)
+    }
+}
+
+/// The tropical (min, +) semiring: cheapest-derivation cost.
+/// `zero` is `+∞`, `one` is `0`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Tropical(pub f64);
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical(f64::INFINITY)
+    }
+    fn one() -> Self {
+        Tropical(0.0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Tropical(self.0.min(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Tropical(self.0 + other.0)
+    }
+    fn pow(&self, exp: u32) -> Self {
+        Tropical(self.0 * f64::from(exp))
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        if n == 0 {
+            Self::zero()
+        } else {
+            *self
+        }
+    }
+}
+
+/// The Viterbi / fuzzy semiring `([0,1], max, min)`: trust or confidence.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Fuzzy(pub f64);
+
+impl Semiring for Fuzzy {
+    fn zero() -> Self {
+        Fuzzy(0.0)
+    }
+    fn one() -> Self {
+        Fuzzy(1.0)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Fuzzy(self.0.max(other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Fuzzy(self.0.min(other.0))
+    }
+    fn pow(&self, exp: u32) -> Self {
+        if exp == 0 {
+            Self::one()
+        } else {
+            *self
+        }
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        if n == 0 {
+            Self::zero()
+        } else {
+            *self
+        }
+    }
+}
+
+/// Real numbers under ordinary `(+, ×)` — the semiring used when
+/// hypotheticals scale aggregate contributions.
+impl Semiring for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn times(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn pow(&self, exp: u32) -> Self {
+        f64::powi(*self, exp as i32)
+    }
+    fn nat_scale(&self, n: u64) -> Self {
+        self * n as f64
+    }
+}
+
+/// `N[X]` — the free commutative semiring of provenance polynomials with
+/// natural-number coefficients.
+impl Semiring for Polynomial<u64> {
+    fn zero() -> Self {
+        Polynomial::zero()
+    }
+    fn one() -> Self {
+        Polynomial::constant(1)
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self.add(other)
+    }
+    fn times(&self, other: &Self) -> Self {
+        self.mul(other)
+    }
+}
+
+/// Specialises a provenance polynomial `p ∈ N[X]` into the semiring `S`
+/// through the valuation `val` — the unique semiring homomorphism fixing
+/// `val` (Green [35]; this is what makes abstraction applicable across
+/// provenance applications, §5).
+pub fn specialize<S: Semiring>(p: &Polynomial<u64>, mut val: impl FnMut(VarId) -> S) -> S {
+    let mut acc = S::zero();
+    for (m, &c) in p.iter() {
+        let mut term = S::one();
+        for (v, e) in m.factors() {
+            term = term.times(&val(v).pow(e));
+        }
+        acc = acc.plus(&term.nat_scale(c));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// 2·x·y + z²  — a small N[X] polynomial used across the tests.
+    fn sample() -> Polynomial<u64> {
+        Polynomial::from_terms([
+            (Monomial::from_vars([v(1), v(2)]), 2u64),
+            (Monomial::from_factors([(v(3), 2)]), 1u64),
+        ])
+    }
+
+    #[test]
+    fn boolean_specialisation_is_existence() {
+        // x present, y present, z absent: 2xy + z² → true∧true ∨ false = true.
+        let p = sample();
+        let r = specialize(&p, |x| Bool(x != v(3)));
+        assert_eq!(r, Bool(true));
+        // Deleting y kills the first monomial; z still absent → false.
+        let r2 = specialize(&p, |x| Bool(x == v(1)));
+        assert_eq!(r2, Bool(false));
+    }
+
+    #[test]
+    fn counting_specialisation_multiplies_multiplicities() {
+        // x=2, y=3, z=4 → 2·(2·3) + 4² = 28.
+        let p = sample();
+        let r = specialize(&p, |x| {
+            Count(match x {
+                VarId(1) => 2,
+                VarId(2) => 3,
+                _ => 4,
+            })
+        });
+        assert_eq!(r, Count(28));
+    }
+
+    #[test]
+    fn tropical_specialisation_takes_cheapest_derivation() {
+        // cost(x)=1, cost(y)=2, cost(z)=5 → min(1+2, 2·5) with coefficient 2
+        // irrelevant for min → 3.
+        let p = sample();
+        let r = specialize(&p, |x| {
+            Tropical(match x {
+                VarId(1) => 1.0,
+                VarId(2) => 2.0,
+                _ => 5.0,
+            })
+        });
+        assert_eq!(r, Tropical(3.0));
+    }
+
+    #[test]
+    fn fuzzy_specialisation() {
+        let p = sample();
+        let r = specialize(&p, |x| {
+            Fuzzy(match x {
+                VarId(1) => 0.9,
+                VarId(2) => 0.5,
+                _ => 0.7,
+            })
+        });
+        // max(min(0.9, 0.5), 0.7) = 0.7
+        assert_eq!(r, Fuzzy(0.7));
+    }
+
+    #[test]
+    fn specialisation_into_nx_is_identity() {
+        let p = sample();
+        let r: Polynomial<u64> = specialize(&p, Polynomial::variable);
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    fn homomorphism_commutes_with_plus_and_times() {
+        // specialize(p ⊕ q) == specialize(p) ⊕ specialize(q), same for ⊗.
+        let p = sample();
+        let q = Polynomial::from_terms([(Monomial::var(v(1)), 3u64)]);
+        let val = |x: VarId| Count(u64::from(x.0) + 1);
+        let lhs_plus = specialize(&p.plus(&q), val);
+        let rhs_plus = specialize(&p, val).plus(&specialize(&q, val));
+        assert_eq!(lhs_plus, rhs_plus);
+        let lhs_times = specialize(&p.times(&q), val);
+        let rhs_times = specialize(&p, val).times(&specialize(&q, val));
+        assert_eq!(lhs_times, rhs_times);
+    }
+
+    #[test]
+    fn tropical_identities() {
+        let a = Tropical(3.0);
+        assert_eq!(a.plus(&Tropical::zero()), a);
+        assert_eq!(a.times(&Tropical::one()), a);
+        assert_eq!(a.times(&Tropical::zero()), Tropical::zero());
+    }
+
+    #[test]
+    fn bool_pow_and_scale_edge_cases() {
+        assert_eq!(Bool(false).pow(0), Bool(true));
+        assert_eq!(Bool(true).nat_scale(0), Bool(false));
+    }
+}

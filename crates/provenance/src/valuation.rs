@@ -1,0 +1,145 @@
+//! Valuations: assignments of values to provenance variables.
+//!
+//! Hypothetical scenarios are expressed by valuating the variables of a
+//! provenance expression (§1): e.g. "decrease the price of all plans by
+//! 20 % in March" sets `m3 = 0.8` and leaves every other variable at the
+//! neutral `1`. A [`Valuation`] is a sparse map with a default value for
+//! unmentioned variables.
+
+use crate::coeff::Coefficient;
+use crate::fxhash::FxHashMap;
+use crate::polynomial::Polynomial;
+use crate::polyset::PolySet;
+use crate::var::VarId;
+
+/// A sparse variable assignment with a default for unmentioned variables.
+#[derive(Clone, Debug)]
+pub struct Valuation<C> {
+    assignments: FxHashMap<VarId, C>,
+    default: C,
+}
+
+impl<C: Coefficient> Valuation<C> {
+    /// A valuation mapping every variable to `default`.
+    pub fn with_default(default: C) -> Self {
+        Self {
+            assignments: FxHashMap::default(),
+            default,
+        }
+    }
+
+    /// The neutral valuation (everything `1`) — evaluating the provenance
+    /// under it recovers the original query answer.
+    pub fn neutral() -> Self {
+        Self::with_default(C::one())
+    }
+
+    /// Sets `v` to `value`, returning `self` for chaining.
+    pub fn set(mut self, v: VarId, value: C) -> Self {
+        self.assignments.insert(v, value);
+        self
+    }
+
+    /// Sets `v` to `value` in place.
+    pub fn assign(&mut self, v: VarId, value: C) {
+        self.assignments.insert(v, value);
+    }
+
+    /// The value of `v`.
+    pub fn get(&self, v: VarId) -> C {
+        self.assignments
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| self.default.clone())
+    }
+
+    /// Number of explicit (non-default) assignments.
+    pub fn num_explicit(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Evaluates one polynomial.
+    pub fn eval(&self, p: &Polynomial<C>) -> C {
+        p.eval(|v| self.get(v))
+    }
+
+    /// Evaluates a whole polynomial set, one result per polynomial.
+    pub fn eval_set(&self, ps: &PolySet<C>) -> Vec<C> {
+        ps.eval(|v| self.get(v))
+    }
+
+    /// Re-keys the explicit assignments through `map` — used to transport a
+    /// valuation on meta-variables back and forth between the original and
+    /// the abstracted variable space.
+    pub fn map_keys(&self, mut map: impl FnMut(VarId) -> VarId) -> Self {
+        let mut out = Self::with_default(self.default.clone());
+        for (&v, c) in &self.assignments {
+            out.assignments.insert(map(v), c.clone());
+        }
+        out
+    }
+
+    /// Iterates over explicit assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &C)> {
+        self.assignments.iter().map(|(&v, c)| (v, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn neutral_valuation_recovers_query_answer() {
+        // 220.8·p1·m1 + 240·p1·m3 at all-ones = 460.8 (the plain revenue).
+        let p = Polynomial::from_terms([
+            (Monomial::from_vars([v(0), v(1)]), 220.8),
+            (Monomial::from_vars([v(0), v(3)]), 240.0),
+        ]);
+        let val: Valuation<f64> = Valuation::neutral();
+        assert!((val.eval(&p) - 460.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_scales_only_targeted_variables() {
+        // "20 % discount in March": m3 = 0.8.
+        let (p1, m1, m3) = (v(0), v(1), v(3));
+        let p = Polynomial::from_terms([
+            (Monomial::from_vars([p1, m1]), 100.0),
+            (Monomial::from_vars([p1, m3]), 200.0),
+        ]);
+        let val = Valuation::neutral().set(m3, 0.8);
+        assert!((val.eval(&p) - (100.0 + 160.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_applies_to_unmentioned() {
+        let val = Valuation::with_default(0.0).set(v(1), 5.0);
+        assert_eq!(val.get(v(1)), 5.0);
+        assert_eq!(val.get(v(2)), 0.0);
+        assert_eq!(val.num_explicit(), 1);
+    }
+
+    #[test]
+    fn eval_set_is_pointwise() {
+        let ps = PolySet::from_vec(vec![
+            Polynomial::from_terms([(Monomial::var(v(1)), 2.0)]),
+            Polynomial::from_terms([(Monomial::var(v(2)), 3.0)]),
+        ]);
+        let val = Valuation::neutral().set(v(1), 10.0);
+        assert_eq!(val.eval_set(&ps), vec![20.0, 3.0]);
+    }
+
+    #[test]
+    fn map_keys_transports_assignments() {
+        let val = Valuation::neutral().set(v(1), 7.0);
+        let mapped = val.map_keys(|_| v(9));
+        assert_eq!(mapped.get(v(9)), 7.0);
+        assert_eq!(mapped.get(v(1)), 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Provenance variables and interning.
+//!
+//! Provenance indeterminates (§2.1) are interned into dense `u32` ids so
+//! that monomials and polynomials operate on machine words rather than
+//! strings. Meta-variables created by abstraction trees are interned in the
+//! same table — the paper deliberately "omits the distinction between
+//! variables and meta-variables" (§2.2).
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense identifier of an interned provenance variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as an index into dense per-variable arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An interning table mapping variable names to [`VarId`]s and back.
+///
+/// Names are unique: interning the same name twice yields the same id.
+#[derive(Default, Clone)]
+pub struct VarTable {
+    names: Vec<Arc<str>>,
+    index: FxHashMap<Arc<str>, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = VarId(u32::try_from(self.names.len()).expect("more than u32::MAX variables"));
+        let name: Arc<str> = Arc::from(name);
+        self.names.push(Arc::clone(&name));
+        self.index.insert(name, id);
+        id
+    }
+
+    /// Interns every name in `names`, in order.
+    pub fn intern_all<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) -> Vec<VarId> {
+        names.into_iter().map(|n| self.intern(n)).collect()
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: VarId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variable has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_ref()))
+    }
+}
+
+impl fmt::Debug for VarTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarTable").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = VarTable::new();
+        let a = t.intern("m1");
+        let b = t.intern("m1");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let mut t = VarTable::new();
+        let a = t.intern("m1");
+        let b = t.intern("m2");
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "m1");
+        assert_eq!(t.name(b), "m2");
+    }
+
+    #[test]
+    fn lookup_only_finds_interned() {
+        let mut t = VarTable::new();
+        let a = t.intern("p1");
+        assert_eq!(t.lookup("p1"), Some(a));
+        assert_eq!(t.lookup("p2"), None);
+    }
+
+    #[test]
+    fn intern_all_preserves_order() {
+        let mut t = VarTable::new();
+        let ids = t.intern_all(["a", "b", "c"]);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(t.name(ids[0]), "a");
+        assert_eq!(t.name(ids[2]), "c");
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut t = VarTable::new();
+        t.intern_all(["x", "y"]);
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_string()).collect();
+        assert_eq!(collected, ["x", "y"]);
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Hypothetical reasoning over (compressed) provenance.
+//!
+//! The point of the whole pipeline (§1): an analyst repeatedly valuates
+//! the provenance variables — "what if the ppm of all plans decreased by
+//! 20 % in March?" — and reads off the recomputed aggregates without
+//! re-running the query. Compression pays off exactly here: each scenario
+//! application is linear in the provenance size, so a smaller `𝒫↓S` means
+//! proportionally faster what-if turnaround (Figure 10).
+//!
+//! * [`scenario`] — named multiplicative scenarios and their valuations,
+//! * [`apply`] — timed batch application of scenarios to polynomial sets,
+//! * [`speedup`] — the assignment-time speedup measurement of Figure 10,
+//! * [`accuracy`] — granularity accuracy (Table 1) and the result-error
+//!   measure for scenarios finer than the chosen abstraction.
+
+pub mod accuracy;
+pub mod apply;
+pub mod scenario;
+pub mod speedup;
+
+pub use scenario::Scenario;

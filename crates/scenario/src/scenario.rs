@@ -1,0 +1,162 @@
+//! Named hypothetical scenarios.
+//!
+//! A scenario assigns multiplicative factors to named provenance
+//! variables (1.0 = unchanged). Example 1's "what if the ppm of all plans
+//! decreased by 20 % in March?" is `Scenario::new().set("m3", 0.8)`.
+
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::var::VarTable;
+use std::fmt;
+
+/// A multiplicative what-if scenario over named variables.
+#[derive(Clone, Debug, Default)]
+pub struct Scenario {
+    changes: Vec<(String, f64)>,
+}
+
+impl Scenario {
+    /// The empty scenario (everything unchanged).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the factor of `name` (chainable).
+    pub fn set(mut self, name: impl Into<String>, factor: f64) -> Self {
+        self.changes.push((name.into(), factor));
+        self
+    }
+
+    /// Sets the same factor for several variables (e.g. a discount on all
+    /// business plans).
+    pub fn set_all<'a>(
+        mut self,
+        names: impl IntoIterator<Item = &'a str>,
+        factor: f64,
+    ) -> Self {
+        for n in names {
+            self.changes.push((n.to_string(), factor));
+        }
+        self
+    }
+
+    /// Number of explicit changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether the scenario changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Iterates `(name, factor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.changes.iter().map(|(n, f)| (n.as_str(), *f))
+    }
+
+    /// Builds the valuation, interning any not-yet-known names (a scenario
+    /// may mention meta-variables created by an abstraction).
+    pub fn valuation(&self, vars: &mut VarTable) -> Valuation<f64> {
+        let mut val = Valuation::neutral();
+        for (name, factor) in &self.changes {
+            val.assign(vars.intern(name), *factor);
+        }
+        val
+    }
+
+    /// A deterministic pseudo-random scenario over `names`: roughly
+    /// `fraction` of the variables get a factor in `[0.5, 1.5)`. Used by
+    /// the benchmark harness to generate analyst workloads.
+    pub fn random(names: &[String], fraction: f64, seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut s = Self::new();
+        for name in names {
+            if (next() % 1_000) as f64 / 1_000.0 < fraction {
+                let factor = 0.5 + (next() % 1_000) as f64 / 1_000.0;
+                s.changes.push((name.clone(), factor));
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.changes.is_empty() {
+            return write!(f, "(no changes)");
+        }
+        for (i, (n, x)) in self.changes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}×{x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_provenance::monomial::Monomial;
+    use provabs_provenance::polynomial::Polynomial;
+
+    #[test]
+    fn march_discount_scenario() {
+        let mut vars = VarTable::new();
+        let p1 = vars.intern("p1");
+        let m3 = vars.intern("m3");
+        let poly = Polynomial::from_terms([(Monomial::from_vars([p1, m3]), 100.0)]);
+        let val = Scenario::new().set("m3", 0.8).valuation(&mut vars);
+        assert!((val.eval(&poly) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_all_applies_uniformly() {
+        let mut vars = VarTable::new();
+        let s = Scenario::new().set_all(["b1", "b2"], 1.1);
+        let val = s.valuation(&mut vars);
+        assert_eq!(val.get(vars.lookup("b1").expect("interned")), 1.1);
+        assert_eq!(val.get(vars.lookup("b2").expect("interned")), 1.1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn scenario_can_mention_new_meta_variables() {
+        let mut vars = VarTable::new();
+        let val = Scenario::new().set("q1", 0.9).valuation(&mut vars);
+        let q1 = vars.lookup("q1").expect("interned by the scenario");
+        assert_eq!(val.get(q1), 0.9);
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic_and_bounded() {
+        let names: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+        let a = Scenario::random(&names, 0.3, 5);
+        let b = Scenario::random(&names, 0.3, 5);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() > 10 && a.len() < 60, "≈30 changes, got {}", a.len());
+        for (_, f) in a.iter() {
+            assert!((0.5..1.5).contains(&f));
+        }
+        let c = Scenario::random(&names, 0.3, 6);
+        assert_ne!(
+            a.iter().collect::<Vec<_>>(),
+            c.iter().collect::<Vec<_>>(),
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Scenario::new().set("m3", 0.8);
+        assert_eq!(format!("{s}"), "m3×0.8");
+        assert_eq!(format!("{}", Scenario::new()), "(no changes)");
+    }
+}

@@ -1,0 +1,224 @@
+//! Construction of abstraction trees with validation.
+//!
+//! Two entry points:
+//! * [`TreeBuilder`] — imperative `child`/`leaves` chaining,
+//! * [`Spec`] — a nested value describing the whole tree at once, handy
+//!   for generators.
+//!
+//! Both intern every label into the shared [`VarTable`] and enforce label
+//! uniqueness (abstraction trees have uniquely-labelled nodes, §2.2).
+
+use crate::error::TreeError;
+use crate::tree::{AbsTree, NodeId, TreeNode};
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::var::VarTable;
+use std::sync::Arc;
+
+/// A fluent builder for [`AbsTree`].
+pub struct TreeBuilder {
+    root: String,
+    edges: Vec<(String, String)>, // (parent, child) in declaration order
+}
+
+impl TreeBuilder {
+    /// Starts a tree with the given root label.
+    pub fn new(root: impl Into<String>) -> Self {
+        Self {
+            root: root.into(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Declares a child under `parent`.
+    pub fn child(mut self, parent: impl Into<String>, child: impl Into<String>) -> Self {
+        self.edges.push((parent.into(), child.into()));
+        self
+    }
+
+    /// Declares several leaf children under `parent`.
+    pub fn leaves<S: Into<String>>(
+        mut self,
+        parent: impl Into<String> + Clone,
+        children: impl IntoIterator<Item = S>,
+    ) -> Self {
+        for c in children {
+            self.edges.push((parent.clone().into(), c.into()));
+        }
+        self
+    }
+
+    /// Validates and builds the tree, interning labels into `vars`.
+    pub fn build(self, vars: &mut VarTable) -> Result<AbsTree, TreeError> {
+        let mut nodes: Vec<TreeNode> = Vec::with_capacity(self.edges.len() + 1);
+        let mut by_label: FxHashMap<String, NodeId> = FxHashMap::default();
+
+        let root_var = vars.intern(&self.root);
+        nodes.push(TreeNode {
+            label: Arc::from(self.root.as_str()),
+            var: root_var,
+            parent: None,
+            children: Vec::new(),
+        });
+        by_label.insert(self.root.clone(), NodeId(0));
+
+        for (parent, child) in self.edges {
+            let &parent_id = by_label
+                .get(&parent)
+                .ok_or_else(|| TreeError::UnknownParent {
+                    parent: parent.clone(),
+                    child: child.clone(),
+                })?;
+            if by_label.contains_key(&child) {
+                return Err(TreeError::DuplicateLabel(child));
+            }
+            let id = NodeId(nodes.len() as u32);
+            let var = vars.intern(&child);
+            nodes.push(TreeNode {
+                label: Arc::from(child.as_str()),
+                var,
+                parent: Some(parent_id),
+                children: Vec::new(),
+            });
+            nodes[parent_id.index()].children.push(id);
+            by_label.insert(child, id);
+        }
+        Ok(AbsTree::from_parts(nodes))
+    }
+}
+
+/// A declarative tree specification.
+#[derive(Clone, Debug)]
+pub enum Spec {
+    /// A leaf with the given label.
+    Leaf(String),
+    /// An internal node with a label and children.
+    Node(String, Vec<Spec>),
+}
+
+impl Spec {
+    /// Convenience constructor for a leaf.
+    pub fn leaf(label: impl Into<String>) -> Self {
+        Spec::Leaf(label.into())
+    }
+
+    /// Convenience constructor for an internal node.
+    pub fn node(label: impl Into<String>, children: Vec<Spec>) -> Self {
+        Spec::Node(label.into(), children)
+    }
+
+    /// The label of this spec node.
+    pub fn label(&self) -> &str {
+        match self {
+            Spec::Leaf(l) | Spec::Node(l, _) => l,
+        }
+    }
+
+    /// Builds the [`AbsTree`] described by this spec.
+    pub fn build(&self, vars: &mut VarTable) -> Result<AbsTree, TreeError> {
+        let mut builder = TreeBuilder::new(self.label());
+        fn add(builder: &mut Vec<(String, String)>, spec: &Spec) {
+            if let Spec::Node(label, children) = spec {
+                for c in children {
+                    builder.push((label.clone(), c.label().to_string()));
+                    add(builder, c);
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        add(&mut edges, self);
+        for (p, c) in edges {
+            builder = builder.child(p, c);
+        }
+        builder.build(vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_figure_2_plans_tree() {
+        let mut vars = VarTable::new();
+        let t = TreeBuilder::new("Plans")
+            .child("Plans", "Standard")
+            .child("Plans", "Special")
+            .child("Plans", "Business")
+            .leaves("Standard", ["p1", "p2"])
+            .child("Special", "Y")
+            .child("Special", "F")
+            .child("Special", "v")
+            .leaves("Y", ["y1", "y2", "y3"])
+            .leaves("F", ["f1", "f2"])
+            .child("Business", "SB")
+            .child("Business", "e")
+            .leaves("SB", ["b1", "b2"])
+            .build(&mut vars)
+            .expect("valid tree");
+        assert_eq!(t.num_nodes(), 18);
+        assert_eq!(t.num_leaves(), 11); // p1 p2 y1 y2 y3 f1 f2 v b1 b2 e
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut vars = VarTable::new();
+        let err = TreeBuilder::new("r")
+            .child("r", "a")
+            .child("r", "a")
+            .build(&mut vars)
+            .expect_err("duplicate must fail");
+        assert_eq!(err, TreeError::DuplicateLabel("a".into()));
+    }
+
+    #[test]
+    fn root_label_cannot_be_reused() {
+        let mut vars = VarTable::new();
+        let err = TreeBuilder::new("r")
+            .child("r", "r")
+            .build(&mut vars)
+            .expect_err("reusing root label must fail");
+        assert_eq!(err, TreeError::DuplicateLabel("r".into()));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut vars = VarTable::new();
+        let err = TreeBuilder::new("r")
+            .child("nope", "a")
+            .build(&mut vars)
+            .expect_err("unknown parent must fail");
+        assert!(matches!(err, TreeError::UnknownParent { .. }));
+    }
+
+    #[test]
+    fn spec_builds_same_tree_as_builder() {
+        let mut vars = VarTable::new();
+        let spec = Spec::node(
+            "Year",
+            vec![
+                Spec::node("q1", vec![Spec::leaf("m1"), Spec::leaf("m2")]),
+                Spec::node("q2", vec![Spec::leaf("m4"), Spec::leaf("m5")]),
+            ],
+        );
+        let t = spec.build(&mut vars).expect("valid spec");
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_leaves(), 4);
+        assert_eq!(t.count_cuts(), 5);
+    }
+
+    #[test]
+    fn children_keep_declaration_order() {
+        let mut vars = VarTable::new();
+        let t = TreeBuilder::new("r")
+            .leaves("r", ["c", "a", "b"])
+            .build(&mut vars)
+            .expect("valid tree");
+        let labels: Vec<_> = t
+            .children(t.root())
+            .iter()
+            .map(|&c| t.label_of(c).to_string())
+            .collect();
+        assert_eq!(labels, ["c", "a", "b"]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Cleaning: removal of redundant nodes (footnote 1 of §3, Example 15).
+//!
+//! The algorithms assume every leaf of every tree occurs in the
+//! polynomials. [`clean_forest`] restricts a forest to a polynomial set:
+//!
+//! * leaves whose variable does not occur are removed,
+//! * internal nodes left without descendants are removed,
+//! * internal nodes left with a *single* child are collapsed (the child is
+//!   promoted — in Example 15 the `Y` node collapses into its only
+//!   remaining leaf `y1`, so `Special`'s children become `f1, y1, v`),
+//! * trees reduced to a single node are dropped entirely (they admit no
+//!   compression).
+
+use crate::forest::Forest;
+use crate::tree::{AbsTree, NodeId, TreeNode};
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::fxhash::FxHashSet;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarId;
+
+/// Restricts `forest` to the variables of `polys`. See module docs.
+pub fn clean_forest<C: Coefficient>(forest: &Forest, polys: &PolySet<C>) -> Forest {
+    let live: FxHashSet<VarId> = polys.var_set();
+    let mut kept = Vec::new();
+    for tree in forest.trees() {
+        if let Some(cleaned) = clean_tree(tree, &live) {
+            kept.push(cleaned);
+        }
+    }
+    Forest::new(kept).expect("cleaning preserves disjointness")
+}
+
+/// Cleans one tree; `None` when nothing (or a single node) remains.
+pub fn clean_tree(tree: &AbsTree, live: &FxHashSet<VarId>) -> Option<AbsTree> {
+    // First pass: prune dead leaves / empty subtrees and collapse chains,
+    // producing a recursive shape of surviving original node ids.
+    enum Shape {
+        Leaf(NodeId),
+        Node(NodeId, Vec<Shape>),
+    }
+    fn rec(tree: &AbsTree, v: NodeId, live: &FxHashSet<VarId>) -> Option<Shape> {
+        if tree.is_leaf(v) {
+            return live.contains(&tree.var_of(v)).then_some(Shape::Leaf(v));
+        }
+        let mut children: Vec<Shape> = tree
+            .children(v)
+            .iter()
+            .filter_map(|&c| rec(tree, c, live))
+            .collect();
+        match children.len() {
+            0 => None,
+            // Single child: this node is redundant — promote the child.
+            1 => Some(children.pop().expect("len checked")),
+            _ => Some(Shape::Node(v, children)),
+        }
+    }
+
+    let shape = rec(tree, tree.root(), live)?;
+    if matches!(shape, Shape::Leaf(_)) {
+        return None; // single-node tree: no abstraction possible
+    }
+
+    // Second pass: rebuild an arena, preserving original labels and vars.
+    let mut nodes: Vec<TreeNode> = Vec::new();
+    fn build(tree: &AbsTree, shape: &Shape, parent: Option<NodeId>, nodes: &mut Vec<TreeNode>) {
+        let (orig, children) = match shape {
+            Shape::Leaf(id) => (*id, None),
+            Shape::Node(id, ch) => (*id, Some(ch)),
+        };
+        let new_id = NodeId(nodes.len() as u32);
+        let src = tree.node(orig);
+        nodes.push(TreeNode {
+            label: src.label.clone(),
+            var: src.var,
+            parent,
+            children: Vec::new(),
+        });
+        if let Some(parent) = parent {
+            nodes[parent.index()].children.push(new_id);
+        }
+        if let Some(children) = children {
+            for c in children {
+                build(tree, c, Some(new_id), nodes);
+            }
+        }
+    }
+    build(tree, &shape, None, &mut nodes);
+    Some(AbsTree::from_parts(nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+
+    fn fig2_plans_tree(vars: &mut VarTable) -> AbsTree {
+        TreeBuilder::new("Plans")
+            .child("Plans", "Standard")
+            .child("Plans", "Special")
+            .child("Plans", "Business")
+            .leaves("Standard", ["p1", "p2"])
+            .child("Special", "Y")
+            .child("Special", "F")
+            .child("Special", "v")
+            .leaves("Y", ["y1", "y2", "y3"])
+            .leaves("F", ["f1", "f2"])
+            .child("Business", "SB")
+            .child("Business", "e")
+            .leaves("SB", ["b1", "b2"])
+            .build(vars)
+            .expect("valid tree")
+    }
+
+    #[test]
+    fn example_15_cleaning_of_the_plans_tree() {
+        // Polynomials P1, P2 of Example 13 use p1, f1, y1, v, b1, b2, e.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3\n\
+             77.9·b1·m1 + 80.5·b1·m3 + 52.2·e·m1 + 56.5·e·m3 \
+             + 69.7·b2·m1 + 100.65·b2·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let tree = fig2_plans_tree(&mut vars);
+        let cleaned = clean_tree(&tree, &polys.var_set()).expect("non-trivial");
+        // Standard collapses to p1; Y collapses to y1; F collapses to f1.
+        // Plans' children are now p1, Special, Business.
+        let root = cleaned.root();
+        let labels: Vec<_> = cleaned
+            .children(root)
+            .iter()
+            .map(|&c| cleaned.label_of(c).to_string())
+            .collect();
+        assert_eq!(labels, ["p1", "Special", "Business"]);
+        let special = cleaned
+            .node_of_var(vars.lookup("Special").expect("interned"))
+            .expect("kept");
+        let mut special_children: Vec<_> = cleaned
+            .children(special)
+            .iter()
+            .map(|&c| cleaned.label_of(c).to_string())
+            .collect();
+        special_children.sort();
+        assert_eq!(special_children, ["f1", "v", "y1"]);
+        // p2, y2, y3, f2, Y, F, Standard are all gone.
+        assert_eq!(cleaned.num_nodes(), 11);
+        assert_eq!(cleaned.num_leaves(), 7);
+    }
+
+    #[test]
+    fn subtree_with_no_live_leaves_is_dropped() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·b1 + 1·b2 + 1·e", &mut vars).expect("parse");
+        let tree = fig2_plans_tree(&mut vars);
+        let cleaned = clean_tree(&tree, &polys.var_set()).expect("non-trivial");
+        // Only the Business subtree survives; the redundant Plans root
+        // collapses into it.
+        assert_eq!(cleaned.label_of(cleaned.root()), "Business");
+        assert_eq!(cleaned.num_leaves(), 3);
+    }
+
+    #[test]
+    fn tree_reduced_to_single_node_is_dropped() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·b1", &mut vars).expect("parse");
+        let tree = fig2_plans_tree(&mut vars);
+        assert!(clean_tree(&tree, &polys.var_set()).is_none());
+    }
+
+    #[test]
+    fn clean_forest_drops_dead_trees() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·b1 + 2·b2", &mut vars).expect("parse");
+        let plans = fig2_plans_tree(&mut vars);
+        let months = TreeBuilder::new("Year")
+            .child("Year", "q1")
+            .leaves("q1", ["m1", "m3"])
+            .build(&mut vars)
+            .expect("valid tree");
+        let forest = Forest::new(vec![plans, months]).expect("disjoint");
+        let cleaned = clean_forest(&forest, &polys);
+        assert_eq!(cleaned.num_trees(), 1);
+        assert_eq!(cleaned.tree(0).label_of(cleaned.tree(0).root()), "SB");
+        cleaned.check_compatible(&polys).expect("now compatible");
+    }
+
+    #[test]
+    fn clean_is_identity_when_all_leaves_live() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·m1 + 2·m3", &mut vars).expect("parse");
+        let months = TreeBuilder::new("Year")
+            .child("Year", "q1")
+            .leaves("q1", ["m1", "m3"])
+            .build(&mut vars)
+            .expect("valid tree");
+        let forest = Forest::single(months);
+        let cleaned = clean_forest(&forest, &polys);
+        // Year has the single child q1 → collapses; root becomes q1.
+        assert_eq!(cleaned.num_trees(), 1);
+        assert_eq!(cleaned.tree(0).label_of(cleaned.tree(0).root()), "q1");
+        assert_eq!(cleaned.tree(0).num_leaves(), 2);
+    }
+}

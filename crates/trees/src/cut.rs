@@ -1,0 +1,466 @@
+//! Valid variable sets (VVS): cuts in abstraction trees (Def. 4).
+//!
+//! A VVS selects, for every leaf, exactly one ancestor-or-self; all the
+//! leaves below a chosen node are substituted by that node's
+//! meta-variable when the abstraction is applied (`P↓S`, §2.3).
+
+use crate::error::TreeError;
+use crate::forest::Forest;
+use crate::tree::{AbsTree, NodeId};
+use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::var::{VarId, VarTable};
+
+/// A valid variable set: one antichain of chosen nodes per forest tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vvs {
+    /// `per_tree[i]` are the chosen nodes of tree `i`, sorted by id.
+    per_tree: Vec<Vec<NodeId>>,
+}
+
+impl Vvs {
+    /// Wraps per-tree node choices (sorted and deduplicated; validity is
+    /// *not* checked — call [`Vvs::validate`]).
+    pub fn from_per_tree(mut per_tree: Vec<Vec<NodeId>>) -> Self {
+        for nodes in &mut per_tree {
+            nodes.sort_unstable();
+            nodes.dedup();
+        }
+        Self { per_tree }
+    }
+
+    /// The identity abstraction: every leaf chosen, nothing merged.
+    pub fn identity(forest: &Forest) -> Self {
+        Self {
+            per_tree: forest.trees().iter().map(|t| t.leaves()).collect(),
+        }
+    }
+
+    /// Builds a VVS by node labels (convenient in tests mirroring the
+    /// paper, e.g. `{SB, Sp, e, p1}` of Example 13).
+    pub fn from_labels(
+        forest: &Forest,
+        vars: &VarTable,
+        labels: &[&str],
+    ) -> Result<Self, TreeError> {
+        let mut per_tree = vec![Vec::new(); forest.num_trees()];
+        for &label in labels {
+            let v = vars
+                .lookup(label)
+                .ok_or_else(|| TreeError::DuplicateLabel(format!("unknown label {label}")))?;
+            let (ti, node) = forest
+                .locate(v)
+                .ok_or_else(|| TreeError::DuplicateLabel(format!("label {label} not in forest")))?;
+            per_tree[ti].push(node);
+        }
+        Ok(Self::from_per_tree(per_tree))
+    }
+
+    /// The chosen nodes of tree `i`.
+    pub fn tree_nodes(&self, i: usize) -> &[NodeId] {
+        &self.per_tree[i]
+    }
+
+    /// Iterates over `(tree index, node)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (usize, NodeId)> + '_ {
+        self.per_tree
+            .iter()
+            .enumerate()
+            .flat_map(|(ti, ns)| ns.iter().map(move |&n| (ti, n)))
+    }
+
+    /// Total number of chosen nodes, `|S|`.
+    pub fn len(&self) -> usize {
+        self.per_tree.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no node is chosen (only possible for an empty forest).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chosen variables (the set `S` itself).
+    pub fn vars(&self, forest: &Forest) -> Vec<VarId> {
+        self.nodes()
+            .map(|(ti, n)| forest.tree(ti).var_of(n))
+            .collect()
+    }
+
+    /// The chosen node labels, sorted (deterministic for assertions).
+    pub fn labels(&self, forest: &Forest) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .nodes()
+            .map(|(ti, n)| forest.tree(ti).label_of(n).to_string())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Checks Def. 4: every leaf of every tree has *exactly one*
+    /// ancestor-or-self among the chosen nodes.
+    pub fn validate(&self, forest: &Forest) -> Result<(), TreeError> {
+        if self.per_tree.len() != forest.num_trees() {
+            return Err(TreeError::ExpectedSingleTree(self.per_tree.len()));
+        }
+        for (ti, tree) in forest.trees().iter().enumerate() {
+            let mut chosen = vec![false; tree.num_nodes()];
+            for &n in &self.per_tree[ti] {
+                chosen[n.index()] = true;
+            }
+            for leaf in tree.leaves() {
+                let mut hits: Vec<NodeId> = Vec::new();
+                let mut cur = Some(leaf);
+                while let Some(n) = cur {
+                    if chosen[n.index()] {
+                        hits.push(n);
+                    }
+                    cur = tree.parent(n);
+                }
+                match hits.len() {
+                    0 => {
+                        return Err(TreeError::LeafNotCovered(
+                            tree.label_of(leaf).to_string(),
+                        ))
+                    }
+                    1 => {}
+                    _ => {
+                        return Err(TreeError::NotAntichain {
+                            ancestor: tree.label_of(hits[1]).to_string(),
+                            descendant: tree.label_of(hits[0]).to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The substitution `leaf variable → chosen ancestor's variable`
+    /// induced by this VVS. Leaves chosen as themselves are omitted (they
+    /// stay intact), as are variables outside the forest.
+    pub fn substitution(&self, forest: &Forest) -> Substitution {
+        let mut map = FxHashMap::default();
+        for (ti, node) in self.nodes() {
+            let tree = forest.tree(ti);
+            if tree.is_leaf(node) {
+                continue; // maps to itself
+            }
+            let target = tree.var_of(node);
+            for leaf in tree.descendant_leaves(node) {
+                map.insert(tree.var_of(leaf), target);
+            }
+        }
+        Substitution { map }
+    }
+
+    /// Applies the abstraction: `𝒫↓S` (§2.3).
+    pub fn apply<C: Coefficient>(&self, polys: &PolySet<C>, forest: &Forest) -> PolySet<C> {
+        self.substitution(forest).apply(polys)
+    }
+
+    /// Lifts a valuation on the abstracted variable space back to the
+    /// original leaves: every leaf below a chosen node receives that
+    /// node's value. This realises the semantics of grouping — "all
+    /// variables below each chosen node must be assigned the same value"
+    /// (§2.3) — and satisfies `eval(P↓S, ν) == eval(P, lift(ν))`.
+    pub fn lift_valuation<C: Coefficient>(
+        &self,
+        forest: &Forest,
+        val: &Valuation<C>,
+    ) -> Valuation<C> {
+        let mut out = val.clone();
+        for (ti, node) in self.nodes() {
+            let tree = forest.tree(ti);
+            if tree.is_leaf(node) {
+                continue;
+            }
+            let value = val.get(tree.var_of(node));
+            for leaf in tree.descendant_leaves(node) {
+                out.assign(tree.var_of(leaf), value.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A leaf-to-meta-variable substitution map.
+#[derive(Clone, Debug, Default)]
+pub struct Substitution {
+    map: FxHashMap<VarId, VarId>,
+}
+
+impl Substitution {
+    /// Where `v` is sent (itself if unmapped).
+    #[inline]
+    pub fn target(&self, v: VarId) -> VarId {
+        self.map.get(&v).copied().unwrap_or(v)
+    }
+
+    /// Number of explicitly remapped variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the substitution is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Applies the substitution to a polynomial set.
+    pub fn apply<C: Coefficient>(&self, polys: &PolySet<C>) -> PolySet<C> {
+        polys.map_vars(|v| self.target(v))
+    }
+}
+
+/// All cuts of a single tree, or `None` if there are more than `limit`.
+///
+/// Recursion mirrors the closed-form count: `cuts(v) = {{v}} ∪
+/// ∏ cuts(children)`.
+pub fn enumerate_tree_cuts(tree: &AbsTree, limit: usize) -> Option<Vec<Vec<NodeId>>> {
+    fn rec(tree: &AbsTree, v: NodeId, limit: usize) -> Option<Vec<Vec<NodeId>>> {
+        if tree.is_leaf(v) {
+            return Some(vec![vec![v]]);
+        }
+        // Cartesian product over children cuts.
+        let mut product: Vec<Vec<NodeId>> = vec![Vec::new()];
+        for &c in tree.children(v) {
+            let child_cuts = rec(tree, c, limit)?;
+            let mut next = Vec::with_capacity(product.len().saturating_mul(child_cuts.len()));
+            for base in &product {
+                for cc in &child_cuts {
+                    if next.len() >= limit {
+                        return None;
+                    }
+                    let mut merged = base.clone();
+                    merged.extend_from_slice(cc);
+                    next.push(merged);
+                }
+            }
+            product = next;
+        }
+        if product.len() >= limit {
+            return None;
+        }
+        product.push(vec![v]);
+        Some(product)
+    }
+    rec(tree, tree.root(), limit)
+}
+
+/// Iterates over every VVS of the forest (cartesian product of per-tree
+/// cuts). Returns `None` if any single tree exceeds `per_tree_limit` cuts
+/// or the total product exceeds `total_limit`.
+pub fn enumerate_forest_cuts(
+    forest: &Forest,
+    per_tree_limit: usize,
+    total_limit: u128,
+) -> Option<Vec<Vvs>> {
+    if forest.count_cuts() > total_limit {
+        return None;
+    }
+    let per_tree: Vec<Vec<Vec<NodeId>>> = forest
+        .trees()
+        .iter()
+        .map(|t| enumerate_tree_cuts(t, per_tree_limit))
+        .collect::<Option<_>>()?;
+    let total = per_tree.iter().fold(1u128, |acc, cs| {
+        acc.saturating_mul(cs.len() as u128)
+    });
+    if total > total_limit {
+        return None;
+    }
+    // Odometer over per-tree cut indexes.
+    let mut out = Vec::with_capacity(total as usize);
+    let mut idx = vec![0usize; per_tree.len()];
+    loop {
+        out.push(Vvs::from_per_tree(
+            idx.iter()
+                .zip(&per_tree)
+                .map(|(&i, cuts)| cuts[i].clone())
+                .collect(),
+        ));
+        // Advance odometer.
+        let mut pos = 0;
+        loop {
+            if pos == idx.len() {
+                return Some(out);
+            }
+            idx[pos] += 1;
+            if idx[pos] < per_tree[pos].len() {
+                break;
+            }
+            idx[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use provabs_provenance::parse::parse_polyset;
+
+    /// Figure 2's plans tree, exactly as printed.
+    fn plans_forest(vars: &mut VarTable) -> Forest {
+        let t = TreeBuilder::new("Plans")
+            .child("Plans", "Standard")
+            .child("Plans", "Special")
+            .child("Plans", "Business")
+            .leaves("Standard", ["p1", "p2"])
+            .child("Special", "Y")
+            .child("Special", "F")
+            .child("Special", "v")
+            .leaves("Y", ["y1", "y2", "y3"])
+            .leaves("F", ["f1", "f2"])
+            .child("Business", "SB")
+            .child("Business", "e")
+            .leaves("SB", ["b1", "b2"])
+            .build(vars)
+            .expect("valid tree");
+        Forest::single(t)
+    }
+
+    #[test]
+    fn example_5_valid_variable_sets() {
+        // All five sets of Example 5 must validate.
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        for labels in [
+            vec!["Business", "Special", "Standard"],
+            vec!["SB", "e", "f1", "f2", "Y", "v", "Standard"],
+            vec!["b1", "b2", "e", "Special", "Standard"],
+            vec!["SB", "e", "F", "Y", "v", "p1", "p2"],
+            vec!["Plans"],
+        ] {
+            let vvs = Vvs::from_labels(&f, &vars, &labels).expect("labels exist");
+            vvs.validate(&f).expect("Example 5 sets are valid");
+        }
+    }
+
+    #[test]
+    fn invalid_sets_are_rejected() {
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        // Missing coverage of Standard's leaves.
+        let vvs = Vvs::from_labels(&f, &vars, &["Business", "Special"]).expect("labels");
+        assert!(matches!(
+            vvs.validate(&f),
+            Err(TreeError::LeafNotCovered(_))
+        ));
+        // Plans is an ancestor of Business: not an antichain.
+        let vvs2 =
+            Vvs::from_labels(&f, &vars, &["Plans", "Business"]).expect("labels");
+        assert!(matches!(
+            vvs2.validate(&f),
+            Err(TreeError::NotAntichain { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_vvs_is_valid_and_does_nothing() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("2·p1 + 3·b1 + 4·b2", &mut vars).expect("parse");
+        let f = plans_forest(&mut vars);
+        let id = Vvs::identity(&f);
+        id.validate(&f).expect("identity is valid");
+        let out = id.apply(&polys, &f);
+        assert_eq!(out.size_m(), polys.size_m());
+        assert_eq!(out.size_v(), polys.size_v());
+    }
+
+    #[test]
+    fn example_6_sizes_after_abstraction() {
+        // P from Example 2; S1 = {Business, Special, Standard} gives
+        // |P↓S1|_V = 4 and |P↓S1|_M = 4; S5 = {Plans} gives 3 and 2.
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1 + 114.45·f1·m3 \
+             + 75.9·y1·m1 + 72.5·y1·m3 + 42·v·m1 + 24.2·v·m3",
+            &mut vars,
+        )
+        .expect("parse");
+        let f = plans_forest(&mut vars);
+        let s1 = Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"])
+            .expect("labels");
+        let down = s1.apply(&polys, &f);
+        assert_eq!(down.size_m(), 4);
+        assert_eq!(down.size_v(), 4); // Standard, Special, m1, m3
+        let s5 = Vvs::from_labels(&f, &vars, &["Plans"]).expect("labels");
+        let down5 = s5.apply(&polys, &f);
+        assert_eq!(down5.size_m(), 2);
+        assert_eq!(down5.size_v(), 3); // Plans, m1, m3
+    }
+
+    #[test]
+    fn substitution_targets() {
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        let vvs = Vvs::from_labels(&f, &vars, &["SB", "e", "Special", "Standard"])
+            .expect("labels");
+        let subst = vvs.substitution(&f);
+        let b1 = vars.lookup("b1").expect("interned");
+        let sb = vars.lookup("SB").expect("interned");
+        let y2 = vars.lookup("y2").expect("interned");
+        let special = vars.lookup("Special").expect("interned");
+        let e = vars.lookup("e").expect("interned");
+        assert_eq!(subst.target(b1), sb);
+        assert_eq!(subst.target(y2), special);
+        assert_eq!(subst.target(e), e); // chosen as itself
+        let outside = vars.intern("outside");
+        assert_eq!(subst.target(outside), outside);
+    }
+
+    #[test]
+    fn lift_valuation_assigns_group_value_to_leaves() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("2·b1 + 3·b2 + 4·e", &mut vars).expect("parse");
+        let f = plans_forest(&mut vars);
+        let vvs = Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"])
+            .expect("labels");
+        let business = vars.lookup("Business").expect("interned");
+        let val = Valuation::neutral().set(business, 0.5);
+        let lifted = vvs.lift_valuation(&f, &val);
+        // eval(P↓S, ν) == eval(P, lift(ν)).
+        let down = vvs.apply(&polys, &f);
+        let lhs: f64 = val.eval_set(&down).into_iter().sum();
+        let rhs: f64 = lifted.eval_set(&polys).into_iter().sum();
+        assert!((lhs - rhs).abs() < 1e-9);
+        assert!((lhs - (2.0 + 3.0 + 4.0) * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumeration_matches_analytic_count() {
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        let cuts = enumerate_tree_cuts(f.tree(0), 100_000).expect("small tree");
+        assert_eq!(cuts.len() as u128, f.tree(0).count_cuts());
+        // Every enumerated cut is a valid VVS.
+        for cut in cuts {
+            let vvs = Vvs::from_per_tree(vec![cut]);
+            vvs.validate(&f).expect("enumerated cuts are valid");
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        assert_eq!(enumerate_tree_cuts(f.tree(0), 3), None);
+    }
+
+    #[test]
+    fn forest_enumeration_is_cartesian() {
+        let mut vars = VarTable::new();
+        let t1 = TreeBuilder::new("A").leaves("A", ["a1", "a2"]).build(&mut vars).expect("tree");
+        let t2 = TreeBuilder::new("B").leaves("B", ["b1", "b2"]).build(&mut vars).expect("tree");
+        let f = Forest::new(vec![t1, t2]).expect("disjoint");
+        let all = enumerate_forest_cuts(&f, 100, 100).expect("small");
+        assert_eq!(all.len(), 4); // 2 × 2
+        for vvs in &all {
+            vvs.validate(&f).expect("valid");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Abstraction trees, forests and valid variable sets.
+//!
+//! Implements §2.2–§2.3 of the paper:
+//!
+//! * [`tree`] — rooted labelled trees whose leaves are provenance
+//!   variables and whose internal nodes are meta-variables,
+//! * [`forest`] — valid abstraction forests (disjoint trees) and the
+//!   compatibility conditions with polynomial sets,
+//! * [`cut`] — valid variable sets (VVS): cuts separating the root from
+//!   the leaves, their validation, application `P↓S`, enumeration and
+//!   counting,
+//! * [`clean`] — removal of redundant nodes (footnote 1 / Example 15),
+//! * [`builder`] — ergonomic construction,
+//! * [`text`] — a `label(child, …)` notation for storing trees in files,
+//! * [`generate`] — the benchmark trees of the paper's evaluation:
+//!   Figures 2–4 and the seven tree types of Table 2.
+
+pub mod builder;
+pub mod clean;
+pub mod cut;
+pub mod error;
+pub mod forest;
+pub mod generate;
+pub mod text;
+pub mod tree;
+
+pub use builder::TreeBuilder;
+pub use cut::Vvs;
+pub use error::TreeError;
+pub use forest::Forest;
+pub use tree::{AbsTree, NodeId};

@@ -1,0 +1,257 @@
+//! A compact textual notation for abstraction trees.
+//!
+//! `label(child, child, …)` with whitespace ignored:
+//!
+//! ```text
+//! Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))
+//! ```
+//!
+//! is the Figure 2 tree. [`parse_tree`] builds an [`AbsTree`] (interning
+//! labels into the shared [`VarTable`]); [`tree_to_text`] renders the
+//! inverse, so trees can be stored in plain files alongside scenario
+//! definitions. [`parse_forest`] reads one tree per non-empty line.
+
+use crate::builder::Spec;
+use crate::error::TreeError;
+use crate::forest::Forest;
+use crate::tree::{AbsTree, NodeId};
+use provabs_provenance::var::VarTable;
+
+fn is_label_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-')
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        (self.pos < self.input.len()).then(|| self.input[self.pos] as char)
+    }
+
+    fn label(&mut self) -> Result<String, TreeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && is_label_char(self.input[self.pos] as char) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(TreeError::ParseError(format!(
+                "expected a label at byte {}",
+                self.pos
+            )));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("label chars are ASCII")
+            .to_string())
+    }
+
+    fn node(&mut self) -> Result<Spec, TreeError> {
+        let label = self.label()?;
+        if self.peek() == Some('(') {
+            self.pos += 1;
+            let mut children = Vec::new();
+            loop {
+                children.push(self.node()?);
+                match self.peek() {
+                    Some(',') => {
+                        self.pos += 1;
+                    }
+                    Some(')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(TreeError::ParseError(format!(
+                            "expected ',' or ')' at byte {}, found {:?}",
+                            self.pos, other
+                        )))
+                    }
+                }
+            }
+            if children.is_empty() {
+                return Err(TreeError::ParseError(format!(
+                    "node {label:?} has empty parentheses"
+                )));
+            }
+            Ok(Spec::node(label, children))
+        } else {
+            Ok(Spec::leaf(label))
+        }
+    }
+}
+
+/// Parses one tree from the `label(child, …)` notation.
+///
+/// ```
+/// use provabs_provenance::var::VarTable;
+/// use provabs_trees::text::{parse_tree, tree_to_text};
+///
+/// let mut vars = VarTable::new();
+/// let tree = parse_tree("Year(q1(m1,m2,m3), q2(m4,m5,m6))", &mut vars).unwrap();
+/// assert_eq!(tree.num_leaves(), 6);
+/// assert_eq!(tree.count_cuts(), 5);
+/// assert_eq!(tree_to_text(&tree), "Year(q1(m1,m2,m3),q2(m4,m5,m6))");
+/// ```
+pub fn parse_tree(input: &str, vars: &mut VarTable) -> Result<AbsTree, TreeError> {
+    let mut p = Parser::new(input);
+    let spec = p.node()?;
+    if p.peek().is_some() {
+        return Err(TreeError::ParseError(format!(
+            "trailing input at byte {}",
+            p.pos
+        )));
+    }
+    spec.build(vars)
+}
+
+/// Parses a forest: one tree per non-empty, non-`#`-comment line.
+pub fn parse_forest(input: &str, vars: &mut VarTable) -> Result<Forest, TreeError> {
+    let mut trees = Vec::new();
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        trees.push(parse_tree(line, vars)?);
+    }
+    Forest::new(trees)
+}
+
+/// Renders a tree back to the textual notation (children in declaration
+/// order, no whitespace) — the inverse of [`parse_tree`].
+pub fn tree_to_text(tree: &AbsTree) -> String {
+    fn rec(tree: &AbsTree, n: NodeId, out: &mut String) {
+        out.push_str(tree.label_of(n));
+        let children = tree.children(n);
+        if !children.is_empty() {
+            out.push('(');
+            for (i, &c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                rec(tree, c, out);
+            }
+            out.push(')');
+        }
+    }
+    let mut out = String::new();
+    rec(tree, tree.root(), &mut out);
+    out
+}
+
+/// Renders a forest, one tree per line.
+pub fn forest_to_text(forest: &Forest) -> String {
+    forest
+        .trees()
+        .iter()
+        .map(tree_to_text)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::plans_tree;
+
+    #[test]
+    fn parses_figure_2() {
+        let mut vars = VarTable::new();
+        let t = parse_tree(
+            "Plans(Standard(p1,p2), Special(Y(y1,y2,y3), F(f1,f2), v), Business(SB(b1,b2), e))",
+            &mut vars,
+        )
+        .expect("valid notation");
+        assert_eq!(t.num_nodes(), 18);
+        assert_eq!(t.num_leaves(), 11);
+        // Identical to the built-in generator.
+        let mut vars2 = VarTable::new();
+        let generated = plans_tree(&mut vars2);
+        assert_eq!(tree_to_text(&t), tree_to_text(&generated));
+    }
+
+    #[test]
+    fn roundtrips() {
+        let mut vars = VarTable::new();
+        let t = plans_tree(&mut vars);
+        let text = tree_to_text(&t);
+        let mut vars2 = VarTable::new();
+        let t2 = parse_tree(&text, &mut vars2).expect("own output parses");
+        assert_eq!(tree_to_text(&t2), text);
+        assert_eq!(t2.num_nodes(), t.num_nodes());
+        assert_eq!(t2.count_cuts(), t.count_cuts());
+    }
+
+    #[test]
+    fn parses_single_leaf() {
+        let mut vars = VarTable::new();
+        let t = parse_tree("solo", &mut vars).expect("a leaf is a tree");
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(tree_to_text(&t), "solo");
+    }
+
+    #[test]
+    fn parse_forest_skips_comments_and_blank_lines() {
+        let mut vars = VarTable::new();
+        let f = parse_forest(
+            "# the running example's forest\nPlans(p1,p2)\n\nYear(q1(m1,m2,m3))\n",
+            &mut vars,
+        )
+        .expect("two trees");
+        assert_eq!(f.num_trees(), 2);
+        let text = forest_to_text(&f);
+        assert_eq!(text, "Plans(p1,p2)\nYear(q1(m1,m2,m3))");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let mut vars = VarTable::new();
+        assert!(matches!(
+            parse_tree("a(b,", &mut vars),
+            Err(TreeError::ParseError(_))
+        ));
+        assert!(matches!(
+            parse_tree("a()", &mut vars),
+            Err(TreeError::ParseError(_))
+        ));
+        assert!(matches!(
+            parse_tree("a(b) trailing", &mut vars),
+            Err(TreeError::ParseError(_))
+        ));
+        assert!(matches!(
+            parse_tree("", &mut vars),
+            Err(TreeError::ParseError(_))
+        ));
+        // Duplicate labels surface as builder errors, not parse errors.
+        assert!(matches!(
+            parse_tree("a(b,b)", &mut vars),
+            Err(TreeError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn forest_disjointness_still_enforced() {
+        let mut vars = VarTable::new();
+        assert!(matches!(
+            parse_forest("A(x,y)\nB(x,z)", &mut vars),
+            Err(TreeError::ForestNotDisjoint(_))
+        ));
+    }
+}

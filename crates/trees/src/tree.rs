@@ -1,0 +1,347 @@
+//! Rooted labelled abstraction trees (§2.2).
+//!
+//! Each node carries a unique label interned as a provenance variable:
+//! leaves are variables occurring in the polynomials, internal nodes are
+//! the meta-variables an abstraction may introduce. Nodes are stored in an
+//! arena indexed by [`NodeId`], so traversals are allocation-free index
+//! chasing.
+
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::var::{VarId, VarTable};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of a node within one [`AbsTree`]'s arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of an abstraction tree.
+#[derive(Clone, Debug)]
+pub struct TreeNode {
+    /// Unique human-readable label (also the variable name).
+    pub label: Arc<str>,
+    /// The variable (leaf) or meta-variable (internal) this node denotes.
+    pub var: VarId,
+    /// Parent node; `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in declaration order; empty for leaves.
+    pub children: Vec<NodeId>,
+}
+
+/// An abstraction tree: a rooted labelled tree over provenance variables.
+///
+/// Construct via [`crate::builder::TreeBuilder`] (which validates label
+/// uniqueness and connectivity) or the generators in [`crate::generate`].
+#[derive(Clone)]
+pub struct AbsTree {
+    nodes: Vec<TreeNode>,
+    var_to_node: FxHashMap<VarId, NodeId>,
+}
+
+impl AbsTree {
+    /// Assembles a tree from arena parts. `nodes[0]` must be the root.
+    /// Internal — callers go through the builder, which validates.
+    pub(crate) fn from_parts(nodes: Vec<TreeNode>) -> Self {
+        debug_assert!(!nodes.is_empty());
+        debug_assert!(nodes[0].parent.is_none());
+        let var_to_node = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.var, NodeId(i as u32)))
+            .collect();
+        Self { nodes, var_to_node }
+    }
+
+    /// The root node id (always `NodeId(0)`).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> &TreeNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All node ids in arena (pre-order-ish declaration) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Whether `id` is a leaf.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).children.is_empty()
+    }
+
+    /// Ids of all leaves, `L(T)`.
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&id| self.is_leaf(id)).collect()
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.node_ids().filter(|&id| self.is_leaf(id)).count()
+    }
+
+    /// The children of `id`.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// The parent of `id` (`None` for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// The variable denoted by `id`.
+    pub fn var_of(&self, id: NodeId) -> VarId {
+        self.node(id).var
+    }
+
+    /// The label of `id`.
+    pub fn label_of(&self, id: NodeId) -> &str {
+        &self.node(id).label
+    }
+
+    /// The node denoting variable `v`, if it belongs to this tree.
+    pub fn node_of_var(&self, v: VarId) -> Option<NodeId> {
+        self.var_to_node.get(&v).copied()
+    }
+
+    /// Whether variable `v` labels a node of this tree.
+    pub fn contains_var(&self, v: VarId) -> bool {
+        self.var_to_node.contains_key(&v)
+    }
+
+    /// `V(T)`: the variables of all nodes.
+    pub fn var_set(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.nodes.iter().map(|n| n.var)
+    }
+
+    /// The descendant leaves of `id` (including `id` itself if a leaf).
+    pub fn descendant_leaves(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                out.push(n);
+            } else {
+                stack.extend_from_slice(self.children(n));
+            }
+        }
+        out
+    }
+
+    /// Number of descendant leaves of `id`.
+    pub fn num_descendant_leaves(&self, id: NodeId) -> usize {
+        let mut count = 0;
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                count += 1;
+            } else {
+                stack.extend_from_slice(self.children(n));
+            }
+        }
+        count
+    }
+
+    /// Whether `anc` is an ancestor of `desc` or equal to it — the order
+    /// `desc ≤_T anc` of §2.3.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, desc: NodeId) -> bool {
+        let mut cur = Some(desc);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Post-order traversal (children before parents) — the bottom-up
+    /// order Algorithm 1 processes nodes in.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        // Iterative post-order: push node twice, emit on second visit.
+        let mut stack = vec![(self.root(), false)];
+        while let Some((n, expanded)) = stack.pop() {
+            if expanded {
+                out.push(n);
+            } else {
+                stack.push((n, true));
+                for &c in self.children(n).iter().rev() {
+                    stack.push((c, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// Tree height: leaves have height 0.
+    pub fn height(&self) -> usize {
+        let mut heights = vec![0usize; self.nodes.len()];
+        for id in self.postorder() {
+            if !self.is_leaf(id) {
+                heights[id.index()] = 1 + self
+                    .children(id)
+                    .iter()
+                    .map(|c| heights[c.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        heights[self.root().index()]
+    }
+
+    /// Tree width: the maximal number of children of any node (the `w` of
+    /// Proposition 14).
+    pub fn width(&self) -> usize {
+        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+    }
+
+    /// Number of cuts (valid variable sets) of this tree, saturating at
+    /// `u128::MAX`. Matches the closed form used for Table 2:
+    /// `cuts(leaf) = 1`, `cuts(v) = 1 + ∏ cuts(children)`.
+    pub fn count_cuts(&self) -> u128 {
+        let mut counts = vec![0u128; self.nodes.len()];
+        for id in self.postorder() {
+            counts[id.index()] = if self.is_leaf(id) {
+                1
+            } else {
+                let prod = self
+                    .children(id)
+                    .iter()
+                    .fold(1u128, |acc, c| acc.saturating_mul(counts[c.index()]));
+                prod.saturating_add(1)
+            };
+        }
+        counts[self.root().index()]
+    }
+
+    /// Renders the tree as an indented outline (for debugging and docs).
+    pub fn render(&self, vars: &VarTable) -> String {
+        let mut out = String::new();
+        let mut stack = vec![(self.root(), 0usize)];
+        while let Some((n, depth)) = stack.pop() {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(vars.name(self.var_of(n)));
+            out.push('\n');
+            for &c in self.children(n).iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for AbsTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbsTree")
+            .field("root", &self.nodes[0].label)
+            .field("nodes", &self.num_nodes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::TreeBuilder;
+    use provabs_provenance::var::VarTable;
+
+    /// The months/quarters tree of Figure 3 (restricted to two quarters).
+    fn sample() -> (crate::AbsTree, VarTable) {
+        let mut vars = VarTable::new();
+        let tree = TreeBuilder::new("Year")
+            .child("Year", "q1")
+            .child("Year", "q2")
+            .leaves("q1", ["m1", "m2", "m3"])
+            .leaves("q2", ["m4", "m5", "m6"])
+            .build(&mut vars)
+            .expect("valid tree");
+        (tree, vars)
+    }
+
+    #[test]
+    fn structure_queries() {
+        let (t, vars) = sample();
+        assert_eq!(t.num_nodes(), 9);
+        assert_eq!(t.num_leaves(), 6);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.width(), 3);
+        assert_eq!(vars.name(t.var_of(t.root())), "Year");
+        let q1 = t.node_of_var(vars.lookup("q1").expect("interned")).expect("in tree");
+        assert_eq!(t.children(q1).len(), 3);
+        assert_eq!(t.parent(q1), Some(t.root()));
+    }
+
+    #[test]
+    fn descendant_leaves_and_ancestry() {
+        let (t, vars) = sample();
+        let q1 = t.node_of_var(vars.lookup("q1").expect("interned")).expect("in tree");
+        let m2 = t.node_of_var(vars.lookup("m2").expect("interned")).expect("in tree");
+        assert_eq!(t.num_descendant_leaves(q1), 3);
+        assert_eq!(t.num_descendant_leaves(t.root()), 6);
+        assert!(t.is_ancestor_or_self(q1, m2));
+        assert!(t.is_ancestor_or_self(t.root(), m2));
+        assert!(t.is_ancestor_or_self(m2, m2));
+        assert!(!t.is_ancestor_or_self(m2, q1));
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let (t, _) = sample();
+        let order = t.postorder();
+        assert_eq!(order.len(), t.num_nodes());
+        assert_eq!(*order.last().expect("non-empty"), t.root());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for id in t.node_ids() {
+            for &c in t.children(id) {
+                assert!(pos[&c] < pos[&id], "child after parent in postorder");
+            }
+        }
+    }
+
+    #[test]
+    fn cut_count_matches_closed_form() {
+        // Two inner nodes with 3 leaves each: cuts = 1 + 2·2 = 5.
+        let (t, _) = sample();
+        assert_eq!(t.count_cuts(), 5);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let mut vars = VarTable::new();
+        let t = TreeBuilder::new("only").build(&mut vars).expect("valid tree");
+        assert_eq!(t.num_nodes(), 1);
+        assert!(t.is_leaf(t.root()));
+        assert_eq!(t.count_cuts(), 1);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let (t, vars) = sample();
+        let s = t.render(&vars);
+        assert!(s.starts_with("Year\n  q1\n    m1\n"));
+    }
+}

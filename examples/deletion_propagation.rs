@@ -1,0 +1,107 @@
+//! The semiring model (§2.1 case 1): tuple-level how-provenance and
+//! hypothetical deletions, with abstraction grouping tuple variables.
+//!
+//! A join query is evaluated over `N[X]`-annotated relations; the output
+//! polynomials answer "does this result survive if those suppliers
+//! disappear?" by specialising into the Boolean semiring. Abstraction
+//! trees group suppliers by nation so a whole nation can be switched off
+//! with one meta-variable.
+//!
+//! Run with `cargo run --example deletion_propagation`.
+
+use provabs::engine::annot::KRelation;
+use provabs::engine::schema::{ColumnType, Schema};
+use provabs::engine::table::Table;
+use provabs::engine::value::Value;
+use provabs::provenance::polynomial::Polynomial;
+use provabs::provenance::polyset::PolySet;
+use provabs::provenance::semiring::{specialize, Bool, Semiring};
+use provabs::provenance::VarTable;
+use provabs::trees::builder::TreeBuilder;
+use provabs::trees::forest::Forest;
+use provabs::trees::Vvs;
+
+type NX = Polynomial<u64>;
+
+fn main() {
+    // Suppliers (with their nation) and the parts they can deliver.
+    let mut suppliers = Table::new(Schema::of(&[
+        ("sid", ColumnType::Int),
+        ("nation", ColumnType::Str),
+    ]));
+    for (sid, nation) in [(1, "FR"), (2, "FR"), (3, "DE"), (4, "DE")] {
+        suppliers
+            .push(vec![Value::Int(sid), Value::str(nation)])
+            .expect("well-typed");
+    }
+    let mut offers = Table::new(Schema::of(&[
+        ("sid", ColumnType::Int),
+        ("part", ColumnType::Str),
+    ]));
+    for (sid, part) in [(1, "bolt"), (2, "bolt"), (3, "bolt"), (3, "nut"), (4, "nut")] {
+        offers
+            .push(vec![Value::Int(sid), Value::str(part)])
+            .expect("well-typed");
+    }
+
+    // Annotate each supplier tuple with its own variable s<sid>; offers
+    // are trusted facts (annotation 1).
+    let mut vars = VarTable::new();
+    let s_ids: Vec<_> = (1..=4).map(|i| vars.intern(&format!("s{i}"))).collect();
+    let ks: KRelation<NX> =
+        KRelation::from_table_with(&suppliers, |i, _| Polynomial::variable(s_ids[i]));
+    let ko: KRelation<NX> = KRelation::from_table_with(&offers, |_, _| NX::one());
+
+    // Which parts are obtainable? π_part(suppliers ⋈ offers).
+    let parts = ks
+        .join(&ko, &[("sid", "sid")], "o")
+        .expect("join")
+        .project(&["part"])
+        .expect("project");
+    println!("how-provenance per part:");
+    let mut polys = Vec::new();
+    let mut keys = Vec::new();
+    for (row, p) in parts.iter() {
+        println!("  {} : {:?}", row[0], p);
+        keys.push(row.clone());
+        polys.push(p.clone());
+    }
+    let polyset = PolySet::from_vec(polys.clone());
+
+    // Hypothetical deletion, fine-grained: what if supplier 3 leaves?
+    fn alive(p: &NX, dead: &[&str], vars: &VarTable) -> Bool {
+        specialize(p, |v| Bool(!dead.contains(&vars.name(v))))
+    }
+    println!("\nwithout s3:");
+    for (k, p) in keys.iter().zip(&polys) {
+        println!("  {} available: {}", k[0], alive(p, &["s3"], &vars).0);
+    }
+
+    // Abstraction: group suppliers by nation. The what-if granularity
+    // drops to the nation level, and the provenance shrinks.
+    let tree = TreeBuilder::new("AllSup")
+        .child("AllSup", "FR")
+        .child("AllSup", "DE")
+        .leaves("FR", ["s1", "s2"])
+        .leaves("DE", ["s3", "s4"])
+        .build(&mut vars)
+        .expect("valid tree");
+    let forest = Forest::single(tree);
+    let vvs = Vvs::from_labels(&forest, &vars, &["FR", "DE"]).expect("labels");
+    vvs.validate(&forest).expect("valid VVS");
+    let abstracted = vvs.apply(&polyset, &forest);
+    println!(
+        "\nabstracted by nation: {} → {} monomials",
+        polyset.size_m(),
+        abstracted.size_m()
+    );
+    for (k, p) in keys.iter().zip(abstracted.iter()) {
+        println!("  {} : {:?}", k[0], p);
+    }
+
+    // Coarse what-if: all German suppliers disappear at once.
+    println!("\nwithout the DE nation:");
+    for (k, p) in keys.iter().zip(abstracted.iter()) {
+        println!("  {} available: {}", k[0], alive(p, &["DE"], &vars).0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Online compression via sampling (§6), end to end.
+//!
+//! Instead of materialising the full provenance before compressing, the
+//! VVS is chosen on a sample with an adapted bound, then applied to the
+//! full provenance — trading a small risk of missing the bound for a
+//! large reduction in compression cost.
+//!
+//! Run with `cargo run --release --example online_sampling`.
+
+use provabs::algo::online::{estimate_full_size, online_compress, Solver};
+use provabs::algo::optimal::optimal_vvs;
+use provabs::datagen::workload::{Workload, WorkloadConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 4.0,
+        ..WorkloadConfig::default()
+    });
+    let forest = data.primary_tree(2, 1);
+    let total = data.polys.size_m();
+    let bound = total * 2 / 3;
+    println!("provenance: {} monomials (≈{} KiB), bound {}", total,
+        data.polys.estimated_bytes() / 1024, bound);
+
+    // Offline reference.
+    let t0 = Instant::now();
+    let offline = optimal_vvs(&data.polys, &forest, bound).expect("attainable");
+    println!(
+        "\noffline: VL {} in {:.1} ms",
+        offline.vl(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // §6's size estimation from growing samples.
+    let estimate = estimate_full_size(&data.polys, &[0.1, 0.2, 0.4], 7);
+    println!(
+        "extrapolated full size: {estimate} (real {total}, error {:.1} %)",
+        100.0 * (estimate as f64 - total as f64).abs() / total as f64
+    );
+
+    // The online scheme at several sampling fractions.
+    println!("\n{:>9} {:>12} {:>10} {:>12} {:>9} {:>9}",
+        "fraction", "sample |P|", "adapted B", "online [ms]", "adequate", "VL");
+    for fraction in [0.05, 0.1, 0.2, 0.4, 0.8] {
+        let t = Instant::now();
+        match online_compress(&data.polys, &forest, bound, fraction, 7, Solver::Optimal) {
+            Ok(o) => println!(
+                "{:>9.2} {:>12} {:>10} {:>12.1} {:>9} {:>9}",
+                fraction,
+                o.sample_size_m,
+                o.adapted_bound,
+                t.elapsed().as_secs_f64() * 1e3,
+                o.full.is_adequate_for(bound),
+                o.full.vl()
+            ),
+            Err(e) => println!("{fraction:>9.2} sampling failed: {e}"),
+        }
+    }
+    println!("\nsmall samples miss the bound (unrepresentative — the risk §6 \
+              anticipates); fractions ≥ 0.2 match the offline granularity \
+              at a fraction of the cost.");
+}

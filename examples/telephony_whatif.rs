@@ -1,0 +1,74 @@
+//! The full telephony pipeline: generate a database, run the revenue
+//! query with provenance, compress with the greedy algorithm over a
+//! two-tree forest (plans × quarters), and compare what-if turnaround on
+//! the original vs the compressed provenance.
+//!
+//! Run with `cargo run --release --example telephony_whatif`.
+
+use provabs::algo::greedy::greedy_vvs;
+use provabs::datagen::telephony::{
+    generate, month_leaves, plan_leaves, revenue_provenance, TelephonyConfig,
+};
+use provabs::provenance::VarTable;
+use provabs::scenario::scenario::Scenario;
+use provabs::scenario::speedup::{assignment_speedup, max_equivalence_error};
+use provabs::trees::forest::Forest;
+use provabs::trees::generate::shaped_tree;
+
+fn main() {
+    // 1. Generate a telephony database and its revenue provenance.
+    let config = TelephonyConfig {
+        customers: 5_000,
+        zips: 100,
+        plans: 128,
+        months: 12,
+        seed: 7,
+    };
+    let data = generate(config.clone());
+    let mut vars = VarTable::new();
+    let grouped = revenue_provenance(&data, &mut vars);
+    println!(
+        "generated {} tuples → {} polynomials, {} monomials, {} variables",
+        data.catalog.total_tuples(),
+        grouped.polys.len(),
+        grouped.polys.size_m(),
+        grouped.polys.size_v()
+    );
+
+    // 2. Abstraction forest: plans grouped 8 × 16 (type-1 tree), months
+    //    grouped into quarters.
+    let plans = shaped_tree("AllPlans", &plan_leaves(&config), &[8], &mut vars);
+    let months = shaped_tree("Year", &month_leaves(&config), &[4], &mut vars);
+    let forest = Forest::new(vec![plans, months]).expect("disjoint trees");
+
+    // 3. Greedy compression to half the size (Algorithm 2 — the forest
+    //    has two trees, so the optimal DP does not apply).
+    let bound = grouped.polys.size_m() / 2;
+    let result = greedy_vvs(&grouped.polys, &forest, bound).expect("bound attainable");
+    println!(
+        "greedy VVS: |S| = {}, compressed to {} monomials (ML = {}, VL = {})",
+        result.vvs.len(),
+        result.compressed_size_m,
+        result.ml(),
+        result.vl()
+    );
+
+    // 4. A batch of analyst scenarios over the abstracted variables.
+    let names = result.vvs.labels(&result.forest);
+    let scenarios: Vec<_> = (0..100)
+        .map(|i| Scenario::random(&names, 0.4, i).valuation(&mut vars))
+        .collect();
+
+    // Sanity: compressed answers equal original answers under lifting.
+    let err = max_equivalence_error(&grouped.polys, &result, &scenarios);
+    println!("max deviation compressed vs original: {err:.2e}");
+
+    // 5. Measure the assignment-time speedup (Figure 10's quantity).
+    let report = assignment_speedup(&grouped.polys, &result, &scenarios, 5);
+    println!(
+        "what-if batch: original {:.2} ms, compressed {:.2} ms → speedup {:.1} %",
+        report.original.as_secs_f64() * 1e3,
+        report.compressed.as_secs_f64() * 1e3,
+        report.speedup_pct
+    );
+}

@@ -1,0 +1,62 @@
+//! TPC-H Q5 compression study: the size/granularity trade-off frontier
+//! and a bound sweep comparing Opt and Greedy.
+//!
+//! Run with `cargo run --release --example tpch_compression`.
+
+use provabs::algo::greedy::greedy_vvs;
+use provabs::algo::optimal::{optimal_frontier, optimal_vvs};
+use provabs::datagen::workload::{Workload, WorkloadConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut data = Workload::TpchQ5.generate(&WorkloadConfig {
+        scale: 8.0,
+        ..WorkloadConfig::default()
+    });
+    println!(
+        "TPC-H Q5: {} polynomials, {} monomials, {} variables ({} input tuples)",
+        data.polys.len(),
+        data.polys.size_m(),
+        data.polys.size_v(),
+        data.total_tuples
+    );
+
+    // The suppliers abstraction tree (type 2, shape [2, 4]).
+    let forest = data.primary_tree(2, 1);
+
+    // One DP run yields the whole Pareto frontier of attainable
+    // (size, granularity) points.
+    let frontier = optimal_frontier(&data.polys, &forest).expect("single tree");
+    println!("\nsize/granularity frontier (|P↓S|_M → |P↓S|_V):");
+    for (m, v) in &frontier {
+        println!("  {m:>8} → {v}");
+    }
+
+    // Bound sweep: Opt vs Greedy, times and granularity.
+    println!("\nbound sweep:");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8} {:>8}",
+        "B", "opt [ms]", "greedy [ms]", "opt V", "greedy V"
+    );
+    let total = data.polys.size_m();
+    let floor = frontier.last().expect("non-empty").0;
+    for i in 0..5 {
+        let bound = (floor + (total - floor) * i / 5).max(1);
+        let t0 = Instant::now();
+        let opt = optimal_vvs(&data.polys, &forest, bound);
+        let t_opt = t0.elapsed();
+        let t1 = Instant::now();
+        let greedy = greedy_vvs(&data.polys, &forest, bound);
+        let t_greedy = t1.elapsed();
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>8} {:>8}",
+            bound,
+            t_opt.as_secs_f64() * 1e3,
+            t_greedy.as_secs_f64() * 1e3,
+            opt.map(|r| r.compressed_size_v.to_string()).unwrap_or("-".into()),
+            greedy
+                .map(|r| r.compressed_size_v.to_string())
+                .unwrap_or("-".into()),
+        );
+    }
+}

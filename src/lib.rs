@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # provabs — Hypothetical Reasoning via Provenance Abstraction
+//!
+//! A complete Rust implementation of the framework of Deutch, Moskovitch
+//! and Rinetzky (SIGMOD 2019): reduce the size of data-provenance
+//! polynomials by *abstracting* groups of variables into meta-variables,
+//! guided by user-supplied abstraction trees, while maximising the
+//! granularity left for hypothetical (what-if) reasoning.
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`provenance`] — polynomials, monomials, semirings, circuits,
+//!   valuations ([`provabs_provenance`]),
+//! * [`trees`] — abstraction trees, forests and valid variable sets
+//!   ([`provabs_trees`]),
+//! * [`algo`] — the optimization algorithms: optimal single-tree DP,
+//!   greedy multi-tree heuristic, brute force, the competitor baseline and
+//!   the NP-hardness reduction ([`provabs_core`]),
+//! * [`engine`] — an in-memory relational engine with provenance
+//!   annotations ([`provabs_engine`]),
+//! * [`datagen`] — the telephony and TPC-H-style benchmark generators
+//!   ([`provabs_datagen`]),
+//! * [`scenario`] — what-if scenario application and speedup measurement
+//!   ([`provabs_scenario`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use provabs::provenance::{parse::parse_polyset, VarTable};
+//! use provabs::trees::{builder::TreeBuilder, forest::Forest};
+//! use provabs::algo::optimal::optimal_vvs;
+//!
+//! let mut vars = VarTable::new();
+//! let polys = parse_polyset("3·x1·a + 4·x2·a\n5·x1·b + 6·x2·b", &mut vars).unwrap();
+//! // One tree allowing {x1,x2} to merge into the meta-variable X.
+//! let tree = TreeBuilder::new("X")
+//!     .leaves("X", ["x1", "x2"])
+//!     .build(&mut vars)
+//!     .unwrap();
+//! let forest = Forest::new(vec![tree]).unwrap();
+//! let result = optimal_vvs(&polys, &forest, 2).unwrap();
+//! assert_eq!(result.compressed_size_m, 2); // 7·X·a and 11·X·b
+//! ```
+
+pub use provabs_core as algo;
+pub use provabs_datagen as datagen;
+pub use provabs_engine as engine;
+pub use provabs_provenance as provenance;
+pub use provabs_scenario as scenario;
+pub use provabs_trees as trees;

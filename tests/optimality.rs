@@ -1,0 +1,204 @@
+//! Property-based optimality tests: on random compatible instances the
+//! sparse DP, the dense DP and exhaustive search must agree, and every
+//! algorithm's output must be a valid, adequate VVS.
+
+use proptest::prelude::*;
+use provabs::algo::brute::brute_force_vvs;
+use provabs::algo::greedy::greedy_vvs;
+use provabs::algo::optimal::{optimal_frontier, optimal_vvs, optimal_vvs_dense};
+use provabs::provenance::monomial::Monomial;
+use provabs::provenance::polynomial::Polynomial;
+use provabs::provenance::{PolySet, VarTable};
+use provabs::trees::error::TreeError;
+use provabs::trees::forest::Forest;
+use provabs::trees::generate::{leaf_names, random_tree};
+
+/// A random compatible instance: one random tree over `n_leaves` leaves
+/// and polynomials whose monomials contain at most one leaf variable
+/// (plus a context variable outside the tree).
+#[derive(Debug, Clone)]
+struct Instance {
+    polys: PolySet<f64>,
+    forest: Forest,
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        2usize..7,                               // leaves
+        1usize..3,                               // polynomials
+        prop::collection::vec((0usize..6, 0usize..4, 1u32..3, 1u32..50), 3..14),
+        any::<u64>(),                            // tree seed
+    )
+        .prop_map(|(n_leaves, n_polys, monos, seed)| {
+            let leaves = leaf_names("l", n_leaves);
+            let mut vars = VarTable::new();
+            let ctx: Vec<_> = (0..4).map(|i| vars.intern(&format!("c{i}"))).collect();
+            let leaf_ids: Vec<_> = leaves.iter().map(|l| vars.intern(l)).collect();
+            let mut polys: Vec<Polynomial<f64>> =
+                (0..n_polys).map(|_| Polynomial::zero()).collect();
+            for (i, (leaf_pick, ctx_pick, exp, coeff)) in monos.iter().enumerate() {
+                let mut factors = Vec::new();
+                if *leaf_pick < leaf_ids.len() {
+                    factors.push((leaf_ids[*leaf_pick], *exp));
+                }
+                factors.push((ctx[*ctx_pick], 1));
+                polys[i % n_polys].add_term(Monomial::from_factors(factors), *coeff as f64);
+            }
+            // Every leaf must occur somewhere for strict compatibility —
+            // cleaning inside the algorithms handles absent leaves, so no
+            // need to force it; the tree is over the full leaf set.
+            let tree = random_tree("T", &leaves, seed, &mut vars);
+            Instance {
+                polys: PolySet::from_vec(polys),
+                forest: Forest::single(tree),
+            }
+        })
+        .prop_filter("non-trivial provenance", |inst| inst.polys.size_m() >= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sparse DP finds exactly the brute-force optimum for every
+    /// bound, or both report the bound unattainable with the same floor.
+    /// The reference is computed by *materialising* every cut (fully
+    /// independent of the `TreeLoss` machinery the DP and the shipped
+    /// brute force share).
+    #[test]
+    fn optimal_matches_brute_force(inst in instance_strategy()) {
+        let total = inst.polys.size_m();
+        // Independent reference: every (size, granularity) point reachable
+        // by any cut, by direct application.
+        let cleaned = provabs::algo::problem::prepare(&inst.polys, &inst.forest)
+            .expect("compatible after cleaning");
+        let reference: Vec<(usize, usize)> =
+            provabs::trees::cut::enumerate_forest_cuts(&cleaned, 100_000, 100_000)
+                .expect("small random trees")
+                .into_iter()
+                .map(|vvs| {
+                    let down = vvs.apply(&inst.polys, &cleaned);
+                    (down.size_m(), down.size_v())
+                })
+                .collect();
+        for bound in 1..=total {
+            let expected_best = reference
+                .iter()
+                .filter(|(m, _)| *m <= bound)
+                .map(|&(_, v)| v)
+                .max();
+            let expected_floor = reference.iter().map(|&(m, _)| m).min().expect("non-empty");
+            let opt = optimal_vvs(&inst.polys, &inst.forest, bound);
+            let brute = brute_force_vvs(&inst.polys, &inst.forest, bound, 1_000_000);
+            match (opt, brute, expected_best) {
+                (Ok(o), Ok(b), Some(v)) => {
+                    prop_assert!(o.is_adequate_for(bound));
+                    prop_assert!(b.is_adequate_for(bound));
+                    prop_assert_eq!(o.compressed_size_v, v, "DP vs reference at bound {}", bound);
+                    prop_assert_eq!(b.compressed_size_v, v, "brute vs reference at bound {}", bound);
+                    o.vvs.validate(&o.forest).expect("valid VVS");
+                }
+                (Err(TreeError::BoundUnattainable { best_possible: a, .. }),
+                 Err(TreeError::BoundUnattainable { best_possible: b, .. }),
+                 None) => {
+                    prop_assert_eq!(a, expected_floor, "DP floor at bound {}", bound);
+                    prop_assert_eq!(b, expected_floor, "brute floor at bound {}", bound);
+                }
+                (o, b, e) => prop_assert!(
+                    false,
+                    "disagreement at bound {}: opt {:?}, brute {:?}, reference {:?}",
+                    bound, o, b, e
+                ),
+            }
+        }
+    }
+
+    /// Dense and sparse DP variants are interchangeable.
+    #[test]
+    fn dense_equals_sparse(inst in instance_strategy()) {
+        let total = inst.polys.size_m();
+        for bound in (1..=total).step_by(2) {
+            let s = optimal_vvs(&inst.polys, &inst.forest, bound);
+            let d = optimal_vvs_dense(&inst.polys, &inst.forest, bound);
+            match (s, d) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a.compressed_size_v, b.compressed_size_v),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "sparse {:?} vs dense {:?}", a, b),
+            }
+        }
+    }
+
+    /// Greedy always returns a valid VVS; when it succeeds it is adequate;
+    /// it never beats the optimum's granularity.
+    #[test]
+    fn greedy_is_sound(inst in instance_strategy()) {
+        let total = inst.polys.size_m();
+        for bound in 1..=total {
+            match greedy_vvs(&inst.polys, &inst.forest, bound) {
+                Ok(g) => {
+                    g.vvs.validate(&g.forest).expect("valid VVS");
+                    prop_assert!(g.is_adequate_for(bound));
+                    if let Ok(o) = optimal_vvs(&inst.polys, &inst.forest, bound) {
+                        prop_assert!(g.compressed_size_v <= o.compressed_size_v);
+                    }
+                }
+                Err(TreeError::BoundUnattainable { .. }) => {
+                    // The optimum must also fail then: greedy exhausts the
+                    // tree, reaching maximal compression.
+                    prop_assert!(optimal_vvs(&inst.polys, &inst.forest, bound).is_err());
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+
+    /// The frontier is consistent with per-bound optimal runs.
+    #[test]
+    fn frontier_is_consistent(inst in instance_strategy()) {
+        let frontier = optimal_frontier(&inst.polys, &inst.forest).expect("single tree");
+        prop_assert!(!frontier.is_empty());
+        // Strictly decreasing sizes, strictly decreasing granularity
+        // gains (Pareto): sizes strictly decrease, granularities weakly.
+        for w in frontier.windows(2) {
+            prop_assert!(w[1].0 < w[0].0);
+            prop_assert!(w[1].1 <= w[0].1);
+        }
+        for &(size, granularity) in &frontier {
+            let r = optimal_vvs(&inst.polys, &inst.forest, size).expect("attainable");
+            prop_assert_eq!(r.compressed_size_v, granularity);
+        }
+    }
+
+    /// Semantics: abstraction commutes with valuation through lifting, for
+    /// any VVS any algorithm returns.
+    #[test]
+    fn valuation_lifting_commutes(inst in instance_strategy(), factor in 0.1f64..2.0) {
+        let total = inst.polys.size_m();
+        let Ok(result) = optimal_vvs(&inst.polys, &inst.forest, (total / 2).max(1)) else {
+            return Ok(());
+        };
+        // A coarse valuation: every chosen variable gets `factor`.
+        let mut coarse = provabs::provenance::Valuation::neutral();
+        for v in result.vvs.vars(&result.forest) {
+            coarse.assign(v, factor);
+        }
+        let lifted = result.vvs.lift_valuation(&result.forest, &coarse);
+        let down = result.apply(&inst.polys);
+        let a = coarse.eval_set(&down);
+        let b = lifted.eval_set(&inst.polys);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() <= 1e-6 * x.abs().max(y.abs()).max(1.0));
+        }
+    }
+
+    /// Coefficient mass is preserved by any abstraction.
+    #[test]
+    fn mass_preserved(inst in instance_strategy()) {
+        let Ok(result) = optimal_vvs(&inst.polys, &inst.forest, 1) else {
+            return Ok(());
+        };
+        let down = result.apply(&inst.polys);
+        for (orig, abst) in inst.polys.iter().zip(down.iter()) {
+            prop_assert!((orig.coefficient_mass() - abst.coefficient_mass()).abs() < 1e-6);
+        }
+    }
+}

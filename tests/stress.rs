@@ -1,0 +1,60 @@
+//! Large-scale smoke tests, ignored by default (they take minutes in
+//! debug builds). Run with:
+//!
+//! ```bash
+//! cargo test --release -p provabs --test stress -- --ignored
+//! ```
+
+use provabs::algo::greedy::greedy_vvs;
+use provabs::algo::optimal::optimal_vvs;
+use provabs::datagen::workload::{Workload, WorkloadConfig};
+use provabs::scenario::scenario::Scenario;
+use provabs::scenario::speedup::{assignment_speedup, max_equivalence_error};
+
+/// The telephony workload at ~50× the test scale: several hundred
+/// thousand monomials, exercising the sparse DP, the greedy index and the
+/// speedup harness end to end.
+#[test]
+#[ignore = "multi-minute in debug builds; run with --release -- --ignored"]
+fn telephony_at_scale() {
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 10.0,
+        param_modulus: 128,
+        seed: 1,
+    });
+    assert!(data.polys.size_m() > 100_000, "large instance");
+    let forest = data.primary_tree(2, 1);
+    let bound = data.polys.size_m() / 2;
+    let opt = optimal_vvs(&data.polys, &forest, bound).expect("attainable");
+    assert!(opt.is_adequate_for(bound));
+    let greedy = greedy_vvs(&data.polys, &forest, bound).expect("attainable");
+    assert!(greedy.compressed_size_v <= opt.compressed_size_v);
+
+    // The what-if machinery stays numerically sound at scale.
+    let names = opt.vvs.labels(&opt.forest);
+    let scenarios: Vec<_> = (0..10)
+        .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
+        .collect();
+    assert!(max_equivalence_error(&data.polys, &opt, &scenarios) < 1e-9);
+    let report = assignment_speedup(&data.polys, &opt, &scenarios, 3);
+    assert!(report.speedup_pct > 0.0, "compression must pay off at scale");
+}
+
+/// Full pipeline determinism at a larger TPC-H scale.
+#[test]
+#[ignore = "multi-minute in debug builds; run with --release -- --ignored"]
+fn tpch_q10_at_scale_is_deterministic() {
+    let run = || {
+        let mut data = Workload::TpchQ10.generate(&WorkloadConfig {
+            scale: 20.0,
+            param_modulus: 128,
+            seed: 2,
+        });
+        let forest = data.primary_tree(1, 3);
+        let bound = data.polys.size_m() * 99 / 100;
+        optimal_vvs(&data.polys, &forest, bound)
+            .map(|r| (r.compressed_size_m, r.compressed_size_v))
+            .map_err(|e| format!("{e}"))
+    };
+    assert_eq!(run(), run());
+}

@@ -132,13 +132,7 @@ pub fn fig8_data_size(cfg: &ExpConfig) -> Vec<Report> {
     for workload in Workload::ALL {
         let mut report = Report::new(
             format!("{} — compression time vs input data size", workload.name()),
-            &[
-                "tuples",
-                "|P|_M",
-                "Opt [ms]",
-                "Greedy [ms]",
-                "Opt outcome",
-            ],
+            &["tuples", "|P|_M", "Opt [ms]", "Greedy [ms]", "Opt outcome"],
         );
         for &scale in &scales {
             let mut data = workload.generate(&WorkloadConfig {
@@ -244,8 +238,7 @@ pub fn fig10_speedup(cfg: &ExpConfig, scenarios_per_batch: usize) -> Vec<Report>
             let names = result.vvs.labels(&result.forest);
             let vals: Vec<_> = (0..scenarios_per_batch)
                 .map(|i| {
-                    Scenario::random(&names, 0.5, cfg.seed + i as u64)
-                        .valuation(&mut data.vars)
+                    Scenario::random(&names, 0.5, cfg.seed + i as u64).valuation(&mut data.vars)
                 })
                 .collect();
             let rep = assignment_speedup(&data.polys, &result, &vals, 3);
@@ -357,7 +350,9 @@ pub fn fig12_competitor(cfg: &ExpConfig) -> Vec<Report> {
                 fmt_ms(Some(t_opt)),
                 fmt_ms(Some(t_prox)),
                 pairs,
-                opt.as_ref().map(|r| r.vl().to_string()).unwrap_or("-".into()),
+                opt.as_ref()
+                    .map(|r| r.vl().to_string())
+                    .unwrap_or("-".into()),
                 prox_vl,
             ]);
         }
@@ -372,7 +367,10 @@ pub fn fig14_num_variables(cfg: &ExpConfig) -> Vec<Report> {
     let mut reports = Vec::new();
     for workload in [Workload::TpchQ5, Workload::TpchQ1] {
         let mut report = Report::new(
-            format!("{} — compression time vs number of variables", workload.name()),
+            format!(
+                "{} — compression time vs number of variables",
+                workload.name()
+            ),
             &["modulus", "|P|_V", "Opt [ms]", "Greedy [ms]"],
         );
         for modulus in [128i64, 256, 512, 1024, 2048, 4096] {
@@ -432,10 +430,16 @@ pub fn ext_online_sampling(cfg: &ExpConfig) -> Vec<Report> {
             ],
         );
         for fraction in [0.05, 0.1, 0.2, 0.4, 0.8] {
-            let estimate =
-                estimate_full_size(&data.polys, &[fraction / 2.0, fraction], cfg.seed);
+            let estimate = estimate_full_size(&data.polys, &[fraction / 2.0, fraction], cfg.seed);
             let (outcome, t_online) = time(|| {
-                online_compress(&data.polys, &forest, bound, fraction, cfg.seed, Solver::Optimal)
+                online_compress(
+                    &data.polys,
+                    &forest,
+                    bound,
+                    fraction,
+                    cfg.seed,
+                    Solver::Optimal,
+                )
             });
             match outcome {
                 Ok(o) => report.row(vec![
@@ -473,7 +477,10 @@ pub fn table1_greedy_quality(cfg: &ExpConfig) -> Vec<Report> {
         let mut data = workload.generate(&cfg.workload_config());
         let bound = half_bound(&data.polys);
         let mut report = Report::new(
-            format!("{} — greedy accuracy and speedup (B={bound})", workload.name()),
+            format!(
+                "{} — greedy accuracy and speedup (B={bound})",
+                workload.name()
+            ),
             &["tree type", "accuracy [%]", "speedup [%]"],
         );
         for ty in 1..=7u8 {
@@ -492,11 +499,7 @@ pub fn table1_greedy_quality(cfg: &ExpConfig) -> Vec<Report> {
             };
             let speedup = 100.0 * (t_opt.as_secs_f64() - t_greedy.as_secs_f64())
                 / t_opt.as_secs_f64().max(1e-9);
-            report.row(vec![
-                ty.to_string(),
-                accuracy,
-                format!("{:.2}", speedup),
-            ]);
+            report.row(vec![ty.to_string(), accuracy, format!("{:.2}", speedup)]);
         }
         reports.push(report);
     }

@@ -1,0 +1,293 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses. The build environment has no registry access, so the
+//! real crate cannot be fetched; this shim keeps the five benches in
+//! `crates/bench/benches/` source-compatible and actually measures:
+//! each benchmark is warmed up, then timed for `sample_size` samples of
+//! adaptively chosen iteration counts.
+//!
+//! Output is one human-readable line per benchmark plus one
+//! machine-readable line of the form
+//! `CRITERION_JSON {"id":"...","mean_ns":...,"median_ns":...,"samples":N}`
+//! which `scripts`/CI can collect into a baseline file. No statistical
+//! analysis, plots or history comparison are performed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line, skipping
+    /// the flags cargo-bench passes to every harness.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Flags known to take a separate value argument (real
+                // criterion's option set).
+                "--save-baseline"
+                | "--baseline"
+                | "--baseline-lenient"
+                | "--load-baseline"
+                | "--skip"
+                | "--logfile"
+                | "--color"
+                | "--colour"
+                | "--format"
+                | "--output-format"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--sample-size"
+                | "--nresamples"
+                | "--noise-threshold"
+                | "--confidence-level"
+                | "--significance-level"
+                | "--profile-time"
+                | "--plotting-backend" => {
+                    let _ = args.next();
+                }
+                // Any other flag is treated as valueless so it can never
+                // swallow the positional name filter.
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Registers a stand-alone benchmark (delegates to a group of one).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.run_one(None, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Identifier combining a function name and an input parameter,
+/// mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API parity; the shim's adaptive sampling ignores it.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's warm-up is fixed.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(Some(id.into()), f);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(Some(id.id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No cross-benchmark analysis in the shim.)
+    pub fn finish(self) {}
+
+    fn run_one<F>(&mut self, id: Option<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = match id {
+            Some(id) => format!("{}/{}", self.name, id),
+            None => self.name.clone(),
+        };
+        if !self.criterion.matches(&full_id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&full_id);
+    }
+}
+
+/// Timing callback handed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count so one sample
+        // takes ≥ 1 ms (or a single call if the routine is slower).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{full_id:<50} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{:<50} time: [{} {} {}]",
+            full_id,
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+        println!(
+            "CRITERION_JSON {{\"id\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\"samples\":{}}}",
+            full_id,
+            mean,
+            median,
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a group-runner function over the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs this benchmark group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs this benchmark group.
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

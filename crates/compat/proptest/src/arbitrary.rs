@@ -1,0 +1,64 @@
+//! `any::<T>()` and the [`ArbitraryValue`] trait behind it.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait ArbitraryValue {
+    /// Draws a value from the type's full domain.
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Full-domain strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(T::generate(rng))
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ArbitraryValue for i128 {
+    fn generate(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) as i128
+    }
+}
+
+impl ArbitraryValue for u128 {
+    fn generate(rng: &mut TestRng) -> Self {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl ArbitraryValue for f64 {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_unit_f64()
+    }
+}

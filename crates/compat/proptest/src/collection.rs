@@ -1,0 +1,117 @@
+//! Collection strategies: `vec` and `hash_map`.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Inclusive-lower, exclusive-upper bound on a generated collection's
+/// length (subset of `proptest::collection::SizeRange`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        debug_assert!(self.lo < self.hi, "empty size range");
+        self.lo + rng.next_below(self.hi - self.lo)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            lo: exact,
+            hi: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        let len = self.size.sample(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.new_value(rng)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Strategy producing `HashMap`s with keys from `key` and values from
+/// `value`.
+pub fn hash_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Hash + Eq,
+{
+    HashMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}
+
+/// See [`hash_map`].
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Hash + Eq,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        let target = self.size.sample(rng);
+        let mut out = HashMap::with_capacity(target);
+        // Key collisions shrink the map, so allow generous extra draws
+        // before settling for whatever has accumulated.
+        for _ in 0..(target * 20 + 16) {
+            if out.len() >= target {
+                break;
+            }
+            let k = self.key.new_value(rng)?;
+            let v = self.value.new_value(rng)?;
+            out.insert(k, v);
+        }
+        if out.len() >= self.size.lo {
+            Ok(out)
+        } else {
+            Err(Rejection("hash_map key domain too small for size range"))
+        }
+    }
+}

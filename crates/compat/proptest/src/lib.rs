@@ -1,0 +1,187 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace uses. The build environment has no registry access, so the
+//! real crate cannot be fetched; this shim keeps the property-test
+//! sources compatible: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map` / `prop_filter` / `prop_filter_map`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::hash_map`], `Just`,
+//! `any::<T>()`, and the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its deterministic stream
+//!   index instead of a minimized input,
+//! * **deterministic seeding** — cases are derived from the test's
+//!   module path and case index, so runs are reproducible by default,
+//! * value generation is uniform rather than bias-weighted.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` module alias, giving
+    /// access to `prop::collection::*`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// The property-test entry macro. Matches the real syntax
+/// `proptest! { #![proptest_config(...)] #[test] fn name(pat in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::__run_proptest_case!(config, $name, ($($pat),+), ($($strat),+), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Internal: the runner loop shared by the [`proptest!`] arms. Not part
+/// of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_proptest_case {
+    ($config:expr, $name:ident, ($($pat:pat),+), ($($strat:expr),+), $body:block) => {{
+        let config = &$config;
+        let test_path = concat!(module_path!(), "::", stringify!($name));
+        let mut accepted: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut stream: u64 = 0;
+        while accepted < config.cases {
+            if rejected > config.max_global_rejects {
+                panic!(
+                    "proptest {}: too many global rejects ({} after {} accepted cases)",
+                    test_path, rejected, accepted
+                );
+            }
+            let case_stream = stream;
+            stream += 1;
+            let mut rng = $crate::test_runner::TestRng::deterministic(test_path, case_stream);
+            let generated = (|| -> ::std::result::Result<_, $crate::strategy::Rejection> {
+                ::std::result::Result::Ok((
+                    $($crate::strategy::Strategy::new_value(&$strat, &mut rng)?,)+
+                ))
+            })();
+            let ($($pat,)+) = match generated {
+                ::std::result::Result::Ok(v) => v,
+                ::std::result::Result::Err(_) => {
+                    rejected += 1;
+                    continue;
+                }
+            };
+            let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match outcome {
+                ::std::result::Result::Ok(()) => accepted += 1,
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                }
+                ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed at stream {}: {}",
+                        test_path, case_stream, msg
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Fails the current case with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,326 @@
+//! The [`Strategy`] trait, its combinators, and strategies for ranges,
+//! tuples and constants.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Marker returned when a strategy (or a filter inside one) could not
+/// produce a value; the runner retries the whole case.
+#[derive(Clone, Debug)]
+pub struct Rejection(pub &'static str);
+
+/// How many times a filtering combinator retries locally before giving
+/// up and rejecting the whole case.
+const LOCAL_FILTER_RETRIES: usize = 64;
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`
+/// (without shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejection`] when a filter repeatedly failed; the runner
+    /// then rejects and retries the whole case.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it
+    /// and draws from that.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards values failing the predicate.
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        let _ = whence.into();
+        Filter { inner: self, f }
+    }
+
+    /// Simultaneously maps and filters: `None` results are discarded.
+    fn prop_filter_map<O, F>(self, whence: impl Into<String>, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        let _ = whence.into();
+        FilterMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (parity helper with real proptest).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Rejection> {
+        self.inner.new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Rejection> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, Rejection> {
+        let mid = self.inner.new_value(rng)?;
+        (self.f)(mid).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Rejection> {
+        for _ in 0..LOCAL_FILTER_RETRIES {
+            let candidate = self.inner.new_value(rng)?;
+            if (self.f)(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(Rejection("prop_filter exhausted local retries"))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Rejection> {
+        for _ in 0..LOCAL_FILTER_RETRIES {
+            let candidate = self.inner.new_value(rng)?;
+            if let Some(out) = (self.f)(candidate) {
+                return Ok(out);
+            }
+        }
+        Err(Rejection("prop_filter_map exhausted local retries"))
+    }
+}
+
+fn next_u128(rng: &mut TestRng) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// Uniform offset in `[0, span)`; `span == 0` encodes the full
+/// 2^128-wide domain (an inclusive range covering every value). Draws a
+/// second word for spans wider than 64 bits so e.g. `i128::MIN..i128::MAX`
+/// covers its whole domain.
+fn offset_below(rng: &mut TestRng, span: u128) -> u128 {
+    if span == 0 {
+        next_u128(rng)
+    } else if span <= u64::MAX as u128 + 1 {
+        (rng.next_u64() as u128) % span
+    } else {
+        next_u128(rng) % span
+    }
+}
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let offset = offset_below(rng, span);
+                Ok(((self.start as i128).wrapping_add(offset as i128)) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Rejection> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128).wrapping_add(1);
+                let offset = offset_below(rng, span);
+                Ok(((lo as i128).wrapping_add(offset as i128)) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        assert!(self.start < self.end, "empty range strategy");
+        Ok(self.start + (self.end - self.start) * rng.next_unit_f64())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Rejection> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        Ok(lo + (hi - lo) * rng.next_unit_f64())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.new_value(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let x = (-20i128..20).new_value(&mut rng).unwrap();
+            assert!((-20..20).contains(&x));
+            let y = (1u32..255).new_value(&mut rng).unwrap();
+            assert!((1..255).contains(&y));
+            let f = (0.1f64..3.0).new_value(&mut rng).unwrap();
+            assert!((0.1..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn wide_i128_ranges_cover_both_halves() {
+        // Regression: offsets wider than 64 bits must be reachable.
+        let mut rng = rng();
+        let (mut below, mut above) = (false, false);
+        for _ in 0..200 {
+            let x = (i128::MIN..i128::MAX).new_value(&mut rng).unwrap();
+            if x < 0 {
+                below = true;
+            } else {
+                above = true;
+            }
+        }
+        assert!(below && above, "wide range stuck in one 2^64 slice");
+    }
+
+    #[test]
+    fn filters_reject_after_local_retries() {
+        let mut rng = rng();
+        let strat = (0u32..10).prop_filter("impossible", |_| false);
+        assert!(strat.new_value(&mut rng).is_err());
+        let strat = (0u32..10).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..100 {
+            assert!(strat.new_value(&mut rng).unwrap() % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_the_intermediate() {
+        let mut rng = rng();
+        let strat = (2usize..7).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..10, n)));
+        for _ in 0..100 {
+            let (n, v) = strat.new_value(&mut rng).unwrap();
+            assert_eq!(v.len(), n);
+        }
+    }
+}

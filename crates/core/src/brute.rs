@@ -190,9 +190,7 @@ pub fn brute_force_vvs_parallel<C: Coefficient>(
                     for (i, vvs) in cuts.iter().enumerate() {
                         let (size_m, size_v) = score(vvs);
                         floor = floor.min(size_m);
-                        if size_m <= bound
-                            && best.is_none_or(|(bv, _)| size_v > bv)
-                        {
+                        if size_m <= bound && best.is_none_or(|(bv, _)| size_v > bv) {
                             best = Some((size_v, ci * chunk + i));
                         }
                     }
@@ -303,8 +301,8 @@ mod tests {
         let forest = Forest::new(vec![tx, ty]).expect("disjoint");
         for bound in 1..=polys.size_m() {
             // Reference: materialise every cut by hand.
-            let cuts = provabs_trees::cut::enumerate_forest_cuts(&forest, 100, 100)
-                .expect("4 cuts");
+            let cuts =
+                provabs_trees::cut::enumerate_forest_cuts(&forest, 100, 100).expect("4 cuts");
             let mut best: Option<usize> = None;
             let mut floor = usize::MAX;
             for vvs in cuts {
@@ -353,13 +351,8 @@ mod tests {
         for bound in 3..=14 {
             let serial = brute_force_vvs(&polys, &forest, bound, DEFAULT_CUT_LIMIT);
             for threads in [1, 2, 4, 16] {
-                let parallel = brute_force_vvs_parallel(
-                    &polys,
-                    &forest,
-                    bound,
-                    DEFAULT_CUT_LIMIT,
-                    threads,
-                );
+                let parallel =
+                    brute_force_vvs_parallel(&polys, &forest, bound, DEFAULT_CUT_LIMIT, threads);
                 match (&serial, &parallel) {
                     (Ok(a), Ok(b)) => {
                         assert_eq!(
@@ -382,8 +375,7 @@ mod tests {
     #[test]
     fn parallel_respects_cut_limit() {
         let (polys, forest) = example_13();
-        let err =
-            brute_force_vvs_parallel(&polys, &forest, 9, 3, 4).expect_err("limit 3");
+        let err = brute_force_vvs_parallel(&polys, &forest, 9, 3, 4).expect_err("limit 3");
         assert!(matches!(err, TreeError::SearchSpaceTooLarge { .. }));
     }
 }

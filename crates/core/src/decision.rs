@@ -75,7 +75,8 @@ pub fn decide_precise_single_tree<C: Coefficient>(
 
     let tree = forest.tree(0);
     let loss = TreeLoss::build(polys, tree);
-    let mut pair_sets: Vec<FxHashSet<(usize, usize)>> = vec![FxHashSet::default(); tree.num_nodes()];
+    let mut pair_sets: Vec<FxHashSet<(usize, usize)>> =
+        vec![FxHashSet::default(); tree.num_nodes()];
     for v in tree.postorder() {
         let mut set = FxHashSet::default();
         if tree.is_leaf(v) {
@@ -219,8 +220,14 @@ mod tests {
     fn ptime_decision_rejects_forests() {
         let mut vars = VarTable::new();
         let polys = parse_polyset("1·a + 1·b", &mut vars).expect("parse");
-        let t1 = TreeBuilder::new("A").leaves("A", ["a"]).build(&mut vars).expect("t");
-        let t2 = TreeBuilder::new("B").leaves("B", ["b"]).build(&mut vars).expect("t");
+        let t1 = TreeBuilder::new("A")
+            .leaves("A", ["a"])
+            .build(&mut vars)
+            .expect("t");
+        let t2 = TreeBuilder::new("B")
+            .leaves("B", ["b"])
+            .build(&mut vars)
+            .expect("t");
         let forest = Forest::new(vec![t1, t2]).expect("disjoint");
         assert!(matches!(
             decide_precise_single_tree(&polys, &forest, 2, 2),

@@ -225,8 +225,7 @@ fn run<C: Coefficient>(
             .collect();
         let affected = affected_polys(&postings, &group);
         for &pi in &affected {
-            current[pi] =
-                current[pi].map_vars(|v| if group.contains(&v) { chosen_var } else { v });
+            current[pi] = current[pi].map_vars(|v| if group.contains(&v) { chosen_var } else { v });
         }
         for v in &group {
             postings.remove(v);
@@ -298,11 +297,15 @@ mod tests {
         // ML = 10, VL = 4 — the greedy result is adequate but not optimal
         // (exactly the paper's observation).
         let opt_labels = ["SB", "Special", "e", "p1", "q1"];
-        let opt = Vvs::from_labels(&r.forest, &{
-            // labels live in the shared table; rebuild lookup through it
-            let (_, _, vars) = example_15();
-            vars
-        }, &opt_labels)
+        let opt = Vvs::from_labels(
+            &r.forest,
+            &{
+                // labels live in the shared table; rebuild lookup through it
+                let (_, _, vars) = example_15();
+                vars
+            },
+            &opt_labels,
+        )
         .expect("labels");
         let opt_res = evaluate_vvs(&polys, &r.forest, opt);
         assert_eq!(opt_res.ml(), 10);

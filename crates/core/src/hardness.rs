@@ -291,9 +291,7 @@ mod tests {
         let vvs = provabs_trees::cut::Vvs::from_labels(
             &forest,
             &vars,
-            &[
-                "x1", "x2_1", "x2_2", "x2_3", "x3", "x4_1", "x4_2", "x4_3",
-            ],
+            &["x1", "x2_1", "x2_2", "x2_3", "x3", "x4_1", "x4_2", "x4_3"],
         )
         .expect("labels");
         vvs.validate(&forest).expect("valid");
@@ -319,8 +317,7 @@ mod tests {
                 }
             }
             let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-            let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &refs)
-                .expect("labels");
+            let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &refs).expect("labels");
             let down = vvs.apply(&polys, &forest);
             assert_eq!(
                 claim_23_sizes(4, 3, &pairs, &in_y),

@@ -89,7 +89,9 @@ impl TreeLoss {
             } else {
                 let mut acc: Option<(FxHashMap<u32, u32>, usize)> = None;
                 for &c in tree.children(id) {
-                    let child = maps[c.index()].take().expect("postorder visits children first");
+                    let child = maps[c.index()]
+                        .take()
+                        .expect("postorder visits children first");
                     acc = Some(match acc {
                         None => child,
                         Some((mut big, big_total)) => {

@@ -173,10 +173,7 @@ mod tests {
         for p in 0..40 {
             let mut poly = Polynomial::zero();
             for (i, &l) in leaves.iter().enumerate() {
-                poly.add_term(
-                    Monomial::from_vars([l, ctx[(p + i) % 4]]),
-                    1.0 + p as f64,
-                );
+                poly.add_term(Monomial::from_vars([l, ctx[(p + i) % 4]]), 1.0 + p as f64);
             }
             polys.push(poly);
         }

@@ -139,13 +139,7 @@ fn solve_sparse(tree: &AbsTree, loss: &TreeLoss, k: usize) -> Vec<SparseArray> {
 }
 
 /// Walks the recorded choices, collecting the chosen nodes.
-fn reconstruct(
-    tree: &AbsTree,
-    arrays: &[SparseArray],
-    v: NodeId,
-    j: usize,
-    out: &mut Vec<NodeId>,
-) {
+fn reconstruct(tree: &AbsTree, arrays: &[SparseArray], v: NodeId, j: usize, out: &mut Vec<NodeId>) {
     let entry = arrays[v.index()]
         .get(&j)
         .expect("reconstruction follows recorded entries");
@@ -544,9 +538,10 @@ mod tests {
         let down = r.apply(&polys);
         let g = vars.lookup("g").expect("interned");
         assert_eq!(
-            down.iter().next().expect("one poly").coefficient(
-                &provabs_provenance::monomial::Monomial::var(g)
-            ),
+            down.iter()
+                .next()
+                .expect("one poly")
+                .coefficient(&provabs_provenance::monomial::Monomial::var(g)),
             5.0
         );
     }

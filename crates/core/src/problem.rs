@@ -93,10 +93,7 @@ pub fn evaluate_vvs<C: Coefficient>(
 
 /// Cleans the forest against the polynomials and checks compatibility —
 /// the shared preamble of every algorithm. Returns the cleaned forest.
-pub fn prepare<C: Coefficient>(
-    polys: &PolySet<C>,
-    forest: &Forest,
-) -> Result<Forest, TreeError> {
+pub fn prepare<C: Coefficient>(polys: &PolySet<C>, forest: &Forest) -> Result<Forest, TreeError> {
     let cleaned = clean_forest(forest, polys);
     cleaned.check_compatible(polys)?;
     Ok(cleaned)

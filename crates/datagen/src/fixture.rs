@@ -136,8 +136,7 @@ pub fn example_polys(vars: &mut VarTable) -> PolySet<f64> {
 /// The abstraction forest of the running example: the plans tree of
 /// Figure 2 and the months tree of Figure 3.
 pub fn example_forest(vars: &mut VarTable) -> Forest {
-    Forest::new(vec![plans_tree(vars), months_tree(vars)])
-        .expect("figure trees are disjoint")
+    Forest::new(vec![plans_tree(vars), months_tree(vars)]).expect("figure trees are disjoint")
 }
 
 #[cfg(test)]

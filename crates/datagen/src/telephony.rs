@@ -74,8 +74,12 @@ pub fn generate(config: TelephonyConfig) -> TelephonyData {
     for id in 0..config.customers {
         let plan = rng.gen_range(0..config.plans) as i64;
         let zip = format!("{:05}", 10_000 + rng.gen_range(0..config.zips));
-        cust.push(vec![Value::Int(id as i64), Value::Int(plan), Value::str(&zip)])
-            .expect("generated rows are well-typed");
+        cust.push(vec![
+            Value::Int(id as i64),
+            Value::Int(plan),
+            Value::str(&zip),
+        ])
+        .expect("generated rows are well-typed");
         for mo in 1..=config.months {
             // Not every customer calls every month, matching the sparser
             // real-world distribution.
@@ -117,10 +121,7 @@ pub fn generate(config: TelephonyConfig) -> TelephonyData {
 
 /// The revenue-per-zip query with the (plan, month) parameterization:
 /// `SELECT Zip, SUM(Dur · Price · p_plan · m_month) GROUP BY Zip`.
-pub fn revenue_provenance(
-    data: &TelephonyData,
-    vars: &mut VarTable,
-) -> GroupedProvenance {
+pub fn revenue_provenance(data: &TelephonyData, vars: &mut VarTable) -> GroupedProvenance {
     Pipeline::scan(&data.catalog, "Cust")
         .expect("table registered")
         .join(&data.catalog, "Calls", &[("ID", "CID")])

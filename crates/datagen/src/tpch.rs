@@ -180,11 +180,17 @@ pub fn generate(config: TpchConfig) -> TpchData {
     let mut catalog = Catalog::new();
     catalog.register("region", region).expect("fresh catalog");
     catalog.register("nation", nation).expect("fresh catalog");
-    catalog.register("supplier", supplier).expect("fresh catalog");
+    catalog
+        .register("supplier", supplier)
+        .expect("fresh catalog");
     catalog.register("part", part).expect("fresh catalog");
-    catalog.register("customer", customer).expect("fresh catalog");
+    catalog
+        .register("customer", customer)
+        .expect("fresh catalog");
     catalog.register("orders", orders_t).expect("fresh catalog");
-    catalog.register("lineitem", lineitem).expect("fresh catalog");
+    catalog
+        .register("lineitem", lineitem)
+        .expect("fresh catalog");
     TpchData { catalog, config }
 }
 
@@ -407,9 +413,7 @@ mod tests {
             .expect("registered")
             .rows()
             .iter()
-            .filter(|r| {
-                r[3].as_i64().expect("int") < 24 && r[5].as_f64().expect("float") >= 0.05
-            })
+            .filter(|r| r[3].as_i64().expect("int") < 24 && r[5].as_f64().expect("float") >= 0.05)
             .map(|r| r[4].as_f64().expect("float") * r[5].as_f64().expect("float"))
             .sum();
         assert!((g.plain_values()[0] - reference).abs() < 1e-6 * reference.max(1.0));
@@ -445,6 +449,9 @@ mod tests {
         let b = small();
         let mut va = VarTable::new();
         let mut vb = VarTable::new();
-        assert_eq!(q10(&a, &mut va).plain_values(), q10(&b, &mut vb).plain_values());
+        assert_eq!(
+            q10(&a, &mut va).plain_values(),
+            q10(&b, &mut vb).plain_values()
+        );
     }
 }

@@ -221,7 +221,12 @@ impl<K: Semiring> KPipeline<K> {
     }
 
     /// ⋈ (annotations combine with `⊗`).
-    pub fn join(self, other: &Self, on: &[(&str, &str)], prefix: &str) -> Result<Self, EngineError> {
+    pub fn join(
+        self,
+        other: &Self,
+        on: &[(&str, &str)],
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
         Ok(Self {
             rel: self.rel.join(&other.rel, on, prefix)?,
         })
@@ -263,12 +268,7 @@ impl KPipeline<provabs_provenance::polynomial::Polynomial<u64>> {
     /// Splits the relation into its tuples and their how-provenance
     /// polynomials — the multiset `𝒫` the abstraction algorithms consume
     /// (§2.1 case 1).
-    pub fn into_polys(
-        self,
-    ) -> (
-        Vec<Row>,
-        provabs_provenance::polyset::PolySet<u64>,
-    ) {
+    pub fn into_polys(self) -> (Vec<Row>, provabs_provenance::polyset::PolySet<u64>) {
         let mut rows = Vec::with_capacity(self.rel.len());
         let mut polys = Vec::with_capacity(self.rel.len());
         for (r, k) in self.rel.iter() {
@@ -291,7 +291,10 @@ mod tests {
     type NX = Polynomial<u64>;
 
     fn table(rows: &[(i64, &str)]) -> Table {
-        let mut t = Table::new(Schema::of(&[("id", ColumnType::Int), ("tag", ColumnType::Str)]));
+        let mut t = Table::new(Schema::of(&[
+            ("id", ColumnType::Int),
+            ("tag", ColumnType::Str),
+        ]));
         for &(id, tag) in rows {
             t.push(vec![Value::Int(id), Value::str(tag)]).expect("ok");
         }
@@ -315,6 +318,7 @@ mod tests {
         let ks = annotated(&s, &mut vars, "s");
         let joined = kr.join(&ks, &[("id", "id")], "s").expect("join");
         assert_eq!(joined.len(), 2); // (1,a,1,x) and (1,a,1,y)
+
         // Project to id: annotations r0·s0 + r0·s1.
         let projected = joined.project(&["id"]).expect("project");
         assert_eq!(projected.len(), 1);
@@ -360,7 +364,9 @@ mod tests {
         let mut vars = VarTable::new();
         let r = table(&[(1, "a"), (2, "b")]);
         let kr = annotated(&r, &mut vars, "r");
-        let sel = kr.select(&Expr::col("tag").eq(Expr::lit("b"))).expect("select");
+        let sel = kr
+            .select(&Expr::col("tag").eq(Expr::lit("b")))
+            .expect("select");
         assert_eq!(sel.len(), 1);
         let p = sel.annotation_of(&vec![Value::Int(2), Value::str("b")]);
         assert_eq!(p.size_m(), 1);
@@ -404,9 +410,7 @@ mod tests {
 
         // Deletion propagation: removing s0 kills id 1 but not id 2.
         let s0 = vars.lookup("s0").expect("interned");
-        let alive = |row: &Row| {
-            specialize(&prov.annotation_of(row), |v| Bool(v != s0))
-        };
+        let alive = |row: &Row| specialize(&prov.annotation_of(row), |v| Bool(v != s0));
         assert_eq!(alive(&vec![Value::Int(1)]), Bool(false));
         assert_eq!(alive(&vec![Value::Int(2)]), Bool(true));
     }
@@ -430,12 +434,9 @@ mod tests {
         catalog.register("off", offers).expect("fresh");
 
         let mut vars = VarTable::new();
-        let sup = KPipeline::annotate_with_vars(&catalog, "sup", "s", &mut vars)
+        let sup = KPipeline::annotate_with_vars(&catalog, "sup", "s", &mut vars).expect("annotate");
+        let off = KPipeline::annotate(&catalog, "off", |_, _| Polynomial::<u64>::constant(1))
             .expect("annotate");
-        let off = KPipeline::annotate(&catalog, "off", |_, _| {
-            Polynomial::<u64>::constant(1)
-        })
-        .expect("annotate");
         let (rows, polys) = sup
             .join(&off, &[("id", "oid")], "o")
             .expect("join")
@@ -444,12 +445,12 @@ mod tests {
             .into_polys();
         assert_eq!(rows.len(), 2); // bolt, nut
         assert_eq!(polys.size_m(), 3); // s0 + s1 for bolt, s2 for nut
+
         // The polynomials are immediately abstractable: group FR suppliers.
         let tree = provabs_provenance_tree_stub(&mut vars);
         let forest = provabs_trees_forest(tree);
         // s2 is outside the forest and stays intact automatically.
-        let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &["FR"])
-            .expect("labels");
+        let vvs = provabs_trees::cut::Vvs::from_labels(&forest, &vars, &["FR"]).expect("labels");
         let down = vvs.apply(&polys, &forest);
         assert_eq!(down.size_m(), 2); // 2·FR and s2
     }
@@ -474,9 +475,11 @@ mod tests {
             .register("t", table(&[(1, "a"), (2, "b")]))
             .expect("fresh");
         let mut vars = VarTable::new();
-        let p = KPipeline::annotate_with_vars(&catalog, "t", "x", &mut vars)
-            .expect("annotate");
-        let selected = p.clone().select(&Expr::col("tag").eq(Expr::lit("a"))).expect("select");
+        let p = KPipeline::annotate_with_vars(&catalog, "t", "x", &mut vars).expect("annotate");
+        let selected = p
+            .clone()
+            .select(&Expr::col("tag").eq(Expr::lit("a")))
+            .expect("select");
         assert_eq!(selected.relation().len(), 1);
         let both = selected.union(&p).expect("union");
         // (1, a) occurs in both branches: annotation x0 + x0 = 2·x0.

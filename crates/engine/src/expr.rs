@@ -186,12 +186,12 @@ impl Resolved {
                 let b = r.eval(row)?;
                 Value::Int(i64::from(compare(&a, &b, *op)?))
             }
-            Resolved::And(l, r) => {
-                Value::Int(i64::from(l.eval(row)?.as_i64()? != 0 && r.eval(row)?.as_i64()? != 0))
-            }
-            Resolved::Or(l, r) => {
-                Value::Int(i64::from(l.eval(row)?.as_i64()? != 0 || r.eval(row)?.as_i64()? != 0))
-            }
+            Resolved::And(l, r) => Value::Int(i64::from(
+                l.eval(row)?.as_i64()? != 0 && r.eval(row)?.as_i64()? != 0,
+            )),
+            Resolved::Or(l, r) => Value::Int(i64::from(
+                l.eval(row)?.as_i64()? != 0 || r.eval(row)?.as_i64()? != 0,
+            )),
             Resolved::Not(e) => Value::Int(i64::from(e.eval(row)?.as_i64()? == 0)),
         })
     }
@@ -273,7 +273,9 @@ mod tests {
     #[test]
     fn or_and_not() {
         let e = Expr::Not(Box::new(
-            Expr::col("dur").lt(Expr::lit(0i64)).or(Expr::col("dur").gt(Expr::lit(10_000i64))),
+            Expr::col("dur")
+                .lt(Expr::lit(0i64))
+                .or(Expr::col("dur").gt(Expr::lit(10_000i64))),
         ));
         let r = e.resolve(&schema()).expect("resolve");
         assert!(r.eval_bool(&row()).expect("eval"));

@@ -131,23 +131,13 @@ mod tests {
         assert_eq!(j.len(), 4);
         assert_eq!(j.schema().arity(), 6);
         // Customer 1 appears twice (months 1 and 3).
-        let ones = j
-            .rows()
-            .iter()
-            .filter(|r| r[0] == Value::Int(1))
-            .count();
+        let ones = j.rows().iter().filter(|r| r[0] == Value::Int(1)).count();
         assert_eq!(ones, 2);
     }
 
     #[test]
     fn join_on_multiple_keys() {
-        let j = hash_join(
-            &calls(),
-            &calls(),
-            &[("CID", "CID"), ("Mo", "Mo")],
-            "r",
-        )
-        .expect("join");
+        let j = hash_join(&calls(), &calls(), &[("CID", "CID"), ("Mo", "Mo")], "r").expect("join");
         assert_eq!(j.len(), 4); // each row matches itself only
     }
 

@@ -167,7 +167,9 @@ mod tests {
     #[test]
     fn per_value_rule() {
         let mut vars = VarTable::new();
-        let rule = VarRule::per_value("Mo", "m").resolve(&schema()).expect("resolve");
+        let rule = VarRule::per_value("Mo", "m")
+            .resolve(&schema())
+            .expect("resolve");
         let v = rule.var(&row(), &mut vars).expect("var");
         assert_eq!(vars.name(v), "m3");
     }

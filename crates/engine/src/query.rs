@@ -417,10 +417,29 @@ mod tests {
             .aggregate_sum(&["Mo"], &Expr::col("Dur"), &[], &mut vars)
             .expect("aggregate");
         assert_eq!(grouped.len(), 2); // months 1 and 3
+
         // A variable-free polynomial is a single constant monomial.
         assert!(grouped.polys.iter().all(|p| p.size_m() == 1));
         let total: f64 = grouped.plain_values().iter().sum();
-        assert!((total - (552 + 364 + 779 + 253 + 168 + 1044 + 697 + 480 + 327 + 805 + 290 + 121 + 1130 + 671) as f64).abs() < 1e-9);
+        assert!(
+            (total
+                - (552
+                    + 364
+                    + 779
+                    + 253
+                    + 168
+                    + 1044
+                    + 697
+                    + 480
+                    + 327
+                    + 805
+                    + 290
+                    + 121
+                    + 1130
+                    + 671) as f64)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -54,13 +54,8 @@ impl Schema {
 
     /// Convenience builder from `(name, type)` pairs.
     pub fn of(columns: &[(&str, ColumnType)]) -> Self {
-        Self::new(
-            columns
-                .iter()
-                .map(|(n, t)| (n.to_string(), *t))
-                .collect(),
-        )
-        .expect("static schemas have unique names")
+        Self::new(columns.iter().map(|(n, t)| (n.to_string(), *t)).collect())
+            .expect("static schemas have unique names")
     }
 
     /// Number of columns.
@@ -95,11 +90,8 @@ impl Schema {
     /// handling: columns of `other` that collide are renamed
     /// `{prefix}.{name}`.
     pub fn join(&self, other: &Schema, prefix: &str) -> Result<Schema, EngineError> {
-        let mut cols: Vec<(String, ColumnType)> = self
-            .columns
-            .iter()
-            .map(|(n, t)| (n.clone(), *t))
-            .collect();
+        let mut cols: Vec<(String, ColumnType)> =
+            self.columns.iter().map(|(n, t)| (n.clone(), *t)).collect();
         for (n, t) in other.iter() {
             let name = if self.index.contains_key(n) {
                 format!("{prefix}.{n}")

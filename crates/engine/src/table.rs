@@ -101,7 +101,13 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(schema());
         let err = t.push(vec![Value::Int(1)]).expect_err("arity");
-        assert_eq!(err, EngineError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            EngineError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -110,9 +110,7 @@ impl<C: Coefficient> Circuit<C> {
             }
             let n = 1 + match c.node() {
                 Node::Var(_) | Node::Const(_) => 0,
-                Node::Sum(ch) | Node::Prod(ch) => {
-                    ch.iter().map(|c| walk(c, memo)).sum::<u64>()
-                }
+                Node::Sum(ch) | Node::Prod(ch) => ch.iter().map(|c| walk(c, memo)).sum::<u64>(),
             };
             memo.insert(c.key(), n);
             n

@@ -283,7 +283,12 @@ impl Coefficient for Rational {
         let num = self
             .num
             .checked_mul(other.den)
-            .and_then(|l| other.num.checked_mul(self.den).and_then(|r| l.checked_add(r)))
+            .and_then(|l| {
+                other
+                    .num
+                    .checked_mul(self.den)
+                    .and_then(|r| l.checked_add(r))
+            })
             .expect("rational overflow in add");
         let den = self.den.checked_mul(other.den).expect("rational overflow");
         Self::new(num, den)
@@ -340,7 +345,10 @@ mod tests {
             Rational::from_decimal_str("220.8"),
             Some(Rational::new(2208, 10))
         );
-        assert_eq!(Rational::from_decimal_str("-0.25"), Some(Rational::new(-1, 4)));
+        assert_eq!(
+            Rational::from_decimal_str("-0.25"),
+            Some(Rational::new(-1, 4))
+        );
         assert_eq!(Rational::from_decimal_str("42"), Some(Rational::int(42)));
         assert_eq!(Rational::from_decimal_str("x"), None);
         assert_eq!(Rational::from_decimal_str("."), None);

@@ -199,7 +199,10 @@ mod tests {
 
     #[test]
     fn monomials_iterates_with_poly_index() {
-        let set = PolySet::from_vec(vec![poly(&[(&[1], 1.0)]), poly(&[(&[2], 1.0), (&[3], 1.0)])]);
+        let set = PolySet::from_vec(vec![
+            poly(&[(&[1], 1.0)]),
+            poly(&[(&[2], 1.0), (&[3], 1.0)]),
+        ]);
         let mut counts = [0usize; 2];
         for (i, _, _) in set.monomials() {
             counts[i] += 1;

@@ -94,7 +94,9 @@ impl VarTable {
 
 impl fmt::Debug for VarTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("VarTable").field("len", &self.len()).finish()
+        f.debug_struct("VarTable")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

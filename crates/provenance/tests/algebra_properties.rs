@@ -16,10 +16,7 @@ use provabs_provenance::var::{VarId, VarTable};
 /// coefficients (exact arithmetic, so equality is decidable).
 fn poly_strategy() -> impl Strategy<Value = Polynomial<Rational>> {
     prop::collection::vec(
-        (
-            prop::collection::vec((0u32..6, 1u32..3), 0..3),
-            -20i128..20,
-        ),
+        (prop::collection::vec((0u32..6, 1u32..3), 0..3), -20i128..20),
         0..6,
     )
     .prop_map(|terms| {

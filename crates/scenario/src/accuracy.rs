@@ -88,8 +88,7 @@ mod tests {
 
     fn setup() -> (PolySet<f64>, AbstractionResult, VarTable) {
         let mut vars = VarTable::new();
-        let polys =
-            parse_polyset("100·p1·m1 + 200·p1·m3", &mut vars).expect("parse");
+        let polys = parse_polyset("100·p1·m1 + 200·p1·m3", &mut vars).expect("parse");
         let forest = Forest::single(months_tree(&mut vars));
         let result = optimal_vvs(&polys, &forest, 1).expect("solvable");
         (polys, result, vars)
@@ -99,7 +98,10 @@ mod tests {
     fn uniform_scenarios_have_zero_error() {
         // A scenario constant on each group is representable exactly.
         let (polys, result, mut vars) = setup();
-        let fine = Scenario::new().set("m1", 0.8).set("m3", 0.8).valuation(&mut vars);
+        let fine = Scenario::new()
+            .set("m1", 0.8)
+            .set("m3", 0.8)
+            .valuation(&mut vars);
         let report = scenario_error(&polys, &result, &fine);
         assert!(report.max_relative < 1e-12, "{report:?}");
     }

@@ -49,10 +49,7 @@ mod tests {
             Polynomial::from_terms([(Monomial::var(x), 2.0)]),
             Polynomial::from_terms([(Monomial::var(x), 3.0)]),
         ]);
-        let vals = vec![
-            Valuation::neutral(),
-            Valuation::neutral().set(x, 10.0),
-        ];
+        let vals = vec![Valuation::neutral(), Valuation::neutral().set(x, 10.0)];
         let run = apply_batch(&polys, &vals);
         assert_eq!(run.values, vec![vec![2.0, 3.0], vec![20.0, 30.0]]);
         assert!(run.elapsed.as_nanos() > 0);

@@ -28,11 +28,7 @@ impl Scenario {
 
     /// Sets the same factor for several variables (e.g. a discount on all
     /// business plans).
-    pub fn set_all<'a>(
-        mut self,
-        names: impl IntoIterator<Item = &'a str>,
-        factor: f64,
-    ) -> Self {
+    pub fn set_all<'a>(mut self, names: impl IntoIterator<Item = &'a str>, factor: f64) -> Self {
         for n in names {
             self.changes.push((n.to_string(), factor));
         }

@@ -118,7 +118,10 @@ mod tests {
         // A scenario over the abstraction's meta-variables: +10 % on all
         // small-business plans, −20 % on specials.
         let scenarios = vec![
-            Scenario::new().set("SB", 1.1).set("Special", 0.8).valuation(&mut vars),
+            Scenario::new()
+                .set("SB", 1.1)
+                .set("Special", 0.8)
+                .valuation(&mut vars),
             Scenario::new().set("p1", 1.05).valuation(&mut vars),
             Valuation::neutral(),
         ];
@@ -130,7 +133,11 @@ mod tests {
     fn speedup_report_is_well_formed() {
         let (polys, result, mut vars) = setup();
         let scenarios: Vec<_> = (0..20)
-            .map(|i| Scenario::new().set("SB", 1.0 + i as f64 / 100.0).valuation(&mut vars))
+            .map(|i| {
+                Scenario::new()
+                    .set("SB", 1.0 + i as f64 / 100.0)
+                    .valuation(&mut vars)
+            })
             .collect();
         let report = assignment_speedup(&polys, &result, &scenarios, 3);
         assert!(report.original.as_nanos() > 0);

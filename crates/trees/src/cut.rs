@@ -119,11 +119,7 @@ impl Vvs {
                     cur = tree.parent(n);
                 }
                 match hits.len() {
-                    0 => {
-                        return Err(TreeError::LeafNotCovered(
-                            tree.label_of(leaf).to_string(),
-                        ))
-                    }
+                    0 => return Err(TreeError::LeafNotCovered(tree.label_of(leaf).to_string())),
                     1 => {}
                     _ => {
                         return Err(TreeError::NotAntichain {
@@ -265,9 +261,9 @@ pub fn enumerate_forest_cuts(
         .iter()
         .map(|t| enumerate_tree_cuts(t, per_tree_limit))
         .collect::<Option<_>>()?;
-    let total = per_tree.iter().fold(1u128, |acc, cs| {
-        acc.saturating_mul(cs.len() as u128)
-    });
+    let total = per_tree
+        .iter()
+        .fold(1u128, |acc, cs| acc.saturating_mul(cs.len() as u128));
     if total > total_limit {
         return None;
     }
@@ -351,8 +347,7 @@ mod tests {
             Err(TreeError::LeafNotCovered(_))
         ));
         // Plans is an ancestor of Business: not an antichain.
-        let vvs2 =
-            Vvs::from_labels(&f, &vars, &["Plans", "Business"]).expect("labels");
+        let vvs2 = Vvs::from_labels(&f, &vars, &["Plans", "Business"]).expect("labels");
         assert!(matches!(
             vvs2.validate(&f),
             Err(TreeError::NotAntichain { .. })
@@ -383,8 +378,7 @@ mod tests {
         )
         .expect("parse");
         let f = plans_forest(&mut vars);
-        let s1 = Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"])
-            .expect("labels");
+        let s1 = Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"]).expect("labels");
         let down = s1.apply(&polys, &f);
         assert_eq!(down.size_m(), 4);
         assert_eq!(down.size_v(), 4); // Standard, Special, m1, m3
@@ -398,8 +392,7 @@ mod tests {
     fn substitution_targets() {
         let mut vars = VarTable::new();
         let f = plans_forest(&mut vars);
-        let vvs = Vvs::from_labels(&f, &vars, &["SB", "e", "Special", "Standard"])
-            .expect("labels");
+        let vvs = Vvs::from_labels(&f, &vars, &["SB", "e", "Special", "Standard"]).expect("labels");
         let subst = vvs.substitution(&f);
         let b1 = vars.lookup("b1").expect("interned");
         let sb = vars.lookup("SB").expect("interned");
@@ -418,8 +411,8 @@ mod tests {
         let mut vars = VarTable::new();
         let polys = parse_polyset("2·b1 + 3·b2 + 4·e", &mut vars).expect("parse");
         let f = plans_forest(&mut vars);
-        let vvs = Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"])
-            .expect("labels");
+        let vvs =
+            Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"]).expect("labels");
         let business = vars.lookup("Business").expect("interned");
         let val = Valuation::neutral().set(business, 0.5);
         let lifted = vvs.lift_valuation(&f, &val);
@@ -454,8 +447,14 @@ mod tests {
     #[test]
     fn forest_enumeration_is_cartesian() {
         let mut vars = VarTable::new();
-        let t1 = TreeBuilder::new("A").leaves("A", ["a1", "a2"]).build(&mut vars).expect("tree");
-        let t2 = TreeBuilder::new("B").leaves("B", ["b1", "b2"]).build(&mut vars).expect("tree");
+        let t1 = TreeBuilder::new("A")
+            .leaves("A", ["a1", "a2"])
+            .build(&mut vars)
+            .expect("tree");
+        let t2 = TreeBuilder::new("B")
+            .leaves("B", ["b1", "b2"])
+            .build(&mut vars)
+            .expect("tree");
         let f = Forest::new(vec![t1, t2]).expect("disjoint");
         let all = enumerate_forest_cuts(&f, 100, 100).expect("small");
         assert_eq!(all.len(), 4); // 2 × 2

@@ -77,7 +77,10 @@ impl fmt::Display for TreeError {
                 write!(f, "forest trees are not disjoint: {l:?} occurs twice")
             }
             TreeError::LeafNotInPolynomials(l) => {
-                write!(f, "leaf {l:?} does not occur in the polynomials (clean the forest first)")
+                write!(
+                    f,
+                    "leaf {l:?} does not occur in the polynomials (clean the forest first)"
+                )
             }
             TreeError::MetaVariableInPolynomials(l) => {
                 write!(f, "meta-variable {l:?} already occurs in the polynomials")

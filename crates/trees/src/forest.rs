@@ -29,9 +29,7 @@ impl Forest {
             for id in tree.node_ids() {
                 let v = tree.var_of(id);
                 if var_index.insert(v, (ti, id)).is_some() {
-                    return Err(TreeError::ForestNotDisjoint(
-                        tree.label_of(id).to_string(),
-                    ));
+                    return Err(TreeError::ForestNotDisjoint(tree.label_of(id).to_string()));
                 }
             }
         }
@@ -187,8 +185,7 @@ mod tests {
     #[test]
     fn locate_finds_tree_and_node() {
         let mut vars = VarTable::new();
-        let f = Forest::new(vec![months_tree(&mut vars), plans_tree(&mut vars)])
-            .expect("disjoint");
+        let f = Forest::new(vec![months_tree(&mut vars), plans_tree(&mut vars)]).expect("disjoint");
         let m3 = vars.lookup("m3").expect("interned");
         let (ti, node) = f.locate(m3).expect("m3 in forest");
         assert_eq!(ti, 0);
@@ -202,8 +199,7 @@ mod tests {
         let mut vars = VarTable::new();
         let polys =
             parse_polyset("2·p1·m1 + 3·p1·m3\n4·f1·m1 + 5·f1·m3", &mut vars).expect("parse");
-        let f = Forest::new(vec![months_tree(&mut vars), plans_tree(&mut vars)])
-            .expect("disjoint");
+        let f = Forest::new(vec![months_tree(&mut vars), plans_tree(&mut vars)]).expect("disjoint");
         f.check_compatible(&polys).expect("compatible");
     }
 

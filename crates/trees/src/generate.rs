@@ -225,17 +225,17 @@ mod tests {
         let leaves = leaf_names("s", 128);
         let cases: &[(u8, usize, usize, u128)] = &[
             // (type, shape index, expected nodes, expected #VVS)
-            (1, 0, 131, 5),           // root 2, 64 leaves each
-            (1, 1, 133, 17),          // root 4 → 1 + 2^4
-            (1, 2, 137, 257),         // root 8 → 1 + 2^8
-            (1, 3, 145, 65537),       // root 16 → 1 + 2^16
-            (2, 0, 135, 26),          // [2,2] → 1 + 5²
-            (2, 2, 147, 66050),       // [2,8] → 1 + 257²
-            (3, 0, 141, 626),         // [4,2] → 1 + 5⁴
-            (4, 0, 153, 390626),      // [8,2] → 1 + 5⁸
-            (5, 0, 143, 677),         // [2,2,2] → 1 + 26²
-            (6, 0, 155, 391877),      // [2,4,2] → 1 + 626²
-            (7, 0, 157, 456977),      // [4,2,2] → 1 + 26⁴
+            (1, 0, 131, 5),      // root 2, 64 leaves each
+            (1, 1, 133, 17),     // root 4 → 1 + 2^4
+            (1, 2, 137, 257),    // root 8 → 1 + 2^8
+            (1, 3, 145, 65537),  // root 16 → 1 + 2^16
+            (2, 0, 135, 26),     // [2,2] → 1 + 5²
+            (2, 2, 147, 66050),  // [2,8] → 1 + 257²
+            (3, 0, 141, 626),    // [4,2] → 1 + 5⁴
+            (4, 0, 153, 390626), // [8,2] → 1 + 5⁸
+            (5, 0, 143, 677),    // [2,2,2] → 1 + 26²
+            (6, 0, 155, 391877), // [2,4,2] → 1 + 626²
+            (7, 0, 157, 456977), // [4,2,2] → 1 + 26⁴
         ];
         for &(ty, idx, nodes, cuts) in cases {
             let mut vars = VarTable::new();

@@ -215,7 +215,11 @@ impl AbsTree {
     /// Tree width: the maximal number of children of any node (the `w` of
     /// Proposition 14).
     pub fn width(&self) -> usize {
-        self.nodes.iter().map(|n| n.children.len()).max().unwrap_or(0)
+        self.nodes
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of cuts (valid variable sets) of this tree, saturating at
@@ -288,7 +292,9 @@ mod tests {
         assert_eq!(t.height(), 2);
         assert_eq!(t.width(), 3);
         assert_eq!(vars.name(t.var_of(t.root())), "Year");
-        let q1 = t.node_of_var(vars.lookup("q1").expect("interned")).expect("in tree");
+        let q1 = t
+            .node_of_var(vars.lookup("q1").expect("interned"))
+            .expect("in tree");
         assert_eq!(t.children(q1).len(), 3);
         assert_eq!(t.parent(q1), Some(t.root()));
     }
@@ -296,8 +302,12 @@ mod tests {
     #[test]
     fn descendant_leaves_and_ancestry() {
         let (t, vars) = sample();
-        let q1 = t.node_of_var(vars.lookup("q1").expect("interned")).expect("in tree");
-        let m2 = t.node_of_var(vars.lookup("m2").expect("interned")).expect("in tree");
+        let q1 = t
+            .node_of_var(vars.lookup("q1").expect("interned"))
+            .expect("in tree");
+        let m2 = t
+            .node_of_var(vars.lookup("m2").expect("interned"))
+            .expect("in tree");
         assert_eq!(t.num_descendant_leaves(q1), 3);
         assert_eq!(t.num_descendant_leaves(t.root()), 6);
         assert!(t.is_ancestor_or_self(q1, m2));
@@ -331,7 +341,9 @@ mod tests {
     #[test]
     fn single_node_tree() {
         let mut vars = VarTable::new();
-        let t = TreeBuilder::new("only").build(&mut vars).expect("valid tree");
+        let t = TreeBuilder::new("only")
+            .build(&mut vars)
+            .expect("valid tree");
         assert_eq!(t.num_nodes(), 1);
         assert!(t.is_leaf(t.root()));
         assert_eq!(t.count_cuts(), 1);

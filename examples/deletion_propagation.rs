@@ -38,7 +38,13 @@ fn main() {
         ("sid", ColumnType::Int),
         ("part", ColumnType::Str),
     ]));
-    for (sid, part) in [(1, "bolt"), (2, "bolt"), (3, "bolt"), (3, "nut"), (4, "nut")] {
+    for (sid, part) in [
+        (1, "bolt"),
+        (2, "bolt"),
+        (3, "bolt"),
+        (3, "nut"),
+        (4, "nut"),
+    ] {
         offers
             .push(vec![Value::Int(sid), Value::str(part)])
             .expect("well-typed");

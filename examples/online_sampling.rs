@@ -20,8 +20,12 @@ fn main() {
     let forest = data.primary_tree(2, 1);
     let total = data.polys.size_m();
     let bound = total * 2 / 3;
-    println!("provenance: {} monomials (≈{} KiB), bound {}", total,
-        data.polys.estimated_bytes() / 1024, bound);
+    println!(
+        "provenance: {} monomials (≈{} KiB), bound {}",
+        total,
+        data.polys.estimated_bytes() / 1024,
+        bound
+    );
 
     // Offline reference.
     let t0 = Instant::now();
@@ -40,8 +44,10 @@ fn main() {
     );
 
     // The online scheme at several sampling fractions.
-    println!("\n{:>9} {:>12} {:>10} {:>12} {:>9} {:>9}",
-        "fraction", "sample |P|", "adapted B", "online [ms]", "adequate", "VL");
+    println!(
+        "\n{:>9} {:>12} {:>10} {:>12} {:>9} {:>9}",
+        "fraction", "sample |P|", "adapted B", "online [ms]", "adequate", "VL"
+    );
     for fraction in [0.05, 0.1, 0.2, 0.4, 0.8] {
         let t = Instant::now();
         match online_compress(&data.polys, &forest, bound, fraction, 7, Solver::Optimal) {
@@ -57,7 +63,9 @@ fn main() {
             Err(e) => println!("{fraction:>9.2} sampling failed: {e}"),
         }
     }
-    println!("\nsmall samples miss the bound (unrepresentative — the risk §6 \
+    println!(
+        "\nsmall samples miss the bound (unrepresentative — the risk §6 \
               anticipates); fractions ≥ 0.2 match the offline granularity \
-              at a fraction of the cost.");
+              at a fraction of the cost."
+    );
 }

@@ -53,7 +53,8 @@ fn main() {
             bound,
             t_opt.as_secs_f64() * 1e3,
             t_greedy.as_secs_f64() * 1e3,
-            opt.map(|r| r.compressed_size_v.to_string()).unwrap_or("-".into()),
+            opt.map(|r| r.compressed_size_v.to_string())
+                .unwrap_or("-".into()),
             greedy
                 .map(|r| r.compressed_size_v.to_string())
                 .unwrap_or("-".into()),

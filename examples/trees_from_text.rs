@@ -53,5 +53,8 @@ Year(q1(m1,m2,m3), q2(m4,m5,m6), q3(m7,m8,m9), q4(m10,m11,m12))
         .expect("labels exist");
     vvs.validate(&cleaned).expect("a valid cut");
     let down = vvs.apply(&polys, &cleaned);
-    println!("\nabstracted provenance:\n{}", polyset_to_string(&down, &vars));
+    println!(
+        "\nabstracted provenance:\n{}",
+        polyset_to_string(&down, &vars)
+    );
 }

@@ -24,8 +24,10 @@ fn tables_strategy() -> impl Strategy<Value = (FactRows, DimRows)> {
         prop::collection::hash_map(0i64..8, 1u32..50, 1..8),
     )
         .prop_map(|(facts, dims)| {
-            let dims: Vec<(i64, f64)> =
-                dims.into_iter().map(|(k, r)| (k, r as f64 / 10.0)).collect();
+            let dims: Vec<(i64, f64)> = dims
+                .into_iter()
+                .map(|(k, r)| (k, r as f64 / 10.0))
+                .collect();
             (facts, dims)
         })
 }

@@ -18,7 +18,11 @@ fn graph_strategy() -> impl Strategy<Value = Graph> {
                 .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
                 .collect();
             let m = all_edges.len();
-            (Just(n), Just(all_edges), prop::collection::vec(any::<bool>(), m))
+            (
+                Just(n),
+                Just(all_edges),
+                prop::collection::vec(any::<bool>(), m),
+            )
         })
         .prop_filter_map("at least one edge", |(n, all_edges, mask)| {
             let edges: Vec<_> = all_edges

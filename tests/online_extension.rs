@@ -2,9 +2,7 @@
 //! generated workloads: representative samples recover the offline VVS;
 //! the adapted bound and size estimation behave as specified.
 
-use provabs::algo::online::{
-    estimate_full_size, online_compress, sample_polys, Solver,
-};
+use provabs::algo::online::{estimate_full_size, online_compress, sample_polys, Solver};
 use provabs::algo::optimal::optimal_vvs;
 use provabs::datagen::workload::{Workload, WorkloadConfig};
 
@@ -39,8 +37,8 @@ fn large_sample_recovers_offline_quality_on_telephony() {
     assert!(online.sample_size_m < data.polys.size_m());
     assert!(online.adapted_bound < bound);
     // A near-full sample is strictly adequate.
-    let near_full = online_compress(&data.polys, &forest, bound, 0.95, 3, Solver::Optimal)
-        .expect("solvable");
+    let near_full =
+        online_compress(&data.polys, &forest, bound, 0.95, 3, Solver::Optimal).expect("solvable");
     assert!(near_full.full.is_adequate_for(bound));
 }
 

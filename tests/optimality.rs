@@ -24,10 +24,10 @@ struct Instance {
 
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     (
-        2usize..7,                               // leaves
-        1usize..3,                               // polynomials
+        2usize..7, // leaves
+        1usize..3, // polynomials
         prop::collection::vec((0usize..6, 0usize..4, 1u32..3, 1u32..50), 3..14),
-        any::<u64>(),                            // tree seed
+        any::<u64>(), // tree seed
     )
         .prop_map(|(n_leaves, n_polys, monos, seed)| {
             let leaves = leaf_names("l", n_leaves);

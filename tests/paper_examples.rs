@@ -54,13 +54,12 @@ fn example_2_quarterly_abstraction() {
     // 460.8·p1·q1 + 241.85·f1·q1 + 148.4·y1·q1 + 66.2·v·q1
     let q1 = vars.lookup("q1").expect("interned");
     let coeff = |plan: &str| {
-        down.iter()
-            .next()
-            .expect("one poly")
-            .coefficient(&provabs::provenance::monomial::Monomial::from_vars([
+        down.iter().next().expect("one poly").coefficient(
+            &provabs::provenance::monomial::Monomial::from_vars([
                 vars.lookup(plan).expect("interned"),
                 q1,
-            ]))
+            ]),
+        )
     };
     assert!((coeff("p1") - 460.8).abs() < 1e-9);
     assert!((coeff("f1") - 241.85).abs() < 1e-9);
@@ -92,8 +91,8 @@ fn examples_5_and_6() {
         let vvs = Vvs::from_labels(&forest, &vars, &labels).expect("labels");
         vvs.validate(&forest).expect("Example 5 sets are valid");
     }
-    let s1 = Vvs::from_labels(&forest, &vars, &["Business", "Special", "Standard"])
-        .expect("labels");
+    let s1 =
+        Vvs::from_labels(&forest, &vars, &["Business", "Special", "Standard"]).expect("labels");
     let down1 = s1.apply(&polys, &forest);
     assert_eq!((down1.size_m(), down1.size_v()), (4, 4));
     let s5 = Vvs::from_labels(&forest, &vars, &["Plans"]).expect("labels");
@@ -156,10 +155,7 @@ fn example_15_greedy_vs_optimal() {
     assert_eq!((greedy.ml(), greedy.vl()), (11, 5));
     let brute = brute_force_vvs(&polys, &forest, 4, DEFAULT_CUT_LIMIT).expect("small");
     assert_eq!(brute.vl(), 4);
-    assert!(brute
-        .vvs
-        .labels(&brute.forest)
-        .contains(&"q1".to_string()));
+    assert!(brute.vvs.labels(&brute.forest).contains(&"q1".to_string()));
 }
 
 /// Example 1's scenarios, end to end: "what if the ppm of all plans

@@ -42,9 +42,7 @@ fn all_workloads_compress_and_answer_scenarios() {
                     // Scenario equivalence on the optimal abstraction.
                     let names = o.vvs.labels(&o.forest);
                     let vals: Vec<_> = (0..5)
-                        .map(|i| {
-                            Scenario::random(&names, 0.5, i).valuation(&mut data.vars)
-                        })
+                        .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
                         .collect();
                     let err = max_equivalence_error(&data.polys, o, &vals);
                     assert!(err < 1e-9, "{}: equivalence error {err}", workload.name());
@@ -112,8 +110,13 @@ fn pipeline_is_deterministic() {
         let mut data = Workload::Telephony.generate(&cfg());
         let forest = data.primary_tree(2, 1);
         let bound = data.polys.size_m() / 2;
-        greedy_vvs(&data.polys, &forest, bound)
-            .map(|r| (r.compressed_size_m, r.compressed_size_v, r.vvs.labels(&r.forest)))
+        greedy_vvs(&data.polys, &forest, bound).map(|r| {
+            (
+                r.compressed_size_m,
+                r.compressed_size_v,
+                r.vvs.labels(&r.forest),
+            )
+        })
     };
     assert_eq!(run().ok(), run().ok());
 }

@@ -37,7 +37,10 @@ fn telephony_at_scale() {
         .collect();
     assert!(max_equivalence_error(&data.polys, &opt, &scenarios) < 1e-9);
     let report = assignment_speedup(&data.polys, &opt, &scenarios, 3);
-    assert!(report.speedup_pct > 0.0, "compression must pay off at scale");
+    assert!(
+        report.speedup_pct > 0.0,
+        "compression must pay off at scale"
+    );
 }
 
 /// Full pipeline determinism at a larger TPC-H scale.

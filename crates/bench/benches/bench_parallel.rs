@@ -1,0 +1,52 @@
+//! Criterion benchmark of the three batch-evaluation engines on the
+//! 16-scenario analyst batch: serial hash-map reference vs the compiled
+//! columnar evaluator (single-threaded) vs compiled + scoped thread pool.
+//!
+//! This is the engine-ablation companion to `bench_apply` (which compares
+//! original vs compressed provenance): here the provenance is fixed and
+//! the evaluator varies. The acceptance target is compiled-parallel ≥ 2×
+//! over serial-hashmap on the telephony workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_scenario::apply::apply_batch;
+use provabs_scenario::executor::{apply_batch_parallel, EvalOptions};
+use provabs_scenario::scenario::Scenario;
+
+const SCENARIOS: usize = 16;
+
+fn bench_workload(c: &mut Criterion, workload: Workload, group_name: &str) {
+    let mut data = workload.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    // Scenarios over the original (uncompressed) variable space — the
+    // raw engine cost an analyst pays before any abstraction.
+    let names: Vec<String> = data.vars.iter().map(|(_, n)| n.to_string()).collect();
+    let batch: Vec<_> = (0..SCENARIOS as u64)
+        .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
+        .collect();
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+    group.bench_function("serial-hashmap", |b| {
+        b.iter(|| apply_batch(&data.polys, &batch).values)
+    });
+    let compiled_serial = EvalOptions::new().threads(1);
+    group.bench_function("compiled-serial", |b| {
+        b.iter(|| apply_batch_parallel(&data.polys, &batch, &compiled_serial).values)
+    });
+    let compiled_parallel = EvalOptions::new();
+    group.bench_function("compiled-parallel", |b| {
+        b.iter(|| apply_batch_parallel(&data.polys, &batch, &compiled_parallel).values)
+    });
+    group.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    bench_workload(c, Workload::Telephony, "parallel/telephony");
+    bench_workload(c, Workload::TpchQ1, "parallel/tpch_q1");
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

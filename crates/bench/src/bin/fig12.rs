@@ -1,5 +1,5 @@
 //! Figure 12: compression time vs bound — Opt vs the competitor
-//! summarization (Ainy et al., the paper's [3]) on TPC-H Q1 and Q5.
+//! summarization (Ainy et al., the paper's \[3\]) on TPC-H Q1 and Q5.
 //!
 //! Usage: `fig12 [scale]` (default scale 10; the competitor runs at a
 //! fifth of it, being quadratic in the provenance size).

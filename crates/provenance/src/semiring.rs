@@ -204,7 +204,7 @@ impl Semiring for Polynomial<u64> {
 
 /// Specialises a provenance polynomial `p ∈ N[X]` into the semiring `S`
 /// through the valuation `val` — the unique semiring homomorphism fixing
-/// `val` (Green [35]; this is what makes abstraction applicable across
+/// `val` (Green \[35\]; this is what makes abstraction applicable across
 /// provenance applications, §5).
 pub fn specialize<S: Semiring>(p: &Polynomial<u64>, mut val: impl FnMut(VarId) -> S) -> S {
     let mut acc = S::zero();

@@ -11,6 +11,7 @@
 //!   fine-grained answer. [`scenario_error`] quantifies that deviation
 //!   (the "reasonable loss of accuracy" of the abstract).
 
+use crate::executor::{eval_set_with, EvalOptions};
 use provabs_core::problem::AbstractionResult;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::valuation::Valuation;
@@ -43,6 +44,20 @@ pub fn scenario_error(
     result: &AbstractionResult,
     fine: &Valuation<f64>,
 ) -> ErrorReport {
+    scenario_error_with(polys, result, fine, &EvalOptions::serial_reference())
+}
+
+/// [`scenario_error`] with both evaluations routed through the executor
+/// configured by `opts`. Every engine yields bit-identical values, so
+/// the reported error is configuration-invariant; the serial reference
+/// default of [`scenario_error`] is also the fastest choice here, since
+/// one scenario cannot amortise compilation.
+pub fn scenario_error_with(
+    polys: &PolySet<f64>,
+    result: &AbstractionResult,
+    fine: &Valuation<f64>,
+    opts: &EvalOptions,
+) -> ErrorReport {
     // Build the coarse valuation: group mean per chosen internal node.
     let mut coarse = fine.clone();
     for (ti, node) in result.vvs.nodes() {
@@ -58,9 +73,9 @@ pub fn scenario_error(
             / leaves.len() as f64;
         coarse.assign(tree.var_of(node), mean);
     }
-    let exact = fine.eval_set(polys);
+    let exact = eval_set_with(polys, fine, opts);
     let compressed = result.apply(polys);
-    let approx = coarse.eval_set(&compressed);
+    let approx = eval_set_with(&compressed, &coarse, opts);
     let mut mean = 0.0;
     let mut max: f64 = 0.0;
     let n = exact.len().max(1);
@@ -116,6 +131,22 @@ mod tests {
         let expected = (260.0 - 240.0) / 260.0;
         assert!((report.mean_relative - expected).abs() < 1e-9, "{report:?}");
         assert!(report.max_relative >= report.mean_relative);
+    }
+
+    #[test]
+    fn scenario_error_is_engine_invariant() {
+        let (polys, result, mut vars) = setup();
+        let fine = Scenario::new().set("m1", 0.6).valuation(&mut vars);
+        let reference = scenario_error(&polys, &result, &fine);
+        let compiled = scenario_error_with(&polys, &result, &fine, &EvalOptions::new());
+        assert_eq!(
+            reference.mean_relative.to_bits(),
+            compiled.mean_relative.to_bits()
+        );
+        assert_eq!(
+            reference.max_relative.to_bits(),
+            compiled.max_relative.to_bits()
+        );
     }
 
     #[test]

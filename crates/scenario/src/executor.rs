@@ -1,0 +1,358 @@
+//! The batch evaluation engine: compiled poly-sets on a scoped thread pool.
+//!
+//! Applying a batch of scenarios to a poly-set is an embarrassingly
+//! parallel scenario×polynomial grid — each cell is independent — and the
+//! quantity the whole system exists to make fast (Figure 10's inner
+//! loop). This module partitions the grid by scenario into chunks, hands
+//! the chunks to `std::thread::scope` workers through an atomic cursor
+//! (work stealing without a dependency: whichever worker finishes first
+//! claims the next chunk), and evaluates each chunk either through the
+//! columnar [`CompiledPolySet`] fast path or the hash-map reference path.
+//!
+//! Entry points: [`apply_batch_parallel`] plus the [`EvalOptions`]
+//! builder. `EvalOptions::serial_reference()` reproduces the exact
+//! serial hash-map loop of [`crate::apply::apply_batch`], so everything
+//! can be routed through one engine without changing results — all three
+//! paths agree bit for bit (enforced by the `parallel_equivalence`
+//! property suite).
+
+use crate::apply::TimedRun;
+use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::valuation::Valuation;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs for [`apply_batch_parallel`].
+///
+/// The default (`threads: 0`, `compiled: true`, `chunk: 0`) auto-sizes
+/// the pool from [`std::thread::available_parallelism`] and evaluates
+/// through the columnar fast path.
+#[derive(Clone, Debug)]
+pub struct EvalOptions {
+    /// Worker threads; `0` = one per available core. `1` runs inline on
+    /// the calling thread (no pool is spun up).
+    pub threads: usize,
+    /// Whether to lower the poly-set into a [`CompiledPolySet`] first.
+    /// Compilation is one extra pass over the provenance, amortised over
+    /// the batch; disable it for single-scenario calls on huge sets.
+    pub compiled: bool,
+    /// Scenarios per work-queue chunk; `0` = auto (about four chunks per
+    /// worker, so the atomic cursor can balance uneven scenario costs).
+    pub chunk: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            compiled: true,
+            chunk: 0,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The auto-tuned default (compiled, one worker per core).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The configuration that reproduces [`crate::apply::apply_batch`]
+    /// exactly: single-threaded, hash-map evaluation. Used as the paper-
+    /// faithful baseline in speedup measurements.
+    pub fn serial_reference() -> Self {
+        Self {
+            threads: 1,
+            compiled: false,
+            chunk: 0,
+        }
+    }
+
+    /// Sets the worker count (`0` = auto), returning `self` for chaining.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Enables or disables the compiled fast path (chainable).
+    pub fn compiled(mut self, yes: bool) -> Self {
+        self.compiled = yes;
+        self
+    }
+
+    /// Sets the chunk size (`0` = auto), returning `self` for chaining.
+    pub fn chunk(mut self, scenarios_per_chunk: usize) -> Self {
+        self.chunk = scenarios_per_chunk;
+        self
+    }
+
+    /// The worker count to actually use for `jobs` scenarios.
+    fn resolved_threads(&self, jobs: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        let t = if self.threads == 0 {
+            hw()
+        } else {
+            self.threads
+        };
+        t.clamp(1, jobs.max(1))
+    }
+
+    /// The chunk size to actually use.
+    fn resolved_chunk(&self, jobs: usize, threads: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        // ~4 chunks per worker: enough slack for the cursor to rebalance,
+        // few enough that per-chunk overhead stays negligible.
+        jobs.div_ceil(threads * 4).max(1)
+    }
+}
+
+/// Evaluates every valuation against every polynomial on the configured
+/// engine, timing the whole batch (compilation included — the one-shot
+/// cost of answering the analyst's question from scratch; use
+/// [`PreparedBatch`] to compile once across many batches).
+///
+/// `values[s][p]` is the value of polynomial `p` under scenario `s`,
+/// bit-identical to [`crate::apply::apply_batch`] for every
+/// configuration.
+pub fn apply_batch_parallel(
+    polys: &PolySet<f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+) -> TimedRun {
+    let start = Instant::now();
+    let values = PreparedBatch::new(polys, opts).eval(valuations);
+    TimedRun {
+        values,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Evaluates one valuation through the configured engine (a grid with a
+/// single row) — the hook by which accuracy and speedup measurements are
+/// routed through the same engine as the batch path. The options are
+/// honoured as given: `compiled: true` really compiles, even though one
+/// scenario cannot amortise the lowering — prefer
+/// [`EvalOptions::serial_reference`] for one-shot single evaluations and
+/// [`PreparedBatch`] when reusing one poly-set across calls.
+pub fn eval_set_with(polys: &PolySet<f64>, val: &Valuation<f64>, opts: &EvalOptions) -> Vec<f64> {
+    PreparedBatch::new(polys, opts)
+        .eval(std::slice::from_ref(val))
+        .pop()
+        .unwrap_or_default()
+}
+
+/// A poly-set prepared for repeated batch evaluation: the columnar
+/// lowering happens once in [`PreparedBatch::new`], then every
+/// [`apply`](PreparedBatch::apply) call measures pure evaluation — the
+/// steady state of an analyst session posing batch after batch against
+/// the same provenance.
+pub struct PreparedBatch<'p> {
+    polys: &'p PolySet<f64>,
+    compiled: Option<CompiledPolySet<f64>>,
+    opts: EvalOptions,
+}
+
+impl<'p> PreparedBatch<'p> {
+    /// Prepares `polys` under `opts`, compiling now if the options ask
+    /// for the columnar path.
+    pub fn new(polys: &'p PolySet<f64>, opts: &EvalOptions) -> Self {
+        let compiled = opts.compiled.then(|| CompiledPolySet::compile(polys));
+        Self {
+            polys,
+            compiled,
+            opts: opts.clone(),
+        }
+    }
+
+    /// Evaluates a batch, timing only the evaluation (compilation was
+    /// paid in [`new`](Self::new)).
+    pub fn apply(&self, valuations: &[Valuation<f64>]) -> TimedRun {
+        let start = Instant::now();
+        let values = self.eval(valuations);
+        TimedRun {
+            values,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// The untimed core: dispatches on compiled/serial and runs the grid.
+    fn eval(&self, valuations: &[Valuation<f64>]) -> Vec<Vec<f64>> {
+        if valuations.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.opts.resolved_threads(valuations.len());
+        if let Some(compiled) = &self.compiled {
+            if threads <= 1 {
+                compiled.eval_all(valuations)
+            } else {
+                run_chunked(valuations.len(), threads, &self.opts, |start, out| {
+                    let end = start + out.len();
+                    for (slot, row) in out
+                        .iter_mut()
+                        .zip(compiled.eval_all(&valuations[start..end]))
+                    {
+                        *slot = row;
+                    }
+                })
+            }
+        } else if threads <= 1 {
+            valuations.iter().map(|v| v.eval_set(self.polys)).collect()
+        } else {
+            let polys = self.polys;
+            run_chunked(valuations.len(), threads, &self.opts, |start, out| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = valuations[start + k].eval_set(polys);
+                }
+            })
+        }
+    }
+}
+
+/// The scoped thread-pool work queue: splits `jobs` output slots into
+/// chunks, spawns `threads` workers, and lets each worker claim chunks
+/// through an atomic cursor until the queue drains. `eval_chunk` receives
+/// the chunk's starting scenario index and its output slice.
+fn run_chunked(
+    jobs: usize,
+    threads: usize,
+    opts: &EvalOptions,
+    eval_chunk: impl Fn(usize, &mut [Vec<f64>]) + Sync,
+) -> Vec<Vec<f64>> {
+    let chunk = opts.resolved_chunk(jobs, threads);
+    let mut out: Vec<Vec<f64>> = Vec::new();
+    out.resize_with(jobs, Vec::new);
+    {
+        // Each chunk is claimed by exactly one worker (the cursor hands
+        // out each index once), so the mutexes are uncontended — they
+        // exist to hand `&mut` slices across the scope safely.
+        let slots: Vec<Mutex<&mut [Vec<f64>]>> = out.chunks_mut(chunk).map(Mutex::new).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else { break };
+                    let mut guard = slot.lock().expect("chunk mutex poisoned");
+                    eval_chunk(i * chunk, &mut guard);
+                });
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_batch;
+    use provabs_provenance::parse::parse_polyset;
+    use provabs_provenance::var::VarTable;
+
+    fn setup(n_scenarios: usize) -> (PolySet<f64>, Vec<Valuation<f64>>) {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1\n75.9·y1·m1 + 72.5·y1·m3\n42·v·m1",
+            &mut vars,
+        )
+        .expect("parse");
+        let names: Vec<String> = vars.iter().map(|(_, n)| n.to_string()).collect();
+        let vals = (0..n_scenarios)
+            .map(|i| crate::scenario::Scenario::random(&names, 0.6, i as u64).valuation(&mut vars))
+            .collect();
+        (polys, vals)
+    }
+
+    /// Every engine configuration must agree with the serial hash-map
+    /// reference bit for bit.
+    fn assert_matches_reference(polys: &PolySet<f64>, vals: &[Valuation<f64>], opts: &EvalOptions) {
+        let reference = apply_batch(polys, vals).values;
+        let got = apply_batch_parallel(polys, vals, opts).values;
+        assert_eq!(reference.len(), got.len());
+        for (r, g) in reference.iter().zip(&got) {
+            assert_eq!(r.len(), g.len());
+            for (a, b) in r.iter().zip(g) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b} under {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_configurations_match_the_serial_reference() {
+        let (polys, vals) = setup(13);
+        for opts in [
+            EvalOptions::serial_reference(),
+            EvalOptions::new().threads(1),
+            EvalOptions::new().threads(4),
+            EvalOptions::new().threads(4).compiled(false),
+            EvalOptions::new().threads(3).chunk(2),
+            EvalOptions::new(), // auto everything
+        ] {
+            assert_matches_reference(&polys, &vals, &opts);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_polyset() {
+        let (polys, _) = setup(0);
+        let run = apply_batch_parallel(&polys, &[], &EvalOptions::new());
+        assert!(run.values.is_empty());
+        let empty: PolySet<f64> = PolySet::new();
+        let run = apply_batch_parallel(&empty, &[Valuation::neutral()], &EvalOptions::new());
+        assert_eq!(run.values, vec![Vec::<f64>::new()]);
+    }
+
+    #[test]
+    fn more_threads_than_scenarios_is_fine() {
+        let (polys, vals) = setup(2);
+        assert_matches_reference(&polys, &vals, &EvalOptions::new().threads(16));
+    }
+
+    #[test]
+    fn chunk_of_one_exercises_the_cursor() {
+        let (polys, vals) = setup(9);
+        assert_matches_reference(&polys, &vals, &EvalOptions::new().threads(2).chunk(1));
+    }
+
+    #[test]
+    fn eval_set_with_matches_eval_set() {
+        let (polys, vals) = setup(3);
+        for opts in [EvalOptions::serial_reference(), EvalOptions::new()] {
+            let got = eval_set_with(&polys, &vals[0], &opts);
+            assert_eq!(got, vals[0].eval_set(&polys));
+        }
+    }
+
+    #[test]
+    fn prepared_batch_reuses_the_compiled_form() {
+        let (polys, vals) = setup(6);
+        let reference = apply_batch(&polys, &vals).values;
+        let engine = PreparedBatch::new(&polys, &EvalOptions::new().threads(2));
+        // Two batches through one compilation; both match the reference.
+        for _ in 0..2 {
+            let run = engine.apply(&vals);
+            assert_eq!(run.values, reference);
+        }
+        let serial = PreparedBatch::new(&polys, &EvalOptions::serial_reference());
+        assert_eq!(serial.apply(&vals).values, reference);
+    }
+
+    #[test]
+    fn options_resolve_sanely() {
+        let opts = EvalOptions::new();
+        assert!(opts.resolved_threads(100) >= 1);
+        assert_eq!(opts.resolved_threads(0), 1);
+        assert_eq!(EvalOptions::new().threads(8).resolved_threads(3), 3);
+        assert_eq!(opts.resolved_chunk(100, 4), 7); // ceil(100/16)
+        assert_eq!(EvalOptions::new().chunk(5).resolved_chunk(100, 4), 5);
+        let timed = apply_batch_parallel(&PolySet::new(), &[], &opts);
+        assert!(timed.values.is_empty());
+    }
+}

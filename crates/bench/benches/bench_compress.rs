@@ -1,10 +1,14 @@
 //! Criterion micro-benchmarks of the three compression algorithms
 //! (Figures 5–7's inner loop): Opt (Algorithm 1), Greedy (Algorithm 2)
-//! and Brute-Force, on the telephony workload with a type-1 tree.
+//! and Brute-Force, on the telephony workload with a type-1 tree — plus
+//! the incremental-greedy ablation (`compress_incremental/*`): the
+//! delta-maintained engine behind [`greedy_vvs`] against the full-rescan
+//! reference, on telephony and TPC-H Q10 at scale 2.0 with the half-size
+//! bound. Results are recorded in `BENCH_compress_incremental.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provabs_core::brute::brute_force_vvs;
-use provabs_core::greedy::greedy_vvs;
+use provabs_core::greedy::{greedy_vvs, greedy_vvs_reference};
 use provabs_core::optimal::optimal_vvs;
 use provabs_datagen::workload::{Workload, WorkloadConfig};
 
@@ -33,5 +37,39 @@ fn bench_compress(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress);
+/// The incremental-engine ablation: reference full-rescan greedy vs the
+/// delta-maintained engine, identical inputs and (asserted) identical
+/// outputs, half-size bound, scale 2.0.
+fn bench_compress_incremental(c: &mut Criterion) {
+    for workload in [Workload::Telephony, Workload::TpchQ10] {
+        let mut data = workload.generate(&WorkloadConfig {
+            scale: 2.0,
+            ..WorkloadConfig::default()
+        });
+        let bound = data.polys.size_m() / 2;
+        let forest = data.primary_tree(2, 1);
+        // The acceptance invariant: both engines choose the same VVS.
+        let a = greedy_vvs(&data.polys, &forest, bound);
+        let b = greedy_vvs_reference(&data.polys, &forest, bound);
+        match (&a, &b) {
+            (Ok(a), Ok(b)) => assert_eq!(a.vvs, b.vvs, "engines diverged"),
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "engines diverged: {a:?} vs {b:?}"),
+        }
+        let name = match workload {
+            Workload::Telephony => "telephony",
+            _ => "tpch_q10",
+        };
+        let mut group = c.benchmark_group(format!("compress_incremental/{name}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("reference", bound), &forest, |b, f| {
+            b.iter(|| greedy_vvs_reference(&data.polys, f, bound))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", bound), &forest, |b, f| {
+            b.iter(|| greedy_vvs(&data.polys, f, bound))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_compress, bench_compress_incremental);
 criterion_main!(benches);

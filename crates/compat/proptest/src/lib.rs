@@ -17,6 +17,7 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 
@@ -28,9 +29,10 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
     /// Mirror of real proptest's `prelude::prop` module alias, giving
-    /// access to `prop::collection::*`.
+    /// access to `prop::collection::*` and `prop::option::*`.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 

@@ -1,0 +1,44 @@
+//! `Option` strategies: subset of `proptest::option`.
+
+use crate::strategy::{Rejection, Strategy};
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some` values from `inner` three times out of
+/// four, `None` otherwise (matching real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Rejection> {
+        if rng.next_below(4) == 0 {
+            Ok(None)
+        } else {
+            Ok(Some(self.inner.new_value(rng)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn mixes_some_and_none() {
+        let strat = of(0u32..10);
+        let mut rng = TestRng::deterministic("option", 1);
+        let draws: Vec<Option<u32>> = (0..64)
+            .map(|_| strat.new_value(&mut rng).expect("no filters"))
+            .collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().flatten().all(|&v| v < 10));
+    }
+}

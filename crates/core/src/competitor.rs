@@ -23,6 +23,8 @@ use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::monomial::Monomial;
 use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarId;
+use provabs_provenance::working::WorkingSet;
 use provabs_trees::cut::Vvs;
 use provabs_trees::error::TreeError;
 use provabs_trees::forest::Forest;
@@ -143,6 +145,13 @@ fn oracle_merge(
 
 /// Runs the pairwise summarization until `|𝒫↓S|_M ≤ bound` or no pair can
 /// merge. Returns the resulting abstraction and oracle statistics.
+///
+/// The in-flight polynomials live in a
+/// [`WorkingSet`]: each accepted merge substitutes the antichain nodes
+/// below the lift target incrementally (id remapping on the affected
+/// monomials) instead of re-applying the whole substitution to the
+/// original polynomials. The defining quadratic pair scan per iteration
+/// is untouched — that *is* the baseline being measured.
 pub fn pairwise_summarize<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
@@ -161,13 +170,14 @@ pub fn pairwise_summarize<C: Coefficient>(
             bits
         })
         .collect();
-    let mut current = polys.clone();
+    let mut ws = WorkingSet::from_polyset(polys);
+    let all_polys: Vec<usize> = (0..polys.len()).collect();
 
-    while current.size_m() > bound {
+    while ws.size_m() > bound {
         // Full pair scan (this is the point of the baseline).
         let mut best: Option<Lift> = None;
-        for p in current.iter() {
-            let monos: Vec<&Monomial> = p.iter().map(|(m, _)| m).collect();
+        for pi in 0..ws.num_polys() {
+            let monos: Vec<&Monomial> = ws.poly_mono_ids(pi).map(|id| ws.mono(id)).collect();
             for i in 0..monos.len() {
                 for j in (i + 1)..monos.len() {
                     stats.pairs_examined += 1;
@@ -183,18 +193,23 @@ pub fn pairwise_summarize<C: Coefficient>(
             break; // no merge possible anywhere
         };
         stats.merges_applied += 1;
-        // Apply the lift: raise the antichain, substitute globally.
+        // Apply the lift: raise the antichain, substitute the collapsed
+        // group incrementally.
         for &(ti, target) in &lift.raises {
             let tree = cleaned.tree(ti);
+            let mut group: Vec<VarId> = Vec::new();
             let mut stack = vec![target];
             while let Some(n) = stack.pop() {
-                antichain[ti][n.index()] = false;
-                stack.extend_from_slice(tree.children(n));
+                if antichain[ti][n.index()] {
+                    group.push(tree.var_of(n));
+                    antichain[ti][n.index()] = false;
+                } else {
+                    stack.extend_from_slice(tree.children(n));
+                }
             }
             antichain[ti][target.index()] = true;
+            ws.apply_group(&group, tree.var_of(target), &all_polys);
         }
-        let vvs = vvs_from_antichain(&antichain);
-        current = vvs.apply(polys, &cleaned);
     }
 
     let vvs = vvs_from_antichain(&antichain);

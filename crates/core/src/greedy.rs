@@ -12,8 +12,30 @@
 //! monomials and `SB` only 2); remaining ties fall back to label order
 //! for determinism ("ties are broken arbitrarily").
 //!
-//! Complexity: `O(n · |𝒫|_M)` — each of the at most `n` iterations
-//! rewrites the current polynomials once (§3.2).
+//! # Engines
+//!
+//! Two engines implement the identical selection rule:
+//!
+//! * the **incremental engine** (default, behind [`greedy_vvs`] and
+//!   [`greedy_frontier`]) keeps the in-flight polynomials in an interned
+//!   [`WorkingSet`] and *delta-maintains* the candidate scores: each
+//!   candidate caches its `(vl, ml_delta, affected)` triple, candidates
+//!   are bucketed by variable loss, and applying a merge only dirties the
+//!   candidates whose affected-polynomial sets intersect the applied
+//!   group's postings (tracked by per-polynomial version stamps, checked
+//!   lazily when a candidate's bucket is scanned). A step rewrites only
+//!   the affected id-maps, so the per-iteration cost tracks the merge's
+//!   footprint instead of `O(|𝒫|_M)`;
+//! * the **reference engine** ([`greedy_vvs_reference`],
+//!   [`greedy_frontier_reference`]) is the paper's direct transcription —
+//!   every iteration re-derives each minimal-VL candidate's group and
+//!   recomputes its monomial loss from scratch on cloned polynomials
+//!   (`O(n · |𝒫|_M)`, §3.2). It is kept as the test oracle and the
+//!   ablation baseline of `bench_compress`.
+//!
+//! The two are step-for-step identical: same chosen VVS, same frontier
+//! trace, same tie-breaks (asserted by the
+//! `incremental_equivalence` property suite).
 
 use crate::loss::ml_delta_of_group_in;
 use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
@@ -21,30 +43,85 @@ use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::fxhash::{FxHashMap, FxHashSet};
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarId;
+use provabs_provenance::working::WorkingSet;
 use provabs_trees::cut::Vvs;
 use provabs_trees::error::TreeError;
 use provabs_trees::forest::Forest;
 use provabs_trees::tree::NodeId;
 
-/// Sorted list of polynomial indices containing any variable of `group`.
-fn affected_polys(
-    postings: &FxHashMap<VarId, FxHashSet<usize>>,
-    group: &FxHashSet<VarId>,
-) -> Vec<usize> {
-    let mut out: Vec<usize> = group
-        .iter()
-        .filter_map(|v| postings.get(v))
-        .flatten()
-        .copied()
-        .collect();
-    out.sort_unstable();
-    out.dedup();
+/// Inverted index `variable → polynomial postings`, each list sorted
+/// ascending and duplicate-free.
+type Postings = FxHashMap<VarId, Vec<usize>>;
+
+/// Builds the postings index over a polynomial slice. Lists come out
+/// sorted because polynomials are visited in index order.
+fn build_postings<C: Coefficient>(
+    polys: &[provabs_provenance::polynomial::Polynomial<C>],
+) -> Postings {
+    let mut postings = Postings::default();
+    for (pi, p) in polys.iter().enumerate() {
+        for (m, _) in p.iter() {
+            for v in m.vars() {
+                let list = postings.entry(v).or_default();
+                if list.last() != Some(&pi) {
+                    list.push(pi);
+                }
+            }
+        }
+    }
+    postings
+}
+
+/// Merges two sorted duplicate-free lists into one.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
     out
 }
 
-/// Runs Algorithm 2. Works for any number of trees (including one, where
-/// it is a fast but possibly sub-optimal alternative to
-/// [`crate::optimal::optimal_vvs`]).
+/// Sorted list of polynomial indices containing any variable of `group`:
+/// a k-way merge of the (already sorted) postings lists, smallest lists
+/// first so the accumulator stays as short as possible.
+fn affected_polys(postings: &Postings, group: &[VarId]) -> Vec<usize> {
+    let mut lists: Vec<&[usize]> = group
+        .iter()
+        .filter_map(|v| postings.get(v))
+        .map(Vec::as_slice)
+        .collect();
+    lists.sort_unstable_by_key(|l| l.len());
+    let mut out: Vec<usize> = Vec::new();
+    for l in lists {
+        if out.is_empty() {
+            out.extend_from_slice(l);
+        } else {
+            out = merge_sorted(&out, l);
+        }
+    }
+    out
+}
+
+/// Runs Algorithm 2 with the incremental engine. Works for any number of
+/// trees (including one, where it is a fast but possibly sub-optimal
+/// alternative to [`crate::optimal::optimal_vvs`]).
 ///
 /// Returns [`TreeError::BoundUnattainable`] when even exhausting every
 /// candidate cannot reach `bound`; the error carries the best size the
@@ -69,6 +146,54 @@ pub fn greedy_vvs<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<AbstractionResult, TreeError> {
+    greedy_vvs_with(polys, forest, bound, run_incremental)
+}
+
+/// [`greedy_vvs`] driven by the reference engine (full per-iteration
+/// rescan on cloned polynomials) — the oracle for equivalence tests and
+/// the baseline of the `bench_compress` ablation.
+pub fn greedy_vvs_reference<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<AbstractionResult, TreeError> {
+    greedy_vvs_with(polys, forest, bound, run_reference)
+}
+
+/// The greedy trade-off trace: runs Algorithm 2 to exhaustion and records
+/// `(|𝒫↓S|_M, |𝒫↓S|_V)` after every step — the multi-tree counterpart of
+/// [`crate::optimal::optimal_frontier`] (approximate: each point is the
+/// greedy choice, not necessarily Pareto-optimal). The first entry is the
+/// identity abstraction.
+pub fn greedy_frontier<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+) -> Result<Vec<(usize, usize)>, TreeError> {
+    greedy_frontier_with(polys, forest, run_incremental)
+}
+
+/// [`greedy_frontier`] driven by the reference engine.
+pub fn greedy_frontier_reference<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+) -> Result<Vec<(usize, usize)>, TreeError> {
+    greedy_frontier_with(polys, forest, run_reference)
+}
+
+/// What an engine returns: the final membership bitmaps, plus the final
+/// `(|𝒫↓S|_M, |𝒫↓S|_V)` when the engine already has them materialised
+/// (the incremental engine's working set *is* the final state, so no
+/// re-application is needed; the reference engine defers to
+/// [`evaluate_vvs`]).
+type EngineOutcome = (Vec<Vec<bool>>, Option<(usize, usize)>);
+
+/// Shared preamble/postamble of [`greedy_vvs`] over a pluggable engine.
+fn greedy_vvs_with<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome,
+) -> Result<AbstractionResult, TreeError> {
     let cleaned = prepare(polys, forest)?;
     let total_m = polys.size_m();
     if bound >= total_m {
@@ -82,10 +207,20 @@ pub fn greedy_vvs<C: Coefficient>(
         });
     }
     let k = total_m - bound;
-    let in_s = run(polys, &cleaned, k, |_, _| {});
+    let (in_s, sizes) = engine(polys, &cleaned, k, &mut |_, _| {});
     let vvs = vvs_from_membership(&in_s);
     debug_assert!(vvs.validate(&cleaned).is_ok());
-    let result = evaluate_vvs(polys, &cleaned, vvs);
+    let result = match sizes {
+        Some((compressed_size_m, compressed_size_v)) => AbstractionResult {
+            forest: cleaned,
+            vvs,
+            original_size_m: total_m,
+            original_size_v: polys.size_v(),
+            compressed_size_m,
+            compressed_size_v,
+        },
+        None => evaluate_vvs(polys, &cleaned, vvs),
+    };
     if !result.is_adequate_for(bound) {
         return Err(TreeError::BoundUnattainable {
             bound,
@@ -95,14 +230,11 @@ pub fn greedy_vvs<C: Coefficient>(
     Ok(result)
 }
 
-/// The greedy trade-off trace: runs Algorithm 2 to exhaustion and records
-/// `(|𝒫↓S|_M, |𝒫↓S|_V)` after every step — the multi-tree counterpart of
-/// [`crate::optimal::optimal_frontier`] (approximate: each point is the
-/// greedy choice, not necessarily Pareto-optimal). The first entry is the
-/// identity abstraction.
-pub fn greedy_frontier<C: Coefficient>(
+/// Shared scaffolding of [`greedy_frontier`] over a pluggable engine.
+fn greedy_frontier_with<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
+    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome,
 ) -> Result<Vec<(usize, usize)>, TreeError> {
     let cleaned = prepare(polys, forest)?;
     let total_m = polys.size_m();
@@ -111,7 +243,7 @@ pub fn greedy_frontier<C: Coefficient>(
     if cleaned.num_trees() == 0 {
         return Ok(out);
     }
-    run(polys, &cleaned, usize::MAX, |ml, vl| {
+    engine(polys, &cleaned, usize::MAX, &mut |ml, vl| {
         out.push((total_m - ml, total_v - vl));
     });
     Ok(out)
@@ -131,19 +263,10 @@ fn vvs_from_membership(in_s: &[Vec<bool>]) -> Vvs {
     )
 }
 
-/// The greedy main loop: starts from all leaves, swaps in candidates
-/// until the monomial loss reaches `k` or candidates run out. Calls
-/// `observer(ml_total, vl_total)` after every applied step. Returns the
-/// final membership bitmaps.
-fn run<C: Coefficient>(
-    polys: &PolySet<C>,
-    cleaned: &Forest,
-    k: usize,
-    mut observer: impl FnMut(usize, usize),
-) -> Vec<Vec<bool>> {
-    // S as per-tree membership bitmaps, initialised to the leaves
-    // (lines 1–5).
-    let mut in_s: Vec<Vec<bool>> = cleaned
+/// Initial membership bitmaps: `S` starts as the set of all leaves
+/// (lines 1–5 of Algorithm 2).
+fn leaf_membership(cleaned: &Forest) -> Vec<Vec<bool>> {
+    cleaned
         .trees()
         .iter()
         .map(|t| {
@@ -153,10 +276,12 @@ fn run<C: Coefficient>(
             }
             v
         })
-        .collect();
+        .collect()
+}
 
-    // Candidates: nodes whose children are all in S (lines 6–9).
-    let mut candidates: Vec<(usize, NodeId)> = Vec::new();
+/// Initial candidates: nodes whose children are all in `S` (lines 6–9).
+fn initial_candidates(cleaned: &Forest, in_s: &[Vec<bool>]) -> Vec<(usize, NodeId)> {
+    let mut candidates = Vec::new();
     for (ti, tree) in cleaned.trees().iter().enumerate() {
         for n in tree.node_ids() {
             if !tree.is_leaf(n) && tree.children(n).iter().all(|c| in_s[ti][c.index()]) {
@@ -164,20 +289,32 @@ fn run<C: Coefficient>(
             }
         }
     }
+    candidates
+}
 
-    // Working copy of the polynomials plus an inverted index
-    // `variable → polynomial postings`, so candidate evaluation and
-    // application touch only affected polynomials.
+/// The reference greedy main loop: starts from all leaves, swaps in
+/// candidates until the monomial loss reaches `k` or candidates run out.
+/// Calls `observer(ml_total, vl_total)` after every applied step. Returns
+/// the final membership bitmaps.
+///
+/// Every iteration recomputes each minimal-VL candidate's monomial loss
+/// from scratch and rewrites the affected polynomials with
+/// [`map_vars`](provabs_provenance::polynomial::Polynomial::map_vars).
+fn run_reference<C: Coefficient>(
+    polys: &PolySet<C>,
+    cleaned: &Forest,
+    k: usize,
+    observer: &mut dyn FnMut(usize, usize),
+) -> EngineOutcome {
+    let mut in_s = leaf_membership(cleaned);
+    let mut candidates = initial_candidates(cleaned, &in_s);
+
+    // Working copy of the polynomials plus the postings index, so
+    // candidate evaluation and application touch only affected
+    // polynomials.
     let mut current: Vec<provabs_provenance::polynomial::Polynomial<C>> =
         polys.iter().cloned().collect();
-    let mut postings: FxHashMap<VarId, FxHashSet<usize>> = FxHashMap::default();
-    for (pi, p) in current.iter().enumerate() {
-        for (m, _) in p.iter() {
-            for v in m.vars() {
-                postings.entry(v).or_default().insert(pi);
-            }
-        }
-    }
+    let mut postings = build_postings(&current);
     let mut ml_total = 0usize;
     let mut vl_total = 0usize;
 
@@ -197,9 +334,9 @@ fn run<C: Coefficient>(
             if tree.children(n).len() - 1 != min_vl {
                 continue;
             }
-            let group: FxHashSet<VarId> =
-                tree.children(n).iter().map(|&c| tree.var_of(c)).collect();
-            let affected = affected_polys(&postings, &group);
+            let group_vec: Vec<VarId> = tree.children(n).iter().map(|&c| tree.var_of(c)).collect();
+            let group: FxHashSet<VarId> = group_vec.iter().copied().collect();
+            let affected = affected_polys(&postings, &group_vec);
             let delta = ml_delta_of_group_in(&current, &affected, &group);
             let replace = match &best {
                 None => true,
@@ -218,22 +355,21 @@ fn run<C: Coefficient>(
 
         // Apply: children leave S, the candidate joins (lines 11–12).
         let chosen_var = tree.var_of(chosen);
-        let group: FxHashSet<VarId> = tree
+        let group_vec: Vec<VarId> = tree
             .children(chosen)
             .iter()
             .map(|&c| tree.var_of(c))
             .collect();
-        let affected = affected_polys(&postings, &group);
+        let group: FxHashSet<VarId> = group_vec.iter().copied().collect();
+        let affected = affected_polys(&postings, &group_vec);
         for &pi in &affected {
             current[pi] = current[pi].map_vars(|v| if group.contains(&v) { chosen_var } else { v });
         }
-        for v in &group {
+        for v in &group_vec {
             postings.remove(v);
         }
-        postings
-            .entry(chosen_var)
-            .or_default()
-            .extend(affected.iter().copied());
+        let entry = postings.entry(chosen_var).or_default();
+        *entry = merge_sorted(entry, &affected);
         ml_total += delta;
         vl_total += tree.children(chosen).len() - 1;
         for &c in tree.children(chosen) {
@@ -250,7 +386,194 @@ fn run<C: Coefficient>(
         }
         observer(ml_total, vl_total);
     }
-    in_s
+    (in_s, None)
+}
+
+/// A cached candidate of the incremental engine.
+struct Candidate {
+    /// Tree and node this candidate would swap in.
+    ti: usize,
+    node: NodeId,
+    /// `VL` of applying it: number of children − 1 (static).
+    vl: usize,
+    /// The children's variables — the group the merge substitutes.
+    group: Vec<VarId>,
+    /// Sorted polynomial indices containing any group variable. Fixed for
+    /// the candidate's lifetime: postings entries of its group variables
+    /// never change while the candidate exists (groups of distinct
+    /// candidates are disjoint, and a candidate's parent only becomes a
+    /// candidate after this one is applied and retired).
+    affected: Vec<usize>,
+    /// Cached `ML` delta, valid as of `computed_at`.
+    delta: usize,
+    /// Engine step count when `delta` was computed (0 = never).
+    computed_at: u64,
+    /// Cleared when the candidate is applied; stale bucket entries are
+    /// skipped lazily.
+    alive: bool,
+}
+
+/// The incremental greedy main loop: same selection rule and step
+/// sequence as [`run_reference`], with the per-iteration work
+/// delta-maintained (see the [module docs](self)).
+fn run_incremental<C: Coefficient>(
+    polys: &PolySet<C>,
+    cleaned: &Forest,
+    k: usize,
+    observer: &mut dyn FnMut(usize, usize),
+) -> EngineOutcome {
+    let mut in_s = leaf_membership(cleaned);
+    let mut ws = WorkingSet::from_polyset(polys);
+    let mut postings = build_postings(polys.as_slice());
+
+    // Candidate slab + VL buckets. VL is bounded by the forest's maximal
+    // fan-out, so buckets are a dense vector; dead entries are skipped
+    // (and compacted) during bucket scans.
+    let mut slab: Vec<Candidate> = Vec::new();
+    let max_vl = cleaned
+        .trees()
+        .iter()
+        .flat_map(|t| t.node_ids().map(|n| t.children(n).len()))
+        .max()
+        .unwrap_or(1);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_vl.max(1)];
+    let mut live_candidates = 0usize;
+
+    // Version stamps realise the dirty-set propagation: `poly_version[pi]`
+    // is the step that last rewrote polynomial `pi`, and a cached delta is
+    // stale iff any of its affected polynomials changed after it was
+    // computed — exactly "affected ∩ applied postings ≠ ∅", evaluated
+    // lazily so candidates outside the scanned bucket never pay for it.
+    let mut poly_version: Vec<u64> = vec![1; polys.len()];
+    let mut step: u64 = 1;
+
+    let add_candidate = |ti: usize,
+                         node: NodeId,
+                         postings: &Postings,
+                         slab: &mut Vec<Candidate>,
+                         buckets: &mut Vec<Vec<usize>>| {
+        let tree = cleaned.tree(ti);
+        let group: Vec<VarId> = tree
+            .children(node)
+            .iter()
+            .map(|&c| tree.var_of(c))
+            .collect();
+        let vl = group.len() - 1;
+        let affected = affected_polys(postings, &group);
+        let id = slab.len();
+        slab.push(Candidate {
+            ti,
+            node,
+            vl,
+            group,
+            affected,
+            delta: 0,
+            computed_at: 0,
+            alive: true,
+        });
+        buckets[vl].push(id);
+    };
+
+    for (ti, node) in initial_candidates(cleaned, &in_s) {
+        add_candidate(ti, node, &postings, &mut slab, &mut buckets);
+        live_candidates += 1;
+    }
+
+    let mut ml_total = 0usize;
+    let mut vl_total = 0usize;
+
+    while ml_total < k && live_candidates > 0 {
+        // The minimal-VL bucket with a live candidate, compacting dead
+        // entries on the way.
+        let bucket_vl = buckets
+            .iter_mut()
+            .position(|b| {
+                b.retain(|&id| slab[id].alive);
+                !b.is_empty()
+            })
+            .expect("live_candidates > 0");
+
+        // Refresh stale deltas and pick the bucket's best candidate:
+        // maximal delta, ties towards the smaller label (labels are
+        // unique forest-wide, so the choice is scan-order independent and
+        // matches the reference engine).
+        // The bucket is not mutated during the scan; detach it so slab
+        // entries can be refreshed while iterating.
+        let bucket = std::mem::take(&mut buckets[bucket_vl]);
+        let mut best: Option<usize> = None;
+        for &id in &bucket {
+            let stale = {
+                let c = &slab[id];
+                c.computed_at == 0
+                    || c.affected
+                        .iter()
+                        .any(|&pi| poly_version[pi] > c.computed_at)
+            };
+            if stale {
+                let c = &mut slab[id];
+                c.delta = ws.ml_delta_of_group(&c.group, &c.affected);
+                c.computed_at = step;
+            }
+            let replace = match best {
+                None => true,
+                Some(b) => {
+                    let (cand, cur) = (&slab[id], &slab[b]);
+                    cand.delta > cur.delta
+                        || (cand.delta == cur.delta
+                            && cleaned.tree(cand.ti).label_of(cand.node)
+                                < cleaned.tree(cur.ti).label_of(cur.node))
+                }
+            };
+            if replace {
+                best = Some(id);
+            }
+        }
+        buckets[bucket_vl] = bucket;
+        let chosen_id = best.expect("bucket is non-empty");
+        let (ti, chosen, delta) = {
+            let c = &slab[chosen_id];
+            (c.ti, c.node, c.delta)
+        };
+        let tree = cleaned.tree(ti);
+        let chosen_var = tree.var_of(chosen);
+
+        // Apply the merge to the working set and bump the stamps of every
+        // rewritten polynomial.
+        step += 1;
+        {
+            let c = &slab[chosen_id];
+            ws.apply_group(&c.group, chosen_var, &c.affected);
+            for &pi in &c.affected {
+                poly_version[pi] = step;
+            }
+            for v in &c.group {
+                postings.remove(v);
+            }
+            let entry = postings.entry(chosen_var).or_default();
+            *entry = merge_sorted(entry, &c.affected);
+        }
+        ml_total += delta;
+        vl_total += slab[chosen_id].vl;
+        for &c in tree.children(chosen) {
+            in_s[ti][c.index()] = false;
+        }
+        in_s[ti][chosen.index()] = true;
+        slab[chosen_id].alive = false;
+        live_candidates -= 1;
+
+        // The parent may have become a candidate (lines 13–14).
+        if let Some(parent) = tree.parent(chosen) {
+            if tree.children(parent).iter().all(|c| in_s[ti][c.index()]) {
+                add_candidate(ti, parent, &postings, &mut slab, &mut buckets);
+                live_candidates += 1;
+            }
+        }
+        observer(ml_total, vl_total);
+    }
+    // The working set already is `𝒫↓S`: hand the final sizes back so the
+    // caller skips the wholesale re-application.
+    let sizes = (ws.size_m(), ws.size_v());
+    (in_s, Some(sizes))
 }
 
 #[cfg(test)]
@@ -310,6 +633,28 @@ mod tests {
         let opt_res = evaluate_vvs(&polys, &r.forest, opt);
         assert_eq!(opt_res.ml(), 10);
         assert_eq!(opt_res.vl(), 4);
+    }
+
+    #[test]
+    fn reference_engine_agrees_on_example_15() {
+        let (polys, forest, _) = example_15();
+        for bound in 1..=polys.size_m() {
+            let inc = greedy_vvs(&polys, &forest, bound);
+            let refr = greedy_vvs_reference(&polys, &forest, bound);
+            match (inc, refr) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.vvs, b.vvs, "bound {bound}");
+                    assert_eq!(a.compressed_size_m, b.compressed_size_m);
+                    assert_eq!(a.compressed_size_v, b.compressed_size_v);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "bound {bound}"),
+                (a, b) => panic!("engines disagree at bound {bound}: {a:?} vs {b:?}"),
+            }
+        }
+        assert_eq!(
+            greedy_frontier(&polys, &forest).expect("runs"),
+            greedy_frontier_reference(&polys, &forest).expect("runs"),
+        );
     }
 
     #[test]
@@ -399,5 +744,27 @@ mod tests {
         let o = crate::optimal::optimal_vvs(&polys, &forest, 3).expect("adequate");
         assert_eq!(g.vl(), o.vl());
         assert_eq!(g.compressed_size_m, 3);
+    }
+
+    #[test]
+    fn merged_postings_match_scan() {
+        let (polys, _, mut vars) = example_15();
+        let current: Vec<_> = polys.iter().cloned().collect();
+        let postings = build_postings(&current);
+        let group: Vec<VarId> = ["b1", "b2", "e", "f1"]
+            .iter()
+            .map(|l| vars.intern(l))
+            .collect();
+        let merged = affected_polys(&postings, &group);
+        // Oracle: direct scan.
+        let mut scan: Vec<usize> = current
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.iter().any(|(m, _)| m.vars().any(|v| group.contains(&v))))
+            .map(|(pi, _)| pi)
+            .collect();
+        scan.sort_unstable();
+        assert_eq!(merged, scan);
+        assert!(affected_polys(&postings, &[]).is_empty());
     }
 }

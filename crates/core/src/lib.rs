@@ -12,7 +12,11 @@
 //!   bottom-up dynamic programming (PTIME, Prop. 12/14). The sparse
 //!   hash-map variant of §4.1 is the default; a dense reference
 //!   implementation is kept for testing and ablation,
-//! * [`greedy`] — Algorithm 2: the greedy multi-tree heuristic,
+//! * [`greedy`] — Algorithm 2: the greedy multi-tree heuristic. The
+//!   default engine is *incremental*: candidate scores are cached,
+//!   bucketed by variable loss and delta-maintained over an interned
+//!   working set; the paper's full-rescan transcription is kept as a
+//!   reference engine for tests and ablations,
 //! * [`brute`] — exhaustive search over all cuts (the evaluation's
 //!   brute-force baseline),
 //! * [`competitor`] — a tree-oracle adaptation of the pairwise-merge
@@ -36,6 +40,6 @@ pub mod online;
 pub mod optimal;
 pub mod problem;
 
-pub use greedy::greedy_vvs;
+pub use greedy::{greedy_vvs, greedy_vvs_reference};
 pub use optimal::{optimal_vvs, optimal_vvs_dense};
 pub use problem::{evaluate_vvs, AbstractionResult};

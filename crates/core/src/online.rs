@@ -126,6 +126,12 @@ pub struct OnlineOutcome {
 /// sample with the requested solver, then apply that VVS to the full
 /// provenance and report the real outcome.
 ///
+/// Both the solver run on the sample and the final full-provenance
+/// measurement go through the shared interned working set
+/// ([`provabs_provenance::working::WorkingSet`], via the greedy engine
+/// and [`evaluate_vvs`]) — the full provenance is never re-substituted
+/// monomial-by-monomial here.
+///
 /// The returned result may be inadequate for the original bound — that is
 /// the scheme's inherent risk ("this sample is still not guaranteed to be
 /// representative"); callers check [`AbstractionResult::is_adequate_for`]

@@ -9,6 +9,9 @@
 //! groups — the paper's key insight) or the singleton choice `S = {v}`.
 //! The answer is the VVS encoded at the root's `k` entry, reconstructed by
 //! walking the recorded choices (Prop. 12/14: PTIME, `O(n·w·k²·|𝒫|_M)`).
+//! The final measurement of the reconstructed VVS goes through the shared
+//! interned working set (via [`evaluate_vvs`]) instead of a wholesale
+//! substitution pass.
 //!
 //! Two implementations are provided:
 //!

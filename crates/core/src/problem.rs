@@ -75,19 +75,35 @@ impl AbstractionResult {
 
 /// Applies `vvs` to `polys` and measures everything. `forest` must be the
 /// forest the VVS was built over (typically already cleaned).
+///
+/// The measurement runs through a
+/// [`WorkingSet`](provabs_provenance::working::WorkingSet) rather than a
+/// wholesale [`Vvs::apply`]: each distinct monomial is remapped exactly
+/// once regardless of how many polynomials share it, and the merge is
+/// `u32`-id accumulation instead of rebuilding monomial hash maps. The
+/// sizes are identical to the direct application (the working set mirrors
+/// `map_vars` term-set semantics); callers needing the materialised
+/// `𝒫↓S` still use [`AbstractionResult::apply`].
 pub fn evaluate_vvs<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
     vvs: Vvs,
 ) -> AbstractionResult {
-    let down = vvs.apply(polys, forest);
+    let subst = vvs.substitution(forest);
+    let (compressed_size_m, compressed_size_v) = if subst.is_empty() {
+        (polys.size_m(), polys.size_v())
+    } else {
+        let mut ws = provabs_provenance::working::WorkingSet::from_polyset(polys);
+        ws.apply_var_map(|v| subst.target(v));
+        (ws.size_m(), ws.size_v())
+    };
     AbstractionResult {
         forest: forest.clone(),
         vvs,
         original_size_m: polys.size_m(),
         original_size_v: polys.size_v(),
-        compressed_size_m: down.size_m(),
-        compressed_size_v: down.size_v(),
+        compressed_size_m,
+        compressed_size_v,
     }
 }
 

@@ -15,6 +15,9 @@
 //!   query evaluation, lifting both measures point-wise,
 //! * [`compiled`] — the columnar lowering of a poly-set for fast batch
 //!   scenario evaluation (flat arenas, densified `u32` variable space),
+//! * [`working`] — the interned working-set representation for in-flight
+//!   abstraction rewrites (monomial arena with dense ids, postings and
+//!   remainder indexes), the rewriting counterpart of [`compiled`],
 //! * [`coeff`] — coefficient rings (`f64`, integers, exact rationals),
 //! * [`semiring`] — commutative semirings and the specialisation of
 //!   `N[X]` provenance polynomials into them (Green's observation that the
@@ -58,6 +61,7 @@ pub mod polyset;
 pub mod semiring;
 pub mod valuation;
 pub mod var;
+pub mod working;
 
 pub use circuit::Circuit;
 pub use coeff::{Coefficient, Rational};
@@ -67,3 +71,4 @@ pub use polynomial::Polynomial;
 pub use polyset::PolySet;
 pub use valuation::Valuation;
 pub use var::{VarId, VarTable};
+pub use working::WorkingSet;

@@ -58,6 +58,11 @@ impl<C: Coefficient> Valuation<C> {
         self.assignments.len()
     }
 
+    /// The default value unmentioned variables take.
+    pub fn default_value(&self) -> &C {
+        &self.default
+    }
+
     /// Evaluates one polynomial.
     pub fn eval(&self, p: &Polynomial<C>) -> C {
         p.eval(|v| self.get(v))

@@ -1,0 +1,498 @@
+//! Interned columnar working sets for in-flight abstraction rewrites.
+//!
+//! The compression algorithms (greedy valid-variable selection above all)
+//! repeatedly *rewrite* a poly-set: substitute a small group of variables
+//! by one meta-variable, merge the monomials that become equal, measure,
+//! repeat. On the [`crate::polynomial::Polynomial`] representation every
+//! such step rebuilds whole monomial hash maps — each surviving monomial
+//! is re-canonicalised, re-hashed and re-inserted even when the
+//! substitution does not touch it.
+//!
+//! A [`WorkingSet`] avoids that by interning every distinct monomial once
+//! into an append-only arena with dense `u32` ids (the densification idea
+//! of [`crate::compiled`], applied to rewriting instead of evaluation):
+//!
+//! * each polynomial becomes a map `monomial id → coefficient`, so
+//!   merging under a substitution is id remapping plus coefficient
+//!   accumulation — no monomial is rebuilt unless the substitution
+//!   actually changes it, and cross-polynomial duplicates (the common
+//!   case for grouped provenance) are remapped exactly once;
+//! * a postings index `variable → monomial ids` finds the monomials a
+//!   group substitution can touch without scanning anything else;
+//! * a memoised *remainder index* `(monomial id, variable) → (remainder
+//!   id, exponent)` — the `M_l` operation of §4.1 — makes the monomial
+//!   loss of a candidate group a matter of `u32` probes instead of
+//!   monomial construction and hashing.
+//!
+//! Term *sets* evolve exactly as under [`Polynomial::map_vars`]: the same
+//! monomials exist with the same coefficient sums, and terms whose
+//! coefficients cancel to zero are dropped. The only divergence from the
+//! hash-map path is the *order* in which merged coefficients are added,
+//! which can differ in the last floating-point bit when three or more
+//! terms collapse into one (and can only change a term's existence if a
+//! sum lands exactly on zero in one order but not another — impossible
+//! for the non-negative provenance coefficients the paper's workloads
+//! produce, and irrelevant for exact coefficient types).
+//!
+//! [`Polynomial::map_vars`]: crate::polynomial::Polynomial::map_vars
+
+use crate::coeff::Coefficient;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use crate::polyset::PolySet;
+use crate::var::VarId;
+
+/// Dense id of an interned monomial within a [`WorkingSet`] arena.
+pub type MonoId = u32;
+
+/// A poly-set lowered into an interned, id-addressed form that supports
+/// cheap incremental substitution. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct WorkingSet<C> {
+    /// Arena of distinct monomials, append-only; `MonoId` indexes it.
+    monos: Vec<Monomial>,
+    /// Interning map over the arena.
+    ids: FxHashMap<Monomial, MonoId>,
+    /// Per polynomial: live terms as `monomial id → coefficient`.
+    terms: Vec<FxHashMap<MonoId, C>>,
+    /// `variable → sorted monomial ids containing it`. Covers every
+    /// arena entry (including ids no longer live in any polynomial —
+    /// probes against the term maps filter those out).
+    mono_postings: FxHashMap<VarId, Vec<MonoId>>,
+    /// Memoised remainders: `(monomial, removed variable) → (remainder
+    /// monomial, exponent the variable had)`. Valid forever because the
+    /// arena is append-only.
+    remainders: FxHashMap<(MonoId, VarId), (MonoId, u32)>,
+}
+
+/// Adds `coeff` to `map[id]`, dropping the entry when the sum vanishes —
+/// the id-space analogue of [`Polynomial::add_term`].
+///
+/// [`Polynomial::add_term`]: crate::polynomial::Polynomial::add_term
+fn add_term_id<C: Coefficient>(map: &mut FxHashMap<MonoId, C>, id: MonoId, coeff: C) {
+    if coeff.is_zero() {
+        return;
+    }
+    use std::collections::hash_map::Entry;
+    match map.entry(id) {
+        Entry::Occupied(mut e) => {
+            let sum = e.get().add(&coeff);
+            if sum.is_zero() {
+                e.remove();
+            } else {
+                e.insert(sum);
+            }
+        }
+        Entry::Vacant(e) => {
+            e.insert(coeff);
+        }
+    }
+}
+
+impl<C: Coefficient> WorkingSet<C> {
+    /// Lowers a poly-set: interns every distinct monomial and builds the
+    /// id-keyed term maps plus the postings index.
+    pub fn from_polyset(polys: &PolySet<C>) -> Self {
+        let mut ws = Self {
+            monos: Vec::new(),
+            ids: FxHashMap::default(),
+            terms: Vec::with_capacity(polys.len()),
+            mono_postings: FxHashMap::default(),
+            remainders: FxHashMap::default(),
+        };
+        for p in polys.iter() {
+            let mut map = FxHashMap::default();
+            map.reserve(p.size_m());
+            for (m, c) in p.iter() {
+                let id = ws.intern(m.clone());
+                // Input polynomials never store duplicate monomials, so
+                // plain insertion suffices (and never drops a term).
+                map.insert(id, c.clone());
+            }
+            ws.terms.push(map);
+        }
+        ws
+    }
+
+    /// Interns `mono`, registering a fresh id in the postings index on
+    /// first sight. Ids grow monotonically, so postings stay sorted by
+    /// construction.
+    fn intern(&mut self, mono: Monomial) -> MonoId {
+        if let Some(&id) = self.ids.get(&mono) {
+            return id;
+        }
+        let id = MonoId::try_from(self.monos.len()).expect("more than u32::MAX monomials");
+        for v in mono.vars() {
+            self.mono_postings.entry(v).or_default().push(id);
+        }
+        self.monos.push(mono.clone());
+        self.ids.insert(mono, id);
+        id
+    }
+
+    /// The interned monomial behind `id`.
+    pub fn mono(&self, id: MonoId) -> &Monomial {
+        &self.monos[id as usize]
+    }
+
+    /// Number of polynomials.
+    pub fn num_polys(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Live monomial ids of polynomial `pi`, in unspecified order.
+    pub fn poly_mono_ids(&self, pi: usize) -> impl Iterator<Item = MonoId> + '_ {
+        self.terms[pi].keys().copied()
+    }
+
+    /// `|P_pi|_M` of the current (rewritten) polynomial.
+    pub fn poly_size_m(&self, pi: usize) -> usize {
+        self.terms[pi].len()
+    }
+
+    /// `|𝒫|_M` of the current working set.
+    pub fn size_m(&self) -> usize {
+        self.terms.iter().map(FxHashMap::len).sum()
+    }
+
+    /// `|𝒫|_V`: distinct variables across the live monomials.
+    pub fn size_v(&self) -> usize {
+        let mut live = vec![false; self.monos.len()];
+        for map in &self.terms {
+            for &id in map.keys() {
+                live[id as usize] = true;
+            }
+        }
+        let mut vars: FxHashSet<VarId> = FxHashSet::default();
+        for (id, mono) in self.monos.iter().enumerate() {
+            if live[id] {
+                vars.extend(mono.vars());
+            }
+        }
+        vars.len()
+    }
+
+    /// The memoised `M_l` operation: remainder id and exponent of `v` in
+    /// monomial `id` (`v` must occur in it).
+    fn remainder(&mut self, id: MonoId, v: VarId) -> (MonoId, u32) {
+        if let Some(&r) = self.remainders.get(&(id, v)) {
+            return r;
+        }
+        let (rem, exp) = self.monos[id as usize].remove_var(v);
+        debug_assert!(exp > 0, "remainder of an absent variable");
+        let rem_id = self.intern(rem);
+        self.remainders.insert((id, v), (rem_id, exp));
+        (rem_id, exp)
+    }
+
+    /// The monomials a substitution of `group` can touch, paired with the
+    /// group variable each contains. Compatibility (at most one tree node
+    /// per monomial) makes the pairing unique.
+    fn group_occurrences(&self, group: &[VarId]) -> Vec<(MonoId, VarId)> {
+        let mut out = Vec::new();
+        for &v in group {
+            if let Some(list) = self.mono_postings.get(&v) {
+                out.extend(list.iter().map(|&m| (m, v)));
+            }
+        }
+        out
+    }
+
+    /// The monomial-loss delta of substituting every variable of `group`
+    /// by one shared fresh variable, measured over the polynomials at
+    /// `affected` — identical to the reference
+    /// `ml_delta_of_group_in` computation, in id space: two monomials
+    /// merge iff their remainders and exponents agree within the same
+    /// polynomial.
+    ///
+    /// `affected` must cover every polynomial containing a `group`
+    /// variable (a superset is fine); `group` variables must belong to at
+    /// most one monomial each (forest compatibility).
+    pub fn ml_delta_of_group(&mut self, group: &[VarId], affected: &[usize]) -> usize {
+        if group.len() < 2 {
+            return 0;
+        }
+        let occurrences = self.group_occurrences(group);
+        // Relevant monomials with their remainder class, as both a probe
+        // list and a lookup map: per polynomial the cheaper side wins.
+        let mut probe: Vec<(MonoId, u64)> = Vec::with_capacity(occurrences.len());
+        let mut lookup: FxHashMap<MonoId, u64> = FxHashMap::default();
+        lookup.reserve(occurrences.len());
+        for (m, v) in occurrences {
+            let (rem, exp) = self.remainder(m, v);
+            let key = (u64::from(rem) << 32) | u64::from(exp);
+            probe.push((m, key));
+            lookup.insert(m, key);
+        }
+        let mut delta = 0usize;
+        let mut distinct: FxHashSet<u64> = FxHashSet::default();
+        for &pi in affected {
+            let map = &self.terms[pi];
+            distinct.clear();
+            let mut matches = 0usize;
+            if probe.len() <= map.len() {
+                for &(m, key) in &probe {
+                    if map.contains_key(&m) {
+                        matches += 1;
+                        distinct.insert(key);
+                    }
+                }
+            } else {
+                for &m in map.keys() {
+                    if let Some(&key) = lookup.get(&m) {
+                        matches += 1;
+                        distinct.insert(key);
+                    }
+                }
+            }
+            delta += matches - distinct.len();
+        }
+        delta
+    }
+
+    /// Applies the group substitution `group → target` to the polynomials
+    /// at `affected`, merging coefficients of monomials that become equal
+    /// (and dropping exact-zero sums) — semantically `map_vars` restricted
+    /// to the affected polynomials, at id-remap cost.
+    ///
+    /// `affected` must cover every polynomial containing a `group`
+    /// variable; polynomials outside it are left untouched (they contain
+    /// no group variable, so the substitution fixes them anyway).
+    pub fn apply_group(&mut self, group: &[VarId], target: VarId, affected: &[usize]) {
+        let occurrences = self.group_occurrences(group);
+        let mut remap: Vec<(MonoId, MonoId)> = Vec::with_capacity(occurrences.len());
+        let mut lookup: FxHashMap<MonoId, MonoId> = FxHashMap::default();
+        lookup.reserve(occurrences.len());
+        for (m, v) in occurrences {
+            let (rem, exp) = self.remainder(m, v);
+            let merged = self.monos[rem as usize].mul(&Monomial::from_factors([(target, exp)]));
+            let new_id = self.intern(merged);
+            remap.push((m, new_id));
+            lookup.insert(m, new_id);
+        }
+        for &pi in affected {
+            let map = &mut self.terms[pi];
+            if remap.len() <= map.len() {
+                // Move only the touched terms.
+                for &(old, new) in &remap {
+                    if let Some(c) = map.remove(&old) {
+                        add_term_id(map, new, c);
+                    }
+                }
+            } else {
+                // Small polynomial: rebuilding beats probing the remap.
+                let old = std::mem::take(map);
+                let map = &mut self.terms[pi];
+                map.reserve(old.len());
+                for (m, c) in old {
+                    add_term_id(map, lookup.get(&m).copied().unwrap_or(m), c);
+                }
+            }
+        }
+    }
+
+    /// Applies an arbitrary variable substitution to *every* polynomial —
+    /// the wholesale `𝒫↓S` application, with each distinct monomial
+    /// remapped exactly once no matter how many polynomials share it.
+    pub fn apply_var_map(&mut self, mut map: impl FnMut(VarId) -> VarId) {
+        let mut remap: FxHashMap<MonoId, MonoId> = FxHashMap::default();
+        for pi in 0..self.terms.len() {
+            let old = std::mem::take(&mut self.terms[pi]);
+            let mut new_map: FxHashMap<MonoId, C> = FxHashMap::default();
+            new_map.reserve(old.len());
+            for (m, c) in old {
+                let id = match remap.get(&m) {
+                    Some(&id) => id,
+                    None => {
+                        let moved = self.monos[m as usize].vars().any(|v| map(v) != v);
+                        let id = if moved {
+                            let mono = self.monos[m as usize].map_vars(&mut map);
+                            self.intern(mono)
+                        } else {
+                            m
+                        };
+                        remap.insert(m, id);
+                        id
+                    }
+                };
+                add_term_id(&mut new_map, id, c);
+            }
+            self.terms[pi] = new_map;
+        }
+    }
+
+    /// Materialises the current state back into a hash-map-backed
+    /// [`PolySet`] (the semantics bridge, mirroring
+    /// [`crate::compiled::CompiledPolySet::to_polyset`]).
+    pub fn to_polyset(&self) -> PolySet<C> {
+        PolySet::from_vec(
+            self.terms
+                .iter()
+                .map(|map| {
+                    Polynomial::from_terms(
+                        map.iter()
+                            .map(|(&id, c)| (self.monos[id as usize].clone(), c.clone())),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    fn poly(terms: &[(&[(u32, u32)], f64)]) -> Polynomial<f64> {
+        Polynomial::from_terms(terms.iter().map(|(fs, c)| {
+            (
+                Monomial::from_factors(fs.iter().map(|&(i, e)| (v(i), e))),
+                *c,
+            )
+        }))
+    }
+
+    /// Two polynomials sharing the monomial structure of the running
+    /// example: leaves 1, 2, 3 under a group, context variables 8, 9.
+    fn sample() -> PolySet<f64> {
+        PolySet::from_vec(vec![
+            poly(&[
+                (&[(1, 1), (8, 1)], 2.0),
+                (&[(2, 1), (8, 1)], 3.0),
+                (&[(3, 1), (9, 1)], 4.0),
+            ]),
+            poly(&[(&[(1, 1), (8, 1)], 5.0), (&[(2, 1), (9, 1)], 6.0)]),
+        ])
+    }
+
+    #[test]
+    fn lowering_preserves_sizes_and_roundtrips() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        assert_eq!(ws.num_polys(), 2);
+        assert_eq!(ws.size_m(), polys.size_m());
+        assert_eq!(ws.size_v(), polys.size_v());
+        assert_eq!(ws.poly_size_m(0), 3);
+        let back = ws.to_polyset();
+        for (a, b) in back.iter().zip(polys.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn shared_monomials_are_interned_once() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        // 1·8 appears in both polynomials but is stored once.
+        assert_eq!(ws.monos.len(), 4);
+    }
+
+    #[test]
+    fn apply_group_matches_map_vars() {
+        let polys = sample();
+        let group = [v(1), v(2), v(3)];
+        let target = v(20);
+        let mut ws = WorkingSet::from_polyset(&polys);
+        ws.apply_group(&group, target, &[0, 1]);
+        let expected = polys.map_vars(|x| if group.contains(&x) { target } else { x });
+        for (a, b) in ws.to_polyset().iter().zip(expected.iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(ws.size_m(), expected.size_m());
+        assert_eq!(ws.size_v(), expected.size_v());
+    }
+
+    #[test]
+    fn apply_group_merges_coefficients_and_drops_zeros() {
+        let polys = PolySet::from_vec(vec![poly(&[
+            (&[(1, 1), (8, 1)], 2.5),
+            (&[(2, 1), (8, 1)], -2.5),
+            (&[(3, 1), (8, 1)], 1.0),
+        ])]);
+        let mut ws = WorkingSet::from_polyset(&polys);
+        // Merging 1 and 2 cancels exactly; 3 stays apart.
+        ws.apply_group(&[v(1), v(2)], v(20), &[0]);
+        assert_eq!(ws.size_m(), 1);
+        let back = ws.to_polyset();
+        let got = back.iter().next().expect("one poly");
+        assert_eq!(
+            got.coefficient(&Monomial::from_vars([v(3), v(8)])),
+            1.0,
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn ml_delta_matches_actual_merge_count() {
+        let polys = sample();
+        let group = [v(1), v(2), v(3)];
+        let mut ws = WorkingSet::from_polyset(&polys);
+        let predicted = ws.ml_delta_of_group(&group, &[0, 1]);
+        let merged = polys.map_vars(|x| if group.contains(&x) { v(20) } else { x });
+        assert_eq!(predicted, polys.size_m() - merged.size_m());
+        // Only 1·8 and 2·8 of the first polynomial merge (3 pairs with 9).
+        assert_eq!(predicted, 1);
+        // Sub-groups and singleton groups.
+        assert_eq!(ws.ml_delta_of_group(&[v(1)], &[0, 1]), 0);
+        assert_eq!(ws.ml_delta_of_group(&[v(1), v(3)], &[0, 1]), 0);
+    }
+
+    #[test]
+    fn ml_delta_respects_exponents() {
+        // x²·a never merges with y·a (exponents differ after mapping).
+        let polys = PolySet::from_vec(vec![poly(&[
+            (&[(1, 2), (8, 1)], 1.0),
+            (&[(2, 1), (8, 1)], 2.0),
+            (&[(3, 1), (8, 1)], 3.0),
+        ])]);
+        let mut ws = WorkingSet::from_polyset(&polys);
+        assert_eq!(ws.ml_delta_of_group(&[v(1), v(2), v(3)], &[0]), 1);
+    }
+
+    #[test]
+    fn sequential_groups_compose() {
+        let polys = sample();
+        let mut ws = WorkingSet::from_polyset(&polys);
+        ws.apply_group(&[v(1), v(2)], v(20), &[0, 1]);
+        ws.apply_group(&[v(20), v(3)], v(21), &[0, 1]);
+        let expected = polys.map_vars(|x| {
+            if [v(1), v(2), v(3)].contains(&x) {
+                v(21)
+            } else {
+                x
+            }
+        });
+        for (a, b) in ws.to_polyset().iter().zip(expected.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn apply_var_map_is_wholesale_substitution() {
+        let polys = sample();
+        let mut ws = WorkingSet::from_polyset(&polys);
+        let map = |x: VarId| if x.0 <= 3 { v(30) } else { x };
+        ws.apply_var_map(map);
+        let expected = polys.map_vars(map);
+        assert_eq!(ws.size_m(), expected.size_m());
+        assert_eq!(ws.size_v(), expected.size_v());
+        for (a, b) in ws.to_polyset().iter().zip(expected.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empty_polyset_works() {
+        let polys: PolySet<f64> = PolySet::new();
+        let mut ws = WorkingSet::from_polyset(&polys);
+        assert_eq!(ws.size_m(), 0);
+        assert_eq!(ws.size_v(), 0);
+        ws.apply_var_map(|x| x);
+        assert!(ws.to_polyset().is_empty());
+    }
+}

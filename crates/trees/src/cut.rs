@@ -138,14 +138,22 @@ impl Vvs {
     /// stay intact), as are variables outside the forest.
     pub fn substitution(&self, forest: &Forest) -> Substitution {
         let mut map = FxHashMap::default();
+        let mut stack: Vec<NodeId> = Vec::new();
         for (ti, node) in self.nodes() {
             let tree = forest.tree(ti);
             if tree.is_leaf(node) {
                 continue; // maps to itself
             }
             let target = tree.var_of(node);
-            for leaf in tree.descendant_leaves(node) {
-                map.insert(tree.var_of(leaf), target);
+            // One explicit walk per chosen node (no per-node Vec of
+            // descendant leaves materialised).
+            stack.push(node);
+            while let Some(n) = stack.pop() {
+                if tree.is_leaf(n) {
+                    map.insert(tree.var_of(n), target);
+                } else {
+                    stack.extend_from_slice(tree.children(n));
+                }
             }
         }
         Substitution { map }
@@ -161,21 +169,25 @@ impl Vvs {
     /// node's value. This realises the semantics of grouping — "all
     /// variables below each chosen node must be assigned the same value"
     /// (§2.3) — and satisfies `eval(P↓S, ν) == eval(P, lift(ν))`.
+    ///
+    /// The leaf map is computed once via [`Vvs::substitution`] (one tree
+    /// walk per chosen node) instead of cloning the whole valuation and
+    /// re-walking `descendant_leaves` per node: explicit assignments are
+    /// copied only when a lifted leaf does not override them.
     pub fn lift_valuation<C: Coefficient>(
         &self,
         forest: &Forest,
         val: &Valuation<C>,
     ) -> Valuation<C> {
-        let mut out = val.clone();
-        for (ti, node) in self.nodes() {
-            let tree = forest.tree(ti);
-            if tree.is_leaf(node) {
-                continue;
+        let subst = self.substitution(forest);
+        let mut out = Valuation::with_default(val.default_value().clone());
+        for (v, c) in val.iter() {
+            if !subst.maps(v) {
+                out.assign(v, c.clone());
             }
-            let value = val.get(tree.var_of(node));
-            for leaf in tree.descendant_leaves(node) {
-                out.assign(tree.var_of(leaf), value.clone());
-            }
+        }
+        for (leaf, target) in subst.iter() {
+            out.assign(leaf, val.get(target));
         }
         out
     }
@@ -202,6 +214,17 @@ impl Substitution {
     /// Whether the substitution is the identity.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Whether `v` is explicitly remapped (to a different variable).
+    #[inline]
+    pub fn maps(&self, v: VarId) -> bool {
+        self.map.contains_key(&v)
+    }
+
+    /// Iterates over the explicit `(leaf, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, VarId)> + '_ {
+        self.map.iter().map(|(&l, &t)| (l, t))
     }
 
     /// Applies the substitution to a polynomial set.
@@ -422,6 +445,40 @@ mod tests {
         let rhs: f64 = lifted.eval_set(&polys).into_iter().sum();
         assert!((lhs - rhs).abs() < 1e-9);
         assert!((lhs - (2.0 + 3.0 + 4.0) * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lift_valuation_overrides_stale_leaf_assignments() {
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        let vvs =
+            Vvs::from_labels(&f, &vars, &["Business", "Special", "Standard"]).expect("labels");
+        let b1 = vars.lookup("b1").expect("interned");
+        let business = vars.lookup("Business").expect("interned");
+        let outside = vars.intern("outside");
+        // b1 carries a stale explicit value; Business is left at the
+        // default, so the lift must pull b1 back to it.
+        let val = Valuation::neutral().set(b1, 7.0).set(outside, 3.0);
+        let lifted = vvs.lift_valuation(&f, &val);
+        assert_eq!(lifted.get(b1), val.get(business));
+        assert_eq!(lifted.get(b1), 1.0);
+        // Non-leaf explicit assignments survive untouched.
+        assert_eq!(lifted.get(outside), 3.0);
+        assert_eq!(lifted.default_value(), &1.0);
+    }
+
+    #[test]
+    fn substitution_iter_and_maps() {
+        let mut vars = VarTable::new();
+        let f = plans_forest(&mut vars);
+        let vvs = Vvs::from_labels(&f, &vars, &["SB", "e", "Special", "Standard"]).expect("labels");
+        let subst = vvs.substitution(&f);
+        let b1 = vars.lookup("b1").expect("interned");
+        let e = vars.lookup("e").expect("interned");
+        assert!(subst.maps(b1));
+        assert!(!subst.maps(e), "leaves chosen as themselves are omitted");
+        assert_eq!(subst.iter().count(), subst.len());
+        assert!(subst.iter().all(|(l, t)| subst.target(l) == t));
     }
 
     #[test]

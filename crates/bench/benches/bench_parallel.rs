@@ -43,9 +43,53 @@ fn bench_workload(c: &mut Criterion, workload: Workload, group_name: &str) {
     group.finish();
 }
 
+/// The façade's steady state: one compress-once [`Session`] serving the
+/// 16-scenario batch again and again. `ask-from-scratch` rebuilds the
+/// batch path per call ([`apply_batch_parallel`], compilation included);
+/// `session-ask-prepared` runs off the session's cached lowering. The
+/// compile-count hook proves the loop never recompiles.
+///
+/// [`Session`]: provabs_session::Session
+fn bench_session_steady_state(c: &mut Criterion, workload: Workload, group_name: &str) {
+    let mut data = workload.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    let forest = data.primary_tree(2, 1);
+    let names: Vec<String> = data.vars.iter().map(|(_, n)| n.to_string()).collect();
+    let batch: Vec<_> = (0..SCENARIOS as u64)
+        .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
+        .collect();
+    let mut session = provabs_session::SessionBuilder::new(data.polys.clone(), data.vars)
+        .forest(forest)
+        .build()
+        .expect("valid configuration");
+    session.compress().expect("half-size bound attainable");
+    let abstracted = session.abstracted().expect("compressed above").clone();
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+    group.bench_function("ask-from-scratch", |b| {
+        b.iter(|| apply_batch_parallel(&abstracted, &batch, &EvalOptions::new()).values)
+    });
+    group.bench_function("session-ask-prepared", |b| {
+        b.iter(|| {
+            session
+                .ask_prepared(&batch)
+                .expect("prepared valuations")
+                .values
+        })
+    });
+    group.finish();
+    // ≥ 2 batches ran above; the session compiled exactly once, at
+    // compress time — zero recompilation in the ask loop.
+    assert_eq!(session.compile_count(), 1, "ask loop must not recompile");
+}
+
 fn bench_parallel(c: &mut Criterion) {
     bench_workload(c, Workload::Telephony, "parallel/telephony");
     bench_workload(c, Workload::TpchQ1, "parallel/tpch_q1");
+    bench_session_steady_state(c, Workload::Telephony, "session/telephony");
 }
 
 criterion_group!(benches, bench_parallel);

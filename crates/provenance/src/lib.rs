@@ -53,6 +53,7 @@ pub mod circuit;
 pub mod coeff;
 pub mod compiled;
 pub mod display;
+#[doc(hidden)] // an implementation detail shared with the sibling crates, not public API
 pub mod fxhash;
 pub mod monomial;
 pub mod parse;
@@ -66,7 +67,9 @@ pub mod working;
 pub use circuit::Circuit;
 pub use coeff::{Coefficient, Rational};
 pub use compiled::CompiledPolySet;
+pub use display::{poly_to_string, polyset_to_string};
 pub use monomial::Monomial;
+pub use parse::{parse_polynomial, parse_polyset};
 pub use polynomial::Polynomial;
 pub use polyset::PolySet;
 pub use valuation::Valuation;

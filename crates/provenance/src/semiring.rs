@@ -185,14 +185,16 @@ impl Semiring for f64 {
     }
 }
 
-/// `N[X]` — the free commutative semiring of provenance polynomials with
-/// natural-number coefficients.
-impl Semiring for Polynomial<u64> {
+/// `K[X]` — the commutative semiring of provenance polynomials over any
+/// coefficient ring. With `C = u64` this is `N[X]`, the *free* semiring
+/// of the paper; `C = f64` is the counting/aggregation instance the
+/// engine and the `provabs_session` façade work over.
+impl<C: crate::coeff::Coefficient> Semiring for Polynomial<C> {
     fn zero() -> Self {
         Polynomial::zero()
     }
     fn one() -> Self {
-        Polynomial::constant(1)
+        Polynomial::constant(C::one())
     }
     fn plus(&self, other: &Self) -> Self {
         self.add(other)

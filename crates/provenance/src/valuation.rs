@@ -19,6 +19,13 @@ pub struct Valuation<C> {
     default: C,
 }
 
+impl<C: Coefficient> Default for Valuation<C> {
+    /// The neutral valuation — same as [`Valuation::neutral`].
+    fn default() -> Self {
+        Self::neutral()
+    }
+}
+
 impl<C: Coefficient> Valuation<C> {
     /// A valuation mapping every variable to `default`.
     pub fn with_default(default: C) -> Self {
@@ -35,6 +42,7 @@ impl<C: Coefficient> Valuation<C> {
     }
 
     /// Sets `v` to `value`, returning `self` for chaining.
+    #[must_use]
     pub fn set(mut self, v: VarId, value: C) -> Self {
         self.assignments.insert(v, value);
         self

@@ -58,7 +58,19 @@ pub fn scenario_error_with(
     fine: &Valuation<f64>,
     opts: &EvalOptions,
 ) -> ErrorReport {
-    // Build the coarse valuation: group mean per chosen internal node.
+    let coarse = coarse_valuation(result, fine);
+    let exact = eval_set_with(polys, fine, opts);
+    let compressed = result.apply(polys);
+    let approx = eval_set_with(&compressed, &coarse, opts);
+    error_stats(&exact, &approx)
+}
+
+/// The coarse counterpart of a fine scenario under an abstraction: each
+/// chosen internal node (meta-variable) is assigned the *mean* of its
+/// group's fine values; everything else is kept as-is. This is the
+/// canonical way to pose a fine question on compressed provenance — the
+/// approximation whose error [`scenario_error`] measures.
+pub fn coarse_valuation(result: &AbstractionResult, fine: &Valuation<f64>) -> Valuation<f64> {
     let mut coarse = fine.clone();
     for (ti, node) in result.vvs.nodes() {
         let tree = result.forest.tree(ti);
@@ -73,13 +85,18 @@ pub fn scenario_error_with(
             / leaves.len() as f64;
         coarse.assign(tree.var_of(node), mean);
     }
-    let exact = eval_set_with(polys, fine, opts);
-    let compressed = result.apply(polys);
-    let approx = eval_set_with(&compressed, &coarse, opts);
+    coarse
+}
+
+/// Folds exact and approximate per-polynomial answers into the relative
+/// error statistics of an [`ErrorReport`] (shared by
+/// [`scenario_error_with`] and the session façade, which evaluates the
+/// two sides off its own cached lowerings).
+pub fn error_stats(exact: &[f64], approx: &[f64]) -> ErrorReport {
     let mut mean = 0.0;
     let mut max: f64 = 0.0;
     let n = exact.len().max(1);
-    for (e, a) in exact.iter().zip(&approx) {
+    for (e, a) in exact.iter().zip(approx) {
         let scale = e.abs().max(1e-12);
         let rel = (e - a).abs() / scale;
         mean += rel / n as f64;

@@ -71,18 +71,21 @@ impl EvalOptions {
     }
 
     /// Sets the worker count (`0` = auto), returning `self` for chaining.
+    #[must_use]
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
         self
     }
 
     /// Enables or disables the compiled fast path (chainable).
+    #[must_use]
     pub fn compiled(mut self, yes: bool) -> Self {
         self.compiled = yes;
         self
     }
 
     /// Sets the chunk size (`0` = auto), returning `self` for chaining.
+    #[must_use]
     pub fn chunk(mut self, scenarios_per_chunk: usize) -> Self {
         self.chunk = scenarios_per_chunk;
         self
@@ -149,6 +152,67 @@ pub fn eval_set_with(polys: &PolySet<f64>, val: &Valuation<f64>, opts: &EvalOpti
         .unwrap_or_default()
 }
 
+/// Evaluates a batch against an *externally owned* prepared form, timing
+/// only the evaluation: when `compiled` is `Some`, the columnar fast path
+/// runs off that lowering (no compilation happens here); when `None`, the
+/// hash-map path runs directly on `polys`. Thread-pool and chunking knobs
+/// of `opts` are honoured either way.
+///
+/// This is the evaluation core behind [`PreparedBatch`] and the hook by
+/// which long-lived handles (e.g. `provabs_session::Session`) that cache a
+/// [`CompiledPolySet`] across many batches route every batch through the
+/// one compilation they paid up front.
+pub fn eval_prepared(
+    polys: &PolySet<f64>,
+    compiled: Option<&CompiledPolySet<f64>>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+) -> TimedRun {
+    let start = Instant::now();
+    let values = eval_grid(polys, compiled, valuations, opts);
+    TimedRun {
+        values,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The untimed scenario×polynomial grid: dispatches on compiled/serial
+/// and single-thread/pool off already-prepared inputs.
+fn eval_grid(
+    polys: &PolySet<f64>,
+    compiled: Option<&CompiledPolySet<f64>>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+) -> Vec<Vec<f64>> {
+    if valuations.is_empty() {
+        return Vec::new();
+    }
+    let threads = opts.resolved_threads(valuations.len());
+    if let Some(compiled) = compiled {
+        if threads <= 1 {
+            compiled.eval_all(valuations)
+        } else {
+            run_chunked(valuations.len(), threads, opts, |start, out| {
+                let end = start + out.len();
+                for (slot, row) in out
+                    .iter_mut()
+                    .zip(compiled.eval_all(&valuations[start..end]))
+                {
+                    *slot = row;
+                }
+            })
+        }
+    } else if threads <= 1 {
+        valuations.iter().map(|v| v.eval_set(polys)).collect()
+    } else {
+        run_chunked(valuations.len(), threads, opts, |start, out| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = valuations[start + k].eval_set(polys);
+            }
+        })
+    }
+}
+
 /// A poly-set prepared for repeated batch evaluation: the columnar
 /// lowering happens once in [`PreparedBatch::new`], then every
 /// [`apply`](PreparedBatch::apply) call measures pure evaluation — the
@@ -183,36 +247,9 @@ impl<'p> PreparedBatch<'p> {
         }
     }
 
-    /// The untimed core: dispatches on compiled/serial and runs the grid.
+    /// The untimed core: delegates to the shared grid evaluator.
     fn eval(&self, valuations: &[Valuation<f64>]) -> Vec<Vec<f64>> {
-        if valuations.is_empty() {
-            return Vec::new();
-        }
-        let threads = self.opts.resolved_threads(valuations.len());
-        if let Some(compiled) = &self.compiled {
-            if threads <= 1 {
-                compiled.eval_all(valuations)
-            } else {
-                run_chunked(valuations.len(), threads, &self.opts, |start, out| {
-                    let end = start + out.len();
-                    for (slot, row) in out
-                        .iter_mut()
-                        .zip(compiled.eval_all(&valuations[start..end]))
-                    {
-                        *slot = row;
-                    }
-                })
-            }
-        } else if threads <= 1 {
-            valuations.iter().map(|v| v.eval_set(self.polys)).collect()
-        } else {
-            let polys = self.polys;
-            run_chunked(valuations.len(), threads, &self.opts, |start, out| {
-                for (k, slot) in out.iter_mut().enumerate() {
-                    *slot = valuations[start + k].eval_set(polys);
-                }
-            })
-        }
+        eval_grid(self.polys, self.compiled.as_ref(), valuations, &self.opts)
     }
 }
 
@@ -328,6 +365,26 @@ mod tests {
             let got = eval_set_with(&polys, &vals[0], &opts);
             assert_eq!(got, vals[0].eval_set(&polys));
         }
+    }
+
+    #[test]
+    fn eval_prepared_matches_reference_with_and_without_compiled() {
+        let (polys, vals) = setup(7);
+        let reference = apply_batch(&polys, &vals).values;
+        let compiled = provabs_provenance::compiled::CompiledPolySet::compile(&polys);
+        for opts in [
+            EvalOptions::new(),
+            EvalOptions::new().threads(3).chunk(2),
+            EvalOptions::serial_reference(),
+        ] {
+            let with = eval_prepared(&polys, Some(&compiled), &vals, &opts);
+            assert_eq!(with.values, reference);
+            let without = eval_prepared(&polys, None, &vals, &opts);
+            assert_eq!(without.values, reference);
+        }
+        assert!(eval_prepared(&polys, None, &[], &EvalOptions::new())
+            .values
+            .is_empty());
     }
 
     #[test]

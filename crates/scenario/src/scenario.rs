@@ -21,6 +21,7 @@ impl Scenario {
     }
 
     /// Sets the factor of `name` (chainable).
+    #[must_use]
     pub fn set(mut self, name: impl Into<String>, factor: f64) -> Self {
         self.changes.push((name.into(), factor));
         self
@@ -28,6 +29,7 @@ impl Scenario {
 
     /// Sets the same factor for several variables (e.g. a discount on all
     /// business plans).
+    #[must_use]
     pub fn set_all<'a>(mut self, names: impl IntoIterator<Item = &'a str>, factor: f64) -> Self {
         for n in names {
             self.changes.push((n.to_string(), factor));

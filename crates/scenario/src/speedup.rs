@@ -99,28 +99,27 @@ fn lift_all(result: &AbstractionResult, coarse: &[Valuation<f64>]) -> Vec<Valuat
         .collect()
 }
 
-/// The timed core: original vs compressed off already-prepared inputs.
-fn measure_pair(
-    polys: &PolySet<f64>,
-    compressed: &PolySet<f64>,
-    lifted: &[Valuation<f64>],
-    coarse_scenarios: &[Valuation<f64>],
+/// The timed core shared by every speedup measurement: alternates the
+/// two sides across `repeat` repetitions (so cache warm-up does not
+/// systematically favour either one) and folds the accumulated times
+/// into a [`SpeedupReport`]. The callbacks time one original-side /
+/// compressed-side batch each; callers bring their own engines —
+/// [`assignment_speedup_with`] uses fresh [`PreparedBatch`]es,
+/// `provabs_session` its cached lowerings.
+pub fn measure_alternating(
     repeat: usize,
-    opts: &EvalOptions,
+    mut time_original: impl FnMut() -> Duration,
+    mut time_compressed: impl FnMut() -> Duration,
 ) -> SpeedupReport {
-    let original_engine = PreparedBatch::new(polys, opts);
-    let compressed_engine = PreparedBatch::new(compressed, opts);
     let mut t_orig = Duration::ZERO;
     let mut t_comp = Duration::ZERO;
-    // Alternate the measurement order across repeats so cache warm-up
-    // does not systematically favour either side.
     for i in 0..repeat.max(1) {
         if i % 2 == 0 {
-            t_orig += original_engine.apply(lifted).elapsed;
-            t_comp += compressed_engine.apply(coarse_scenarios).elapsed;
+            t_orig += time_original();
+            t_comp += time_compressed();
         } else {
-            t_comp += compressed_engine.apply(coarse_scenarios).elapsed;
-            t_orig += original_engine.apply(lifted).elapsed;
+            t_comp += time_compressed();
+            t_orig += time_original();
         }
     }
     let speedup_pct = if t_orig.as_secs_f64() > 0.0 {
@@ -135,6 +134,24 @@ fn measure_pair(
     }
 }
 
+/// [`measure_alternating`] over two freshly-prepared engines.
+fn measure_pair(
+    polys: &PolySet<f64>,
+    compressed: &PolySet<f64>,
+    lifted: &[Valuation<f64>],
+    coarse_scenarios: &[Valuation<f64>],
+    repeat: usize,
+    opts: &EvalOptions,
+) -> SpeedupReport {
+    let original_engine = PreparedBatch::new(polys, opts);
+    let compressed_engine = PreparedBatch::new(compressed, opts);
+    measure_alternating(
+        repeat,
+        || original_engine.apply(lifted).elapsed,
+        || compressed_engine.apply(coarse_scenarios).elapsed,
+    )
+}
+
 /// Checks the semantic equivalence underlying the speedup comparison:
 /// for every scenario, evaluating the compressed provenance equals
 /// evaluating the original under the lifted valuation. Returns the
@@ -144,11 +161,22 @@ pub fn max_equivalence_error(
     result: &AbstractionResult,
     coarse_scenarios: &[Valuation<f64>],
 ) -> f64 {
-    let compressed = result.apply(polys);
+    max_equivalence_error_prepared(polys, &result.apply(polys), result, coarse_scenarios)
+}
+
+/// [`max_equivalence_error`] off an already-materialised `𝒫↓S` (normally
+/// `result.apply(polys)`, possibly cached by the caller — e.g. a
+/// `provabs_session::Session` holding the abstracted set between calls).
+pub fn max_equivalence_error_prepared(
+    polys: &PolySet<f64>,
+    compressed: &PolySet<f64>,
+    result: &AbstractionResult,
+    coarse_scenarios: &[Valuation<f64>],
+) -> f64 {
     let mut worst: f64 = 0.0;
     for v in coarse_scenarios {
         let lifted = result.vvs.lift_valuation(&result.forest, v);
-        let a = v.eval_set(&compressed);
+        let a = v.eval_set(compressed);
         let b = lifted.eval_set(polys);
         for (x, y) in a.iter().zip(&b) {
             let scale = x.abs().max(y.abs()).max(1.0);

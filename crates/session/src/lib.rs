@@ -1,0 +1,91 @@
+#![warn(missing_docs)]
+//! The compress-once / ask-many façade over the provenance-abstraction
+//! pipeline.
+//!
+//! The paper's workflow (Deutch, Moskovitch & Rinetzky, SIGMOD 2019; the
+//! COBRA system demo describes the same flow as a user-facing tool) is a
+//! pipeline: derive provenance, abstract it under a forest constraint,
+//! then answer *many* hypothetical scenarios against the abstracted
+//! polynomials. This crate packages that pipeline behind one stateful
+//! handle:
+//!
+//! 1. [`SessionBuilder`] takes the provenance (a poly-set, parsed text,
+//!    or an engine query result), the abstraction [`Forest`], a
+//!    [`Strategy`] with a size [`Target`], and the evaluation engine
+//!    knobs ([`EvalOptions`]);
+//! 2. [`Session::compress`] runs the chosen algorithm **once** and
+//!    caches the [`AbstractionResult`] and the abstracted poly-set; its
+//!    columnar [`CompiledPolySet`] lowering is built lazily by the
+//!    first evaluation that wants it, then cached too;
+//! 3. [`Session::ask`] / [`Session::ask_prepared`] /
+//!    [`Session::speedup_report`] / [`Session::accuracy_report`] serve
+//!    batch after batch off those caches with **zero recompilation**
+//!    (observable via [`Session::compile_count`]).
+//!
+//! Errors from every stage unify into [`Error`].
+//!
+//! # Example
+//!
+//! ```
+//! use provabs_session::{SessionBuilder, Strategy, Target};
+//! use provabs_scenario::Scenario;
+//!
+//! // Example 2's revenue provenance and the quarterly months grouping.
+//! let mut session = SessionBuilder::from_text("220.8·p1·m1 + 240·p1·m3")?
+//!     .forest_text("q1(m1, m3)")?
+//!     .strategy(Strategy::Optimal)
+//!     .bound(1)
+//!     .build()?;
+//!
+//! // Compress once: 220.8·p1·m1 + 240·p1·m3  →  460.8·p1·q1.
+//! assert_eq!(session.compress()?.compressed_size_m, 1);
+//!
+//! // Ask many: a −20 % discount on the whole first quarter.
+//! let run = session.ask(&[Scenario::new().set("q1", 0.8)])?;
+//! assert!((run.values[0][0] - 460.8 * 0.8).abs() < 1e-9);
+//!
+//! // More batches reuse the cached compilation.
+//! let before = session.compile_count();
+//! session.ask(&[Scenario::new().set("q1", 1.1), Scenario::new()])?;
+//! assert_eq!(session.compile_count(), before);
+//! # Ok::<(), provabs_session::Error>(())
+//! ```
+//!
+//! # The low-level API
+//!
+//! The façade adds no algorithms of its own — each piece delegates to
+//! the per-stage crates, which remain the supported low-level API for
+//! callers that need one stage in isolation:
+//!
+//! | façade | low-level |
+//! |---|---|
+//! | [`Strategy::Optimal`] | [`provabs_core::optimal::optimal_vvs`] |
+//! | [`Strategy::Greedy`] | [`provabs_core::greedy::greedy_vvs`] / [`greedy_vvs_reference`](provabs_core::greedy::greedy_vvs_reference) |
+//! | [`Strategy::Online`] | [`provabs_core::online::online_compress`] |
+//! | [`Strategy::Competitor`] | [`provabs_core::competitor::pairwise_summarize`] |
+//! | [`Strategy::Brute`] | [`provabs_core::brute::brute_force_vvs`] |
+//! | [`Strategy::None`] | [`provabs_core::problem::evaluate_vvs`] on [`Vvs::identity`](provabs_trees::cut::Vvs::identity) |
+//! | [`Session::ask`] | [`provabs_scenario::executor::apply_batch_parallel`] on [`AbstractionResult::apply`] |
+//! | [`Session::speedup_report`] | [`provabs_scenario::speedup::assignment_speedup_with`] |
+//! | [`Session::accuracy_report`] | [`provabs_scenario::accuracy::scenario_error_with`] |
+//! | [`Session::frontier`] | [`provabs_core::optimal::optimal_frontier`] / [`provabs_core::greedy::greedy_frontier`] |
+//!
+//! Results are bit-for-bit identical to those functions (asserted by the
+//! `facade_equivalence` integration suite); the façade's value is the
+//! ownership of the artifacts *between* calls.
+//!
+//! [`Forest`]: provabs_trees::forest::Forest
+//! [`EvalOptions`]: provabs_scenario::executor::EvalOptions
+//! [`AbstractionResult`]: provabs_core::problem::AbstractionResult
+//! [`AbstractionResult::apply`]: provabs_core::problem::AbstractionResult::apply
+//! [`CompiledPolySet`]: provabs_provenance::compiled::CompiledPolySet
+
+pub mod builder;
+pub mod error;
+pub mod session;
+pub mod strategy;
+
+pub use builder::SessionBuilder;
+pub use error::Error;
+pub use session::Session;
+pub use strategy::{Strategy, Target};

@@ -1,0 +1,506 @@
+//! The compress-once / ask-many session.
+//!
+//! [`Session`] owns the whole pipeline state an analyst loop needs: the
+//! original provenance, the abstraction forest, the chosen strategy and
+//! size target, and — after [`Session::compress`] — the selection outcome
+//! ([`AbstractionResult`]), the abstracted poly-set `𝒫↓S`, and its
+//! columnar [`CompiledPolySet`] lowering (built lazily by the first
+//! evaluation that wants it). Every subsequent
+//! [`ask`](Session::ask) / [`ask_prepared`](Session::ask_prepared) /
+//! [`speedup_report`](Session::speedup_report) /
+//! [`accuracy_report`](Session::accuracy_report) serves off those caches:
+//! compression runs once, compilation runs at most once per side
+//! (abstracted + original), and the steady state is pure evaluation —
+//! observable through [`Session::compile_count`].
+
+use crate::error::Error;
+use crate::strategy::Strategy;
+use provabs_core::brute::brute_force_vvs;
+use provabs_core::competitor::pairwise_summarize;
+use provabs_core::greedy::{
+    greedy_frontier, greedy_frontier_reference, greedy_vvs, greedy_vvs_reference,
+};
+use provabs_core::online::{online_compress, Solver};
+use provabs_core::optimal::{optimal_frontier, optimal_vvs};
+use provabs_core::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::fxhash::FxHashSet;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::var::{VarId, VarTable};
+use provabs_scenario::accuracy::{coarse_valuation, error_stats, ErrorReport};
+use provabs_scenario::apply::TimedRun;
+use provabs_scenario::executor::{eval_prepared, EvalOptions};
+use provabs_scenario::scenario::Scenario;
+use provabs_scenario::speedup::{
+    max_equivalence_error_prepared, measure_alternating, SpeedupReport,
+};
+use provabs_trees::cut::Vvs;
+use provabs_trees::forest::Forest;
+
+/// Everything [`Session::compress`] caches.
+struct CompressedState {
+    /// The selection outcome: chosen VVS, cleaned forest, size measures.
+    result: AbstractionResult,
+    /// The abstracted poly-set `𝒫↓S`, materialised once.
+    abstracted: PolySet<f64>,
+    /// The variables that actually occur in `abstracted` — the space
+    /// coarse scenarios are validated against.
+    live_vars: FxHashSet<VarId>,
+    /// Columnar lowering of `abstracted`, built lazily by the first
+    /// evaluation whose options ask for the compiled path.
+    compiled: Option<CompiledPolySet<f64>>,
+}
+
+/// A stateful compress-once / ask-many handle over the pipeline.
+///
+/// Built by [`SessionBuilder`](crate::SessionBuilder); see the
+/// [crate docs](crate) for the full workflow and the mapping to the
+/// low-level API.
+pub struct Session {
+    polys: PolySet<f64>,
+    vars: VarTable,
+    forest: Forest,
+    strategy: Strategy,
+    bound: usize,
+    opts: EvalOptions,
+    compressed: Option<CompressedState>,
+    /// Columnar lowering of the *original* provenance, built lazily by
+    /// the first measurement that evaluates the uncompressed side.
+    original_compiled: Option<CompiledPolySet<f64>>,
+    compile_count: usize,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("size_m", &self.polys.size_m())
+            .field("size_v", &self.polys.size_v())
+            .field("num_trees", &self.forest.num_trees())
+            .field("strategy", &self.strategy)
+            .field("bound", &self.bound)
+            .field("opts", &self.opts)
+            .field("compressed", &self.compressed.is_some())
+            .field("compile_count", &self.compile_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Assembles a validated session (builder-internal).
+    pub(crate) fn from_parts(
+        polys: PolySet<f64>,
+        vars: VarTable,
+        forest: Forest,
+        strategy: Strategy,
+        bound: usize,
+        opts: EvalOptions,
+    ) -> Self {
+        Self {
+            polys,
+            vars,
+            forest,
+            strategy,
+            bound,
+            opts,
+            compressed: None,
+            original_compiled: None,
+            compile_count: 0,
+        }
+    }
+
+    /// Runs the configured selection algorithm once and caches the
+    /// outcome and the abstracted poly-set; subsequent calls return the
+    /// cached result without recomputing anything — the façade's
+    /// "compress once". The columnar lowering is *not* built here but
+    /// lazily by the first evaluation that wants it, so timing this call
+    /// measures compression (selection + materialising `𝒫↓S`), not the
+    /// evaluation engine's setup.
+    ///
+    /// Results are bit-for-bit identical to the corresponding low-level
+    /// call (see [`Strategy`]); the compression itself runs through the
+    /// interned [`WorkingSet`](provabs_provenance::working::WorkingSet)
+    /// rewrite path exactly as the low-level functions do.
+    pub fn compress(&mut self) -> Result<&AbstractionResult, Error> {
+        if self.compressed.is_none() {
+            let result = match &self.strategy {
+                Strategy::Optimal => optimal_vvs(&self.polys, &self.forest, self.bound)?,
+                Strategy::Greedy { incremental: true } => {
+                    greedy_vvs(&self.polys, &self.forest, self.bound)?
+                }
+                Strategy::Greedy { incremental: false } => {
+                    greedy_vvs_reference(&self.polys, &self.forest, self.bound)?
+                }
+                Strategy::Online { fraction, seed } => {
+                    online_compress(
+                        &self.polys,
+                        &self.forest,
+                        self.bound,
+                        *fraction,
+                        *seed,
+                        Solver::Greedy,
+                    )?
+                    .full
+                }
+                Strategy::Competitor => {
+                    pairwise_summarize(&self.polys, &self.forest, self.bound)?.0
+                }
+                Strategy::Brute { cut_limit } => {
+                    brute_force_vvs(&self.polys, &self.forest, self.bound, *cut_limit)?
+                }
+                Strategy::None => {
+                    let cleaned = prepare(&self.polys, &self.forest)?;
+                    let vvs = Vvs::identity(&cleaned);
+                    evaluate_vvs(&self.polys, &cleaned, vvs)
+                }
+            };
+            let abstracted = result.apply(&self.polys);
+            let live_vars = abstracted
+                .monomials()
+                .flat_map(|(_, mono, _)| mono.vars())
+                .collect();
+            self.compressed = Some(CompressedState {
+                result,
+                abstracted,
+                live_vars,
+                compiled: None,
+            });
+        }
+        Ok(&self.compressed.as_ref().expect("cached above").result)
+    }
+
+    /// Answers a batch of named scenarios against the compressed
+    /// provenance (compressing first if [`compress`](Self::compress) has
+    /// not run yet). `values[s][p]` is the value of polynomial `p` under
+    /// scenario `s`, bit-for-bit identical to evaluating the abstracted
+    /// poly-set through
+    /// [`apply_batch_parallel`](provabs_scenario::executor::apply_batch_parallel)
+    /// with the session's engine options — except that the columnar
+    /// lowering is compiled once on the first call and cached: repeated
+    /// batches pay zero recompilation.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownVariable`] if a scenario names a variable the
+    /// session has never seen; [`Error::VariableNotInAbstraction`] if it
+    /// names one that compression merged away (valuating it would
+    /// silently change nothing — use the
+    /// [`abstracted_labels`](Self::abstracted_labels), or
+    /// [`accuracy_report`](Self::accuracy_report) for fine-grained
+    /// questions); any compression error from the first call.
+    pub fn ask(&mut self, scenarios: &[Scenario]) -> Result<TimedRun, Error> {
+        let opts = self.opts.clone();
+        self.ask_with_options(scenarios, &opts)
+    }
+
+    /// [`ask`](Self::ask) for already-built valuations: skips name
+    /// validation and interning entirely — the zero-overhead steady state
+    /// for callers that keep their own valuation cache.
+    pub fn ask_prepared(&mut self, valuations: &[Valuation<f64>]) -> Result<TimedRun, Error> {
+        self.compress()?;
+        let opts = self.opts.clone();
+        self.ensure_compressed_compiled(&opts);
+        Ok(self.eval_compressed_with(valuations, &opts))
+    }
+
+    /// [`ask`](Self::ask) under a one-off engine configuration — e.g.
+    /// [`EvalOptions::serial_reference`] to time the paper-faithful
+    /// hash-map loop against the session's default engine. The cached
+    /// artifacts are reused: when `opts` asks for the compiled path and
+    /// the session has not compiled yet, the lowering happens once and
+    /// is cached for every future call.
+    pub fn ask_with_options(
+        &mut self,
+        scenarios: &[Scenario],
+        opts: &EvalOptions,
+    ) -> Result<TimedRun, Error> {
+        self.compress()?;
+        let valuations = self.coarse_valuations(scenarios)?;
+        self.ensure_compressed_compiled(opts);
+        Ok(self.eval_compressed_with(&valuations, opts))
+    }
+
+    /// Measures the assignment-time speedup of the session's abstraction
+    /// (Figure 10's quantity): the scenario batch is posed on the
+    /// compressed provenance directly and on the original through
+    /// [`Vvs::lift_valuation`], alternating measurement order across
+    /// `repeat` repetitions (the shared
+    /// [`measure_alternating`] core). Both sides run on the session's
+    /// engine options off the cached lowerings (each side is compiled
+    /// lazily on first use, then cached) — repeated reports never
+    /// recompile.
+    pub fn speedup_report(
+        &mut self,
+        scenarios: &[Scenario],
+        repeat: usize,
+    ) -> Result<SpeedupReport, Error> {
+        let opts = self.opts.clone();
+        self.speedup_report_with(scenarios, repeat, &opts)
+    }
+
+    /// [`speedup_report`](Self::speedup_report) on a one-off engine
+    /// configuration — how Figure 10 compares the paper-faithful serial
+    /// loop with the production engine off one shared compression. Any
+    /// lowering a configuration needs is built once and cached for every
+    /// future call.
+    pub fn speedup_report_with(
+        &mut self,
+        scenarios: &[Scenario],
+        repeat: usize,
+        opts: &EvalOptions,
+    ) -> Result<SpeedupReport, Error> {
+        self.compress()?;
+        let coarse = self.coarse_valuations(scenarios)?;
+        self.ensure_compressed_compiled(opts);
+        self.ensure_original_compiled(opts);
+        let state = self.compressed.as_ref().expect("compressed above");
+        let lifted: Vec<Valuation<f64>> = coarse
+            .iter()
+            .map(|v| state.result.vvs.lift_valuation(&state.result.forest, v))
+            .collect();
+        let this = &*self;
+        Ok(measure_alternating(
+            repeat,
+            || this.eval_original_with(&lifted, opts).elapsed,
+            || this.eval_compressed_with(&coarse, opts).elapsed,
+        ))
+    }
+
+    /// Quantifies the accuracy cost of answering a *fine* scenario (over
+    /// original variables) through the compressed provenance: each chosen
+    /// meta-variable is set to the mean of its group's fine values (the
+    /// low-level [`coarse_valuation`] construction), and the approximate
+    /// answers are compared with the exact ones ([`error_stats`]). The
+    /// numbers are bit-for-bit identical to
+    /// [`scenario_error_with`](provabs_scenario::accuracy::scenario_error_with)
+    /// on the same inputs, but served off the session's cached lowerings.
+    pub fn accuracy_report(&mut self, fine: &Scenario) -> Result<ErrorReport, Error> {
+        self.compress()?;
+        let opts = self.opts.clone();
+        let fine_val = self
+            .fine_valuations(std::slice::from_ref(fine))?
+            .pop()
+            .expect("one scenario in, one valuation out");
+        self.ensure_original_compiled(&opts);
+        self.ensure_compressed_compiled(&opts);
+        let state = self.compressed.as_ref().expect("compressed above");
+        let coarse = coarse_valuation(&state.result, &fine_val);
+        let exact = self
+            .eval_original_with(std::slice::from_ref(&fine_val), &opts)
+            .values
+            .pop()
+            .unwrap_or_default();
+        let approx = self
+            .eval_compressed_with(std::slice::from_ref(&coarse), &opts)
+            .values
+            .pop()
+            .unwrap_or_default();
+        Ok(error_stats(&exact, &approx))
+    }
+
+    /// The semantic sanity check behind every speedup comparison: the
+    /// maximal relative deviation between evaluating the compressed
+    /// provenance under the given coarse scenarios and evaluating the
+    /// original under their liftings (should be float noise). Delegates
+    /// to [`max_equivalence_error_prepared`] on the session's cached
+    /// `𝒫↓S` — nothing is re-materialised.
+    pub fn equivalence_error(&mut self, scenarios: &[Scenario]) -> Result<f64, Error> {
+        self.compress()?;
+        let coarse = self.coarse_valuations(scenarios)?;
+        let state = self.compressed.as_ref().expect("compressed above");
+        Ok(max_equivalence_error_prepared(
+            &self.polys,
+            &state.abstracted,
+            &state.result,
+            &coarse,
+        ))
+    }
+
+    /// The size/granularity trade-off frontier of the session's forest:
+    /// `(|𝒫↓S|_M, |𝒫↓S|_V)` points from the identity abstraction down to
+    /// full compression. Dispatches on the strategy —
+    /// [`Strategy::Optimal`] runs the exact single-tree
+    /// [`optimal_frontier`], everything else traces the greedy run
+    /// ([`greedy_frontier`], or its reference engine for
+    /// `Greedy { incremental: false }`).
+    pub fn frontier(&self) -> Result<Vec<(usize, usize)>, Error> {
+        let points = match &self.strategy {
+            Strategy::Optimal => optimal_frontier(&self.polys, &self.forest)?,
+            Strategy::Greedy { incremental: false } => {
+                greedy_frontier_reference(&self.polys, &self.forest)?
+            }
+            _ => greedy_frontier(&self.polys, &self.forest)?,
+        };
+        Ok(points)
+    }
+
+    /// The evaluation core for the compressed side: the cached compiled
+    /// lowering when `opts` asks for it, the hash-map path otherwise.
+    fn eval_compressed_with(&self, valuations: &[Valuation<f64>], opts: &EvalOptions) -> TimedRun {
+        let state = self.compressed.as_ref().expect("compress ran first");
+        let compiled = if opts.compiled {
+            state.compiled.as_ref()
+        } else {
+            None
+        };
+        eval_prepared(&state.abstracted, compiled, valuations, opts)
+    }
+
+    /// The evaluation core for the original (uncompressed) side.
+    fn eval_original_with(&self, valuations: &[Valuation<f64>], opts: &EvalOptions) -> TimedRun {
+        let compiled = if opts.compiled {
+            self.original_compiled.as_ref()
+        } else {
+            None
+        };
+        eval_prepared(&self.polys, compiled, valuations, opts)
+    }
+
+    /// Compiles the abstracted poly-set once, if `opts` uses the
+    /// compiled path and the lowering is not cached yet. Requires
+    /// [`compress`](Self::compress) to have run.
+    fn ensure_compressed_compiled(&mut self, opts: &EvalOptions) {
+        if !opts.compiled {
+            return;
+        }
+        let state = self.compressed.as_mut().expect("compress ran first");
+        if state.compiled.is_none() {
+            state.compiled = Some(CompiledPolySet::compile(&state.abstracted));
+            self.compile_count += 1;
+        }
+    }
+
+    /// Compiles the original provenance once, if `opts` uses the
+    /// compiled path and it has not been compiled yet.
+    fn ensure_original_compiled(&mut self, opts: &EvalOptions) {
+        if opts.compiled && self.original_compiled.is_none() {
+            self.original_compiled = Some(CompiledPolySet::compile(&self.polys));
+            self.compile_count += 1;
+        }
+    }
+
+    /// Resolves *fine* scenarios (over any variable this session has
+    /// interned — provenance variables and forest labels alike) into
+    /// valuations.
+    fn fine_valuations(&self, scenarios: &[Scenario]) -> Result<Vec<Valuation<f64>>, Error> {
+        scenarios
+            .iter()
+            .map(|s| {
+                let mut val = Valuation::neutral();
+                for (name, factor) in s.iter() {
+                    let id = self
+                        .vars
+                        .lookup(name)
+                        .ok_or_else(|| Error::UnknownVariable(name.to_string()))?;
+                    val.assign(id, factor);
+                }
+                Ok(val)
+            })
+            .collect()
+    }
+
+    /// Resolves *coarse* scenarios into valuations, additionally
+    /// rejecting variables that do not occur in the compressed
+    /// provenance: valuating those would silently change nothing (both
+    /// the compressed evaluation and the lifted original drop them).
+    /// Requires [`compress`](Self::compress) to have run.
+    fn coarse_valuations(&self, scenarios: &[Scenario]) -> Result<Vec<Valuation<f64>>, Error> {
+        let live = &self
+            .compressed
+            .as_ref()
+            .expect("compress ran first")
+            .live_vars;
+        scenarios
+            .iter()
+            .map(|s| {
+                let mut val = Valuation::neutral();
+                for (name, factor) in s.iter() {
+                    let id = self
+                        .vars
+                        .lookup(name)
+                        .ok_or_else(|| Error::UnknownVariable(name.to_string()))?;
+                    if !live.contains(&id) {
+                        return Err(Error::VariableNotInAbstraction(name.to_string()));
+                    }
+                    val.assign(id, factor);
+                }
+                Ok(val)
+            })
+            .collect()
+    }
+
+    /// The original provenance `𝒫`.
+    pub fn original(&self) -> &PolySet<f64> {
+        &self.polys
+    }
+
+    /// The abstraction forest as configured (the *cleaned* forest the
+    /// chosen VVS refers to lives in [`AbstractionResult::forest`]).
+    pub fn forest(&self) -> &Forest {
+        &self.forest
+    }
+
+    /// The session's variable table.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Mutable access to the variable table (e.g. to intern names for
+    /// hand-built [`Valuation`]s passed to
+    /// [`ask_prepared`](Self::ask_prepared)).
+    pub fn vars_mut(&mut self) -> &mut VarTable {
+        &mut self.vars
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The resolved size bound `B`.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// The engine configuration every evaluation runs with.
+    pub fn eval_options(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Whether [`compress`](Self::compress) has already run.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed.is_some()
+    }
+
+    /// The cached selection outcome, if [`compress`](Self::compress) has
+    /// run.
+    pub fn result(&self) -> Option<&AbstractionResult> {
+        self.compressed.as_ref().map(|s| &s.result)
+    }
+
+    /// The cached abstracted poly-set `𝒫↓S`, if
+    /// [`compress`](Self::compress) has run.
+    pub fn abstracted(&self) -> Option<&PolySet<f64>> {
+        self.compressed.as_ref().map(|s| &s.abstracted)
+    }
+
+    /// Sorted labels of the abstracted variable space — the names
+    /// scenarios are posed over after compression. `None` before
+    /// [`compress`](Self::compress).
+    pub fn abstracted_labels(&self) -> Option<Vec<String>> {
+        self.compressed
+            .as_ref()
+            .map(|s| s.result.vvs.labels(&s.result.forest))
+    }
+
+    /// How many times this session lowered a poly-set into a
+    /// [`CompiledPolySet`] — the recompilation observability hook.
+    /// Lowerings happen lazily, at most once per side: the first
+    /// compiled-path evaluation of the abstracted set counts one, the
+    /// first measurement touching the original side counts one more, and
+    /// repeated batches leave the count constant (zero throughout when
+    /// the options disable the compiled path).
+    pub fn compile_count(&self) -> usize {
+        self.compile_count
+    }
+}

@@ -1,0 +1,145 @@
+//! Strategy and size-target selection.
+//!
+//! A [`Strategy`] names which selection algorithm [`compress`] runs; a
+//! [`Target`] says how far to compress. Both are plain data so sessions
+//! can be described in configuration, cloned into sweeps, and compared in
+//! tests.
+//!
+//! [`compress`]: crate::Session::compress
+
+use crate::error::Error;
+
+/// Which valid-variable-set selection algorithm a session runs.
+///
+/// Every variant maps onto exactly one documented low-level entry point
+/// (listed per variant), so façade results are bit-for-bit identical to
+/// calling that function directly — the `facade_equivalence` suite
+/// asserts this for each variant.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Strategy {
+    /// Algorithm 1, the optimal single-tree dynamic program
+    /// ([`provabs_core::optimal::optimal_vvs`]). Requires a forest with
+    /// exactly one tree.
+    Optimal,
+    /// Algorithm 2, the greedy multi-tree heuristic.
+    Greedy {
+        /// `true` (the default) runs the delta-maintained incremental
+        /// engine ([`provabs_core::greedy::greedy_vvs`]); `false` runs
+        /// the paper-faithful full-rescan reference
+        /// ([`provabs_core::greedy::greedy_vvs_reference`]).
+        incremental: bool,
+    },
+    /// §6's sampling-based online scheme
+    /// ([`provabs_core::online::online_compress`] with the greedy
+    /// solver, which accepts any forest): the VVS is chosen on a sample
+    /// with an adapted bound, then evaluated against the full provenance.
+    /// The result may miss the bound — that is the scheme's documented
+    /// risk, reported through [`TreeError::BoundUnattainable`] only when
+    /// even the sample run fails.
+    ///
+    /// [`TreeError::BoundUnattainable`]: provabs_trees::error::TreeError::BoundUnattainable
+    Online {
+        /// Fraction of polynomials to sample in `(0, 1]`.
+        fraction: f64,
+        /// RNG seed for the sample.
+        seed: u64,
+    },
+    /// The pairwise-merge summarization baseline of Ainy et al.
+    /// ([`provabs_core::competitor::pairwise_summarize`]).
+    Competitor,
+    /// Exhaustive enumeration of every cut
+    /// ([`provabs_core::brute::brute_force_vvs`]); refuses forests
+    /// admitting more than `cut_limit` cuts.
+    Brute {
+        /// Enumeration limit (the paper's observed feasibility threshold
+        /// is [`provabs_core::brute::DEFAULT_CUT_LIMIT`]).
+        cut_limit: u128,
+    },
+    /// No compression: the session serves the original provenance (the
+    /// identity abstraction). Useful as the uncompressed baseline and
+    /// for sessions that only want the batch-evaluation engine.
+    None,
+}
+
+impl Default for Strategy {
+    /// The production default: the incremental greedy engine, which
+    /// accepts any forest and scales to large instances.
+    fn default() -> Self {
+        Strategy::Greedy { incremental: true }
+    }
+}
+
+impl Strategy {
+    /// Whether this strategy consults the abstraction forest at all.
+    /// [`Strategy::None`] is the only one that does not.
+    pub fn needs_forest(&self) -> bool {
+        !matches!(self, Strategy::None)
+    }
+}
+
+/// How far to compress: the bound `B` handed to the selection algorithm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Target {
+    /// An absolute monomial bound: compress until `|𝒫↓S|_M ≤ B`.
+    Monomials(usize),
+    /// A fraction of the original size: `B = max(1, ⌊|𝒫|_M · ratio⌋)`.
+    /// `Ratio(0.5)` is the paper's default "half size" setting (§4.3).
+    Ratio(f64),
+}
+
+impl Default for Target {
+    fn default() -> Self {
+        Target::Ratio(0.5)
+    }
+}
+
+impl Target {
+    /// Resolves the target against the actual provenance size, rejecting
+    /// unusable bounds (`0`, or a non-positive ratio).
+    pub fn resolve(self, size_m: usize) -> Result<usize, Error> {
+        let bound = match self {
+            Target::Monomials(b) => b,
+            Target::Ratio(r) if r > 0.0 => ((size_m as f64 * r).floor() as usize).max(1),
+            Target::Ratio(_) => 0,
+        };
+        if bound == 0 {
+            return Err(Error::InvalidBound { bound, size_m });
+        }
+        Ok(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_configuration() {
+        assert_eq!(Strategy::default(), Strategy::Greedy { incremental: true });
+        assert_eq!(Target::default(), Target::Ratio(0.5));
+    }
+
+    #[test]
+    fn target_resolution() {
+        assert_eq!(Target::Monomials(4).resolve(100), Ok(4));
+        assert_eq!(Target::Ratio(0.5).resolve(9), Ok(4));
+        assert_eq!(Target::Ratio(0.01).resolve(10), Ok(1)); // floors to 0, clamped to 1
+        assert!(matches!(
+            Target::Monomials(0).resolve(8),
+            Err(Error::InvalidBound {
+                bound: 0,
+                size_m: 8
+            })
+        ));
+        assert!(Target::Ratio(0.0).resolve(8).is_err());
+        assert!(Target::Ratio(-1.0).resolve(8).is_err());
+    }
+
+    #[test]
+    fn only_none_skips_the_forest() {
+        assert!(Strategy::Optimal.needs_forest());
+        assert!(Strategy::default().needs_forest());
+        assert!(!Strategy::None.needs_forest());
+    }
+}

@@ -1,0 +1,395 @@
+//! The façade contract: `Session` results are bit-for-bit identical to
+//! the direct low-level calls — same VVS, same abstracted poly-set, same
+//! scenario outputs, same accuracy/equivalence numbers — for every
+//! [`Strategy`] variant on the telephony and TPC-H fixtures; the session
+//! serves repeated batches with zero recompilation; and every error path
+//! surfaces through the unified [`Error`].
+
+use provabs_core::brute::{brute_force_vvs, DEFAULT_CUT_LIMIT};
+use provabs_core::competitor::pairwise_summarize;
+use provabs_core::greedy::{greedy_frontier, greedy_vvs, greedy_vvs_reference};
+use provabs_core::online::{online_compress, Solver};
+use provabs_core::optimal::{optimal_frontier, optimal_vvs};
+use provabs_core::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_datagen::workload::{Workload, WorkloadConfig, WorkloadData};
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::{polyset_to_string, VarTable};
+use provabs_scenario::accuracy::scenario_error_with;
+use provabs_scenario::executor::{apply_batch_parallel, EvalOptions};
+use provabs_scenario::speedup::max_equivalence_error;
+use provabs_scenario::Scenario;
+use provabs_session::{Error, SessionBuilder, Strategy, Target};
+use provabs_trees::cut::Vvs;
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+
+/// A small, fast fixture: enough structure for every algorithm
+/// (including the quadratic competitor and exhaustive brute force),
+/// small enough to sweep all six strategies in test time.
+fn fixture(workload: Workload) -> (WorkloadData, Forest) {
+    let mut data = workload.generate(&WorkloadConfig {
+        scale: 0.05,
+        param_modulus: 16,
+        seed: 11,
+    });
+    let forest = data.primary_tree(1, 0);
+    (data, forest)
+}
+
+/// The direct low-level call each strategy promises to be identical to.
+fn low_level_oracle(
+    strategy: &Strategy,
+    polys: &PolySet<f64>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<AbstractionResult, TreeError> {
+    match strategy {
+        Strategy::Optimal => optimal_vvs(polys, forest, bound),
+        Strategy::Greedy { incremental: true } => greedy_vvs(polys, forest, bound),
+        Strategy::Greedy { incremental: false } => greedy_vvs_reference(polys, forest, bound),
+        Strategy::Online { fraction, seed } => {
+            online_compress(polys, forest, bound, *fraction, *seed, Solver::Greedy).map(|o| o.full)
+        }
+        Strategy::Competitor => pairwise_summarize(polys, forest, bound).map(|(r, _)| r),
+        Strategy::Brute { cut_limit } => brute_force_vvs(polys, forest, bound, *cut_limit),
+        Strategy::None => {
+            let cleaned = prepare(polys, forest)?;
+            let vvs = Vvs::identity(&cleaned);
+            Ok(evaluate_vvs(polys, &cleaned, vvs))
+        }
+        _ => unreachable!("non-exhaustive enum: add new strategies here"),
+    }
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Optimal,
+        Strategy::Greedy { incremental: true },
+        Strategy::Greedy { incremental: false },
+        Strategy::Online {
+            fraction: 0.5,
+            seed: 7,
+        },
+        Strategy::Competitor,
+        Strategy::Brute {
+            cut_limit: DEFAULT_CUT_LIMIT,
+        },
+        Strategy::None,
+    ]
+}
+
+fn assert_values_bitwise(a: &[Vec<f64>], b: &[Vec<f64>], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: batch sizes differ");
+    for (row_a, row_b) in a.iter().zip(b) {
+        assert_eq!(row_a.len(), row_b.len(), "{context}: row lengths differ");
+        for (x, y) in row_a.iter().zip(row_b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: {x} vs {y}");
+        }
+    }
+}
+
+/// The tentpole assertion: for every strategy, on both fixtures, the
+/// façade's compression, abstracted poly-set, scenario answers and
+/// deterministic reports equal the low-level pipeline bit for bit — and
+/// repeated `ask` batches never recompile.
+#[test]
+fn facade_equals_low_level_for_every_strategy() {
+    for workload in [Workload::Telephony, Workload::TpchQ10] {
+        let (data, forest) = fixture(workload);
+        assert!(
+            forest.count_cuts() <= DEFAULT_CUT_LIMIT,
+            "fixture must stay brute-forceable"
+        );
+        // A bound between the forest's compression floor and the
+        // original size, so every strategy can attain it.
+        let total = data.polys.size_m();
+        let floor = match greedy_vvs(&data.polys, &forest, 1) {
+            Ok(r) => r.compressed_size_m,
+            Err(TreeError::BoundUnattainable { best_possible, .. }) => best_possible,
+            Err(e) => panic!("floor probe failed: {e}"),
+        };
+        let bound = (floor + (total - floor) / 2).max(1);
+        let opts = EvalOptions::new().threads(2);
+        for strategy in all_strategies() {
+            let context = format!("{} / {strategy:?}", workload.name());
+            let expected = low_level_oracle(&strategy, &data.polys, &forest, bound)
+                .unwrap_or_else(|e| panic!("{context}: low-level failed: {e}"));
+            let expected_down = expected.apply(&data.polys);
+
+            let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+                .forest(forest.clone())
+                .strategy(strategy.clone())
+                .bound(bound)
+                .eval_options(opts.clone())
+                .build()
+                .unwrap_or_else(|e| panic!("{context}: build failed: {e}"));
+            let got = session.compress().expect("low-level succeeded").clone();
+
+            // Same VVS, same measures.
+            assert_eq!(got.vvs, expected.vvs, "{context}: VVS differs");
+            assert_eq!(got.original_size_m, expected.original_size_m, "{context}");
+            assert_eq!(got.original_size_v, expected.original_size_v, "{context}");
+            assert_eq!(
+                got.compressed_size_m, expected.compressed_size_m,
+                "{context}"
+            );
+            assert_eq!(
+                got.compressed_size_v, expected.compressed_size_v,
+                "{context}"
+            );
+
+            // Same abstracted poly-set (compared via the canonical text
+            // rendering — PolySet has no PartialEq).
+            assert_eq!(
+                polyset_to_string(session.abstracted().expect("compressed"), session.vars()),
+                polyset_to_string(&expected_down, &data.vars),
+                "{context}: abstracted poly-set differs"
+            );
+
+            // Same scenario outputs, bit for bit, against the low-level
+            // batch engine on the same abstracted set.
+            let names = expected.vvs.labels(&expected.forest);
+            let scenarios: Vec<Scenario> = (0..5)
+                .map(|i| Scenario::random(&names, 0.6, 100 + i))
+                .collect();
+            let mut oracle_vars = data.vars.clone();
+            let vals: Vec<Valuation<f64>> = scenarios
+                .iter()
+                .map(|s| s.valuation(&mut oracle_vars))
+                .collect();
+            let low = apply_batch_parallel(&expected_down, &vals, &opts).values;
+            let high = session.ask(&scenarios).expect("known names").values;
+            assert_values_bitwise(&low, &high, &context);
+
+            // Second and third batches: identical values, zero
+            // recompilation (the compile-count hook; the one lazy
+            // lowering happened inside the first ask).
+            let compile_count = session.compile_count();
+            assert_eq!(compile_count, 1, "{context}: first ask compiles once");
+            let again = session.ask(&scenarios).expect("known names").values;
+            assert_values_bitwise(&high, &again, &context);
+            let prepared = session.ask_prepared(&vals).expect("compressed").values;
+            assert_values_bitwise(&high, &prepared, &context);
+            assert_eq!(
+                session.compile_count(),
+                compile_count,
+                "{context}: repeated batches must not recompile"
+            );
+
+            // Deterministic reports match the low-level measurements bit
+            // for bit.
+            let orig_names: Vec<String> = data.vars.iter().map(|(_, n)| n.to_string()).collect();
+            let fine = Scenario::random(&orig_names, 0.5, 99);
+            let fine_val = fine.valuation(&mut oracle_vars);
+            let low_acc = scenario_error_with(&data.polys, &expected, &fine_val, &opts);
+            let high_acc = session.accuracy_report(&fine).expect("known names");
+            assert_eq!(
+                low_acc.mean_relative.to_bits(),
+                high_acc.mean_relative.to_bits(),
+                "{context}: accuracy mean differs"
+            );
+            assert_eq!(
+                low_acc.max_relative.to_bits(),
+                high_acc.max_relative.to_bits(),
+                "{context}: accuracy max differs"
+            );
+            let low_err = max_equivalence_error(&data.polys, &expected, &vals);
+            let high_err = session.equivalence_error(&scenarios).expect("known names");
+            assert_eq!(low_err.to_bits(), high_err.to_bits(), "{context}");
+
+            // Speedup reports are timing-based (not bit-comparable):
+            // assert they ran on both sides and are well-formed.
+            let report = session.speedup_report(&scenarios, 2).expect("known names");
+            assert!(report.original.as_nanos() > 0, "{context}");
+            assert!(report.compressed.as_nanos() > 0, "{context}");
+            assert!(
+                (0.0..=100.0).contains(&report.speedup_pct),
+                "{context}: {}",
+                report.speedup_pct
+            );
+        }
+    }
+}
+
+#[test]
+fn frontier_matches_the_low_level_frontiers() {
+    let (data, forest) = fixture(Workload::Telephony);
+    let builder = SessionBuilder::new(data.polys.clone(), data.vars.clone()).forest(forest.clone());
+    let optimal = builder
+        .clone()
+        .strategy(Strategy::Optimal)
+        .build()
+        .expect("valid");
+    assert_eq!(
+        optimal.frontier().expect("single tree"),
+        optimal_frontier(&data.polys, &forest).expect("single tree")
+    );
+    let greedy = builder.clone().build().expect("valid");
+    assert_eq!(
+        greedy.frontier().expect("any forest"),
+        greedy_frontier(&data.polys, &forest).expect("any forest")
+    );
+}
+
+#[test]
+fn ratio_target_matches_the_half_size_bound() {
+    let (data, forest) = fixture(Workload::TpchQ10);
+    let bound = (data.polys.size_m() / 2).max(1);
+    let mut by_ratio = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest.clone())
+        .target(Target::Ratio(0.5))
+        .build()
+        .expect("valid");
+    assert_eq!(by_ratio.bound(), bound);
+    // Same outcome as the explicit half-size bound, whether the bound is
+    // attainable on this fixture or not.
+    match greedy_vvs(&data.polys, &forest, bound) {
+        Ok(expected) => {
+            assert_eq!(by_ratio.compress().expect("attainable").vvs, expected.vvs);
+        }
+        Err(e) => assert_eq!(by_ratio.compress().unwrap_err(), Error::Tree(e)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error paths: every failure surfaces through the unified `Error`.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bad_forest_surfaces_as_tree_error() {
+    // Both leaves of the tree occur in one monomial: the forest violates
+    // compatibility (`|m ∩ T| ≤ 1`, §2.2).
+    let mut session = SessionBuilder::from_text("1·a·b + 2·a")
+        .expect("parses")
+        .forest_text("X(a, b)")
+        .expect("parses")
+        .build()
+        .expect("shape is valid");
+    let err = session.compress().unwrap_err();
+    assert!(
+        matches!(err, Error::Tree(TreeError::MonomialNotCompatible { .. })),
+        "got {err:?}"
+    );
+
+    // A meta-variable that already occurs in the polynomials is equally
+    // bad. (The internal node needs ≥ 2 surviving children — cleaning
+    // collapses single-child nodes before the compatibility check.)
+    let mut session = SessionBuilder::from_text("1·a + 2·b + 3·X")
+        .expect("parses")
+        .forest_text("X(a, b)")
+        .expect("parses")
+        .build()
+        .expect("shape is valid");
+    assert!(matches!(
+        session.compress().unwrap_err(),
+        Error::Tree(TreeError::MetaVariableInPolynomials(_))
+    ));
+}
+
+#[test]
+fn unknown_and_merged_scenario_variables_are_rejected() {
+    let mut session = SessionBuilder::from_text("1·a + 2·b\n3·c")
+        .expect("parses")
+        .forest_text("X(a, b)")
+        .expect("parses")
+        .bound(2)
+        .build()
+        .expect("valid");
+    let err = session
+        .ask(&[Scenario::new().set("nope", 0.5)])
+        .unwrap_err();
+    assert_eq!(err, Error::UnknownVariable("nope".into()));
+    // The chosen meta-variable and surviving originals are valid coarse
+    // scenario targets.
+    assert!(session.ask(&[Scenario::new().set("X", 0.5)]).is_ok());
+    assert!(session.ask(&[Scenario::new().set("c", 0.5)]).is_ok());
+    // A variable merged away by the compression is known but cannot
+    // affect any coarse answer — asking it is rejected, not no-opped.
+    let err = session.ask(&[Scenario::new().set("a", 0.5)]).unwrap_err();
+    assert_eq!(err, Error::VariableNotInAbstraction("a".into()));
+    // The same fine variable is legitimate input to accuracy_report,
+    // which measures exactly that approximation.
+    assert!(session
+        .accuracy_report(&Scenario::new().set("a", 0.5))
+        .is_ok());
+}
+
+#[test]
+fn bound_of_zero_is_rejected_at_build_time() {
+    let err = SessionBuilder::from_text("1·a + 2·b")
+        .expect("parses")
+        .forest_text("X(a, b)")
+        .expect("parses")
+        .bound(0)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        Error::InvalidBound {
+            bound: 0,
+            size_m: 2
+        }
+    );
+}
+
+#[test]
+fn missing_forest_and_single_tree_requirements() {
+    let err = SessionBuilder::from_text("1·a")
+        .expect("parses")
+        .build()
+        .unwrap_err();
+    assert_eq!(err, Error::MissingForest);
+
+    // Optimal requires a single tree; the forest here has two.
+    let mut session = SessionBuilder::from_text("1·a1 + 2·a2 + 3·x1 + 4·x2")
+        .expect("parses")
+        .forest_text("A(a1, a2)\nX(x1, x2)")
+        .expect("parses")
+        .strategy(Strategy::Optimal)
+        .build()
+        .expect("shape is valid");
+    assert!(matches!(
+        session.compress().unwrap_err(),
+        Error::Tree(TreeError::ExpectedSingleTree(2))
+    ));
+}
+
+#[test]
+fn unattainable_bound_carries_the_floor() {
+    // Two trees of one leaf each: no merge is possible, the floor is 2.
+    let mut session = SessionBuilder::from_text("1·a + 2·b")
+        .expect("parses")
+        .forest_text("A(a)\nB(b)")
+        .expect("parses")
+        .bound(1)
+        .build()
+        .expect("valid");
+    match session.compress().unwrap_err() {
+        Error::Tree(TreeError::BoundUnattainable {
+            bound,
+            best_possible,
+        }) => {
+            assert_eq!(bound, 1);
+            assert_eq!(best_possible, 2);
+        }
+        other => panic!("expected BoundUnattainable, got {other:?}"),
+    }
+}
+
+#[test]
+fn strategy_none_serves_the_original_provenance() {
+    let mut vars = VarTable::new();
+    let polys = provabs_provenance::parse_polyset("3·x·a + 4·y·a", &mut vars).expect("parses");
+    let mut session = SessionBuilder::new(polys.clone(), vars)
+        .strategy(Strategy::None)
+        .build()
+        .expect("no forest needed");
+    let result = session.compress().expect("identity always works");
+    assert_eq!(result.compressed_size_m, polys.size_m());
+    assert_eq!(result.compressed_size_v, polys.size_v());
+    let run = session
+        .ask(&[Scenario::new().set("a", 2.0)])
+        .expect("known variable");
+    assert_eq!(run.values, vec![vec![14.0]]);
+}

@@ -30,12 +30,14 @@ impl TreeBuilder {
     }
 
     /// Declares a child under `parent`.
+    #[must_use]
     pub fn child(mut self, parent: impl Into<String>, child: impl Into<String>) -> Self {
         self.edges.push((parent.into(), child.into()));
         self
     }
 
     /// Declares several leaf children under `parent`.
+    #[must_use]
     pub fn leaves<S: Into<String>>(
         mut self,
         parent: impl Into<String> + Clone,

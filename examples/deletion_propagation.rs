@@ -1,11 +1,13 @@
-//! The semiring model (§2.1 case 1): tuple-level how-provenance and
-//! hypothetical deletions, with abstraction grouping tuple variables.
+//! Tuple-level how-provenance and hypothetical deletions (§2.1 case 1),
+//! with a [`Session`] grouping tuple variables by nation.
 //!
-//! A join query is evaluated over `N[X]`-annotated relations; the output
+//! A join query is evaluated over annotated relations; the output
 //! polynomials answer "does this result survive if those suppliers
-//! disappear?" by specialising into the Boolean semiring. Abstraction
-//! trees group suppliers by nation so a whole nation can be switched off
-//! with one meta-variable.
+//! disappear?" — a deletion is exactly the multiplicative scenario
+//! `variable × 0`, so the session's `ask` answers it: a part survives
+//! iff its provenance evaluates to a non-zero count. Abstraction trees
+//! group suppliers by nation so a whole nation can be switched off with
+//! one meta-variable.
 //!
 //! Run with `cargo run --example deletion_propagation`.
 
@@ -15,13 +17,13 @@ use provabs::engine::table::Table;
 use provabs::engine::value::Value;
 use provabs::provenance::polynomial::Polynomial;
 use provabs::provenance::polyset::PolySet;
-use provabs::provenance::semiring::{specialize, Bool, Semiring};
+use provabs::provenance::semiring::Semiring;
 use provabs::provenance::VarTable;
-use provabs::trees::builder::TreeBuilder;
-use provabs::trees::forest::Forest;
-use provabs::trees::Vvs;
+use provabs::{Scenario, SessionBuilder};
 
-type NX = Polynomial<u64>;
+/// Counting how-provenance: `N[X]` with `f64` coefficients, so deletions
+/// are valuations `x ↦ 0` and survival is "value > 0".
+type NX = Polynomial<f64>;
 
 fn main() {
     // Suppliers (with their nation) and the parts they can deliver.
@@ -72,42 +74,50 @@ fn main() {
         keys.push(row.clone());
         polys.push(p.clone());
     }
-    let polyset = PolySet::from_vec(polys.clone());
+
+    // The session: group suppliers by nation, keep the nation level
+    // (bound 3 merges each nation into its meta-variable).
+    let mut session = SessionBuilder::new(PolySet::from_vec(polys), vars)
+        .forest_text("AllSup(FR(s1, s2), DE(s3, s4))")
+        .expect("well-formed tree")
+        .bound(3)
+        .build()
+        .expect("valid configuration");
 
     // Hypothetical deletion, fine-grained: what if supplier 3 leaves?
-    fn alive(p: &NX, dead: &[&str], vars: &VarTable) -> Bool {
-        specialize(p, |v| Bool(!dead.contains(&vars.name(v))))
-    }
-    println!("\nwithout s3:");
-    for (k, p) in keys.iter().zip(&polys) {
-        println!("  {} available: {}", k[0], alive(p, &["s3"], &vars).0);
+    // Posed on the original provenance (the fine variable still exists
+    // there), before any abstraction.
+    let s3_gone = Scenario::new().set("s3", 0.0);
+    println!("\nwithout s3 (on the original provenance):");
+    let val = s3_gone.valuation(session.vars_mut());
+    let survives_fine = val.eval_set(session.original());
+    for (k, value) in keys.iter().zip(&survives_fine) {
+        println!("  {} available: {}", k[0], *value > 0.0);
     }
 
-    // Abstraction: group suppliers by nation. The what-if granularity
-    // drops to the nation level, and the provenance shrinks.
-    let tree = TreeBuilder::new("AllSup")
-        .child("AllSup", "FR")
-        .child("AllSup", "DE")
-        .leaves("FR", ["s1", "s2"])
-        .leaves("DE", ["s3", "s4"])
-        .build(&mut vars)
-        .expect("valid tree");
-    let forest = Forest::single(tree);
-    let vvs = Vvs::from_labels(&forest, &vars, &["FR", "DE"]).expect("labels");
-    vvs.validate(&forest).expect("valid VVS");
-    let abstracted = vvs.apply(&polyset, &forest);
+    // Compress: nation-level granularity, smaller provenance.
+    let result = session.compress().expect("bound attainable");
     println!(
-        "\nabstracted by nation: {} → {} monomials",
-        polyset.size_m(),
-        abstracted.size_m()
+        "\nabstracted by nation: {} → {} monomials, VVS {:?}",
+        result.original_size_m,
+        result.compressed_size_m,
+        result.vvs.labels(&result.forest)
     );
-    for (k, p) in keys.iter().zip(abstracted.iter()) {
+    for (k, p) in keys
+        .iter()
+        .zip(session.abstracted().expect("compressed").iter())
+    {
         println!("  {} : {:?}", k[0], p);
     }
 
-    // Coarse what-if: all German suppliers disappear at once.
+    // Coarse what-if through the session: all German suppliers disappear
+    // at once — one meta-variable set to zero, answered from the cached
+    // compiled provenance.
+    let run = session
+        .ask(&[Scenario::new().set("DE", 0.0)])
+        .expect("known meta-variable");
     println!("\nwithout the DE nation:");
-    for (k, p) in keys.iter().zip(abstracted.iter()) {
-        println!("  {} available: {}", k[0], alive(p, &["DE"], &vars).0);
+    for (k, value) in keys.iter().zip(&run.values[0]) {
+        println!("  {} available: {}", k[0], *value > 0.0);
     }
 }

@@ -1,18 +1,19 @@
-//! Quickstart: the paper's running example, end to end.
+//! Quickstart: the paper's running example, end to end through the
+//! [`Session`] façade.
 //!
 //! Builds the revenue provenance polynomial of Example 2, the plans
 //! abstraction tree of Figure 2, compresses optimally for a bound, and
-//! answers a what-if question on the compressed provenance.
+//! answers a what-if question on the compressed provenance — one handle,
+//! compress once, ask many.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use provabs::algo::optimal::optimal_vvs;
 use provabs::provenance::display::{poly_to_string, polyset_to_string};
 use provabs::provenance::parse::parse_polyset;
 use provabs::provenance::VarTable;
-use provabs::scenario::Scenario;
 use provabs::trees::forest::Forest;
 use provabs::trees::generate::plans_tree;
+use provabs::{Scenario, SessionBuilder, Strategy};
 
 fn main() {
     // The provenance of "revenue per zip code" for zip 10001 (Example 2):
@@ -28,29 +29,43 @@ fn main() {
     print!("{}", polyset_to_string(&polys, &vars));
 
     // The plans abstraction tree of Figure 2 constrains which plan
-    // variables may be grouped into meta-variables.
+    // variables may be grouped into meta-variables. The session owns the
+    // whole pipeline: compress once (optimal DP, at most 4 monomials,
+    // maximal remaining granularity — Algorithm 1), then serve scenarios.
     let forest = Forest::single(plans_tree(&mut vars));
-
-    // Find the optimal abstraction with at most 4 monomials: maximal
-    // remaining granularity among all adequate cuts (Algorithm 1).
-    let result = optimal_vvs(&polys, &forest, 4).expect("bound is attainable");
+    let mut session = SessionBuilder::new(polys, vars)
+        .forest(forest)
+        .strategy(Strategy::Optimal)
+        .bound(4)
+        .build()
+        .expect("valid configuration");
+    let result = session.compress().expect("bound is attainable");
     println!(
         "\nchosen VVS (B = 4): {:?}  — ML = {}, VL = {}",
         result.vvs.labels(&result.forest),
         result.ml(),
         result.vl()
     );
-    let compressed = result.apply(&polys);
+    let compressed = session.abstracted().expect("compressed above");
     println!("compressed provenance (|P↓S|_M = {}):", compressed.size_m());
     for p in compressed.iter() {
-        println!("{}", poly_to_string(p, &vars));
+        println!("{}", poly_to_string(p, session.vars()));
     }
 
-    // What if all special plans get 10 % cheaper? One assignment on the
-    // compressed provenance answers it.
-    let val = Scenario::new().set("Special", 0.9).valuation(&mut vars);
-    let baseline: f64 = compressed.eval(|_| 1.0).iter().sum();
-    let what_if: f64 = val.eval_set(&compressed).iter().sum();
+    // What if all special plans get 10 % cheaper? One ask on the session
+    // answers it from the cached compiled provenance.
+    let baseline: f64 = session
+        .ask(&[Scenario::new()])
+        .expect("known variables")
+        .values[0]
+        .iter()
+        .sum();
+    let what_if: f64 = session
+        .ask(&[Scenario::new().set("Special", 0.9)])
+        .expect("known variables")
+        .values[0]
+        .iter()
+        .sum();
     println!("\nrevenue baseline: {baseline:.2}");
     println!("revenue if special plans cost 90 %: {what_if:.2}");
 }

@@ -1,20 +1,19 @@
-//! The full telephony pipeline: generate a database, run the revenue
-//! query with provenance, compress with the greedy algorithm over a
-//! two-tree forest (plans × quarters), and compare what-if turnaround on
-//! the original vs the compressed provenance.
+//! The full telephony pipeline through one [`Session`]: generate a
+//! database, run the revenue query with provenance, compress with the
+//! greedy algorithm over a two-tree forest (plans × quarters), and
+//! compare what-if turnaround on the original vs the compressed
+//! provenance.
 //!
 //! Run with `cargo run --release --example telephony_whatif`.
 
-use provabs::algo::greedy::greedy_vvs;
 use provabs::datagen::telephony::{
     generate, month_leaves, plan_leaves, revenue_provenance, TelephonyConfig,
 };
 use provabs::provenance::VarTable;
-use provabs::scenario::executor::{apply_batch_parallel, EvalOptions};
-use provabs::scenario::scenario::Scenario;
-use provabs::scenario::speedup::{assignment_speedup, max_equivalence_error};
+use provabs::scenario::executor::EvalOptions;
 use provabs::trees::forest::Forest;
 use provabs::trees::generate::shaped_tree;
+use provabs::{Scenario, SessionBuilder};
 
 fn main() {
     // 1. Generate a telephony database and its revenue provenance.
@@ -37,15 +36,20 @@ fn main() {
     );
 
     // 2. Abstraction forest: plans grouped 8 × 16 (type-1 tree), months
-    //    grouped into quarters.
+    //    grouped into quarters. The session defaults are exactly this
+    //    pipeline's needs: greedy incremental compression (the forest has
+    //    two trees, so the optimal DP does not apply) to half the size,
+    //    batches on the compiled parallel engine.
     let plans = shaped_tree("AllPlans", &plan_leaves(&config), &[8], &mut vars);
     let months = shaped_tree("Year", &month_leaves(&config), &[4], &mut vars);
     let forest = Forest::new(vec![plans, months]).expect("disjoint trees");
+    let mut session = SessionBuilder::from_query(grouped, vars)
+        .forest(forest)
+        .build()
+        .expect("valid configuration");
 
-    // 3. Greedy compression to half the size (Algorithm 2 — the forest
-    //    has two trees, so the optimal DP does not apply).
-    let bound = grouped.polys.size_m() / 2;
-    let result = greedy_vvs(&grouped.polys, &forest, bound).expect("bound attainable");
+    // 3. Compress once (Algorithm 2).
+    let result = session.compress().expect("bound attainable");
     println!(
         "greedy VVS: |S| = {}, compressed to {} monomials (ML = {}, VL = {})",
         result.vvs.len(),
@@ -55,17 +59,22 @@ fn main() {
     );
 
     // 4. A batch of analyst scenarios over the abstracted variables.
-    let names = result.vvs.labels(&result.forest);
-    let scenarios: Vec<_> = (0..100)
-        .map(|i| Scenario::random(&names, 0.4, i).valuation(&mut vars))
-        .collect();
+    let names = session.abstracted_labels().expect("compressed above");
+    let scenarios: Vec<_> = (0..100).map(|i| Scenario::random(&names, 0.4, i)).collect();
 
     // Sanity: compressed answers equal original answers under lifting.
-    let err = max_equivalence_error(&grouped.polys, &result, &scenarios);
+    let err = session
+        .equivalence_error(&scenarios)
+        .expect("known variables");
     println!("max deviation compressed vs original: {err:.2e}");
 
-    // 5. Measure the assignment-time speedup (Figure 10's quantity).
-    let report = assignment_speedup(&grouped.polys, &result, &scenarios, 5);
+    // 5. Measure the assignment-time speedup (Figure 10's quantity) on
+    //    the paper-faithful serial engine, then answer the same batch on
+    //    the session's production engine — compiled once, asked many
+    //    times, zero recompilation.
+    let report = session
+        .speedup_report(&scenarios, 5)
+        .expect("known variables");
     println!(
         "what-if batch: original {:.2} ms, compressed {:.2} ms → speedup {:.1} %",
         report.original.as_secs_f64() * 1e3,
@@ -73,16 +82,26 @@ fn main() {
         report.speedup_pct
     );
 
-    // 6. The same batch on the production engine: compiled columnar
-    //    poly-sets on a scoped thread pool. Values are bit-identical to
-    //    the serial reference; abstraction and engine speedups compose.
-    let serial = apply_batch_parallel(&grouped.polys, &scenarios, &EvalOptions::serial_reference());
-    let engine = apply_batch_parallel(&grouped.polys, &scenarios, &EvalOptions::new());
+    // 6. The same batch, engine ablation: serial hash-map vs the cached
+    //    compiled columnar path. Values are bit-identical; abstraction
+    //    and engine speedups compose.
+    let serial = session
+        .ask_with_options(&scenarios, &EvalOptions::serial_reference())
+        .expect("known variables");
+    let engine = session.ask(&scenarios).expect("known variables");
+    let compiled_before = session.compile_count();
+    let engine2 = session.ask(&scenarios).expect("known variables");
     assert_eq!(serial.values, engine.values);
+    assert_eq!(engine.values, engine2.values);
+    assert_eq!(
+        session.compile_count(),
+        compiled_before,
+        "repeated asks must not recompile"
+    );
     println!(
-        "engine: serial-hashmap {:.2} ms vs compiled-parallel {:.2} ms ({:.1}× on the original provenance)",
+        "engine: serial-hashmap {:.2} ms vs cached-compiled {:.2} ms ({:.1}× on the compressed provenance)",
         serial.elapsed.as_secs_f64() * 1e3,
-        engine.elapsed.as_secs_f64() * 1e3,
-        serial.elapsed.as_secs_f64() / engine.elapsed.as_secs_f64().max(1e-12),
+        engine2.elapsed.as_secs_f64() * 1e3,
+        serial.elapsed.as_secs_f64() / engine2.elapsed.as_secs_f64().max(1e-12),
     );
 }

@@ -7,8 +7,13 @@
 //! guided by user-supplied abstraction trees, while maximising the
 //! granularity left for hypothetical (what-if) reasoning.
 //!
-//! This umbrella crate re-exports the workspace members:
+//! The front door is [`Session`]: a compress-once / ask-many handle that
+//! owns the pipeline — provenance in, one compression run, then batch
+//! after batch of what-if scenarios off cached compiled artifacts. The
+//! per-stage crates below remain the low-level API it delegates to:
 //!
+//! * [`session`] — the [`SessionBuilder`] → [`Session`] façade
+//!   ([`provabs_session`]),
 //! * [`provenance`] — polynomials, monomials, semirings, circuits,
 //!   valuations ([`provabs_provenance`]),
 //! * [`trees`] — abstraction trees, forests and valid variable sets
@@ -26,20 +31,23 @@
 //! ## Quick start
 //!
 //! ```
-//! use provabs::provenance::{parse::parse_polyset, VarTable};
-//! use provabs::trees::{builder::TreeBuilder, forest::Forest};
-//! use provabs::algo::optimal::optimal_vvs;
+//! use provabs::{Scenario, SessionBuilder, Strategy};
 //!
-//! let mut vars = VarTable::new();
-//! let polys = parse_polyset("3·x1·a + 4·x2·a\n5·x1·b + 6·x2·b", &mut vars).unwrap();
-//! // One tree allowing {x1,x2} to merge into the meta-variable X.
-//! let tree = TreeBuilder::new("X")
-//!     .leaves("X", ["x1", "x2"])
-//!     .build(&mut vars)
-//!     .unwrap();
-//! let forest = Forest::new(vec![tree]).unwrap();
-//! let result = optimal_vvs(&polys, &forest, 2).unwrap();
-//! assert_eq!(result.compressed_size_m, 2); // 7·X·a and 11·X·b
+//! // Provenance in (text, a PolySet, or an engine query result), one
+//! // tree allowing {x1,x2} to merge into the meta-variable X.
+//! let mut session = SessionBuilder::from_text("3·x1·a + 4·x2·a\n5·x1·b + 6·x2·b")?
+//!     .forest_text("X(x1, x2)")?
+//!     .strategy(Strategy::Optimal)
+//!     .bound(2)
+//!     .build()?;
+//!
+//! // Compress once: 7·X·a and 11·X·b.
+//! assert_eq!(session.compress()?.compressed_size_m, 2);
+//!
+//! // Ask many: each batch is served off the cached compiled form.
+//! let run = session.ask(&[Scenario::new().set("X", 0.5)])?;
+//! assert_eq!(run.values, vec![vec![3.5, 5.5]]);
+//! # Ok::<(), provabs::session::Error>(())
 //! ```
 
 pub use provabs_core as algo;
@@ -47,4 +55,8 @@ pub use provabs_datagen as datagen;
 pub use provabs_engine as engine;
 pub use provabs_provenance as provenance;
 pub use provabs_scenario as scenario;
+pub use provabs_session as session;
 pub use provabs_trees as trees;
+
+pub use provabs_scenario::Scenario;
+pub use provabs_session::{Session, SessionBuilder, Strategy, Target};

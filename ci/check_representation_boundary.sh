@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Representation-boundary guard for the interned provenance currency.
+#
+# The session/scenario/core hot paths speak monomial ids end-to-end
+# (docs/adr/004-interned-provenance-currency.md); hash-map `PolySet`s are
+# allowed only at the documented bridges. This guard counts the
+# materialisation sites — `to_polyset(` and `PolySet::from_vec(` — per
+# hot-path file and fails when any file exceeds its audited baseline in
+# ci/representation-boundary.allow, so the hash-map currency cannot
+# silently creep back in.
+#
+# Adding a *legitimate* bridge? Document it in the code, bump the file's
+# allowance in the same commit, and justify it in the PR. Removing one?
+# Lower the allowance so the win is locked in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOW="ci/representation-boundary.allow"
+PATTERN='to_polyset\(|PolySet::from_vec\('
+HOT_PATHS=(crates/session/src crates/scenario/src crates/core/src)
+
+status=0
+while IFS=: read -r file count; do
+    [ "$count" -eq 0 ] && continue
+    allowed=$(awk -F': *' -v f="$file" '$1 == f { print $2 }' "$ALLOW")
+    allowed=${allowed:-0}
+    if [ "$count" -gt "$allowed" ]; then
+        echo "representation boundary violated: $file has $count PolySet" \
+            "materialisation lines (allowed: $allowed)" >&2
+        grep -nE "$PATTERN" "$file" >&2
+        status=1
+    fi
+done < <(grep -rcE "$PATTERN" --include='*.rs' "${HOT_PATHS[@]}" | sort)
+
+if [ "$status" -eq 0 ]; then
+    echo "representation boundary intact: hot paths within the audited baseline"
+fi
+exit $status

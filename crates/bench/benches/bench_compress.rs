@@ -1,16 +1,26 @@
 //! Criterion micro-benchmarks of the three compression algorithms
 //! (Figures 5–7's inner loop): Opt (Algorithm 1), Greedy (Algorithm 2)
 //! and Brute-Force, on the telephony workload with a type-1 tree — plus
-//! the incremental-greedy ablation (`compress_incremental/*`): the
-//! delta-maintained engine behind [`greedy_vvs`] against the full-rescan
-//! reference, on telephony and TPC-H Q10 at scale 2.0 with the half-size
-//! bound. Results are recorded in `BENCH_compress_incremental.json`.
+//! two ablations:
+//!
+//! * `compress_incremental/*` — the delta-maintained engine behind
+//!   [`greedy_vvs`] against the full-rescan reference, on telephony,
+//!   TPC-H Q10 and the supply-chain BOM workload (deep component
+//!   taxonomy) at scale 2.0 (`BENCH_compress_incremental.json`);
+//! * `pipeline/*` — the interned-currency ablation: one full
+//!   compress → freeze/compile → 16-scenario ask through the hash-map
+//!   data flow vs the shared-arena flow
+//!   (`BENCH_interned_pipeline.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provabs_core::brute::brute_force_vvs;
-use provabs_core::greedy::{greedy_vvs, greedy_vvs_reference};
+use provabs_core::greedy::{greedy_vvs, greedy_vvs_interned, greedy_vvs_reference};
 use provabs_core::optimal::optimal_vvs;
 use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::valuation::Valuation;
+use provabs_scenario::executor::{eval_compiled, EvalOptions};
+use provabs_scenario::scenario::Scenario;
 
 fn bench_compress(c: &mut Criterion) {
     let mut data = Workload::Telephony.generate(&WorkloadConfig {
@@ -39,15 +49,25 @@ fn bench_compress(c: &mut Criterion) {
 
 /// The incremental-engine ablation: reference full-rescan greedy vs the
 /// delta-maintained engine, identical inputs and (asserted) identical
-/// outputs, half-size bound, scale 2.0.
+/// outputs, half-size bound, scale 2.0. The supply-chain workload runs a
+/// deep (5-level) component taxonomy — the wide-monomial regime the BOM
+/// family exists to exercise.
 fn bench_compress_incremental(c: &mut Criterion) {
-    for workload in [Workload::Telephony, Workload::TpchQ10] {
+    for workload in [
+        Workload::Telephony,
+        Workload::TpchQ10,
+        Workload::SupplyChain,
+    ] {
         let mut data = workload.generate(&WorkloadConfig {
             scale: 2.0,
             ..WorkloadConfig::default()
         });
         let bound = data.polys.size_m() / 2;
-        let forest = data.primary_tree(2, 1);
+        let forest = match workload {
+            // Deep layered tree over the 128 component classes.
+            Workload::SupplyChain => data.primary_shaped(&[2, 2, 2, 2, 8]),
+            _ => data.primary_tree(2, 1),
+        };
         // The acceptance invariant: both engines choose the same VVS.
         let a = greedy_vvs(&data.polys, &forest, bound);
         let b = greedy_vvs_reference(&data.polys, &forest, bound);
@@ -57,6 +77,7 @@ fn bench_compress_incremental(c: &mut Criterion) {
         }
         let name = match workload {
             Workload::Telephony => "telephony",
+            Workload::SupplyChain => "bom",
             _ => "tpch_q10",
         };
         let mut group = c.benchmark_group(format!("compress_incremental/{name}"));
@@ -71,5 +92,108 @@ fn bench_compress_incremental(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_compress, bench_compress_incremental);
+/// The interned-pipeline ablation (`pipeline/*`): one full
+/// compress → prepare → 16-scenario ask, through the two currencies.
+///
+/// * `hashmap-materialise` — the pre-interning data flow: greedy on the
+///   poly-set, `AbstractionResult::apply` materialising `𝒫↓S` as a
+///   hash-map poly-set, `CompiledPolySet::compile` re-interning it for
+///   evaluation.
+/// * `interned` — the shared-arena flow: greedy consuming the
+///   engine-emitted working set, the final state frozen straight out of
+///   the arena (`WorkingSet::freeze`), zero `PolySet` materialisations.
+///
+/// Identical VVS asserted before timing; outputs agree up to the
+/// documented merge-order float noise (also asserted).
+fn bench_interned_pipeline(c: &mut Criterion) {
+    const SCENARIOS: usize = 16;
+    for workload in [
+        Workload::Telephony,
+        Workload::TpchQ10,
+        Workload::SupplyChain,
+    ] {
+        let mut data = workload.generate(&WorkloadConfig {
+            scale: 2.0,
+            ..WorkloadConfig::default()
+        });
+        let forest = match workload {
+            Workload::SupplyChain => data.primary_shaped(&[2, 2, 2, 2, 8]),
+            _ => data.primary_tree(2, 1),
+        };
+        // Half-size, or halfway to the forest's compression floor when
+        // half-size is unattainable (Q10's tree cannot reach it).
+        let total = data.polys.size_m();
+        let floor = match greedy_vvs(&data.polys, &forest, 1) {
+            Ok(r) => r.compressed_size_m,
+            Err(provabs_trees::error::TreeError::BoundUnattainable { best_possible, .. }) => {
+                best_possible
+            }
+            Err(e) => panic!("floor probe failed: {e}"),
+        };
+        let bound = if total / 2 >= floor {
+            (total / 2).max(1)
+        } else {
+            (floor + (total - floor) / 2).max(1)
+        };
+        let source = data.interned.working.clone();
+        let opts = EvalOptions::new().threads(1);
+
+        // Acceptance invariants before timing: identical VVS, outputs
+        // within merge-order noise.
+        let a = greedy_vvs(&data.polys, &forest, bound).expect("attainable");
+        let b = greedy_vvs_interned(&source, &forest, bound).expect("attainable");
+        assert_eq!(a.vvs, b.result.vvs, "pipelines diverged");
+        assert_eq!(a.compressed_size_m, b.result.compressed_size_m);
+        let names = a.vvs.labels(&a.forest);
+        let batch: Vec<Valuation<f64>> = (0..SCENARIOS as u64)
+            .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
+            .collect();
+        let out_a = eval_compiled(
+            &CompiledPolySet::compile(&a.apply(&data.polys)),
+            &batch,
+            &opts,
+        );
+        let out_b = eval_compiled(&b.working.freeze(), &batch, &opts);
+        for (ra, rb) in out_a.values.iter().zip(&out_b.values) {
+            for (x, y) in ra.iter().zip(rb) {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!(
+                    (x - y).abs() / scale < 1e-12,
+                    "outputs diverged: {x} vs {y}"
+                );
+            }
+        }
+
+        let name = match workload {
+            Workload::Telephony => "telephony",
+            Workload::SupplyChain => "bom",
+            _ => "tpch_q10",
+        };
+        let mut group = c.benchmark_group(format!("pipeline/{name}"));
+        group.sample_size(10);
+        group.bench_function("hashmap-materialise", |bch| {
+            bch.iter(|| {
+                let r = greedy_vvs(&data.polys, &forest, bound).expect("attainable");
+                let abstracted = r.apply(&data.polys);
+                let compiled = CompiledPolySet::compile(&abstracted);
+                eval_compiled(&compiled, &batch, &opts).values
+            })
+        });
+        group.bench_function("interned", |bch| {
+            bch.iter(|| {
+                let r = greedy_vvs_interned(&source, &forest, bound).expect("attainable");
+                let compiled = r.working.freeze();
+                eval_compiled(&compiled, &batch, &opts).values
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_compress_incremental,
+    bench_interned_pipeline
+);
 criterion_main!(benches);

@@ -1,10 +1,13 @@
 //! Criterion benchmark of provenance-aware query evaluation: the cost of
 //! generating the provenance in the first place (the paper's offline
-//! phase).
+//! phase), plus the hash-join micro-bench behind the shared
+//! `JoinIndex` (build side indexed over hashed key columns; selective
+//! and non-selective probes).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use provabs_datagen::telephony;
 use provabs_datagen::tpch;
+use provabs_engine::ops::hash_join;
 use provabs_provenance::var::VarTable;
 
 fn bench_engine(c: &mut Criterion) {
@@ -46,5 +49,35 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The join micro-bench: both cases probe the same build side (Plans,
+/// keyed by plan id), but the selective case first filters the probe side
+/// down to one month (≈ 1/12 of the rows reach the index), while the
+/// non-selective case probes with every call row and every probe matches.
+fn bench_join(c: &mut Criterion) {
+    let tele = telephony::generate(telephony::TelephonyConfig {
+        customers: 4_000,
+        ..telephony::TelephonyConfig::default()
+    });
+    let cust = tele.catalog.get("Cust").expect("registered");
+    let calls = tele.catalog.get("Calls").expect("registered");
+
+    let mut group = c.benchmark_group("engine/join");
+    group.sample_size(20);
+    // Non-selective: every Calls row has a matching customer.
+    group.bench_function("non-selective", |b| {
+        b.iter(|| hash_join(calls, cust, &[("CID", "ID")], "c").expect("join"))
+    });
+    // Selective: only January calls probe the index (~1/12 of the rows).
+    let january = provabs_engine::ops::filter(
+        calls,
+        &provabs_engine::Expr::col("Mo").eq(provabs_engine::Expr::lit(1i64)),
+    )
+    .expect("filter");
+    group.bench_function("selective", |b| {
+        b.iter(|| hash_join(&january, cust, &[("CID", "ID")], "c").expect("join"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_join);
 criterion_main!(benches);

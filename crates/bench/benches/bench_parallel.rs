@@ -46,8 +46,11 @@ fn bench_workload(c: &mut Criterion, workload: Workload, group_name: &str) {
 /// The façade's steady state: one compress-once [`Session`] serving the
 /// 16-scenario batch again and again. `ask-from-scratch` rebuilds the
 /// batch path per call ([`apply_batch_parallel`], compilation included);
-/// `session-ask-prepared` runs off the session's cached lowering. The
-/// compile-count hook proves the loop never recompiles.
+/// `session-ask-prepared` runs off the session's cached lowering, and
+/// `session-interned-ask-prepared` does the same for a session built
+/// from the engine's interned emission (whole loop in the id currency).
+/// The compile-count and intern-stats hooks prove the loops never
+/// recompile and never materialise.
 ///
 /// [`Session`]: provabs_session::Session
 fn bench_session_steady_state(c: &mut Criterion, workload: Workload, group_name: &str) {
@@ -60,12 +63,23 @@ fn bench_session_steady_state(c: &mut Criterion, workload: Workload, group_name:
     let batch: Vec<_> = (0..SCENARIOS as u64)
         .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
         .collect();
-    let mut session = provabs_session::SessionBuilder::new(data.polys.clone(), data.vars)
-        .forest(forest)
+    let interned = data.interned.clone();
+    let mut session = provabs_session::SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest.clone())
         .build()
         .expect("valid configuration");
     session.compress().expect("half-size bound attainable");
     let abstracted = session.abstracted().expect("compressed above").clone();
+    // The engine-emitted interned source: query → compress → ask with
+    // zero `PolySet` materialisations (asserted below).
+    let mut interned_session =
+        provabs_session::SessionBuilder::from_query_interned(interned, data.vars)
+            .forest(forest)
+            .build()
+            .expect("valid configuration");
+    interned_session
+        .compress()
+        .expect("half-size bound attainable");
 
     let mut group = c.benchmark_group(group_name);
     group.sample_size(20);
@@ -80,10 +94,24 @@ fn bench_session_steady_state(c: &mut Criterion, workload: Workload, group_name:
                 .values
         })
     });
+    group.bench_function("session-interned-ask-prepared", |b| {
+        b.iter(|| {
+            interned_session
+                .ask_prepared(&batch)
+                .expect("prepared valuations")
+                .values
+        })
+    });
     group.finish();
-    // ≥ 2 batches ran above; the session compiled exactly once, at
-    // compress time — zero recompilation in the ask loop.
+    // ≥ 2 batches ran above; each session froze/compiled exactly once —
+    // zero recompilation in the ask loops.
     assert_eq!(session.compile_count(), 1, "ask loop must not recompile");
+    assert_eq!(interned_session.compile_count(), 1);
+    // The interned session's whole query → compress → ask flow stayed in
+    // the id currency (the materialisation-free acceptance invariant).
+    let stats = interned_session.intern_stats();
+    assert!(stats.interned_source);
+    assert_eq!(stats.polyset_materializations, 0, "hot path materialised");
 }
 
 fn bench_parallel(c: &mut Criterion) {

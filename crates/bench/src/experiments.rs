@@ -592,7 +592,7 @@ mod tests {
     #[test]
     fn fig5_rows_cover_all_workloads_and_shapes() {
         let reports = fig_compression_vs_cuts(&tiny(), &[1], false);
-        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.len(), Workload::ALL.len());
         for r in &reports {
             assert_eq!(r.rows().len(), tree_type_shapes(1).len());
         }
@@ -601,12 +601,12 @@ mod tests {
     #[test]
     fn fig9_and_fig10_share_bounds() {
         let reports = fig9_bound(&tiny());
-        assert_eq!(reports.len(), 4);
+        assert_eq!(reports.len(), Workload::ALL.len());
         for r in &reports {
             assert_eq!(r.rows().len(), 5);
         }
         let speedups = fig10_speedup(&tiny(), 5);
-        assert_eq!(speedups.len(), 4);
+        assert_eq!(speedups.len(), Workload::ALL.len());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 //! the behaviour Figure 12 plots (and why the competitor never finished
 //! on the large workloads within 24 hours).
 
-use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
+use crate::problem::{
+    evaluate_vvs, prepare, prepare_interned, AbstractionResult, InternedAbstraction,
+};
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::monomial::Monomial;
 use provabs_provenance::polyset::PolySet;
@@ -158,7 +160,78 @@ pub fn pairwise_summarize<C: Coefficient>(
     bound: usize,
 ) -> Result<(AbstractionResult, OracleStats), TreeError> {
     let cleaned = prepare(polys, forest)?;
+    let mut ws = WorkingSet::from_polyset(polys);
     let mut stats = OracleStats::default();
+    let antichain = summarize_core(&mut ws, &cleaned, bound, &mut stats);
+    let vvs = vvs_from_antichain(&antichain);
+    debug_assert!(vvs.validate(&cleaned).is_ok());
+    let result = evaluate_vvs(polys, &cleaned, vvs);
+    if !result.is_adequate_for(bound) {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: result.compressed_size_m,
+        });
+    }
+    Ok((result, stats))
+}
+
+/// [`pairwise_summarize`] in the interned currency end-to-end: the
+/// quadratic pair scans and the incremental merges run on a clone of the
+/// given working set, whose final state *is* `𝒫↓S` — no re-application,
+/// no [`PolySet`] materialisation.
+///
+/// Identical VVS, sizes and oracle statistics to [`pairwise_summarize`]
+/// when `source` was lowered from the equivalent poly-set
+/// ([`WorkingSet::from_polyset`] — the ids then enumerate pairs in the
+/// same order). For an arena interned in a different order (e.g. engine
+/// emission), equal-cost merge candidates may resolve differently: the
+/// baseline breaks cost ties by scan order, so the chosen VVS can be a
+/// different — equally scored — summarization.
+pub fn pairwise_summarize_interned<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<(InternedAbstraction<C>, OracleStats), TreeError> {
+    let cleaned = prepare_interned(source, forest)?;
+    let original_size_m = source.size_m();
+    let original_size_v = source.size_v();
+    let mut ws = source.clone();
+    let mut stats = OracleStats::default();
+    let antichain = summarize_core(&mut ws, &cleaned, bound, &mut stats);
+    let vvs = vvs_from_antichain(&antichain);
+    debug_assert!(vvs.validate(&cleaned).is_ok());
+    let result = AbstractionResult {
+        forest: cleaned,
+        vvs,
+        original_size_m,
+        original_size_v,
+        compressed_size_m: ws.size_m(),
+        compressed_size_v: ws.size_v(),
+    };
+    if !result.is_adequate_for(bound) {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: result.compressed_size_m,
+        });
+    }
+    Ok((
+        InternedAbstraction {
+            result,
+            working: ws,
+        },
+        stats,
+    ))
+}
+
+/// The shared main loop: pair scans, oracle calls and incremental lifts
+/// over an in-flight working set. Returns the final antichain bitmaps;
+/// the working set ends as `𝒫↓S` of the returned antichain.
+fn summarize_core<C: Coefficient>(
+    ws: &mut WorkingSet<C>,
+    cleaned: &Forest,
+    bound: usize,
+    stats: &mut OracleStats,
+) -> Vec<Vec<bool>> {
     let mut antichain: Vec<Vec<bool>> = cleaned
         .trees()
         .iter()
@@ -170,8 +243,7 @@ pub fn pairwise_summarize<C: Coefficient>(
             bits
         })
         .collect();
-    let mut ws = WorkingSet::from_polyset(polys);
-    let all_polys: Vec<usize> = (0..polys.len()).collect();
+    let all_polys: Vec<usize> = (0..ws.num_polys()).collect();
 
     while ws.size_m() > bound {
         // Full pair scan (this is the point of the baseline).
@@ -181,7 +253,7 @@ pub fn pairwise_summarize<C: Coefficient>(
             for i in 0..monos.len() {
                 for j in (i + 1)..monos.len() {
                     stats.pairs_examined += 1;
-                    if let Some(lift) = oracle_merge(&cleaned, &antichain, monos[i], monos[j]) {
+                    if let Some(lift) = oracle_merge(cleaned, &antichain, monos[i], monos[j]) {
                         if best.as_ref().is_none_or(|b| lift.cost < b.cost) {
                             best = Some(lift);
                         }
@@ -211,17 +283,7 @@ pub fn pairwise_summarize<C: Coefficient>(
             ws.apply_group(&group, tree.var_of(target), &all_polys);
         }
     }
-
-    let vvs = vvs_from_antichain(&antichain);
-    debug_assert!(vvs.validate(&cleaned).is_ok());
-    let result = evaluate_vvs(polys, &cleaned, vvs);
-    if !result.is_adequate_for(bound) {
-        return Err(TreeError::BoundUnattainable {
-            bound,
-            best_possible: result.compressed_size_m,
-        });
-    }
-    Ok((result, stats))
+    antichain
 }
 
 fn vvs_from_antichain(antichain: &[Vec<bool>]) -> Vvs {
@@ -268,6 +330,27 @@ mod tests {
         assert!(stats.pairs_examined > 0);
         assert!(stats.merges_applied >= 1);
         r.vvs.validate(&r.forest).expect("valid");
+    }
+
+    #[test]
+    fn interned_entry_point_matches_polyset_entry_point() {
+        let (polys, forest) = example_13();
+        let source = WorkingSet::from_polyset(&polys);
+        for bound in [4, 9, 12] {
+            let by_polys = pairwise_summarize(&polys, &forest, bound);
+            let by_ws = pairwise_summarize_interned(&source, &forest, bound);
+            match (by_polys, by_ws) {
+                (Ok((a, sa)), Ok((b, sb))) => {
+                    assert_eq!(a.vvs, b.result.vvs, "bound {bound}");
+                    assert_eq!(a.compressed_size_m, b.result.compressed_size_m);
+                    assert_eq!(a.compressed_size_v, b.result.compressed_size_v);
+                    assert_eq!(sa, sb, "oracle statistics differ at bound {bound}");
+                    assert_eq!(b.working.size_m(), b.result.compressed_size_m);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "bound {bound}"),
+                (a, b) => panic!("entry points disagree at bound {bound}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@
 //! `incremental_equivalence` property suite).
 
 use crate::loss::ml_delta_of_group_in;
-use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
+use crate::problem::{
+    evaluate_vvs, evaluate_vvs_interned, prepare, prepare_interned, AbstractionResult,
+    InternedAbstraction,
+};
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::fxhash::{FxHashMap, FxHashSet};
 use provabs_provenance::polyset::PolySet;
@@ -62,6 +65,24 @@ fn build_postings<C: Coefficient>(
     for (pi, p) in polys.iter().enumerate() {
         for (m, _) in p.iter() {
             for v in m.vars() {
+                let list = postings.entry(v).or_default();
+                if list.last() != Some(&pi) {
+                    list.push(pi);
+                }
+            }
+        }
+    }
+    postings
+}
+
+/// [`build_postings`] over an interned working set — the variables come
+/// straight out of the arena, no polynomial materialisation. Produces the
+/// same index (sorted, duplicate-free) as the slice-based builder.
+fn build_postings_ws<C: Coefficient>(ws: &WorkingSet<C>) -> Postings {
+    let mut postings = Postings::default();
+    for pi in 0..ws.num_polys() {
+        for id in ws.poly_mono_ids(pi) {
+            for v in ws.mono(id).vars() {
                 let list = postings.entry(v).or_default();
                 if list.last() != Some(&pi) {
                     list.push(pi);
@@ -181,18 +202,17 @@ pub fn greedy_frontier_reference<C: Coefficient>(
 }
 
 /// What an engine returns: the final membership bitmaps, plus the final
-/// `(|𝒫↓S|_M, |𝒫↓S|_V)` when the engine already has them materialised
-/// (the incremental engine's working set *is* the final state, so no
-/// re-application is needed; the reference engine defers to
-/// [`evaluate_vvs`]).
-type EngineOutcome = (Vec<Vec<bool>>, Option<(usize, usize)>);
+/// working set when the engine maintains one (the incremental engine's
+/// working set *is* `𝒫↓S`, so no re-application is needed; the reference
+/// engine returns `None` and defers to [`evaluate_vvs`]).
+type EngineOutcome<C> = (Vec<Vec<bool>>, Option<WorkingSet<C>>);
 
 /// Shared preamble/postamble of [`greedy_vvs`] over a pluggable engine.
 fn greedy_vvs_with<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
     bound: usize,
-    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome,
+    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome<C>,
 ) -> Result<AbstractionResult, TreeError> {
     let cleaned = prepare(polys, forest)?;
     let total_m = polys.size_m();
@@ -207,17 +227,17 @@ fn greedy_vvs_with<C: Coefficient>(
         });
     }
     let k = total_m - bound;
-    let (in_s, sizes) = engine(polys, &cleaned, k, &mut |_, _| {});
+    let (in_s, ws) = engine(polys, &cleaned, k, &mut |_, _| {});
     let vvs = vvs_from_membership(&in_s);
     debug_assert!(vvs.validate(&cleaned).is_ok());
-    let result = match sizes {
-        Some((compressed_size_m, compressed_size_v)) => AbstractionResult {
+    let result = match ws {
+        Some(ws) => AbstractionResult {
             forest: cleaned,
             vvs,
             original_size_m: total_m,
             original_size_v: polys.size_v(),
-            compressed_size_m,
-            compressed_size_v,
+            compressed_size_m: ws.size_m(),
+            compressed_size_v: ws.size_v(),
         },
         None => evaluate_vvs(polys, &cleaned, vvs),
     };
@@ -230,11 +250,59 @@ fn greedy_vvs_with<C: Coefficient>(
     Ok(result)
 }
 
+/// [`greedy_vvs`] in the interned currency end-to-end: consumes an
+/// already-interned working set (the engine rewrites a clone of it — the
+/// arena is never re-built from monomials) and returns the selection
+/// *together with* the rewritten `𝒫↓S`, ready to freeze for evaluation.
+/// The chosen VVS and all measures are identical to [`greedy_vvs`] on the
+/// materialised poly-set.
+pub fn greedy_vvs_interned<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<InternedAbstraction<C>, TreeError> {
+    let cleaned = prepare_interned(source, forest)?;
+    let total_m = source.size_m();
+    if bound >= total_m {
+        let vvs = Vvs::identity(&cleaned);
+        return Ok(evaluate_vvs_interned(source.clone(), &cleaned, vvs));
+    }
+    if cleaned.num_trees() == 0 {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: total_m,
+        });
+    }
+    let original_size_v = source.size_v();
+    let k = total_m - bound;
+    let (in_s, ws) = run_incremental_ws(source.clone(), &cleaned, k, &mut |_, _| {});
+    let vvs = vvs_from_membership(&in_s);
+    debug_assert!(vvs.validate(&cleaned).is_ok());
+    let result = AbstractionResult {
+        forest: cleaned,
+        vvs,
+        original_size_m: total_m,
+        original_size_v,
+        compressed_size_m: ws.size_m(),
+        compressed_size_v: ws.size_v(),
+    };
+    if !result.is_adequate_for(bound) {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: result.compressed_size_m,
+        });
+    }
+    Ok(InternedAbstraction {
+        result,
+        working: ws,
+    })
+}
+
 /// Shared scaffolding of [`greedy_frontier`] over a pluggable engine.
 fn greedy_frontier_with<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
-    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome,
+    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome<C>,
 ) -> Result<Vec<(usize, usize)>, TreeError> {
     let cleaned = prepare(polys, forest)?;
     let total_m = polys.size_m();
@@ -305,7 +373,7 @@ fn run_reference<C: Coefficient>(
     cleaned: &Forest,
     k: usize,
     observer: &mut dyn FnMut(usize, usize),
-) -> EngineOutcome {
+) -> EngineOutcome<C> {
     let mut in_s = leaf_membership(cleaned);
     let mut candidates = initial_candidates(cleaned, &in_s);
 
@@ -413,18 +481,31 @@ struct Candidate {
     alive: bool,
 }
 
-/// The incremental greedy main loop: same selection rule and step
-/// sequence as [`run_reference`], with the per-iteration work
-/// delta-maintained (see the [module docs](self)).
+/// The incremental greedy main loop over a [`PolySet`]: interns once,
+/// then delegates to the id-space core.
 fn run_incremental<C: Coefficient>(
     polys: &PolySet<C>,
     cleaned: &Forest,
     k: usize,
     observer: &mut dyn FnMut(usize, usize),
-) -> EngineOutcome {
+) -> EngineOutcome<C> {
+    let (in_s, ws) = run_incremental_ws(WorkingSet::from_polyset(polys), cleaned, k, observer);
+    (in_s, Some(ws))
+}
+
+/// The incremental greedy main loop: same selection rule and step
+/// sequence as [`run_reference`], with the per-iteration work
+/// delta-maintained (see the [module docs](self)). Consumes the working
+/// set (rewriting it in place) and returns it — the final state *is*
+/// `𝒫↓S` in interned form.
+fn run_incremental_ws<C: Coefficient>(
+    mut ws: WorkingSet<C>,
+    cleaned: &Forest,
+    k: usize,
+    observer: &mut dyn FnMut(usize, usize),
+) -> (Vec<Vec<bool>>, WorkingSet<C>) {
     let mut in_s = leaf_membership(cleaned);
-    let mut ws = WorkingSet::from_polyset(polys);
-    let mut postings = build_postings(polys.as_slice());
+    let mut postings = build_postings_ws(&ws);
 
     // Candidate slab + VL buckets. VL is bounded by the forest's maximal
     // fan-out, so buckets are a dense vector; dead entries are skipped
@@ -444,7 +525,7 @@ fn run_incremental<C: Coefficient>(
     // stale iff any of its affected polynomials changed after it was
     // computed — exactly "affected ∩ applied postings ≠ ∅", evaluated
     // lazily so candidates outside the scanned bucket never pay for it.
-    let mut poly_version: Vec<u64> = vec![1; polys.len()];
+    let mut poly_version: Vec<u64> = vec![1; ws.num_polys()];
     let mut step: u64 = 1;
 
     let add_candidate = |ti: usize,
@@ -570,10 +651,9 @@ fn run_incremental<C: Coefficient>(
         }
         observer(ml_total, vl_total);
     }
-    // The working set already is `𝒫↓S`: hand the final sizes back so the
-    // caller skips the wholesale re-application.
-    let sizes = (ws.size_m(), ws.size_v());
-    (in_s, Some(sizes))
+    // The working set already is `𝒫↓S`: hand it back so the caller skips
+    // the wholesale re-application (and can keep speaking ids).
+    (in_s, ws)
 }
 
 #[cfg(test)]
@@ -655,6 +735,33 @@ mod tests {
             greedy_frontier(&polys, &forest).expect("runs"),
             greedy_frontier_reference(&polys, &forest).expect("runs"),
         );
+    }
+
+    #[test]
+    fn interned_entry_point_matches_polyset_entry_point() {
+        let (polys, forest, _) = example_15();
+        let source = WorkingSet::from_polyset(&polys);
+        for bound in 1..=polys.size_m() + 1 {
+            let by_polys = greedy_vvs(&polys, &forest, bound);
+            let by_ws = greedy_vvs_interned(&source, &forest, bound);
+            match (by_polys, by_ws) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.vvs, b.result.vvs, "bound {bound}");
+                    assert_eq!(a.compressed_size_m, b.result.compressed_size_m);
+                    assert_eq!(a.compressed_size_v, b.result.compressed_size_v);
+                    assert_eq!(a.original_size_m, b.result.original_size_m);
+                    assert_eq!(a.original_size_v, b.result.original_size_v);
+                    // The returned working set is the abstracted set.
+                    assert_eq!(b.working.size_m(), b.result.compressed_size_m);
+                    assert_eq!(b.working.size_v(), b.result.compressed_size_v);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "bound {bound}"),
+                (a, b) => panic!("entry points disagree at bound {bound}: {a:?} vs {b:?}"),
+            }
+        }
+        // The source set is never mutated by the runs above.
+        assert_eq!(source.size_m(), polys.size_m());
+        assert_eq!(source.size_v(), polys.size_v());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use provabs_provenance::fxhash::FxHashMap;
 use provabs_provenance::monomial::Monomial;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarId;
+use provabs_provenance::working::{MonoId, WorkingSet};
 use provabs_trees::cut::Vvs;
 use provabs_trees::forest::Forest;
 use provabs_trees::tree::{AbsTree, NodeId};
@@ -69,9 +70,49 @@ impl TreeLoss {
                 break; // compatibility: at most one tree node per monomial
             }
         }
+        Self::from_per_leaf(tree, per_leaf)
+    }
 
-        // Bottom-up: per node keep (count map id→occurrences, total), merge
-        // children small-to-large.
+    /// [`TreeLoss::build`] over interned provenance: remainders come from
+    /// the working set's memoised arena index (`u32` probes, no monomial
+    /// hashing), so the whole computation stays in id space. The `ml`/`vl`
+    /// values are identical to [`TreeLoss::build`] on the materialised
+    /// poly-set — remainder ids are canonical for monomial equality within
+    /// one arena.
+    ///
+    /// Takes `&mut` because remainder memoisation appends to the
+    /// (append-only) arena.
+    pub fn build_interned<C: Coefficient>(ws: &mut WorkingSet<C>, tree: &AbsTree) -> Self {
+        let n = tree.num_nodes();
+        // Dense remainder-class keys: (poly index, exponent, remainder id).
+        let mut key_ids: FxHashMap<(usize, u32, MonoId), u32> = FxHashMap::default();
+        let mut per_leaf: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for pi in 0..ws.num_polys() {
+            let ids: Vec<MonoId> = ws.poly_mono_ids(pi).collect();
+            for id in ids {
+                // Compatibility: at most one tree node per monomial.
+                let Some((node, v)) = ws
+                    .mono(id)
+                    .vars()
+                    .find_map(|v| tree.node_of_var(v).map(|node| (node, v)))
+                else {
+                    continue;
+                };
+                debug_assert!(tree.is_leaf(node), "meta-variable in polynomials");
+                let (rem, exp) = ws.arena_mut().remainder(id, v);
+                let next = key_ids.len() as u32;
+                let key = *key_ids.entry((pi, exp, rem)).or_insert(next);
+                per_leaf[node.index()].push(key);
+            }
+        }
+        Self::from_per_leaf(tree, per_leaf)
+    }
+
+    /// The shared bottom-up merge behind both builders: folds per-leaf
+    /// remainder-class id lists into per-node `ML`/`VL` values
+    /// (small-to-large, `O(|𝒫|_M · log n)`).
+    fn from_per_leaf(tree: &AbsTree, mut per_leaf: Vec<Vec<u32>>) -> Self {
+        let n = tree.num_nodes();
         let mut ml = vec![0usize; n];
         let mut vl = vec![0usize; n];
         let mut maps: Vec<Option<(FxHashMap<u32, u32>, usize)>> = (0..n).map(|_| None).collect();
@@ -278,6 +319,21 @@ mod tests {
             .expect("tree");
         let loss = TreeLoss::build(&polys, &tree);
         assert_eq!(loss.ml_of(tree.root()), 0);
+    }
+
+    #[test]
+    fn interned_builder_matches_polyset_builder() {
+        let (polys, tree, _) = example_13();
+        let reference = TreeLoss::build(&polys, &tree);
+        let mut ws = WorkingSet::from_polyset(&polys);
+        let interned = TreeLoss::build_interned(&mut ws, &tree);
+        for node in tree.node_ids() {
+            assert_eq!(reference.ml_of(node), interned.ml_of(node));
+            assert_eq!(reference.vl_of(node), interned.vl_of(node));
+        }
+        // The working set itself is untouched (only its arena grew).
+        assert_eq!(ws.size_m(), polys.size_m());
+        assert_eq!(ws.size_v(), polys.size_v());
     }
 
     #[test]

@@ -18,12 +18,13 @@
 //!    extrapolation from growing samples ([`estimate_full_size`],
 //!    following the paper's pointer to extrapolation methods).
 
-use crate::greedy::greedy_vvs;
-use crate::optimal::optimal_vvs;
-use crate::problem::{evaluate_vvs, AbstractionResult};
+use crate::greedy::{greedy_vvs, greedy_vvs_interned};
+use crate::optimal::{optimal_vvs, optimal_vvs_interned};
+use crate::problem::{evaluate_vvs, evaluate_vvs_interned, AbstractionResult, InternedAbstraction};
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::polynomial::Polynomial;
 use provabs_provenance::polyset::PolySet;
+use provabs_provenance::working::WorkingSet;
 use provabs_trees::error::TreeError;
 use provabs_trees::forest::Forest;
 
@@ -36,11 +37,11 @@ pub enum Solver {
     Greedy,
 }
 
-/// Samples roughly `fraction` of the polynomials (at least one),
-/// deterministically in `seed`. This models sampling "from the relations
-/// that include the grouping attributes, leaving the other relations
-/// intact": each output polynomial is one group.
-pub fn sample_polys<C: Coefficient>(polys: &PolySet<C>, fraction: f64, seed: u64) -> PolySet<C> {
+/// The index-level sampling core shared by [`sample_polys`] and the
+/// interned path: roughly `fraction` of `0..len` (at least one index when
+/// `len > 0`), deterministically in `seed`. One RNG draw per index, so
+/// every representation samples the *same* polynomials.
+pub fn sample_indices(len: usize, fraction: f64, seed: u64) -> Vec<usize> {
     assert!((0.0..=1.0).contains(&fraction), "fraction in [0, 1]");
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
     let mut next = move || {
@@ -49,17 +50,29 @@ pub fn sample_polys<C: Coefficient>(polys: &PolySet<C>, fraction: f64, seed: u64
         state ^= state << 17;
         state
     };
-    let picked: Vec<Polynomial<C>> = polys
-        .iter()
+    let picked: Vec<usize> = (0..len)
         .filter(|_| (next() % 1_000_000) as f64 / 1_000_000.0 < fraction)
-        .cloned()
         .collect();
-    if picked.is_empty() {
+    if picked.is_empty() && len > 0 {
         // Degenerate draw: keep the first polynomial so the sample is
         // never empty.
-        return PolySet::from_vec(polys.iter().take(1).cloned().collect());
+        return vec![0];
     }
-    PolySet::from_vec(picked)
+    picked
+}
+
+/// Samples roughly `fraction` of the polynomials (at least one),
+/// deterministically in `seed`. This models sampling "from the relations
+/// that include the grouping attributes, leaving the other relations
+/// intact": each output polynomial is one group.
+pub fn sample_polys<C: Coefficient>(polys: &PolySet<C>, fraction: f64, seed: u64) -> PolySet<C> {
+    let slice = polys.as_slice();
+    PolySet::from_vec(
+        sample_indices(polys.len(), fraction, seed)
+            .into_iter()
+            .map(|i| slice[i].clone())
+            .collect::<Vec<Polynomial<C>>>(),
+    )
 }
 
 /// §6's bound adaptation: the original bound scaled by the
@@ -157,6 +170,56 @@ pub fn online_compress<C: Coefficient>(
     let full = evaluate_vvs(polys, &on_sample.forest, on_sample.vvs);
     Ok(OnlineOutcome {
         sample_size_m: sample.size_m(),
+        adapted_bound: adapted,
+        full,
+    })
+}
+
+/// The outcome of one interned online-compression run: like
+/// [`OnlineOutcome`], but the full-provenance evaluation is carried as an
+/// [`InternedAbstraction`], ready to freeze.
+#[derive(Clone, Debug)]
+pub struct OnlineOutcomeInterned<C> {
+    /// Sizes of the sample the VVS was chosen on.
+    pub sample_size_m: usize,
+    /// The bound handed to the offline algorithm on the sample.
+    pub adapted_bound: usize,
+    /// The chosen VVS evaluated against the *full* provenance, with the
+    /// abstracted working set attached.
+    pub full: InternedAbstraction<C>,
+}
+
+/// [`online_compress`] in the interned currency end-to-end: the sample is
+/// a *compacted* working-set [`subset`](WorkingSet::subset) — a fresh
+/// arena holding only the sampled polynomials' monomials (same
+/// deterministic draw as [`sample_polys`]; sample ids are local to the
+/// sample, not valid against `source`'s arena) — the solver runs its
+/// interned entry point, and the final full-provenance measurement is an
+/// id-space substitution on `source`. Chosen VVS and all measures are
+/// identical to [`online_compress`] on the materialised poly-set.
+pub fn online_compress_interned<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+    fraction: f64,
+    seed: u64,
+    solver: Solver,
+) -> Result<OnlineOutcomeInterned<C>, TreeError> {
+    let indices = sample_indices(source.num_polys(), fraction, seed);
+    let sample = source.subset(&indices);
+    let sample_size_m = sample.size_m();
+    let adapted = adapt_bound(bound, source.size_m(), sample_size_m);
+    let on_sample = match solver {
+        Solver::Optimal => optimal_vvs_interned(&sample, forest, adapted)?,
+        Solver::Greedy => greedy_vvs_interned(&sample, forest, adapted)?,
+    };
+    let full = evaluate_vvs_interned(
+        source.clone(),
+        &on_sample.result.forest,
+        on_sample.result.vvs,
+    );
+    Ok(OnlineOutcomeInterned {
+        sample_size_m,
         adapted_bound: adapted,
         full,
     })
@@ -274,5 +337,43 @@ mod tests {
     fn invalid_fraction_panics() {
         let (polys, _) = uniform_instance();
         let _ = sample_polys(&polys, 1.5, 0);
+    }
+
+    #[test]
+    fn interned_entry_point_matches_polyset_entry_point() {
+        let (polys, forest) = uniform_instance();
+        let source = WorkingSet::from_polyset(&polys);
+        let bound = polys.size_m() / 2;
+        for solver in [Solver::Optimal, Solver::Greedy] {
+            let by_polys =
+                online_compress(&polys, &forest, bound, 0.3, 5, solver).expect("sampled");
+            let by_ws =
+                online_compress_interned(&source, &forest, bound, 0.3, 5, solver).expect("sampled");
+            assert_eq!(by_polys.sample_size_m, by_ws.sample_size_m);
+            assert_eq!(by_polys.adapted_bound, by_ws.adapted_bound);
+            assert_eq!(by_polys.full.vvs, by_ws.full.result.vvs);
+            assert_eq!(
+                by_polys.full.compressed_size_m,
+                by_ws.full.result.compressed_size_m
+            );
+            assert_eq!(
+                by_polys.full.compressed_size_v,
+                by_ws.full.result.compressed_size_v
+            );
+            assert_eq!(
+                by_ws.full.working.size_m(),
+                by_ws.full.result.compressed_size_m
+            );
+        }
+    }
+
+    #[test]
+    fn sample_indices_mirror_sample_polys() {
+        let (polys, _) = uniform_instance();
+        let idx = sample_indices(polys.len(), 0.3, 9);
+        let sampled = sample_polys(&polys, 0.3, 9);
+        assert_eq!(idx.len(), sampled.len());
+        assert_eq!(sample_indices(0, 0.5, 1), Vec::<usize>::new());
+        assert_eq!(sample_indices(5, 0.0, 1), vec![0], "never empty");
     }
 }

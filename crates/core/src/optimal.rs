@@ -21,10 +21,14 @@
 //!   cross-check the sparse one in tests and as an ablation baseline.
 
 use crate::loss::TreeLoss;
-use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
+use crate::problem::{
+    evaluate_vvs, evaluate_vvs_interned, prepare, prepare_interned, AbstractionResult,
+    InternedAbstraction,
+};
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::fxhash::FxHashMap;
 use provabs_provenance::polyset::PolySet;
+use provabs_provenance::working::WorkingSet;
 use provabs_trees::cut::Vvs;
 use provabs_trees::error::TreeError;
 use provabs_trees::forest::Forest;
@@ -230,6 +234,52 @@ pub fn optimal_vvs<C: Coefficient>(
     let vvs = Vvs::from_per_tree(vec![chosen]);
     debug_assert!(vvs.validate(&cleaned).is_ok());
     Ok(evaluate_vvs(polys, &cleaned, vvs))
+}
+
+/// [`optimal_vvs`] in the interned currency end-to-end: the per-node loss
+/// index is built from the working set's memoised arena remainders
+/// ([`TreeLoss::build_interned`]), the DP runs unchanged, and the chosen
+/// VVS is applied in id space — the returned [`InternedAbstraction`]
+/// carries `𝒫↓S` ready to freeze. Identical VVS and measures to
+/// [`optimal_vvs`] on the materialised poly-set.
+pub fn optimal_vvs_interned<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+) -> Result<InternedAbstraction<C>, TreeError> {
+    let cleaned = prepare_interned(source, forest)?;
+    let total_m = source.size_m();
+    if bound >= total_m {
+        let vvs = Vvs::identity(&cleaned);
+        return Ok(evaluate_vvs_interned(source.clone(), &cleaned, vvs));
+    }
+    if cleaned.num_trees() == 0 {
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: total_m,
+        });
+    }
+    if cleaned.num_trees() != 1 {
+        return Err(TreeError::ExpectedSingleTree(cleaned.num_trees()));
+    }
+    let k = total_m - bound;
+    let mut work = source.clone();
+    let tree = cleaned.tree(0);
+    let loss = TreeLoss::build_interned(&mut work, tree);
+    let arrays = solve_sparse(tree, &loss, k);
+    let root = tree.root();
+    if !arrays[root.index()].contains_key(&k) {
+        let best_ml = arrays[root.index()].keys().copied().max().unwrap_or(0);
+        return Err(TreeError::BoundUnattainable {
+            bound,
+            best_possible: total_m - best_ml,
+        });
+    }
+    let mut chosen = Vec::new();
+    reconstruct(tree, &arrays, root, k, &mut chosen);
+    let vvs = Vvs::from_per_tree(vec![chosen]);
+    debug_assert!(vvs.validate(&cleaned).is_ok());
+    Ok(evaluate_vvs_interned(work, &cleaned, vvs))
 }
 
 /// Algorithm 1 with dense `k+1`-length arrays — the straightforward
@@ -443,6 +493,27 @@ mod tests {
                 }
                 (Err(es), Err(ed)) => assert_eq!(es, ed, "bound {bound}"),
                 (s, d) => panic!("disagreement at bound {bound}: {s:?} vs {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interned_entry_point_matches_polyset_entry_point() {
+        let (polys, forest, _) = example_13();
+        let source = WorkingSet::from_polyset(&polys);
+        for bound in 3..=polys.size_m() + 1 {
+            let by_polys = optimal_vvs(&polys, &forest, bound);
+            let by_ws = optimal_vvs_interned(&source, &forest, bound);
+            match (by_polys, by_ws) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.vvs, b.result.vvs, "bound {bound}");
+                    assert_eq!(a.compressed_size_m, b.result.compressed_size_m);
+                    assert_eq!(a.compressed_size_v, b.result.compressed_size_v);
+                    assert_eq!(b.working.size_m(), b.result.compressed_size_m);
+                    assert_eq!(b.working.size_v(), b.result.compressed_size_v);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "bound {bound}"),
+                (a, b) => panic!("entry points disagree at bound {bound}: {a:?} vs {b:?}"),
             }
         }
     }

@@ -14,7 +14,8 @@
 
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::polyset::PolySet;
-use provabs_trees::clean::clean_forest;
+use provabs_provenance::working::WorkingSet;
+use provabs_trees::clean::{clean_forest, clean_forest_vars};
 use provabs_trees::cut::Vvs;
 use provabs_trees::error::TreeError;
 use provabs_trees::forest::Forest;
@@ -77,7 +78,7 @@ impl AbstractionResult {
 /// forest the VVS was built over (typically already cleaned).
 ///
 /// The measurement runs through a
-/// [`WorkingSet`](provabs_provenance::working::WorkingSet) rather than a
+/// [`WorkingSet`] rather than a
 /// wholesale [`Vvs::apply`]: each distinct monomial is remapped exactly
 /// once regardless of how many polynomials share it, and the merge is
 /// `u32`-id accumulation instead of rebuilding monomial hash maps. The
@@ -113,6 +114,61 @@ pub fn prepare<C: Coefficient>(polys: &PolySet<C>, forest: &Forest) -> Result<Fo
     let cleaned = clean_forest(forest, polys);
     cleaned.check_compatible(polys)?;
     Ok(cleaned)
+}
+
+/// [`prepare`] for interned provenance: the live-variable set and the
+/// distinct live monomials are read straight from the working set's
+/// arena, so no [`PolySet`] is materialised. Equivalent to
+/// `prepare(&working.to_polyset(), forest)` in outcome.
+pub fn prepare_interned<C: Coefficient>(
+    working: &WorkingSet<C>,
+    forest: &Forest,
+) -> Result<Forest, TreeError> {
+    let live = working.live_vars();
+    let cleaned = clean_forest_vars(forest, &live);
+    cleaned.check_compatible_parts(&live, working.live_monomials())?;
+    Ok(cleaned)
+}
+
+/// An abstraction outcome carried in the interned currency: the selection
+/// measures ([`AbstractionResult`]) together with the rewritten `𝒫↓S` as
+/// a [`WorkingSet`] over the shared monomial arena. Callers evaluate it
+/// by freezing ([`WorkingSet::freeze`]) instead of materialising a
+/// [`PolySet`] and re-compiling — the id-to-id hand-off the pipeline is
+/// built around.
+#[derive(Clone, Debug)]
+pub struct InternedAbstraction<C> {
+    /// The selection outcome: chosen VVS, cleaned forest, size measures.
+    pub result: AbstractionResult,
+    /// The abstracted provenance `𝒫↓S` in interned form.
+    pub working: WorkingSet<C>,
+}
+
+/// Applies `vvs` to an interned working set (consuming it) and measures
+/// everything — the id-space counterpart of [`evaluate_vvs`], returning
+/// both the measures and the rewritten working set so downstream layers
+/// keep speaking ids. `forest` must be the forest the VVS was built over
+/// (typically already cleaned).
+pub fn evaluate_vvs_interned<C: Coefficient>(
+    mut working: WorkingSet<C>,
+    forest: &Forest,
+    vvs: Vvs,
+) -> InternedAbstraction<C> {
+    let original_size_m = working.size_m();
+    let original_size_v = working.size_v();
+    let subst = vvs.substitution(forest);
+    if !subst.is_empty() {
+        working.apply_var_map(|v| subst.target(v));
+    }
+    let result = AbstractionResult {
+        forest: forest.clone(),
+        vvs,
+        original_size_m,
+        original_size_v,
+        compressed_size_m: working.size_m(),
+        compressed_size_v: working.size_v(),
+    };
+    InternedAbstraction { result, working }
 }
 
 #[cfg(test)]

@@ -139,6 +139,40 @@ pub fn example_forest(vars: &mut VarTable) -> Forest {
     Forest::new(vec![plans_tree(vars), months_tree(vars)]).expect("figure trees are disjoint")
 }
 
+/// A small, fixed instance of the supply-chain BOM family (the third
+/// fixture family, next to telephony and TPC-H): deterministic and tiny
+/// like the Figure 1 fragment, but with the family's characteristic
+/// *wide* four-variable monomials and a *deep* component taxonomy.
+pub fn bom_example_data() -> crate::bom::BomData {
+    crate::bom::generate(crate::bom::BomConfig {
+        products: 24,
+        families: 4,
+        assemblies: 12,
+        components: 16,
+        param_modulus: 8,
+        seed: 5,
+    })
+}
+
+/// The cost roll-up provenance of [`bom_example_data`]: one polynomial
+/// per product family, every monomial `prod·asm·c·f`.
+pub fn bom_example_polys(vars: &mut VarTable) -> PolySet<f64> {
+    crate::bom::cost_rollup(&bom_example_data(), vars).polys
+}
+
+/// A deep (4-level binary) abstraction tree over the fixture's eight
+/// component classes — the forest shape the BOM family exists to
+/// exercise.
+pub fn bom_example_forest(vars: &mut VarTable) -> Forest {
+    let data = bom_example_data();
+    Forest::single(provabs_trees::generate::shaped_tree(
+        "Comp",
+        &crate::bom::component_leaves(&data.config),
+        &[2, 2, 2],
+        vars,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +203,24 @@ mod tests {
         let cleaned = provabs_trees::clean::clean_forest(&forest, &polys);
         cleaned.check_compatible(&polys).expect("compatible");
         assert_eq!(cleaned.num_trees(), 2);
+    }
+
+    #[test]
+    fn bom_fixture_is_wide_deep_and_compatible() {
+        let mut vars = VarTable::new();
+        let polys = bom_example_polys(&mut vars);
+        assert!(!polys.is_empty());
+        assert!(polys.len() <= 4, "one polynomial per family");
+        for (_, mono, _) in polys.monomials() {
+            assert_eq!(mono.num_vars(), 4, "wide monomials");
+        }
+        let forest = bom_example_forest(&mut vars);
+        assert_eq!(forest.tree(0).num_leaves(), 8);
+        let cleaned = provabs_trees::clean::clean_forest(&forest, &polys);
+        cleaned.check_compatible(&polys).expect("compatible");
+        // Deterministic across calls.
+        let mut vars2 = VarTable::new();
+        let again = bom_example_polys(&mut vars2);
+        assert_eq!(polys.size_m(), again.size_m());
     }
 }

@@ -13,12 +13,19 @@
 //!   contents and the three representative queries Q1, Q5 and Q10, with
 //!   the discount parameterized by `s{suppkey mod 128}` and
 //!   `p{partkey mod 128}`,
-//! * [`workload`] — a uniform façade over the four evaluation workloads
-//!   (Q1, Q5, Q10, telephony) used by every experiment binary,
+//! * [`bom`] — a supply-chain bill-of-materials workload beyond the
+//!   paper's two: a cost roll-up whose monomials are *wide* (four
+//!   variables each) and whose natural abstraction trees are *deep*
+//!   component taxonomies,
+//! * [`workload`] — a uniform façade over the evaluation workloads
+//!   (Q1, Q5, Q10, telephony, supply-chain) used by every experiment
+//!   binary; each workload is generated in both provenance currencies
+//!   (hash-map and interned) off one shared join pipeline,
 //! * [`fixture`] — the exact Figure 1 database fragment, whose revenue
 //!   provenance reproduces the polynomials of Examples 2 and 13 to the
-//!   digit.
+//!   digit, plus a small fixed BOM fragment for the supply-chain family.
 
+pub mod bom;
 pub mod fixture;
 pub mod telephony;
 pub mod tpch;

@@ -12,7 +12,7 @@
 
 use provabs_engine::expr::Expr;
 use provabs_engine::param::VarRule;
-use provabs_engine::query::{GroupedProvenance, Pipeline};
+use provabs_engine::query::{GroupedProvenance, GroupedProvenanceInterned, Pipeline};
 use provabs_engine::schema::{ColumnType, Schema};
 use provabs_engine::table::Table;
 use provabs_engine::value::Value;
@@ -119,26 +119,47 @@ pub fn generate(config: TelephonyConfig) -> TelephonyData {
     TelephonyData { catalog, config }
 }
 
-/// The revenue-per-zip query with the (plan, month) parameterization:
-/// `SELECT Zip, SUM(Dur · Price · p_plan · m_month) GROUP BY Zip`.
-pub fn revenue_provenance(data: &TelephonyData, vars: &mut VarTable) -> GroupedProvenance {
-    Pipeline::scan(&data.catalog, "Cust")
+/// The joined pipeline plus aggregation spec of the revenue query —
+/// shared by the hash-map and interned aggregation entry points (and by
+/// [`crate::workload`], which aggregates both forms off one join).
+pub fn revenue_spec(data: &TelephonyData) -> (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>) {
+    let pipeline = Pipeline::scan(&data.catalog, "Cust")
         .expect("table registered")
         .join(&data.catalog, "Calls", &[("ID", "CID")])
         .expect("join keys exist")
         .join(&data.catalog, "Plans", &[("PlanId", "PlanId")])
         .expect("join keys exist")
         .filter(&Expr::col("Mo").eq(Expr::col("PMo")))
-        .expect("columns exist")
-        .aggregate_sum(
-            &["Zip"],
-            &Expr::col("Dur").mul(Expr::col("Price")),
-            &[
-                VarRule::per_value("PlanId", "p"),
-                VarRule::per_value("Mo", "m"),
-            ],
-            vars,
-        )
+        .expect("columns exist");
+    (
+        pipeline,
+        vec!["Zip"],
+        Expr::col("Dur").mul(Expr::col("Price")),
+        vec![
+            VarRule::per_value("PlanId", "p"),
+            VarRule::per_value("Mo", "m"),
+        ],
+    )
+}
+
+/// The revenue-per-zip query with the (plan, month) parameterization:
+/// `SELECT Zip, SUM(Dur · Price · p_plan · m_month) GROUP BY Zip`.
+pub fn revenue_provenance(data: &TelephonyData, vars: &mut VarTable) -> GroupedProvenance {
+    let (pipeline, cols, measure, rules) = revenue_spec(data);
+    pipeline
+        .aggregate_sum(&cols, &measure, &rules, vars)
+        .expect("aggregation is well-typed")
+}
+
+/// [`revenue_provenance`] emitted directly into the interned currency
+/// (`SELECT` output as a working set over the emission arena).
+pub fn revenue_provenance_interned(
+    data: &TelephonyData,
+    vars: &mut VarTable,
+) -> GroupedProvenanceInterned {
+    let (pipeline, cols, measure, rules) = revenue_spec(data);
+    pipeline
+        .aggregate_sum_interned(&cols, &measure, &rules, vars)
         .expect("aggregation is well-typed")
 }
 

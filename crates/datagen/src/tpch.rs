@@ -15,7 +15,7 @@
 
 use provabs_engine::expr::Expr;
 use provabs_engine::param::VarRule;
-use provabs_engine::query::{GroupedProvenance, Pipeline};
+use provabs_engine::query::{GroupedProvenance, GroupedProvenanceInterned, Pipeline};
 use provabs_engine::schema::{ColumnType, Schema};
 use provabs_engine::table::Table;
 use provabs_engine::value::Value;
@@ -206,25 +206,52 @@ fn revenue_measure() -> Expr {
     Expr::col("l_extendedprice").mul(Expr::lit(1.0).sub(Expr::col("l_discount")))
 }
 
-/// Q1 (pricing summary): `GROUP BY l_returnflag, l_linestatus` over
-/// LINEITEM — few polynomials (8 groups), many monomials each.
-pub fn q1(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
-    Pipeline::scan(&data.catalog, "lineitem")
-        .expect("table registered")
-        .aggregate_sum(
-            &["l_returnflag", "l_linestatus"],
-            &revenue_measure(),
-            &discount_rules(&data.config),
-            vars,
-        )
+/// Aggregates a spec through the hash-map representation.
+fn aggregate(
+    (pipeline, cols, measure, rules): (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>),
+    vars: &mut VarTable,
+) -> GroupedProvenance {
+    pipeline
+        .aggregate_sum(&cols, &measure, &rules, vars)
         .expect("aggregation is well-typed")
 }
 
-/// Q5 (local supplier volume): CUSTOMER ⋈ ORDERS ⋈ LINEITEM ⋈ SUPPLIER ⋈
-/// NATION with the `c_nationkey = s_nationkey` condition, grouped by
-/// nation — 25 polynomials.
-pub fn q5(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
-    Pipeline::scan(&data.catalog, "customer")
+/// Aggregates a spec straight into the interned currency.
+fn aggregate_interned(
+    (pipeline, cols, measure, rules): (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>),
+    vars: &mut VarTable,
+) -> GroupedProvenanceInterned {
+    pipeline
+        .aggregate_sum_interned(&cols, &measure, &rules, vars)
+        .expect("aggregation is well-typed")
+}
+
+/// The Q1 pipeline plus aggregation spec (shared by both aggregation
+/// forms and the workload façade).
+pub fn q1_spec(data: &TpchData) -> (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>) {
+    let pipeline = Pipeline::scan(&data.catalog, "lineitem").expect("table registered");
+    (
+        pipeline,
+        vec!["l_returnflag", "l_linestatus"],
+        revenue_measure(),
+        discount_rules(&data.config).to_vec(),
+    )
+}
+
+/// Q1 (pricing summary): `GROUP BY l_returnflag, l_linestatus` over
+/// LINEITEM — few polynomials (8 groups), many monomials each.
+pub fn q1(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
+    aggregate(q1_spec(data), vars)
+}
+
+/// [`q1`] emitted directly into the interned currency.
+pub fn q1_interned(data: &TpchData, vars: &mut VarTable) -> GroupedProvenanceInterned {
+    aggregate_interned(q1_spec(data), vars)
+}
+
+/// The Q5 pipeline plus aggregation spec.
+pub fn q5_spec(data: &TpchData) -> (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>) {
+    let pipeline = Pipeline::scan(&data.catalog, "customer")
         .expect("table registered")
         .join(&data.catalog, "orders", &[("c_custkey", "o_custkey")])
         .expect("join keys exist")
@@ -235,35 +262,55 @@ pub fn q5(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
         .filter(&Expr::col("c_nationkey").eq(Expr::col("s_nationkey")))
         .expect("columns exist")
         .join(&data.catalog, "nation", &[("s_nationkey", "n_nationkey")])
-        .expect("join keys exist")
-        .aggregate_sum(
-            &["n_name"],
-            &revenue_measure(),
-            &discount_rules(&data.config),
-            vars,
-        )
-        .expect("aggregation is well-typed")
+        .expect("join keys exist");
+    (
+        pipeline,
+        vec!["n_name"],
+        revenue_measure(),
+        discount_rules(&data.config).to_vec(),
+    )
 }
 
-/// Q10 (returned items): CUSTOMER ⋈ ORDERS ⋈ LINEITEM with
-/// `l_returnflag = 'R'`, grouped by customer — many polynomials with few
-/// monomials each.
-pub fn q10(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
-    Pipeline::scan(&data.catalog, "customer")
+/// Q5 (local supplier volume): CUSTOMER ⋈ ORDERS ⋈ LINEITEM ⋈ SUPPLIER ⋈
+/// NATION with the `c_nationkey = s_nationkey` condition, grouped by
+/// nation — 25 polynomials.
+pub fn q5(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
+    aggregate(q5_spec(data), vars)
+}
+
+/// [`q5`] emitted directly into the interned currency.
+pub fn q5_interned(data: &TpchData, vars: &mut VarTable) -> GroupedProvenanceInterned {
+    aggregate_interned(q5_spec(data), vars)
+}
+
+/// The Q10 pipeline plus aggregation spec.
+pub fn q10_spec(data: &TpchData) -> (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>) {
+    let pipeline = Pipeline::scan(&data.catalog, "customer")
         .expect("table registered")
         .join(&data.catalog, "orders", &[("c_custkey", "o_custkey")])
         .expect("join keys exist")
         .join(&data.catalog, "lineitem", &[("o_orderkey", "l_orderkey")])
         .expect("join keys exist")
         .filter(&Expr::col("l_returnflag").eq(Expr::lit("R")))
-        .expect("columns exist")
-        .aggregate_sum(
-            &["c_custkey"],
-            &revenue_measure(),
-            &discount_rules(&data.config),
-            vars,
-        )
-        .expect("aggregation is well-typed")
+        .expect("columns exist");
+    (
+        pipeline,
+        vec!["c_custkey"],
+        revenue_measure(),
+        discount_rules(&data.config).to_vec(),
+    )
+}
+
+/// Q10 (returned items): CUSTOMER ⋈ ORDERS ⋈ LINEITEM with
+/// `l_returnflag = 'R'`, grouped by customer — many polynomials with few
+/// monomials each.
+pub fn q10(data: &TpchData, vars: &mut VarTable) -> GroupedProvenance {
+    aggregate(q10_spec(data), vars)
+}
+
+/// [`q10`] emitted directly into the interned currency.
+pub fn q10_interned(data: &TpchData, vars: &mut VarTable) -> GroupedProvenanceInterned {
+    aggregate_interned(q10_spec(data), vars)
 }
 
 /// Q3 (shipping priority): CUSTOMER ⋈ ORDERS ⋈ LINEITEM grouped by

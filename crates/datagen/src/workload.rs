@@ -6,13 +6,17 @@
 //! for TPC-H, plans for telephony). [`Workload::generate`] produces the
 //! polynomials plus everything needed to build those trees.
 
-use crate::{telephony, tpch};
+use crate::{bom, telephony, tpch};
+use provabs_engine::expr::Expr;
+use provabs_engine::param::VarRule;
+use provabs_engine::query::{GroupedProvenanceInterned, Pipeline};
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarTable;
 use provabs_trees::forest::Forest;
 use provabs_trees::generate::{binary_forest, paper_tree, shaped_tree};
 
-/// One of the paper's four evaluation workloads.
+/// One of the five evaluation workloads (the paper's four plus the
+/// supply-chain BOM family).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// TPC-H Q5: 25 polynomials, many monomials each.
@@ -23,15 +27,20 @@ pub enum Workload {
     TpchQ1,
     /// The telephony running example.
     Telephony,
+    /// The supply-chain BOM cost roll-up: few polynomials, *wide*
+    /// (four-variable) monomials, deep component taxonomies.
+    SupplyChain,
 }
 
 impl Workload {
-    /// All four, in the order the paper's figures show them.
-    pub const ALL: [Workload; 4] = [
+    /// All workloads, the paper's four first (figure order), then the
+    /// supply-chain extension.
+    pub const ALL: [Workload; 5] = [
         Workload::TpchQ5,
         Workload::TpchQ10,
         Workload::TpchQ1,
         Workload::Telephony,
+        Workload::SupplyChain,
     ];
 
     /// Display name matching the figure captions.
@@ -41,32 +50,41 @@ impl Workload {
             Workload::TpchQ10 => "TPC-H query 10",
             Workload::TpchQ1 => "TPC-H query 1",
             Workload::Telephony => "Running example query",
+            Workload::SupplyChain => "Supply-chain BOM query",
         }
     }
 
-    /// Generates the workload's provenance.
+    /// Generates the workload's provenance — in both currencies, off one
+    /// shared join pipeline: the hash-map `polys` and the engine-emitted
+    /// interned form (`interned`), over the same variable table.
+    ///
+    /// Deliberate trade-off: the joins (the expensive part) run once,
+    /// but the grouped aggregation runs twice and both representations
+    /// stay resident, so fixture generation pays one extra linear pass
+    /// plus the second form's memory even for callers that use only
+    /// one. The equivalence suites and benches need both sides of every
+    /// workload; generation is test/bench tooling, not the runtime hot
+    /// path.
     pub fn generate(self, config: &WorkloadConfig) -> WorkloadData {
         let mut vars = VarTable::new();
-        match self {
+        let (spec, total_tuples, primary_leaves, secondary_leaves) = match self {
             Workload::TpchQ5 | Workload::TpchQ10 | Workload::TpchQ1 => {
                 let data = tpch::generate(tpch::TpchConfig {
                     scale: config.scale,
                     param_modulus: config.param_modulus,
                     seed: config.seed,
                 });
-                let grouped = match self {
-                    Workload::TpchQ5 => tpch::q5(&data, &mut vars),
-                    Workload::TpchQ10 => tpch::q10(&data, &mut vars),
-                    _ => tpch::q1(&data, &mut vars),
+                let spec = match self {
+                    Workload::TpchQ5 => tpch::q5_spec(&data),
+                    Workload::TpchQ10 => tpch::q10_spec(&data),
+                    _ => tpch::q1_spec(&data),
                 };
-                WorkloadData {
-                    workload: self,
-                    total_tuples: data.catalog.total_tuples(),
-                    polys: grouped.polys,
-                    primary_leaves: tpch::supplier_leaves(&data.config),
-                    secondary_leaves: tpch::part_leaves(&data.config),
-                    vars,
-                }
+                (
+                    spec,
+                    data.catalog.total_tuples(),
+                    tpch::supplier_leaves(&data.config),
+                    tpch::part_leaves(&data.config),
+                )
             }
             Workload::Telephony => {
                 let tcfg = telephony::TelephonyConfig {
@@ -77,16 +95,51 @@ impl Workload {
                     seed: config.seed,
                 };
                 let data = telephony::generate(tcfg.clone());
-                let grouped = telephony::revenue_provenance(&data, &mut vars);
-                WorkloadData {
-                    workload: self,
-                    total_tuples: data.catalog.total_tuples(),
-                    polys: grouped.polys,
-                    primary_leaves: telephony::plan_leaves(&tcfg),
-                    secondary_leaves: telephony::month_leaves(&tcfg),
-                    vars,
-                }
+                (
+                    telephony::revenue_spec(&data),
+                    data.catalog.total_tuples(),
+                    telephony::plan_leaves(&tcfg),
+                    telephony::month_leaves(&tcfg),
+                )
             }
+            Workload::SupplyChain => {
+                let bcfg = bom::BomConfig {
+                    products: ((150.0 * config.scale) as usize).max(40),
+                    families: ((10.0 * config.scale) as usize).clamp(5, 200),
+                    assemblies: ((80.0 * config.scale) as usize).max(20),
+                    components: ((120.0 * config.scale) as usize)
+                        .max(config.param_modulus as usize),
+                    param_modulus: config.param_modulus,
+                    seed: config.seed,
+                };
+                let data = bom::generate(bcfg.clone());
+                (
+                    bom::cost_rollup_spec(&data),
+                    data.catalog.total_tuples(),
+                    bom::component_leaves(&bcfg),
+                    bom::facility_leaves(&bcfg),
+                )
+            }
+        };
+        // Aggregate both representations off the one joined pipeline; the
+        // second pass looks variables up in the already-populated table,
+        // so both forms share ids.
+        let (pipeline, cols, measure, rules): (Pipeline, Vec<&'static str>, Expr, Vec<VarRule>) =
+            spec;
+        let grouped = pipeline
+            .aggregate_sum(&cols, &measure, &rules, &mut vars)
+            .expect("aggregation is well-typed");
+        let interned = pipeline
+            .aggregate_sum_interned(&cols, &measure, &rules, &mut vars)
+            .expect("aggregation is well-typed");
+        WorkloadData {
+            workload: self,
+            total_tuples,
+            polys: grouped.polys,
+            interned,
+            primary_leaves,
+            secondary_leaves,
+            vars,
         }
     }
 }
@@ -118,8 +171,12 @@ impl Default for WorkloadConfig {
 pub struct WorkloadData {
     /// Which workload this is.
     pub workload: Workload,
-    /// The provenance polynomials `𝒫`.
+    /// The provenance polynomials `𝒫` (hash-map representation).
     pub polys: PolySet<f64>,
+    /// The same provenance in the interned currency, as emitted by the
+    /// engine's interned aggregation over the same pipeline (group keys
+    /// omitted; variable ids shared with [`WorkloadData::vars`]).
+    pub interned: GroupedProvenanceInterned,
     /// The shared variable table (parameterization variables interned;
     /// tree meta-variables are added by the tree builders below).
     pub vars: VarTable,

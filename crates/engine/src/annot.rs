@@ -120,6 +120,11 @@ impl<K: Semiring> KRelation<K> {
     /// ⋈: equi-join on `on = [(left column, right column)]` pairs;
     /// annotations combine with `⊗`. Colliding right-side column names are
     /// prefixed with `prefix`.
+    ///
+    /// The build side is indexed once over its hashed key columns (the
+    /// shared [`JoinIndex`](crate::ops::JoinIndex)); probing compares
+    /// columns in place, so no per-row key tuples are cloned on either
+    /// side.
     pub fn join(
         &self,
         other: &Self,
@@ -135,22 +140,16 @@ impl<K: Semiring> KRelation<K> {
             .iter()
             .map(|(_, r)| other.schema.index_of(r))
             .collect::<Result<_, _>>()?;
-        // Build side: the smaller relation.
-        let mut built: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
-        for (i, (r, _)) in other.rows.iter().enumerate() {
-            let key: Row = right_keys.iter().map(|&c| r[c].clone()).collect();
-            built.entry(key).or_default().push(i);
-        }
+        let built = crate::ops::JoinIndex::build(other.rows.iter().map(|(r, _)| r), right_keys);
         let mut out = Self {
             schema,
             rows: Vec::new(),
         };
         let mut index: FxHashMap<Row, usize> = FxHashMap::default();
         for (lr, lk) in &self.rows {
-            let key: Row = left_keys.iter().map(|&c| lr[c].clone()).collect();
-            if let Some(matches) = built.get(&key) {
-                for &ri in matches {
-                    let (rr, rk) = &other.rows[ri];
+            for &ri in built.candidates(lr, &left_keys) {
+                let (rr, rk) = &other.rows[ri];
+                if built.key_matches(rr, lr, &left_keys) {
                     let mut row = lr.clone();
                     row.extend(rr.iter().cloned());
                     out.merge_in(&mut index, row, lk.times(rk));
@@ -161,10 +160,18 @@ impl<K: Semiring> KRelation<K> {
     }
 
     /// ∪: bag union; equal tuples combine with `⊕`. Schemas must have the
-    /// same column names in the same order.
+    /// same column names in the same order (and the same arity — extra
+    /// trailing columns on either side are rejected, not silently mixed).
     pub fn union(&self, other: &Self) -> Result<Self, EngineError> {
+        if other.schema.arity() != self.schema.arity() {
+            return Err(EngineError::UnknownColumn(format!(
+                "union arity mismatch: {} vs {}",
+                self.schema.arity(),
+                other.schema.arity()
+            )));
+        }
         for (i, (name, _)) in self.schema.iter().enumerate() {
-            if i >= other.schema.arity() || other.schema.name(i) != name {
+            if other.schema.name(i) != name {
                 return Err(EngineError::UnknownColumn(name.to_string()));
             }
         }

@@ -1,0 +1,475 @@
+//! The interned annotation mode: provenance emitted straight into a
+//! monomial arena during operator evaluation.
+//!
+//! [`crate::annot::KRelation`] computes `N[X]` how-provenance with
+//! [`Polynomial`] annotations — every `⊗` of a join and every `⊕`-merge
+//! re-canonicalises and re-hashes monomials inside per-tuple hash maps,
+//! and handing the result to the abstraction layer used to mean one more
+//! conversion (`into_polys` → `WorkingSet::from_polyset`), re-interning
+//! everything the operators had just built.
+//!
+//! [`ProvQuery`] is the same SPJU algebra in the *interned currency*: a
+//! relation owns a [`MonoArena`], each tuple's annotation is a map
+//! `monomial id → multiplicity`, and the operators work in id space —
+//!
+//! * σ keeps annotations untouched,
+//! * π and ∪ merge equal tuples by adding multiplicities per id,
+//! * ⋈ combines annotations with the arena's memoised product index
+//!   ([`MonoArena::mul`]): once a monomial pair has been multiplied, every
+//!   further co-occurrence is one hash probe — no monomial is rebuilt.
+//!
+//! The end of the pipeline hands ids onward:
+//! [`ProvQuery::into_working`] wraps the arena and term maps into a
+//! [`WorkingSet`] for the abstraction algorithms with **zero** conversion
+//! work, while [`ProvQuery::into_polys`] remains as the thin
+//! materialising bridge for callers that still want hash-map polynomials
+//! (mirroring [`KPipeline::into_polys`](crate::annot::KPipeline::into_polys)).
+
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::expr::Expr;
+use crate::ops::JoinIndex;
+use crate::schema::Schema;
+use crate::value::Row;
+use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::intern::{MonoArena, MonoId};
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::VarTable;
+use provabs_provenance::working::WorkingSet;
+
+/// An `N[X]` polynomial in id space: interned monomial → multiplicity.
+type IPoly = FxHashMap<MonoId, u64>;
+
+/// Adds `count` occurrences of monomial `id` to an id-space polynomial.
+fn add_id(poly: &mut IPoly, id: MonoId, count: u64) {
+    if count > 0 {
+        *poly.entry(id).or_insert(0) += count;
+    }
+}
+
+/// A provenance-annotated relation in the interned currency: tuples with
+/// id-space `N[X]` annotations over an owned [`MonoArena`]. See the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct ProvQuery {
+    schema: Schema,
+    /// Distinct tuples with their annotations, in first-occurrence order
+    /// (matching [`crate::annot::KRelation`]'s row order).
+    rows: Vec<(Row, IPoly)>,
+    arena: MonoArena,
+}
+
+impl ProvQuery {
+    /// Annotates every row of a catalog table with a fresh provenance
+    /// variable `{prefix}{row}` — the standard `N[X]` source annotation,
+    /// interned at emission.
+    pub fn annotate_with_vars(
+        catalog: &Catalog,
+        table: &str,
+        prefix: &str,
+        vars: &mut VarTable,
+    ) -> Result<Self, EngineError> {
+        let t = catalog.get(table)?;
+        let mut arena = MonoArena::new();
+        let mut out = Self {
+            schema: t.schema().clone(),
+            rows: Vec::with_capacity(t.len()),
+            arena: MonoArena::new(),
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (i, row) in t.rows().iter().enumerate() {
+            let id = arena.intern(Monomial::var(vars.intern(&format!("{prefix}{i}"))));
+            let mut poly = IPoly::default();
+            add_id(&mut poly, id, 1);
+            out.merge_in(&mut index, row.clone(), poly);
+        }
+        out.arena = arena;
+        Ok(out)
+    }
+
+    /// Annotates every row of a catalog table with the constant `1` (the
+    /// unit monomial) — for relations that carry no tracked variables.
+    pub fn annotate_ones(catalog: &Catalog, table: &str) -> Result<Self, EngineError> {
+        let t = catalog.get(table)?;
+        let mut arena = MonoArena::new();
+        let one = arena.one();
+        let mut out = Self {
+            schema: t.schema().clone(),
+            rows: Vec::with_capacity(t.len()),
+            arena: MonoArena::new(),
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for row in t.rows() {
+            let mut poly = IPoly::default();
+            add_id(&mut poly, one, 1);
+            out.merge_in(&mut index, row.clone(), poly);
+        }
+        out.arena = arena;
+        Ok(out)
+    }
+
+    /// Merges `(row, poly)` into the relation, adding multiplicities of
+    /// equal tuples (`⊕`) and dropping empty (zero) annotations — the
+    /// id-space mirror of `KRelation::merge_in`.
+    fn merge_in(&mut self, index: &mut FxHashMap<Row, usize>, row: Row, poly: IPoly) {
+        if poly.is_empty() {
+            return;
+        }
+        match index.get(&row) {
+            Some(&i) => {
+                for (id, c) in poly {
+                    add_id(&mut self.rows[i].1, id, c);
+                }
+            }
+            None => {
+                index.insert(row.clone(), self.rows.len());
+                self.rows.push((row, poly));
+            }
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of (distinct) annotated tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The arena the annotations are interned into.
+    pub fn arena(&self) -> &MonoArena {
+        &self.arena
+    }
+
+    /// The annotation of `row`, materialised as a [`Polynomial`] (zero if
+    /// absent) — a per-tuple bridge for tests and display.
+    pub fn annotation_of(&self, row: &Row) -> Polynomial<u64> {
+        self.rows
+            .iter()
+            .find(|(r, _)| r == row)
+            .map(|(_, poly)| self.materialise(poly))
+            .unwrap_or_else(Polynomial::zero)
+    }
+
+    fn materialise(&self, poly: &IPoly) -> Polynomial<u64> {
+        let mut ids: Vec<MonoId> = poly.keys().copied().collect();
+        ids.sort_unstable();
+        Polynomial::from_terms(
+            ids.into_iter()
+                .map(|id| (self.arena.mono(id).clone(), poly[&id])),
+        )
+    }
+
+    /// σ: keeps tuples satisfying `pred`, annotations unchanged (moved,
+    /// not cloned — the relation is consumed).
+    pub fn select(self, pred: &Expr) -> Result<Self, EngineError> {
+        let resolved = pred.resolve(&self.schema)?;
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for (r, poly) in self.rows {
+            if resolved.eval_bool(&r)? {
+                rows.push((r, poly));
+            }
+        }
+        Ok(Self {
+            schema: self.schema,
+            rows,
+            arena: self.arena,
+        })
+    }
+
+    /// π: projects to the named columns; merged tuples combine with `⊕`
+    /// (id-space addition — annotations are moved, no monomial is
+    /// touched).
+    pub fn project(self, columns: &[&str]) -> Result<Self, EngineError> {
+        let (schema, idx) = self.schema.project(columns)?;
+        let mut out = Self {
+            schema,
+            rows: Vec::new(),
+            arena: self.arena,
+        };
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (r, poly) in self.rows {
+            let projected: Row = idx.iter().map(|&i| r[i].clone()).collect();
+            out.merge_in(&mut index, projected, poly);
+        }
+        Ok(out)
+    }
+
+    /// Resolves one of `other`'s arena ids in this arena, interning the
+    /// monomial on first sight — the lazy per-*distinct*-monomial (never
+    /// per-occurrence) translation binary operators use to combine two
+    /// independently-built arenas.
+    fn translate(&mut self, other: &Self, table: &mut [Option<MonoId>], id: MonoId) -> MonoId {
+        match table[id as usize] {
+            Some(t) => t,
+            None => {
+                let t = self.arena.intern(other.arena.mono(id).clone());
+                table[id as usize] = Some(t);
+                t
+            }
+        }
+    }
+
+    /// ⋈: equi-join on `on = [(left column, right column)]` pairs;
+    /// annotations combine with `⊗` through the arena's memoised product
+    /// index. The build side is the shared hashed-key-column
+    /// [`JoinIndex`]. Colliding right-side column names are prefixed with
+    /// `prefix`.
+    pub fn join(
+        mut self,
+        other: &Self,
+        on: &[(&str, &str)],
+        prefix: &str,
+    ) -> Result<Self, EngineError> {
+        let schema = self.schema.join(&other.schema, prefix)?;
+        let left_keys: Vec<usize> = on
+            .iter()
+            .map(|(l, _)| self.schema.index_of(l))
+            .collect::<Result<_, _>>()?;
+        let right_keys: Vec<usize> = on
+            .iter()
+            .map(|(_, r)| other.schema.index_of(r))
+            .collect::<Result<_, _>>()?;
+        let built = JoinIndex::build(other.rows.iter().map(|(r, _)| r), right_keys);
+        let mut translation: Vec<Option<MonoId>> = vec![None; other.arena.len()];
+        let rows = std::mem::take(&mut self.rows);
+        let mut out = Self {
+            schema,
+            rows: Vec::new(),
+            arena: MonoArena::new(),
+        };
+        std::mem::swap(&mut out.arena, &mut self.arena);
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (lr, lk) in &rows {
+            for &ri in built.candidates(lr, &left_keys) {
+                let (rr, rk) = &other.rows[ri];
+                if !built.key_matches(rr, lr, &left_keys) {
+                    continue;
+                }
+                let mut row = lr.clone();
+                row.extend(rr.iter().cloned());
+                // ⊗ in id space: distribute over the (usually singleton)
+                // term maps, each product a memoised arena probe.
+                let mut product = IPoly::default();
+                for (&ma, &ca) in lk {
+                    for (&mb0, &cb) in rk {
+                        let mb = out.translate(other, &mut translation, mb0);
+                        let id = out.arena.mul(ma, mb);
+                        add_id(&mut product, id, ca * cb);
+                    }
+                }
+                out.merge_in(&mut index, row, product);
+            }
+        }
+        Ok(out)
+    }
+
+    /// ∪: bag union; equal tuples combine with `⊕`. Schemas must have the
+    /// same column names in the same order (and the same arity — extra
+    /// trailing columns on either side are rejected, not silently mixed).
+    pub fn union(mut self, other: &Self) -> Result<Self, EngineError> {
+        if other.schema.arity() != self.schema.arity() {
+            return Err(EngineError::UnknownColumn(format!(
+                "union arity mismatch: {} vs {}",
+                self.schema.arity(),
+                other.schema.arity()
+            )));
+        }
+        for (i, (name, _)) in self.schema.iter().enumerate() {
+            if other.schema.name(i) != name {
+                return Err(EngineError::UnknownColumn(name.to_string()));
+            }
+        }
+        let mut translation: Vec<Option<MonoId>> = vec![None; other.arena.len()];
+        let rows = std::mem::take(&mut self.rows);
+        let mut out = Self {
+            schema: self.schema.clone(),
+            rows: Vec::new(),
+            arena: MonoArena::new(),
+        };
+        std::mem::swap(&mut out.arena, &mut self.arena);
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for (r, poly) in rows {
+            out.merge_in(&mut index, r, poly);
+        }
+        for (r, poly) in &other.rows {
+            let translated: IPoly = poly
+                .iter()
+                .map(|(&id, &c)| (out.translate(other, &mut translation, id), c))
+                .collect();
+            out.merge_in(&mut index, r.clone(), translated);
+        }
+        Ok(out)
+    }
+
+    /// Splits the relation into its tuples and the how-provenance in
+    /// interned form — the multiset `𝒫` the abstraction algorithms
+    /// consume, with the arena handed over as-is (**zero** conversion or
+    /// re-interning work; this is the hot-path hand-off).
+    pub fn into_working(self) -> (Vec<Row>, WorkingSet<u64>) {
+        let (rows, terms): (Vec<Row>, Vec<FxHashMap<MonoId, u64>>) = self.rows.into_iter().unzip();
+        (rows, WorkingSet::from_parts(self.arena, terms))
+    }
+
+    /// The thin materialising bridge kept for compatibility with
+    /// [`PolySet`] consumers — the id-space counterpart of
+    /// [`KPipeline::into_polys`](crate::annot::KPipeline::into_polys).
+    /// Prefer [`into_working`](Self::into_working) on hot paths.
+    pub fn into_polys(self) -> (Vec<Row>, PolySet<u64>) {
+        let mut rows = Vec::with_capacity(self.rows.len());
+        let mut polys = Vec::with_capacity(self.rows.len());
+        for (r, poly) in &self.rows {
+            rows.push(r.clone());
+            polys.push(self.materialise(poly));
+        }
+        (rows, PolySet::from_vec(polys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::KPipeline;
+    use crate::schema::ColumnType;
+    use crate::table::Table;
+    use crate::value::Value;
+    use provabs_provenance::polyset_to_string;
+
+    fn catalog() -> Catalog {
+        let mut r = Table::new(Schema::of(&[
+            ("id", ColumnType::Int),
+            ("tag", ColumnType::Str),
+        ]));
+        for &(id, tag) in &[(1i64, "a"), (2, "b"), (1, "c")] {
+            r.push(vec![Value::Int(id), Value::str(tag)]).expect("ok");
+        }
+        let mut s = Table::new(Schema::of(&[
+            ("sid", ColumnType::Int),
+            ("part", ColumnType::Str),
+        ]));
+        for &(id, part) in &[(1i64, "x"), (1, "y"), (2, "x"), (3, "z")] {
+            s.push(vec![Value::Int(id), Value::str(part)]).expect("ok");
+        }
+        let mut c = Catalog::new();
+        c.register("r", r).expect("fresh");
+        c.register("s", s).expect("fresh");
+        c
+    }
+
+    /// The same SPJU pipeline through `KPipeline` (hash-map polynomials)
+    /// and `ProvQuery` (interned): identical rows and identical
+    /// polynomials, with the interned side never materialising until the
+    /// final bridge.
+    #[test]
+    fn interned_pipeline_matches_kpipeline() {
+        let cat = catalog();
+        let mut vars_k = VarTable::new();
+        let k = KPipeline::annotate_with_vars(&cat, "r", "r", &mut vars_k)
+            .expect("annotate")
+            .join(
+                &KPipeline::annotate_with_vars(&cat, "s", "s", &mut vars_k).expect("annotate"),
+                &[("id", "sid")],
+                "s",
+            )
+            .expect("join")
+            .project(&["part"])
+            .expect("project");
+        let (rows_k, polys_k) = k.into_polys();
+
+        let mut vars_i = VarTable::new();
+        let i = ProvQuery::annotate_with_vars(&cat, "r", "r", &mut vars_i)
+            .expect("annotate")
+            .join(
+                &ProvQuery::annotate_with_vars(&cat, "s", "s", &mut vars_i).expect("annotate"),
+                &[("id", "sid")],
+                "s",
+            )
+            .expect("join")
+            .project(&["part"])
+            .expect("project");
+        assert_eq!(vars_k.len(), vars_i.len(), "same variables interned");
+        let (rows_i, working) = i.clone().into_working();
+        assert_eq!(rows_k, rows_i);
+        // Interned working set == hash-map polynomials, polynomial by
+        // polynomial (the bridge is only used to compare).
+        assert_eq!(
+            polyset_to_string(&working.to_polyset(), &vars_i),
+            polyset_to_string(&polys_k, &vars_k),
+        );
+        // The explicit bridge agrees too.
+        let (_, polys_i) = i.into_polys();
+        for (a, b) in polys_i.iter().zip(polys_k.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn select_union_and_exponents_match_kpipeline() {
+        let cat = catalog();
+        let build = |vars: &mut VarTable| {
+            let p = ProvQuery::annotate_with_vars(&cat, "r", "x", vars).expect("annotate");
+            // Self-join on id: squares annotations of id-unique rows.
+            let joined = p.clone().join(&p, &[("id", "id")], "j").expect("join");
+            let selected = joined
+                .select(&Expr::col("tag").eq(Expr::lit("b")))
+                .expect("select");
+            selected.project(&["id"]).expect("project")
+        };
+        let mut vars = VarTable::new();
+        let q = build(&mut vars);
+        let x1 = vars.lookup("x1").expect("interned");
+        let p = q.annotation_of(&vec![Value::Int(2)]);
+        assert_eq!(p.size_m(), 1);
+        assert_eq!(
+            p.iter().next().expect("one term").0.exponent_of(x1),
+            2,
+            "self-join squares the annotation"
+        );
+        // Union with itself doubles multiplicities.
+        let u = q.clone().union(&q).expect("union");
+        let doubled = u.annotation_of(&vec![Value::Int(2)]);
+        assert_eq!(doubled.iter().next().expect("one term").1, &2);
+        // Mismatched schemas are rejected.
+        let other = ProvQuery::annotate_ones(&cat, "s").expect("annotate");
+        assert!(q.union(&other).is_err());
+    }
+
+    #[test]
+    fn annotate_ones_and_empty_annotations() {
+        let cat = catalog();
+        let q = ProvQuery::annotate_ones(&cat, "s").expect("annotate");
+        assert_eq!(q.len(), 4);
+        assert!(!q.is_empty());
+        assert_eq!(q.schema().arity(), 2);
+        let p = q.annotation_of(&vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(p, Polynomial::constant(1));
+        assert_eq!(
+            q.annotation_of(&vec![Value::Int(9), Value::str("q")]),
+            Polynomial::zero()
+        );
+        assert!(!q.arena().is_empty(), "the unit monomial is interned");
+    }
+
+    #[test]
+    fn join_products_are_memoised_in_the_arena() {
+        let cat = catalog();
+        let mut vars = VarTable::new();
+        let r = ProvQuery::annotate_with_vars(&cat, "r", "r", &mut vars).expect("annotate");
+        let s = ProvQuery::annotate_with_vars(&cat, "s", "s", &mut vars).expect("annotate");
+        let joined = r.join(&s, &[("id", "sid")], "s").expect("join");
+        // Arena holds: 3 r-variables + 4 translated s-variables + one
+        // product per distinct (r, s) pair that actually joined.
+        let (_, working) = joined.into_working();
+        assert_eq!(working.size_m(), 5, "5 joining pairs");
+        assert!(working.arena().len() <= 3 + 4 + 5);
+    }
+}

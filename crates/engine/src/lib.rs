@@ -9,6 +9,11 @@
 //! * [`annot`] — K-relations: tables whose tuples carry commutative
 //!   semiring annotations, with the SPJU operators of the provenance
 //!   semiring framework (Green et al., the paper's `[36]`; §2.1 case 1),
+//! * [`interned`] — the interned annotation mode: the same SPJU algebra
+//!   emitting monomials directly into a shared
+//!   [`MonoArena`](provabs_provenance::intern::MonoArena) during operator
+//!   evaluation, so provenance leaves the engine already in the pipeline's
+//!   id currency,
 //! * [`ops`] — plain relational operators (scan/filter/project/hash
 //!   join/union) used to build query pipelines,
 //! * [`param`] — cell parameterization: attaching provenance variables to
@@ -23,6 +28,7 @@ pub mod annot;
 pub mod catalog;
 pub mod error;
 pub mod expr;
+pub mod interned;
 pub mod ops;
 pub mod param;
 pub mod query;

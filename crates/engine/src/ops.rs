@@ -8,7 +8,61 @@ use crate::error::EngineError;
 use crate::expr::Expr;
 use crate::table::Table;
 use crate::value::Row;
-use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::fxhash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+
+/// The FxHash of a row's key columns, computed in place — no key tuple is
+/// materialised on either side of a join.
+fn hash_key(row: &Row, cols: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &c in cols {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A reusable build-side index for equi-joins: build rows bucketed by the
+/// hash of their key columns. Unlike the previous `FxHashMap<Row, _>`
+/// design, neither building nor probing clones any [`Value`] — keys are
+/// hashed and compared column-wise against the original rows. Shared by
+/// every hash join in the engine ([`hash_join`], the K-relation `⋈`, and
+/// the interned `ProvQuery` pipeline).
+///
+/// [`Value`]: crate::value::Value
+pub struct JoinIndex {
+    /// Key column indices on the build side.
+    key_cols: Vec<usize>,
+    /// `key hash → build row indices`, in build order.
+    buckets: FxHashMap<u64, Vec<usize>>,
+}
+
+impl JoinIndex {
+    /// Indexes the build rows by their `key_cols` hash.
+    pub fn build<'a>(rows: impl IntoIterator<Item = &'a Row>, key_cols: Vec<usize>) -> Self {
+        let mut buckets: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        for (i, row) in rows.into_iter().enumerate() {
+            buckets.entry(hash_key(row, &key_cols)).or_default().push(i);
+        }
+        Self { key_cols, buckets }
+    }
+
+    /// Candidate build-row indices for a probe row, in build order. Hash
+    /// bucket only — confirm each candidate with
+    /// [`key_matches`](Self::key_matches) (hash collisions are possible).
+    pub fn candidates(&self, probe: &Row, probe_cols: &[usize]) -> &[usize] {
+        self.buckets
+            .get(&hash_key(probe, probe_cols))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `build`'s key columns equal `probe`'s, column-wise.
+    pub fn key_matches(&self, build: &Row, probe: &Row, probe_cols: &[usize]) -> bool {
+        self.key_cols
+            .iter()
+            .zip(probe_cols)
+            .all(|(&b, &p)| build[b] == probe[p])
+    }
+}
 
 /// σ: rows satisfying `pred`.
 pub fn filter(table: &Table, pred: &Expr) -> Result<Table, EngineError> {
@@ -51,20 +105,15 @@ pub fn hash_join(
         .map(|(_, r)| right.schema().index_of(r))
         .collect::<Result<_, _>>()?;
 
-    let mut built: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
-    built.reserve(right.len());
-    for (i, row) in right.rows().iter().enumerate() {
-        let key: Row = right_keys.iter().map(|&c| row[c].clone()).collect();
-        built.entry(key).or_default().push(i);
-    }
+    let index = JoinIndex::build(right.rows(), right_keys);
 
     let mut out = Table::new(schema);
     for lrow in left.rows() {
-        let key: Row = left_keys.iter().map(|&c| lrow[c].clone()).collect();
-        if let Some(matches) = built.get(&key) {
-            for &ri in matches {
+        for &ri in index.candidates(lrow, &left_keys) {
+            let rrow = &right.rows()[ri];
+            if index.key_matches(rrow, lrow, &left_keys) {
                 let mut row = lrow.clone();
-                row.extend(right.rows()[ri].iter().cloned());
+                row.extend(rrow.iter().cloned());
                 out.push_unchecked(row);
             }
         }

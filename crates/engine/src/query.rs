@@ -17,10 +17,12 @@ use crate::table::Table;
 use crate::value::Row;
 use provabs_provenance::coeff::{Coefficient, MaxF64, MinF64};
 use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::intern::{MonoArena, MonoId};
 use provabs_provenance::monomial::Monomial;
 use provabs_provenance::polynomial::Polynomial;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarTable;
+use provabs_provenance::working::WorkingSet;
 
 /// A chain of relational operators over materialised tables.
 #[derive(Clone, Debug)]
@@ -172,6 +174,75 @@ impl Pipeline {
             polys: PolySet::from_vec(polys),
         })
     }
+
+    /// [`aggregate_sum`](Self::aggregate_sum) in the interned currency:
+    /// each row's rule monomial is interned into a shared
+    /// [`MonoArena`] at emission and the per-group polynomials are built
+    /// as id-keyed coefficient maps — the provenance leaves the engine
+    /// already as a [`WorkingSet`], with no [`Polynomial`] hash maps
+    /// anywhere. Group keys, group order and polynomial semantics are
+    /// identical to [`aggregate_sum`](Self::aggregate_sum).
+    pub fn aggregate_sum_interned(
+        &self,
+        group_cols: &[&str],
+        measure: &Expr,
+        rules: &[VarRule],
+        vars: &mut VarTable,
+    ) -> Result<GroupedProvenanceInterned, EngineError> {
+        self.aggregate_with_interned(group_cols, measure, rules, vars, |x| x)
+    }
+
+    /// Interned grouped aggregation over any coefficient type; `wrap`
+    /// lifts the measured `f64` into the aggregate's carrier. See
+    /// [`aggregate_sum_interned`](Self::aggregate_sum_interned).
+    pub fn aggregate_with_interned<C: Coefficient>(
+        &self,
+        group_cols: &[&str],
+        measure: &Expr,
+        rules: &[VarRule],
+        vars: &mut VarTable,
+        wrap: impl Fn(f64) -> C,
+    ) -> Result<GroupedProvenanceInternedOf<C>, EngineError> {
+        let schema = self.table.schema();
+        let (_, group_idx) = schema.project(group_cols)?;
+        let resolved_measure = measure.resolve(schema)?;
+        let resolved_rules: Vec<_> = rules
+            .iter()
+            .map(|r| r.resolve(schema))
+            .collect::<Result<_, _>>()?;
+
+        let mut arena = MonoArena::new();
+        let mut keys: Vec<Row> = Vec::new();
+        let mut terms: Vec<FxHashMap<MonoId, C>> = Vec::new();
+        let mut index: FxHashMap<Row, usize> = FxHashMap::default();
+        for row in self.table.rows() {
+            let key: Row = group_idx.iter().map(|&i| row[i].clone()).collect();
+            let coeff = wrap(resolved_measure.eval_f64(row)?);
+            let mono = Monomial::from_vars(
+                resolved_rules
+                    .iter()
+                    .map(|r| r.var(row, vars))
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+            let id = arena.intern(mono);
+            let slot = match index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    index.insert(key.clone(), terms.len());
+                    keys.push(key);
+                    terms.push(FxHashMap::default());
+                    terms.len() - 1
+                }
+            };
+            // The id-space `add_term`: the shared accumulate-and-drop
+            // rule, so both currencies cancel zeros identically.
+            provabs_provenance::intern::accumulate(&mut terms[slot], id, coeff);
+        }
+        Ok(GroupedProvenanceInternedOf {
+            keys,
+            working: WorkingSet::from_parts(arena, terms),
+        })
+    }
 }
 
 /// Output of a provenance aggregation: group keys aligned with one
@@ -186,6 +257,44 @@ pub struct GroupedProvenanceOf<C: Coefficient> {
 
 /// SUM-aggregate provenance (ordinary `f64` coefficients).
 pub type GroupedProvenance = GroupedProvenanceOf<f64>;
+
+/// Output of an *interned* provenance aggregation: group keys aligned
+/// with an id-space working set over the arena the aggregation emitted
+/// into. The hot-path hand-off to the abstraction layer — no conversion
+/// needed.
+#[derive(Clone, Debug)]
+pub struct GroupedProvenanceInternedOf<C: Coefficient> {
+    /// Group keys in first-occurrence order.
+    pub keys: Vec<Row>,
+    /// One id-space polynomial per group, aligned with `keys`, over the
+    /// emission arena.
+    pub working: WorkingSet<C>,
+}
+
+/// Interned SUM-aggregate provenance (ordinary `f64` coefficients).
+pub type GroupedProvenanceInterned = GroupedProvenanceInternedOf<f64>;
+
+impl<C: Coefficient> GroupedProvenanceInternedOf<C> {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The materialising bridge into the hash-map representation
+    /// (identical keys and polynomials to the non-interned aggregation) —
+    /// for [`PolySet`] consumers only; hot paths keep the working set.
+    pub fn into_grouped(self) -> GroupedProvenanceOf<C> {
+        GroupedProvenanceOf {
+            keys: self.keys,
+            polys: self.working.to_polyset(),
+        }
+    }
+}
 
 impl<C: Coefficient> GroupedProvenanceOf<C> {
     /// The polynomial of a specific group key.
@@ -383,6 +492,40 @@ mod tests {
         assert_eq!(p.size_m(), 6);
         for (m, &c) in expected.iter() {
             assert!((p.coefficient(m) - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn interned_aggregation_matches_hashmap_aggregation() {
+        let catalog = figure_1_catalog();
+        let pipeline = Pipeline::scan(&catalog, "Cust")
+            .expect("scan")
+            .join(&catalog, "Calls", &[("ID", "CID")])
+            .expect("join calls")
+            .join(&catalog, "Plans", &[("Plan", "Plan")])
+            .expect("join plans")
+            .filter(&Expr::col("Mo").eq(Expr::col("PMo")))
+            .expect("month equality");
+        let rules = [
+            VarRule::per_value("Plan", "plan_"),
+            VarRule::per_value("Mo", "m"),
+        ];
+        let measure = Expr::col("Dur").mul(Expr::col("Price"));
+        let mut vars_a = VarTable::new();
+        let grouped = pipeline
+            .aggregate_sum(&["Zip"], &measure, &rules, &mut vars_a)
+            .expect("aggregate");
+        let mut vars_b = VarTable::new();
+        let interned = pipeline
+            .aggregate_sum_interned(&["Zip"], &measure, &rules, &mut vars_b)
+            .expect("aggregate");
+        assert_eq!(grouped.keys, interned.keys);
+        assert_eq!(vars_a.len(), vars_b.len());
+        assert_eq!(interned.working.size_m(), grouped.polys.size_m());
+        assert_eq!(interned.working.size_v(), grouped.polys.size_v());
+        let bridged = interned.into_grouped();
+        for (a, b) in bridged.polys.iter().zip(grouped.polys.iter()) {
+            assert_eq!(a, b);
         }
     }
 

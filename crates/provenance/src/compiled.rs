@@ -27,12 +27,13 @@
 //! to the hash-map path (floating-point summation order is preserved).
 
 use crate::coeff::Coefficient;
-use crate::fxhash::FxHashMap;
+use crate::intern::VarSpace;
 use crate::monomial::Monomial;
 use crate::polynomial::Polynomial;
 use crate::polyset::PolySet;
 use crate::valuation::Valuation;
 use crate::var::VarId;
+use crate::working::WorkingSet;
 
 /// A [`PolySet`] lowered into flat columnar arenas for batch evaluation.
 ///
@@ -71,18 +72,12 @@ impl<C: Coefficient> CompiledPolySet<C> {
         let mut poly_ends = Vec::with_capacity(polys.len());
         let mut factor_vars = Vec::new();
         let mut factor_exps = Vec::new();
-        let mut vars: Vec<VarId> = Vec::new();
-        let mut local: FxHashMap<VarId, u32> = FxHashMap::default();
+        let mut space = VarSpace::new();
         for p in polys.iter() {
             for (m, c) in p.iter() {
                 coeffs.push(c.clone());
                 for (v, e) in m.factors() {
-                    let idx = *local.entry(v).or_insert_with(|| {
-                        let idx = u32::try_from(vars.len()).expect("more than u32::MAX variables");
-                        vars.push(v);
-                        idx
-                    });
-                    factor_vars.push(idx);
+                    factor_vars.push(space.local(v));
                     factor_exps.push(e);
                 }
                 mono_ends.push(arena_end(factor_vars.len()));
@@ -95,7 +90,51 @@ impl<C: Coefficient> CompiledPolySet<C> {
             poly_ends,
             factor_vars,
             factor_exps,
-            vars,
+            vars: space.into_vars(),
+        }
+    }
+
+    /// Freezes an interned [`WorkingSet`] into the columnar evaluation
+    /// form by re-slicing its arena — the monomials are read straight out
+    /// of the shared [`MonoArena`](crate::intern::MonoArena), so no
+    /// intermediate [`PolySet`] (and no monomial re-hashing) is involved.
+    /// This is how the abstraction pipeline hands its rewritten `𝒫↓S` to
+    /// the evaluator.
+    ///
+    /// Each polynomial's monomials are laid out in the working set's
+    /// canonical ascending-id order (matching
+    /// [`WorkingSet::to_polyset`]), which is deterministic for a given
+    /// working set. Note that this order generally differs from the
+    /// hash-map iteration order [`compile`](Self::compile) preserves, so
+    /// floating-point sums may differ from the `to_polyset` → `compile`
+    /// round-trip in the last bit; term *sets* and exact-coefficient
+    /// results are identical (see the `intern_equivalence` suite).
+    pub fn from_working(ws: &WorkingSet<C>) -> Self {
+        let num_monos = ws.size_m();
+        let mut coeffs = Vec::with_capacity(num_monos);
+        let mut mono_ends = Vec::with_capacity(num_monos);
+        let mut poly_ends = Vec::with_capacity(ws.num_polys());
+        let mut factor_vars = Vec::new();
+        let mut factor_exps = Vec::new();
+        let mut space = VarSpace::new();
+        for pi in 0..ws.num_polys() {
+            for id in ws.sorted_mono_ids(pi) {
+                coeffs.push(ws.coeff(pi, id));
+                for (v, e) in ws.mono(id).factors() {
+                    factor_vars.push(space.local(v));
+                    factor_exps.push(e);
+                }
+                mono_ends.push(arena_end(factor_vars.len()));
+            }
+            poly_ends.push(arena_end(coeffs.len()));
+        }
+        Self {
+            coeffs,
+            mono_ends,
+            poly_ends,
+            factor_vars,
+            factor_exps,
+            vars: space.into_vars(),
         }
     }
 
@@ -355,6 +394,43 @@ mod tests {
         assert_eq!(c.vars(), &[v(9), v(4)]);
         let table = c.valuation_table(&Valuation::neutral().set(v(4), 2.0));
         assert_eq!(table, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_working_matches_compile_semantics() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        let frozen = CompiledPolySet::from_working(&ws);
+        assert_eq!(frozen.num_polys(), polys.len());
+        assert_eq!(frozen.num_monomials(), polys.size_m());
+        assert_eq!(frozen.num_vars(), polys.size_v());
+        // The frozen form denotes the same poly-set.
+        let back = frozen.to_polyset();
+        for (a, b) in back.iter().zip(polys.iter()) {
+            assert_eq!(a, b);
+        }
+        // Its values agree with the hash-map evaluator (exactly here: the
+        // sample sums are short enough to be order-insensitive).
+        let val = Valuation::neutral().set(v(1), 3.0).set(v(7), -2.0);
+        let fast = frozen.eval_one(&val);
+        let slow = val.eval_set(&polys);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn from_working_tracks_rewrites() {
+        let polys = sample();
+        let mut ws = WorkingSet::from_polyset(&polys);
+        // v2 and v7 occur in distinct monomials (group-compatible).
+        ws.apply_group(&[v(2), v(7)], v(30), &[0, 1]);
+        let frozen = CompiledPolySet::from_working(&ws);
+        let expected = polys.map_vars(|x| if x == v(2) || x == v(7) { v(30) } else { x });
+        assert_eq!(frozen.num_monomials(), expected.size_m());
+        for (a, b) in frozen.to_polyset().iter().zip(expected.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

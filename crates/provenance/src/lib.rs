@@ -13,11 +13,17 @@
 //!   of distinct variables),
 //! * [`polyset`] — multisets of polynomials as produced by provenance-aware
 //!   query evaluation, lifting both measures point-wise,
+//! * [`intern`] — the shared interning core: an append-only distinct-
+//!   monomial arena with dense `u32` ids ([`intern::MonoArena`]) and the
+//!   matching variable densifier ([`intern::VarSpace`]) — the single
+//!   provenance currency every layer above speaks,
 //! * [`compiled`] — the columnar lowering of a poly-set for fast batch
-//!   scenario evaluation (flat arenas, densified `u32` variable space),
+//!   scenario evaluation (flat arenas, densified `u32` variable space);
+//!   built either from a [`polyset::PolySet`] or by freezing a working
+//!   set's arena directly,
 //! * [`working`] — the interned working-set representation for in-flight
-//!   abstraction rewrites (monomial arena with dense ids, postings and
-//!   remainder indexes), the rewriting counterpart of [`compiled`],
+//!   abstraction rewrites over a [`intern::MonoArena`], the rewriting
+//!   counterpart of [`compiled`],
 //! * [`coeff`] — coefficient rings (`f64`, integers, exact rationals),
 //! * [`semiring`] — commutative semirings and the specialisation of
 //!   `N[X]` provenance polynomials into them (Green's observation that the
@@ -55,6 +61,7 @@ pub mod compiled;
 pub mod display;
 #[doc(hidden)] // an implementation detail shared with the sibling crates, not public API
 pub mod fxhash;
+pub mod intern;
 pub mod monomial;
 pub mod parse;
 pub mod polynomial;
@@ -68,6 +75,7 @@ pub use circuit::Circuit;
 pub use coeff::{Coefficient, Rational};
 pub use compiled::CompiledPolySet;
 pub use display::{poly_to_string, polyset_to_string};
+pub use intern::{MonoArena, MonoId, VarSpace};
 pub use monomial::Monomial;
 pub use parse::{parse_polynomial, parse_polyset};
 pub use polynomial::Polynomial;

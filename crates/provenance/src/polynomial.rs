@@ -59,25 +59,10 @@ impl<C: Coefficient> Polynomial<C> {
     }
 
     /// Adds `coeff · mono` to the polynomial, merging with an existing term
-    /// and dropping it if the sum vanishes.
+    /// and dropping it if the sum vanishes (the shared
+    /// [`crate::intern::accumulate`] rule).
     pub fn add_term(&mut self, mono: Monomial, coeff: C) {
-        if coeff.is_zero() {
-            return;
-        }
-        use std::collections::hash_map::Entry;
-        match self.terms.entry(mono) {
-            Entry::Occupied(mut e) => {
-                let sum = e.get().add(&coeff);
-                if sum.is_zero() {
-                    e.remove();
-                } else {
-                    e.insert(sum);
-                }
-            }
-            Entry::Vacant(e) => {
-                e.insert(coeff);
-            }
-        }
+        crate::intern::accumulate(&mut self.terms, mono, coeff);
     }
 
     /// Whether this is the zero polynomial.

@@ -1,4 +1,4 @@
-//! Interned columnar working sets for in-flight abstraction rewrites.
+//! Interned working sets for in-flight abstraction rewrites.
 //!
 //! The compression algorithms (greedy valid-variable selection above all)
 //! repeatedly *rewrite* a poly-set: substitute a small group of variables
@@ -8,21 +8,24 @@
 //! is re-canonicalised, re-hashed and re-inserted even when the
 //! substitution does not touch it.
 //!
-//! A [`WorkingSet`] avoids that by interning every distinct monomial once
-//! into an append-only arena with dense `u32` ids (the densification idea
-//! of [`crate::compiled`], applied to rewriting instead of evaluation):
+//! A [`WorkingSet`] avoids that by holding its polynomials over a shared
+//! [`MonoArena`] (the interning core of [`crate::intern`]):
 //!
 //! * each polynomial becomes a map `monomial id → coefficient`, so
 //!   merging under a substitution is id remapping plus coefficient
 //!   accumulation — no monomial is rebuilt unless the substitution
 //!   actually changes it, and cross-polynomial duplicates (the common
 //!   case for grouped provenance) are remapped exactly once;
-//! * a postings index `variable → monomial ids` finds the monomials a
-//!   group substitution can touch without scanning anything else;
-//! * a memoised *remainder index* `(monomial id, variable) → (remainder
-//!   id, exponent)` — the `M_l` operation of §4.1 — makes the monomial
-//!   loss of a candidate group a matter of `u32` probes instead of
-//!   monomial construction and hashing.
+//! * the arena's postings index finds the monomials a group substitution
+//!   can touch without scanning anything else;
+//! * the arena's memoised *remainder index* — the `M_l` operation of
+//!   §4.1 — makes the monomial loss of a candidate group a matter of
+//!   `u32` probes instead of monomial construction and hashing.
+//!
+//! The working set is the *rewriting* view over the arena; freezing it
+//! with [`WorkingSet::freeze`] yields the read-only evaluation view
+//! ([`crate::compiled::CompiledPolySet`]) by re-slicing the same arena —
+//! no intermediate [`PolySet`] is materialised.
 //!
 //! Term *sets* evolve exactly as under [`Polynomial::map_vars`]: the same
 //! monomials exist with the same coefficient sums, and terms whose
@@ -37,57 +40,34 @@
 //! [`Polynomial::map_vars`]: crate::polynomial::Polynomial::map_vars
 
 use crate::coeff::Coefficient;
+use crate::compiled::CompiledPolySet;
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::intern::MonoArena;
 use crate::monomial::Monomial;
 use crate::polynomial::Polynomial;
 use crate::polyset::PolySet;
 use crate::var::VarId;
 
-/// Dense id of an interned monomial within a [`WorkingSet`] arena.
-pub type MonoId = u32;
+pub use crate::intern::MonoId;
 
 /// A poly-set lowered into an interned, id-addressed form that supports
 /// cheap incremental substitution. See the [module docs](self).
 #[derive(Clone, Debug)]
 pub struct WorkingSet<C> {
-    /// Arena of distinct monomials, append-only; `MonoId` indexes it.
-    monos: Vec<Monomial>,
-    /// Interning map over the arena.
-    ids: FxHashMap<Monomial, MonoId>,
+    /// The shared monomial arena (append-only; also holds monomials that
+    /// are no longer live in any polynomial).
+    arena: MonoArena,
     /// Per polynomial: live terms as `monomial id → coefficient`.
     terms: Vec<FxHashMap<MonoId, C>>,
-    /// `variable → sorted monomial ids containing it`. Covers every
-    /// arena entry (including ids no longer live in any polynomial —
-    /// probes against the term maps filter those out).
-    mono_postings: FxHashMap<VarId, Vec<MonoId>>,
-    /// Memoised remainders: `(monomial, removed variable) → (remainder
-    /// monomial, exponent the variable had)`. Valid forever because the
-    /// arena is append-only.
-    remainders: FxHashMap<(MonoId, VarId), (MonoId, u32)>,
 }
 
 /// Adds `coeff` to `map[id]`, dropping the entry when the sum vanishes —
-/// the id-space analogue of [`Polynomial::add_term`].
+/// the id-space analogue of [`Polynomial::add_term`], sharing the one
+/// accumulate-and-drop rule ([`crate::intern::accumulate`]).
 ///
 /// [`Polynomial::add_term`]: crate::polynomial::Polynomial::add_term
 fn add_term_id<C: Coefficient>(map: &mut FxHashMap<MonoId, C>, id: MonoId, coeff: C) {
-    if coeff.is_zero() {
-        return;
-    }
-    use std::collections::hash_map::Entry;
-    match map.entry(id) {
-        Entry::Occupied(mut e) => {
-            let sum = e.get().add(&coeff);
-            if sum.is_zero() {
-                e.remove();
-            } else {
-                e.insert(sum);
-            }
-        }
-        Entry::Vacant(e) => {
-            e.insert(coeff);
-        }
-    }
+    crate::intern::accumulate(map, id, coeff);
 }
 
 impl<C: Coefficient> WorkingSet<C> {
@@ -95,17 +75,14 @@ impl<C: Coefficient> WorkingSet<C> {
     /// id-keyed term maps plus the postings index.
     pub fn from_polyset(polys: &PolySet<C>) -> Self {
         let mut ws = Self {
-            monos: Vec::new(),
-            ids: FxHashMap::default(),
+            arena: MonoArena::new(),
             terms: Vec::with_capacity(polys.len()),
-            mono_postings: FxHashMap::default(),
-            remainders: FxHashMap::default(),
         };
         for p in polys.iter() {
             let mut map = FxHashMap::default();
             map.reserve(p.size_m());
             for (m, c) in p.iter() {
-                let id = ws.intern(m.clone());
+                let id = ws.arena.intern(m.clone());
                 // Input polynomials never store duplicate monomials, so
                 // plain insertion suffices (and never drops a term).
                 map.insert(id, c.clone());
@@ -115,25 +92,35 @@ impl<C: Coefficient> WorkingSet<C> {
         ws
     }
 
-    /// Interns `mono`, registering a fresh id in the postings index on
-    /// first sight. Ids grow monotonically, so postings stay sorted by
-    /// construction.
-    fn intern(&mut self, mono: Monomial) -> MonoId {
-        if let Some(&id) = self.ids.get(&mono) {
-            return id;
-        }
-        let id = MonoId::try_from(self.monos.len()).expect("more than u32::MAX monomials");
-        for v in mono.vars() {
-            self.mono_postings.entry(v).or_default().push(id);
-        }
-        self.monos.push(mono.clone());
-        self.ids.insert(mono, id);
-        id
+    /// Assembles a working set from an already-built arena and term maps
+    /// — the constructor used by producers that intern during emission
+    /// (e.g. the engine's interned aggregation) instead of lowering a
+    /// materialised [`PolySet`].
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if any term id is outside the arena.
+    pub fn from_parts(arena: MonoArena, terms: Vec<FxHashMap<MonoId, C>>) -> Self {
+        debug_assert!(terms
+            .iter()
+            .all(|map| map.keys().all(|&id| (id as usize) < arena.len())));
+        Self { arena, terms }
+    }
+
+    /// The shared monomial arena.
+    pub fn arena(&self) -> &MonoArena {
+        &self.arena
+    }
+
+    /// Mutable access to the arena — for consumers that extend it with
+    /// derived monomials (remainders, products). The arena is append-only,
+    /// so growing it never invalidates the working set's term ids.
+    pub fn arena_mut(&mut self) -> &mut MonoArena {
+        &mut self.arena
     }
 
     /// The interned monomial behind `id`.
     pub fn mono(&self, id: MonoId) -> &Monomial {
-        &self.monos[id as usize]
+        self.arena.mono(id)
     }
 
     /// Number of polynomials.
@@ -146,6 +133,28 @@ impl<C: Coefficient> WorkingSet<C> {
         self.terms[pi].keys().copied()
     }
 
+    /// Live terms of polynomial `pi` as `(monomial id, coefficient)`, in
+    /// unspecified order.
+    pub fn poly_terms(&self, pi: usize) -> impl Iterator<Item = (MonoId, &C)> {
+        self.terms[pi].iter().map(|(&id, c)| (id, c))
+    }
+
+    /// Live monomial ids of polynomial `pi` in ascending id order — the
+    /// working set's canonical term order, used by every deterministic
+    /// export ([`to_polyset`](Self::to_polyset),
+    /// [`freeze`](Self::freeze)).
+    pub fn sorted_mono_ids(&self, pi: usize) -> Vec<MonoId> {
+        let mut ids: Vec<MonoId> = self.terms[pi].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The coefficient of monomial `id` in polynomial `pi` (zero if the
+    /// term is not live there).
+    pub fn coeff(&self, pi: usize, id: MonoId) -> C {
+        self.terms[pi].get(&id).cloned().unwrap_or_else(C::zero)
+    }
+
     /// `|P_pi|_M` of the current (rewritten) polynomial.
     pub fn poly_size_m(&self, pi: usize) -> usize {
         self.terms[pi].len()
@@ -156,34 +165,68 @@ impl<C: Coefficient> WorkingSet<C> {
         self.terms.iter().map(FxHashMap::len).sum()
     }
 
-    /// `|𝒫|_V`: distinct variables across the live monomials.
-    pub fn size_v(&self) -> usize {
-        let mut live = vec![false; self.monos.len()];
+    /// Liveness bitmap over the arena: `true` for ids live in at least
+    /// one polynomial.
+    fn live_flags(&self) -> Vec<bool> {
+        let mut live = vec![false; self.arena.len()];
         for map in &self.terms {
             for &id in map.keys() {
                 live[id as usize] = true;
             }
         }
-        let mut vars: FxHashSet<VarId> = FxHashSet::default();
-        for (id, mono) in self.monos.iter().enumerate() {
-            if live[id] {
-                vars.extend(mono.vars());
-            }
-        }
-        vars.len()
+        live
     }
 
-    /// The memoised `M_l` operation: remainder id and exponent of `v` in
-    /// monomial `id` (`v` must occur in it).
-    fn remainder(&mut self, id: MonoId, v: VarId) -> (MonoId, u32) {
-        if let Some(&r) = self.remainders.get(&(id, v)) {
-            return r;
+    /// The distinct variables across the live monomials (`V(𝒫)`).
+    pub fn live_vars(&self) -> FxHashSet<VarId> {
+        let live = self.live_flags();
+        let mut vars: FxHashSet<VarId> = FxHashSet::default();
+        for (idx, is_live) in live.iter().enumerate() {
+            if *is_live {
+                vars.extend(self.arena.mono(idx as MonoId).vars());
+            }
         }
-        let (rem, exp) = self.monos[id as usize].remove_var(v);
-        debug_assert!(exp > 0, "remainder of an absent variable");
-        let rem_id = self.intern(rem);
-        self.remainders.insert((id, v), (rem_id, exp));
-        (rem_id, exp)
+        vars
+    }
+
+    /// Iterates the distinct live monomials (each arena entry at most
+    /// once, regardless of how many polynomials share it).
+    pub fn live_monomials(&self) -> impl Iterator<Item = &Monomial> {
+        let live = self.live_flags();
+        (0..self.arena.len())
+            .filter(move |&idx| live[idx])
+            .map(|idx| self.arena.mono(idx as MonoId))
+    }
+
+    /// `|𝒫|_V`: distinct variables across the live monomials.
+    pub fn size_v(&self) -> usize {
+        self.live_vars().len()
+    }
+
+    /// A working set over the polynomials at `indices` (in that order) —
+    /// the sampling primitive of the online compression scheme. The
+    /// sample gets a *fresh, compacted* arena holding only its own live
+    /// monomials, so a small sample costs work proportional to the
+    /// sample, not to the full provenance (a 5 % draw does not drag the
+    /// other 95 %'s arena, postings and memo indexes along).
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let mut arena = MonoArena::new();
+        let mut remap: FxHashMap<MonoId, MonoId> = FxHashMap::default();
+        let terms = indices
+            .iter()
+            .map(|&pi| {
+                self.terms[pi]
+                    .iter()
+                    .map(|(&id, c)| {
+                        let new_id = *remap
+                            .entry(id)
+                            .or_insert_with(|| arena.intern(self.arena.mono(id).clone()));
+                        (new_id, c.clone())
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { arena, terms }
     }
 
     /// The monomials a substitution of `group` can touch, paired with the
@@ -192,9 +235,7 @@ impl<C: Coefficient> WorkingSet<C> {
     fn group_occurrences(&self, group: &[VarId]) -> Vec<(MonoId, VarId)> {
         let mut out = Vec::new();
         for &v in group {
-            if let Some(list) = self.mono_postings.get(&v) {
-                out.extend(list.iter().map(|&m| (m, v)));
-            }
+            out.extend(self.arena.postings_of(v).iter().map(|&m| (m, v)));
         }
         out
     }
@@ -220,7 +261,7 @@ impl<C: Coefficient> WorkingSet<C> {
         let mut lookup: FxHashMap<MonoId, u64> = FxHashMap::default();
         lookup.reserve(occurrences.len());
         for (m, v) in occurrences {
-            let (rem, exp) = self.remainder(m, v);
+            let (rem, exp) = self.arena.remainder(m, v);
             let key = (u64::from(rem) << 32) | u64::from(exp);
             probe.push((m, key));
             lookup.insert(m, key);
@@ -265,9 +306,8 @@ impl<C: Coefficient> WorkingSet<C> {
         let mut lookup: FxHashMap<MonoId, MonoId> = FxHashMap::default();
         lookup.reserve(occurrences.len());
         for (m, v) in occurrences {
-            let (rem, exp) = self.remainder(m, v);
-            let merged = self.monos[rem as usize].mul(&Monomial::from_factors([(target, exp)]));
-            let new_id = self.intern(merged);
+            let (rem, exp) = self.arena.remainder(m, v);
+            let new_id = self.arena.mul_factor(rem, target, exp);
             remap.push((m, new_id));
             lookup.insert(m, new_id);
         }
@@ -305,10 +345,10 @@ impl<C: Coefficient> WorkingSet<C> {
                 let id = match remap.get(&m) {
                     Some(&id) => id,
                     None => {
-                        let moved = self.monos[m as usize].vars().any(|v| map(v) != v);
+                        let moved = self.arena.mono(m).vars().any(|v| map(v) != v);
                         let id = if moved {
-                            let mono = self.monos[m as usize].map_vars(&mut map);
-                            self.intern(mono)
+                            let mono = self.arena.mono(m).map_vars(&mut map);
+                            self.arena.intern(mono)
                         } else {
                             m
                         };
@@ -322,17 +362,28 @@ impl<C: Coefficient> WorkingSet<C> {
         }
     }
 
+    /// Freezes the working set into the read-only columnar evaluation
+    /// view: an arena re-slice, without any intermediate [`PolySet`]
+    /// materialisation. Shorthand for [`CompiledPolySet::from_working`].
+    pub fn freeze(&self) -> CompiledPolySet<C> {
+        CompiledPolySet::from_working(self)
+    }
+
     /// Materialises the current state back into a hash-map-backed
-    /// [`PolySet`] (the semantics bridge, mirroring
-    /// [`crate::compiled::CompiledPolySet::to_polyset`]).
+    /// [`PolySet`] — the *semantics bridge* out of the interned currency,
+    /// mirroring [`crate::compiled::CompiledPolySet::to_polyset`]. Terms
+    /// are emitted in the canonical ascending-id order, so the result is
+    /// deterministic for a given working set. Hot paths should stay in id
+    /// space ([`freeze`](Self::freeze)); this exists for interop,
+    /// display, and the reference engines.
     pub fn to_polyset(&self) -> PolySet<C> {
         PolySet::from_vec(
-            self.terms
-                .iter()
-                .map(|map| {
+            (0..self.terms.len())
+                .map(|pi| {
                     Polynomial::from_terms(
-                        map.iter()
-                            .map(|(&id, c)| (self.monos[id as usize].clone(), c.clone())),
+                        self.sorted_mono_ids(pi)
+                            .into_iter()
+                            .map(|id| (self.arena.mono(id).clone(), self.terms[pi][&id].clone())),
                     )
                 })
                 .collect(),
@@ -389,7 +440,8 @@ mod tests {
         let polys = sample();
         let ws = WorkingSet::from_polyset(&polys);
         // 1·8 appears in both polynomials but is stored once.
-        assert_eq!(ws.monos.len(), 4);
+        assert_eq!(ws.arena().len(), 4);
+        assert_eq!(ws.live_monomials().count(), 4);
     }
 
     #[test]
@@ -494,5 +546,52 @@ mod tests {
         assert_eq!(ws.size_v(), 0);
         ws.apply_var_map(|x| x);
         assert!(ws.to_polyset().is_empty());
+    }
+
+    #[test]
+    fn subset_compacts_the_arena() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        let sub = ws.subset(&[1]);
+        assert_eq!(sub.num_polys(), 1);
+        assert_eq!(sub.poly_size_m(0), 2);
+        // Only the sample's own live monomials are carried over.
+        assert_eq!(sub.arena().len(), 2);
+        let back = sub.to_polyset();
+        assert_eq!(back.iter().next(), polys.iter().nth(1));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        let arena = ws.arena().clone();
+        let terms: Vec<FxHashMap<MonoId, f64>> = (0..ws.num_polys())
+            .map(|pi| ws.poly_terms(pi).map(|(id, c)| (id, *c)).collect())
+            .collect();
+        let rebuilt = WorkingSet::from_parts(arena, terms);
+        for (a, b) in rebuilt.to_polyset().iter().zip(polys.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn coeff_and_sorted_ids() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        let ids = ws.sorted_mono_ids(0);
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let m18 = ws
+            .arena()
+            .get(&Monomial::from_vars([v(1), v(8)]))
+            .expect("interned");
+        assert_eq!(ws.coeff(0, m18), 2.0);
+        assert_eq!(ws.coeff(1, m18), 5.0);
+        let m39 = ws
+            .arena()
+            .get(&Monomial::from_vars([v(3), v(9)]))
+            .expect("interned");
+        assert_eq!(ws.coeff(1, m39), 0.0, "3·9 not live in P2");
     }
 }

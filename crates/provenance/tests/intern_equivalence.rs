@@ -1,0 +1,180 @@
+//! Property suite of the interned provenance currency: for random
+//! poly-sets, the interned pipeline round-trips bit-for-bit to the
+//! hash-map semantics, and freezing a working set into a
+//! `CompiledPolySet` evaluates identically to the `to_polyset` →
+//! `compile` round-trip on every evaluation entry point.
+//!
+//! Coefficients and valuations are integer-valued, so every sum and
+//! product is exact in `f64` — equality is decidable and independent of
+//! summation order (the one degree of freedom the interned
+//! representation has; the documented last-bit caveat of
+//! `provabs_provenance::working` never manifests on exact inputs).
+
+use proptest::prelude::*;
+use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::var::VarId;
+use provabs_provenance::working::WorkingSet;
+
+/// A random poly-set over variables v0..v9 with small integer-valued
+/// `f64` coefficients.
+fn polyset_strategy() -> impl Strategy<Value = PolySet<f64>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (prop::collection::vec((0u32..10, 1u32..3), 0..4), 1i64..50),
+            0..6,
+        ),
+        0..5,
+    )
+    .prop_map(|polys| {
+        PolySet::from_vec(
+            polys
+                .into_iter()
+                .map(|terms| {
+                    Polynomial::from_terms(terms.into_iter().map(|(factors, c)| {
+                        (
+                            Monomial::from_factors(factors.into_iter().map(|(v, e)| (VarId(v), e))),
+                            c as f64,
+                        )
+                    }))
+                })
+                .collect(),
+        )
+    })
+}
+
+/// A compatible group: variables drawn from a fixed family that the
+/// strategy above places in *separate* monomials often enough — filtered
+/// below to groups whose variables never co-occur in one monomial.
+fn group_is_compatible(polys: &PolySet<f64>, group: &[VarId]) -> bool {
+    polys
+        .monomials()
+        .all(|(_, m, _)| group.iter().filter(|&&v| m.contains(v)).count() <= 1)
+}
+
+/// Integer valuation: deterministic per variable, exact in f64.
+fn int_valuation(offset: u32) -> Valuation<f64> {
+    let mut val = Valuation::neutral();
+    for v in 0..16u32 {
+        val.assign(VarId(v), f64::from((v * 7 + offset) % 5));
+    }
+    val
+}
+
+fn assert_polysets_equal(a: &PolySet<f64>, b: &PolySet<f64>) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x, y);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lowering a poly-set into the interned working set and bridging
+    /// back is the identity (term sets, coefficients, measures).
+    #[test]
+    fn ingest_roundtrip_is_identity(polys in polyset_strategy()) {
+        let ws = WorkingSet::from_polyset(&polys);
+        prop_assert_eq!(ws.size_m(), polys.size_m());
+        prop_assert_eq!(ws.size_v(), polys.size_v());
+        prop_assert_eq!(ws.num_polys(), polys.len());
+        assert_polysets_equal(&ws.to_polyset(), &polys);
+        // The live-variable view equals the poly-set's variable set.
+        prop_assert_eq!(ws.live_vars(), polys.var_set());
+    }
+
+    /// Freezing a working set evaluates bit-for-bit like compiling its
+    /// materialisation, on every evaluation entry point.
+    #[test]
+    fn freeze_equals_compile_of_materialisation(polys in polyset_strategy(), offset in 0u32..5) {
+        let ws = WorkingSet::from_polyset(&polys);
+        let frozen = ws.freeze();
+        let compiled = CompiledPolySet::compile(&ws.to_polyset());
+        prop_assert_eq!(frozen.num_polys(), compiled.num_polys());
+        prop_assert_eq!(frozen.num_monomials(), compiled.num_monomials());
+        prop_assert_eq!(frozen.num_vars(), compiled.num_vars());
+        let vals = [int_valuation(offset), Valuation::neutral(), int_valuation(offset + 1)];
+        for val in &vals {
+            let a = frozen.eval_one(val);
+            let b = compiled.eval_one(val);
+            let c = val.eval_set(&polys);
+            for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "freeze vs compile");
+                prop_assert_eq!(x.to_bits(), z.to_bits(), "freeze vs hash-map eval");
+            }
+        }
+        // Batch evaluation agrees with single-shot evaluation.
+        let batch = frozen.eval_all(&vals);
+        for (s, val) in vals.iter().enumerate() {
+            prop_assert_eq!(batch[s].clone(), frozen.eval_one(val));
+        }
+        // And both denote the same poly-set.
+        assert_polysets_equal(&frozen.to_polyset(), &compiled.to_polyset());
+    }
+
+    /// A group substitution in id space equals `map_vars` on the
+    /// hash-map representation, and the predicted monomial loss matches
+    /// the actual merge count.
+    #[test]
+    fn apply_group_and_ml_delta_match_map_vars(polys in polyset_strategy(), pick in prop::collection::vec(0u32..10, 2..4)) {
+        let group: Vec<VarId> = {
+            let mut g: Vec<VarId> = pick.into_iter().map(VarId).collect();
+            g.sort_unstable_by_key(|v| v.0);
+            g.dedup();
+            g
+        };
+        prop_assume!(group.len() >= 2);
+        prop_assume!(group_is_compatible(&polys, &group));
+        let target = VarId(99);
+        let affected: Vec<usize> = (0..polys.len()).collect();
+        let mut ws = WorkingSet::from_polyset(&polys);
+        let predicted = ws.ml_delta_of_group(&group, &affected);
+        ws.apply_group(&group, target, &affected);
+        let expected = polys.map_vars(|v| if group.contains(&v) { target } else { v });
+        prop_assert_eq!(ws.size_m(), expected.size_m());
+        prop_assert_eq!(ws.size_v(), expected.size_v());
+        prop_assert_eq!(predicted, polys.size_m() - expected.size_m());
+        assert_polysets_equal(&ws.to_polyset(), &expected);
+        // Freezing the rewritten set still matches the hash-map result.
+        let frozen = ws.freeze();
+        let val = int_valuation(3);
+        let a = frozen.eval_one(&val);
+        let b = val.eval_set(&expected);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Wholesale substitutions (the `𝒫↓S` application) agree with
+    /// `map_vars` for arbitrary variable maps — including collapsing
+    /// maps that merge monomials within a polynomial.
+    #[test]
+    fn apply_var_map_matches_map_vars(polys in polyset_strategy(), modulus in 1u32..6) {
+        let map = |v: VarId| VarId(v.0 % modulus);
+        let mut ws = WorkingSet::from_polyset(&polys);
+        ws.apply_var_map(map);
+        let expected = polys.map_vars(map);
+        prop_assert_eq!(ws.size_m(), expected.size_m());
+        prop_assert_eq!(ws.size_v(), expected.size_v());
+        assert_polysets_equal(&ws.to_polyset(), &expected);
+    }
+
+    /// Subsetting (the online-sampling primitive) selects exactly the
+    /// indexed polynomials, over the shared arena.
+    #[test]
+    fn subset_matches_index_selection(polys in polyset_strategy(), mask in prop::collection::vec(any::<bool>(), 0..5)) {
+        let indices: Vec<usize> = (0..polys.len())
+            .filter(|&i| mask.get(i).copied().unwrap_or(false))
+            .collect();
+        let ws = WorkingSet::from_polyset(&polys);
+        let sub = ws.subset(&indices);
+        prop_assert_eq!(sub.num_polys(), indices.len());
+        let slice = polys.as_slice();
+        let expected = PolySet::from_vec(indices.iter().map(|&i| slice[i].clone()).collect::<Vec<_>>());
+        assert_polysets_equal(&sub.to_polyset(), &expected);
+    }
+}

@@ -176,6 +176,50 @@ pub fn eval_prepared(
     }
 }
 
+/// Evaluates a batch against a compiled poly-set alone — the entry point
+/// for callers whose provenance lives entirely in the interned currency
+/// (e.g. a `provabs_session::Session` that froze a working set's arena
+/// into this lowering and holds no [`PolySet`] at all). Thread-pool and
+/// chunking knobs of `opts` are honoured; the `compiled` flag is ignored
+/// (the lowering already exists).
+pub fn eval_compiled(
+    compiled: &CompiledPolySet<f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+) -> TimedRun {
+    let start = Instant::now();
+    let values = eval_grid_compiled(compiled, valuations, opts);
+    TimedRun {
+        values,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// The untimed compiled-path grid (single-thread or pool).
+fn eval_grid_compiled(
+    compiled: &CompiledPolySet<f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+) -> Vec<Vec<f64>> {
+    if valuations.is_empty() {
+        return Vec::new();
+    }
+    let threads = opts.resolved_threads(valuations.len());
+    if threads <= 1 {
+        compiled.eval_all(valuations)
+    } else {
+        run_chunked(valuations.len(), threads, opts, |start, out| {
+            let end = start + out.len();
+            for (slot, row) in out
+                .iter_mut()
+                .zip(compiled.eval_all(&valuations[start..end]))
+            {
+                *slot = row;
+            }
+        })
+    }
+}
+
 /// The untimed scenario×polynomial grid: dispatches on compiled/serial
 /// and single-thread/pool off already-prepared inputs.
 fn eval_grid(
@@ -189,19 +233,7 @@ fn eval_grid(
     }
     let threads = opts.resolved_threads(valuations.len());
     if let Some(compiled) = compiled {
-        if threads <= 1 {
-            compiled.eval_all(valuations)
-        } else {
-            run_chunked(valuations.len(), threads, opts, |start, out| {
-                let end = start + out.len();
-                for (slot, row) in out
-                    .iter_mut()
-                    .zip(compiled.eval_all(&valuations[start..end]))
-                {
-                    *slot = row;
-                }
-            })
-        }
+        eval_grid_compiled(compiled, valuations, opts)
     } else if threads <= 1 {
         valuations.iter().map(|v| v.eval_set(polys)).collect()
     } else {
@@ -383,6 +415,24 @@ mod tests {
             assert_eq!(without.values, reference);
         }
         assert!(eval_prepared(&polys, None, &[], &EvalOptions::new())
+            .values
+            .is_empty());
+    }
+
+    #[test]
+    fn eval_compiled_matches_eval_prepared() {
+        let (polys, vals) = setup(7);
+        let compiled = provabs_provenance::compiled::CompiledPolySet::compile(&polys);
+        for opts in [
+            EvalOptions::new(),
+            EvalOptions::new().threads(3).chunk(2),
+            EvalOptions::new().threads(1),
+        ] {
+            let via_prepared = eval_prepared(&polys, Some(&compiled), &vals, &opts).values;
+            let direct = eval_compiled(&compiled, &vals, &opts).values;
+            assert_eq!(via_prepared, direct);
+        }
+        assert!(eval_compiled(&compiled, &[], &EvalOptions::new())
             .values
             .is_empty());
     }

@@ -12,9 +12,9 @@
 //! many sessions: `builder.clone().bound(b).build()?` per point.
 
 use crate::error::Error;
-use crate::session::Session;
+use crate::session::{ProvenanceSource, Session};
 use crate::strategy::{Strategy, Target};
-use provabs_engine::query::GroupedProvenance;
+use provabs_engine::query::{GroupedProvenance, GroupedProvenanceInterned};
 use provabs_provenance::parse::parse_polyset;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarTable;
@@ -37,7 +37,7 @@ use provabs_trees::text::parse_forest;
 /// ```
 #[derive(Clone, Debug)]
 pub struct SessionBuilder {
-    polys: PolySet<f64>,
+    prov: ProvenanceSource,
     vars: VarTable,
     forest: Option<Forest>,
     strategy: Strategy,
@@ -46,19 +46,24 @@ pub struct SessionBuilder {
 }
 
 impl SessionBuilder {
-    /// Starts a session over already-materialised provenance. The
-    /// variable table must be the one the polynomials were interned into
-    /// (and, if [`forest`](Self::forest) is used, the one the forest's
-    /// labels were interned into).
-    pub fn new(polys: PolySet<f64>, vars: VarTable) -> Self {
+    fn from_source(prov: ProvenanceSource, vars: VarTable) -> Self {
         Self {
-            polys,
+            prov,
             vars,
             forest: None,
             strategy: Strategy::default(),
             target: Target::default(),
             opts: EvalOptions::new(),
         }
+    }
+
+    /// Starts a session over already-materialised provenance (lowered
+    /// into the session's interned arena once, at first compression). The
+    /// variable table must be the one the polynomials were interned into
+    /// (and, if [`forest`](Self::forest) is used, the one the forest's
+    /// labels were interned into).
+    pub fn new(polys: PolySet<f64>, vars: VarTable) -> Self {
+        Self::from_source(ProvenanceSource::Polys(polys), vars)
     }
 
     /// Starts a session by parsing the paper's polynomial text notation
@@ -77,6 +82,18 @@ impl SessionBuilder {
     /// [`VarRule`]: provabs_engine::param::VarRule
     pub fn from_query(query: GroupedProvenance, vars: VarTable) -> Self {
         Self::new(query.polys, vars)
+    }
+
+    /// Starts a session from an *interned* engine query result
+    /// ([`Pipeline::aggregate_sum_interned`]): the provenance enters in
+    /// the pipeline's id currency and is never re-interned — the engine's
+    /// emission arena is the one compression rewrites and evaluation
+    /// freezes ([`Session::intern_stats`] reports `interned_source`).
+    ///
+    /// [`Pipeline::aggregate_sum_interned`]: provabs_engine::query::Pipeline::aggregate_sum_interned
+    /// [`Session::intern_stats`]: crate::Session::intern_stats
+    pub fn from_query_interned(query: GroupedProvenanceInterned, vars: VarTable) -> Self {
+        Self::from_source(ProvenanceSource::Interned(query.working), vars)
     }
 
     /// Sets the abstraction forest (built over the same variable table as
@@ -136,14 +153,18 @@ impl SessionBuilder {
     /// was given. Forest/provenance *compatibility* is checked by
     /// [`Session::compress`], exactly as the low-level algorithms do.
     pub fn build(self) -> Result<Session, Error> {
-        let bound = self.target.resolve(self.polys.size_m())?;
+        let size_m = match &self.prov {
+            ProvenanceSource::Polys(p) => p.size_m(),
+            ProvenanceSource::Interned(w) => w.size_m(),
+        };
+        let bound = self.target.resolve(size_m)?;
         let forest = match (self.forest, self.strategy.needs_forest()) {
             (Some(f), _) => f,
             (None, false) => Forest::new(Vec::new())?,
             (None, true) => return Err(Error::MissingForest),
         };
         Ok(Session::from_parts(
-            self.polys,
+            self.prov,
             self.vars,
             forest,
             self.strategy,

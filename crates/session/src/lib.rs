@@ -10,17 +10,22 @@
 //! handle:
 //!
 //! 1. [`SessionBuilder`] takes the provenance (a poly-set, parsed text,
-//!    or an engine query result), the abstraction [`Forest`], a
-//!    [`Strategy`] with a size [`Target`], and the evaluation engine
-//!    knobs ([`EvalOptions`]);
+//!    an engine query result — or the engine's *interned* emission via
+//!    [`SessionBuilder::from_query_interned`]), the abstraction
+//!    [`Forest`], a [`Strategy`] with a size [`Target`], and the
+//!    evaluation engine knobs ([`EvalOptions`]);
 //! 2. [`Session::compress`] runs the chosen algorithm **once** and
-//!    caches the [`AbstractionResult`] and the abstracted poly-set; its
-//!    columnar [`CompiledPolySet`] lowering is built lazily by the
-//!    first evaluation that wants it, then cached too;
+//!    caches the [`AbstractionResult`] plus the abstracted provenance
+//!    in the pipeline's interned currency (a
+//!    [`WorkingSet`](provabs_provenance::working::WorkingSet) over the
+//!    shared monomial arena); the columnar [`CompiledPolySet`] is
+//!    *frozen* out of that arena lazily by the first evaluation that
+//!    wants it, then cached too;
 //! 3. [`Session::ask`] / [`Session::ask_prepared`] /
 //!    [`Session::speedup_report`] / [`Session::accuracy_report`] serve
 //!    batch after batch off those caches with **zero recompilation**
-//!    (observable via [`Session::compile_count`]).
+//!    and **zero `PolySet` materialisations** (observable via
+//!    [`Session::compile_count`] and [`Session::intern_stats`]).
 //!
 //! Errors from every stage unify into [`Error`].
 //!
@@ -59,20 +64,21 @@
 //!
 //! | façade | low-level |
 //! |---|---|
-//! | [`Strategy::Optimal`] | [`provabs_core::optimal::optimal_vvs`] |
-//! | [`Strategy::Greedy`] | [`provabs_core::greedy::greedy_vvs`] / [`greedy_vvs_reference`](provabs_core::greedy::greedy_vvs_reference) |
-//! | [`Strategy::Online`] | [`provabs_core::online::online_compress`] |
-//! | [`Strategy::Competitor`] | [`provabs_core::competitor::pairwise_summarize`] |
+//! | [`Strategy::Optimal`] | [`provabs_core::optimal::optimal_vvs_interned`] |
+//! | [`Strategy::Greedy`] | [`provabs_core::greedy::greedy_vvs_interned`] / [`greedy_vvs_reference`](provabs_core::greedy::greedy_vvs_reference) |
+//! | [`Strategy::Online`] | [`provabs_core::online::online_compress_interned`] |
+//! | [`Strategy::Competitor`] | [`provabs_core::competitor::pairwise_summarize_interned`] |
 //! | [`Strategy::Brute`] | [`provabs_core::brute::brute_force_vvs`] |
-//! | [`Strategy::None`] | [`provabs_core::problem::evaluate_vvs`] on [`Vvs::identity`](provabs_trees::cut::Vvs::identity) |
-//! | [`Session::ask`] | [`provabs_scenario::executor::apply_batch_parallel`] on [`AbstractionResult::apply`] |
-//! | [`Session::speedup_report`] | [`provabs_scenario::speedup::assignment_speedup_with`] |
-//! | [`Session::accuracy_report`] | [`provabs_scenario::accuracy::scenario_error_with`] |
+//! | [`Strategy::None`] | [`provabs_core::problem::evaluate_vvs_interned`] on [`Vvs::identity`](provabs_trees::cut::Vvs::identity) |
+//! | [`Session::ask`] | [`provabs_scenario::executor::eval_compiled`] on [`WorkingSet::freeze`](provabs_provenance::working::WorkingSet::freeze) |
+//! | [`Session::speedup_report`] | [`provabs_scenario::speedup::measure_alternating`] over the cached lowerings |
+//! | [`Session::accuracy_report`] | [`provabs_scenario::accuracy::coarse_valuation`] + [`error_stats`](provabs_scenario::accuracy::error_stats) |
 //! | [`Session::frontier`] | [`provabs_core::optimal::optimal_frontier`] / [`provabs_core::greedy::greedy_frontier`] |
 //!
 //! Results are bit-for-bit identical to those functions (asserted by the
-//! `facade_equivalence` integration suite); the façade's value is the
-//! ownership of the artifacts *between* calls.
+//! `facade_equivalence` integration suite; the hash-map reference
+//! engines agree up to floating-point merge order); the façade's value
+//! is the ownership of the artifacts *between* calls.
 //!
 //! [`Forest`]: provabs_trees::forest::Forest
 //! [`EvalOptions`]: provabs_scenario::executor::EvalOptions
@@ -87,5 +93,5 @@ pub mod strategy;
 
 pub use builder::SessionBuilder;
 pub use error::Error;
-pub use session::Session;
+pub use session::{InternStats, Session};
 pub use strategy::{Strategy, Target};

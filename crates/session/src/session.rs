@@ -3,53 +3,111 @@
 //! [`Session`] owns the whole pipeline state an analyst loop needs: the
 //! original provenance, the abstraction forest, the chosen strategy and
 //! size target, and — after [`Session::compress`] — the selection outcome
-//! ([`AbstractionResult`]), the abstracted poly-set `𝒫↓S`, and its
-//! columnar [`CompiledPolySet`] lowering (built lazily by the first
-//! evaluation that wants it). Every subsequent
+//! ([`AbstractionResult`]) together with the abstracted provenance `𝒫↓S`
+//! in the pipeline's *interned currency*: a
+//! [`WorkingSet`] over the
+//! shared monomial arena, produced directly by the compression algorithms
+//! (no hash-map poly-set is ever materialised on this path). The columnar
+//! [`CompiledPolySet`] the evaluator runs on is *frozen* out of that
+//! arena lazily, by the first evaluation that wants it. Every subsequent
 //! [`ask`](Session::ask) / [`ask_prepared`](Session::ask_prepared) /
 //! [`speedup_report`](Session::speedup_report) /
 //! [`accuracy_report`](Session::accuracy_report) serves off those caches:
-//! compression runs once, compilation runs at most once per side
+//! compression runs once, freezing runs at most once per side
 //! (abstracted + original), and the steady state is pure evaluation —
-//! observable through [`Session::compile_count`].
+//! observable through [`Session::compile_count`] and
+//! [`Session::intern_stats`].
+//!
+//! Hash-map [`PolySet`]s still exist at the edges: as an *input* format
+//! (lowered into the arena once, at ingest) and as an explicit *bridge*
+//! for the reference engines and interop accessors
+//! ([`Session::original`], [`Session::abstracted`], the
+//! `EvalOptions::serial_reference` hash-map path). Every bridge
+//! materialisation is counted in [`InternStats::polyset_materializations`]
+//! — a full query → compress → ask run on the default engine performs
+//! zero of them.
 
 use crate::error::Error;
 use crate::strategy::Strategy;
 use provabs_core::brute::brute_force_vvs;
-use provabs_core::competitor::pairwise_summarize;
+use provabs_core::competitor::pairwise_summarize_interned;
 use provabs_core::greedy::{
-    greedy_frontier, greedy_frontier_reference, greedy_vvs, greedy_vvs_reference,
+    greedy_frontier, greedy_frontier_reference, greedy_vvs_interned, greedy_vvs_reference,
 };
-use provabs_core::online::{online_compress, Solver};
-use provabs_core::optimal::{optimal_frontier, optimal_vvs};
-use provabs_core::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_core::online::{online_compress_interned, Solver};
+use provabs_core::optimal::{optimal_frontier, optimal_vvs_interned};
+use provabs_core::problem::{
+    evaluate_vvs_interned, prepare_interned, AbstractionResult, InternedAbstraction,
+};
 use provabs_provenance::compiled::CompiledPolySet;
 use provabs_provenance::fxhash::FxHashSet;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::valuation::Valuation;
 use provabs_provenance::var::{VarId, VarTable};
+use provabs_provenance::working::WorkingSet;
 use provabs_scenario::accuracy::{coarse_valuation, error_stats, ErrorReport};
 use provabs_scenario::apply::TimedRun;
-use provabs_scenario::executor::{eval_prepared, EvalOptions};
+use provabs_scenario::executor::{eval_compiled, eval_prepared, EvalOptions};
 use provabs_scenario::scenario::Scenario;
 use provabs_scenario::speedup::{
     max_equivalence_error_prepared, measure_alternating, SpeedupReport,
 };
 use provabs_trees::cut::Vvs;
 use provabs_trees::forest::Forest;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// How the session's provenance was supplied (builder-internal).
+#[derive(Clone, Debug)]
+pub(crate) enum ProvenanceSource {
+    /// A materialised poly-set (also: parsed text, non-interned engine
+    /// query) — lowered into the arena once, at first compression.
+    Polys(PolySet<f64>),
+    /// An already-interned working set (e.g. the engine's
+    /// `aggregate_sum_interned`) — ids flow through untouched.
+    Interned(WorkingSet<f64>),
+}
+
+/// The interning observability snapshot — sibling of
+/// [`Session::compile_count`], returned by [`Session::intern_stats`].
+///
+/// The tentpole invariant of the interned pipeline: a full
+/// query → compress → ask run on the default (compiled) engine keeps
+/// `polyset_materializations == 0` — provenance is interned exactly once,
+/// at emission or ingest, and flows as dense ids from compression into
+/// evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternStats {
+    /// Hash-map [`PolySet`] materialisations the session performed — each
+    /// one a deliberate bridge out of the interned currency (reference
+    /// engines, [`Session::original`] / [`Session::abstracted`]
+    /// accessors, hash-map evaluation paths). Zero on the hot path.
+    pub polyset_materializations: usize,
+    /// Distinct monomials in the abstracted working set's arena (0 before
+    /// [`Session::compress`]). Counts every monomial the pipeline ever
+    /// interned into that arena, including derived remainders.
+    pub arena_monomials: usize,
+    /// Whether the provenance was supplied already interned (engine
+    /// emission) rather than as a poly-set lowered at ingest.
+    pub interned_source: bool,
+}
 
 /// Everything [`Session::compress`] caches.
 struct CompressedState {
     /// The selection outcome: chosen VVS, cleaned forest, size measures.
     result: AbstractionResult,
-    /// The abstracted poly-set `𝒫↓S`, materialised once.
-    abstracted: PolySet<f64>,
-    /// The variables that actually occur in `abstracted` — the space
-    /// coarse scenarios are validated against.
+    /// The abstracted provenance `𝒫↓S` in interned form — the state every
+    /// evaluation path is derived from.
+    working: WorkingSet<f64>,
+    /// The variables that actually occur in `working` — the space coarse
+    /// scenarios are validated against.
     live_vars: FxHashSet<VarId>,
-    /// Columnar lowering of `abstracted`, built lazily by the first
+    /// Columnar freeze of `working`'s arena, built lazily by the first
     /// evaluation whose options ask for the compiled path.
     compiled: Option<CompiledPolySet<f64>>,
+    /// Bridge: the hash-map materialisation of `working`, built lazily
+    /// (and counted) only when a caller explicitly needs a [`PolySet`].
+    abstracted: OnceLock<PolySet<f64>>,
 }
 
 /// A stateful compress-once / ask-many handle over the pipeline.
@@ -58,7 +116,12 @@ struct CompressedState {
 /// [crate docs](crate) for the full workflow and the mapping to the
 /// low-level API.
 pub struct Session {
-    polys: PolySet<f64>,
+    /// Original provenance, hash-map form: present from construction for
+    /// poly-set sources, lazily bridged (and counted) for interned ones.
+    polys: OnceLock<PolySet<f64>>,
+    /// Original provenance, interned form: present from construction for
+    /// interned sources, lazily lowered at first compression otherwise.
+    source: OnceLock<WorkingSet<f64>>,
     vars: VarTable,
     forest: Forest,
     strategy: Strategy,
@@ -69,19 +132,22 @@ pub struct Session {
     /// the first measurement that evaluates the uncompressed side.
     original_compiled: Option<CompiledPolySet<f64>>,
     compile_count: usize,
+    /// Bridge materialisations (interior: some happen under `&self`;
+    /// atomic so `Session` stays `Sync`).
+    materializations: AtomicUsize,
+    interned_source: bool,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("size_m", &self.polys.size_m())
-            .field("size_v", &self.polys.size_v())
             .field("num_trees", &self.forest.num_trees())
             .field("strategy", &self.strategy)
             .field("bound", &self.bound)
             .field("opts", &self.opts)
             .field("compressed", &self.compressed.is_some())
             .field("compile_count", &self.compile_count)
+            .field("intern_stats", &self.intern_stats())
             .finish_non_exhaustive()
     }
 }
@@ -89,15 +155,28 @@ impl std::fmt::Debug for Session {
 impl Session {
     /// Assembles a validated session (builder-internal).
     pub(crate) fn from_parts(
-        polys: PolySet<f64>,
+        prov: ProvenanceSource,
         vars: VarTable,
         forest: Forest,
         strategy: Strategy,
         bound: usize,
         opts: EvalOptions,
     ) -> Self {
+        let polys = OnceLock::new();
+        let source = OnceLock::new();
+        let interned_source = match prov {
+            ProvenanceSource::Polys(p) => {
+                polys.set(p).expect("fresh cell");
+                false
+            }
+            ProvenanceSource::Interned(w) => {
+                source.set(w).expect("fresh cell");
+                true
+            }
+        };
         Self {
             polys,
+            source,
             vars,
             forest,
             strategy,
@@ -106,64 +185,97 @@ impl Session {
             compressed: None,
             original_compiled: None,
             compile_count: 0,
+            materializations: AtomicUsize::new(0),
+            interned_source,
         }
     }
 
+    /// The original provenance in interned form, lowering it from the
+    /// poly-set input on first use (ingest-time interning — *not* a
+    /// bridge materialisation).
+    fn source_ws(&self) -> &WorkingSet<f64> {
+        self.source.get_or_init(|| {
+            WorkingSet::from_polyset(self.polys.get().expect("one source is always present"))
+        })
+    }
+
+    /// The original provenance in hash-map form, bridging (and counting)
+    /// from the interned input on first use.
+    fn polys_ref(&self) -> &PolySet<f64> {
+        self.polys.get_or_init(|| {
+            self.materializations.fetch_add(1, Ordering::Relaxed);
+            self.source
+                .get()
+                .expect("one source is always present")
+                .to_polyset()
+        })
+    }
+
     /// Runs the configured selection algorithm once and caches the
-    /// outcome and the abstracted poly-set; subsequent calls return the
-    /// cached result without recomputing anything — the façade's
-    /// "compress once". The columnar lowering is *not* built here but
-    /// lazily by the first evaluation that wants it, so timing this call
-    /// measures compression (selection + materialising `𝒫↓S`), not the
-    /// evaluation engine's setup.
+    /// outcome together with the abstracted provenance in interned form;
+    /// subsequent calls return the cached result without recomputing
+    /// anything — the façade's "compress once". The columnar freeze is
+    /// *not* built here but lazily by the first evaluation that wants it,
+    /// so timing this call measures compression (selection + the id-space
+    /// substitution producing `𝒫↓S`), not the evaluation engine's setup.
     ///
     /// Results are bit-for-bit identical to the corresponding low-level
-    /// call (see [`Strategy`]); the compression itself runs through the
-    /// interned [`WorkingSet`](provabs_provenance::working::WorkingSet)
-    /// rewrite path exactly as the low-level functions do.
+    /// call (see [`Strategy`]); the interned-native strategies (Optimal,
+    /// incremental Greedy, Online, Competitor, None) run end-to-end in id
+    /// space, while the documented reference baselines
+    /// (`Greedy { incremental: false }`, `Brute`) bridge to the hash-map
+    /// representation they are defined on (counted in
+    /// [`intern_stats`](Self::intern_stats)).
     pub fn compress(&mut self) -> Result<&AbstractionResult, Error> {
         if self.compressed.is_none() {
-            let result = match &self.strategy {
-                Strategy::Optimal => optimal_vvs(&self.polys, &self.forest, self.bound)?,
+            let interned: InternedAbstraction<f64> = match self.strategy.clone() {
+                Strategy::Optimal => {
+                    optimal_vvs_interned(self.source_ws(), &self.forest, self.bound)?
+                }
                 Strategy::Greedy { incremental: true } => {
-                    greedy_vvs(&self.polys, &self.forest, self.bound)?
+                    greedy_vvs_interned(self.source_ws(), &self.forest, self.bound)?
                 }
                 Strategy::Greedy { incremental: false } => {
-                    greedy_vvs_reference(&self.polys, &self.forest, self.bound)?
+                    // The paper-faithful full-rescan engine is defined on
+                    // hash-map polynomials; run it there, then carry its
+                    // VVS back into the interned currency.
+                    let result = greedy_vvs_reference(self.polys_ref(), &self.forest, self.bound)?;
+                    evaluate_vvs_interned(self.source_ws().clone(), &result.forest, result.vvs)
                 }
                 Strategy::Online { fraction, seed } => {
-                    online_compress(
-                        &self.polys,
+                    online_compress_interned(
+                        self.source_ws(),
                         &self.forest,
                         self.bound,
-                        *fraction,
-                        *seed,
+                        fraction,
+                        seed,
                         Solver::Greedy,
                     )?
                     .full
                 }
                 Strategy::Competitor => {
-                    pairwise_summarize(&self.polys, &self.forest, self.bound)?.0
+                    pairwise_summarize_interned(self.source_ws(), &self.forest, self.bound)?.0
                 }
                 Strategy::Brute { cut_limit } => {
-                    brute_force_vvs(&self.polys, &self.forest, self.bound, *cut_limit)?
+                    // Exhaustive enumeration scores cuts on the hash-map
+                    // representation; carry the winner back.
+                    let result =
+                        brute_force_vvs(self.polys_ref(), &self.forest, self.bound, cut_limit)?;
+                    evaluate_vvs_interned(self.source_ws().clone(), &result.forest, result.vvs)
                 }
                 Strategy::None => {
-                    let cleaned = prepare(&self.polys, &self.forest)?;
+                    let cleaned = prepare_interned(self.source_ws(), &self.forest)?;
                     let vvs = Vvs::identity(&cleaned);
-                    evaluate_vvs(&self.polys, &cleaned, vvs)
+                    evaluate_vvs_interned(self.source_ws().clone(), &cleaned, vvs)
                 }
             };
-            let abstracted = result.apply(&self.polys);
-            let live_vars = abstracted
-                .monomials()
-                .flat_map(|(_, mono, _)| mono.vars())
-                .collect();
+            let live_vars = interned.working.live_vars();
             self.compressed = Some(CompressedState {
-                result,
-                abstracted,
+                result: interned.result,
+                working: interned.working,
                 live_vars,
                 compiled: None,
+                abstracted: OnceLock::new(),
             });
         }
         Ok(&self.compressed.as_ref().expect("cached above").result)
@@ -172,12 +284,11 @@ impl Session {
     /// Answers a batch of named scenarios against the compressed
     /// provenance (compressing first if [`compress`](Self::compress) has
     /// not run yet). `values[s][p]` is the value of polynomial `p` under
-    /// scenario `s`, bit-for-bit identical to evaluating the abstracted
-    /// poly-set through
-    /// [`apply_batch_parallel`](provabs_scenario::executor::apply_batch_parallel)
-    /// with the session's engine options — except that the columnar
-    /// lowering is compiled once on the first call and cached: repeated
-    /// batches pay zero recompilation.
+    /// scenario `s`. On the default engine the whole path stays in the
+    /// interned currency: the cached working set is frozen into its
+    /// columnar form once (on the first call) and every batch is pure
+    /// evaluation — zero recompilation, zero [`PolySet`]
+    /// materialisations (see [`intern_stats`](Self::intern_stats)).
     ///
     /// # Errors
     ///
@@ -205,10 +316,11 @@ impl Session {
 
     /// [`ask`](Self::ask) under a one-off engine configuration — e.g.
     /// [`EvalOptions::serial_reference`] to time the paper-faithful
-    /// hash-map loop against the session's default engine. The cached
-    /// artifacts are reused: when `opts` asks for the compiled path and
-    /// the session has not compiled yet, the lowering happens once and
-    /// is cached for every future call.
+    /// hash-map loop against the session's default engine (that loop
+    /// needs the hash-map bridge, which is then built once and cached).
+    /// The cached artifacts are reused: when `opts` asks for the compiled
+    /// path and the session has not frozen yet, the freeze happens once
+    /// and is cached for every future call.
     pub fn ask_with_options(
         &mut self,
         scenarios: &[Scenario],
@@ -226,9 +338,9 @@ impl Session {
     /// [`Vvs::lift_valuation`], alternating measurement order across
     /// `repeat` repetitions (the shared
     /// [`measure_alternating`] core). Both sides run on the session's
-    /// engine options off the cached lowerings (each side is compiled
-    /// lazily on first use, then cached) — repeated reports never
-    /// recompile.
+    /// engine options off the cached lowerings (each side is frozen /
+    /// compiled lazily on first use, then cached) — repeated reports
+    /// never recompile.
     pub fn speedup_report(
         &mut self,
         scenarios: &[Scenario],
@@ -270,10 +382,8 @@ impl Session {
     /// original variables) through the compressed provenance: each chosen
     /// meta-variable is set to the mean of its group's fine values (the
     /// low-level [`coarse_valuation`] construction), and the approximate
-    /// answers are compared with the exact ones ([`error_stats`]). The
-    /// numbers are bit-for-bit identical to
-    /// [`scenario_error_with`](provabs_scenario::accuracy::scenario_error_with)
-    /// on the same inputs, but served off the session's cached lowerings.
+    /// answers are compared with the exact ones ([`error_stats`]), both
+    /// sides served off the session's cached lowerings.
     pub fn accuracy_report(&mut self, fine: &Scenario) -> Result<ErrorReport, Error> {
         self.compress()?;
         let opts = self.opts.clone();
@@ -302,15 +412,19 @@ impl Session {
     /// maximal relative deviation between evaluating the compressed
     /// provenance under the given coarse scenarios and evaluating the
     /// original under their liftings (should be float noise). Delegates
-    /// to [`max_equivalence_error_prepared`] on the session's cached
-    /// `𝒫↓S` — nothing is re-materialised.
+    /// to [`max_equivalence_error_prepared`], which runs the hash-map
+    /// reference evaluator on both sides — the session bridges its cached
+    /// interned `𝒫↓S` once for it (a deliberate, counted
+    /// materialisation; this is a diagnostic, not the ask hot path).
     pub fn equivalence_error(&mut self, scenarios: &[Scenario]) -> Result<f64, Error> {
         self.compress()?;
         let coarse = self.coarse_valuations(scenarios)?;
+        let polys = self.polys_ref();
         let state = self.compressed.as_ref().expect("compressed above");
+        let abstracted = Self::abstracted_bridge(&self.materializations, state);
         Ok(max_equivalence_error_prepared(
-            &self.polys,
-            &state.abstracted,
+            polys,
+            abstracted,
             &state.result,
             &coarse,
         ))
@@ -322,41 +436,60 @@ impl Session {
     /// [`Strategy::Optimal`] runs the exact single-tree
     /// [`optimal_frontier`], everything else traces the greedy run
     /// ([`greedy_frontier`], or its reference engine for
-    /// `Greedy { incremental: false }`).
+    /// `Greedy { incremental: false }`). The frontier tracers are defined
+    /// on the hash-map representation, so an interned-source session
+    /// bridges once here.
     pub fn frontier(&self) -> Result<Vec<(usize, usize)>, Error> {
         let points = match &self.strategy {
-            Strategy::Optimal => optimal_frontier(&self.polys, &self.forest)?,
+            Strategy::Optimal => optimal_frontier(self.polys_ref(), &self.forest)?,
             Strategy::Greedy { incremental: false } => {
-                greedy_frontier_reference(&self.polys, &self.forest)?
+                greedy_frontier_reference(self.polys_ref(), &self.forest)?
             }
-            _ => greedy_frontier(&self.polys, &self.forest)?,
+            _ => greedy_frontier(self.polys_ref(), &self.forest)?,
         };
         Ok(points)
     }
 
-    /// The evaluation core for the compressed side: the cached compiled
-    /// lowering when `opts` asks for it, the hash-map path otherwise.
+    /// The hash-map bridge for the abstracted side, built at most once
+    /// per session and counted (associated fn so `&self` callers can
+    /// borrow `state` and the counter disjointly).
+    fn abstracted_bridge<'a>(
+        materializations: &AtomicUsize,
+        state: &'a CompressedState,
+    ) -> &'a PolySet<f64> {
+        state.abstracted.get_or_init(|| {
+            materializations.fetch_add(1, Ordering::Relaxed);
+            state.working.to_polyset()
+        })
+    }
+
+    /// The evaluation core for the compressed side: the frozen columnar
+    /// lowering when `opts` asks for it, the hash-map bridge otherwise.
     fn eval_compressed_with(&self, valuations: &[Valuation<f64>], opts: &EvalOptions) -> TimedRun {
         let state = self.compressed.as_ref().expect("compress ran first");
-        let compiled = if opts.compiled {
-            state.compiled.as_ref()
+        if opts.compiled {
+            let compiled = state.compiled.as_ref().expect("lowering ensured by caller");
+            eval_compiled(compiled, valuations, opts)
         } else {
-            None
-        };
-        eval_prepared(&state.abstracted, compiled, valuations, opts)
+            let polys = Self::abstracted_bridge(&self.materializations, state);
+            eval_prepared(polys, None, valuations, opts)
+        }
     }
 
     /// The evaluation core for the original (uncompressed) side.
     fn eval_original_with(&self, valuations: &[Valuation<f64>], opts: &EvalOptions) -> TimedRun {
-        let compiled = if opts.compiled {
-            self.original_compiled.as_ref()
+        if opts.compiled {
+            let compiled = self
+                .original_compiled
+                .as_ref()
+                .expect("lowering ensured by caller");
+            eval_compiled(compiled, valuations, opts)
         } else {
-            None
-        };
-        eval_prepared(&self.polys, compiled, valuations, opts)
+            eval_prepared(self.polys_ref(), None, valuations, opts)
+        }
     }
 
-    /// Compiles the abstracted poly-set once, if `opts` uses the
+    /// Freezes the abstracted working set once, if `opts` uses the
     /// compiled path and the lowering is not cached yet. Requires
     /// [`compress`](Self::compress) to have run.
     fn ensure_compressed_compiled(&mut self, opts: &EvalOptions) {
@@ -365,16 +498,23 @@ impl Session {
         }
         let state = self.compressed.as_mut().expect("compress ran first");
         if state.compiled.is_none() {
-            state.compiled = Some(CompiledPolySet::compile(&state.abstracted));
+            state.compiled = Some(state.working.freeze());
             self.compile_count += 1;
         }
     }
 
-    /// Compiles the original provenance once, if `opts` uses the
-    /// compiled path and it has not been compiled yet.
+    /// Lowers the original provenance once, if `opts` uses the compiled
+    /// path and it has not been lowered yet: frozen from the interned
+    /// source when the session was built interned, compiled from the
+    /// input poly-set otherwise (bit-identical to the low-level
+    /// `CompiledPolySet::compile` on that input either way).
     fn ensure_original_compiled(&mut self, opts: &EvalOptions) {
         if opts.compiled && self.original_compiled.is_none() {
-            self.original_compiled = Some(CompiledPolySet::compile(&self.polys));
+            self.original_compiled = Some(if self.interned_source {
+                self.source_ws().freeze()
+            } else {
+                CompiledPolySet::compile(self.polys_ref())
+            });
             self.compile_count += 1;
         }
     }
@@ -429,9 +569,11 @@ impl Session {
             .collect()
     }
 
-    /// The original provenance `𝒫`.
+    /// The original provenance `𝒫` as a hash-map poly-set. For
+    /// interned-source sessions this materialises the bridge on first use
+    /// (counted in [`intern_stats`](Self::intern_stats)).
     pub fn original(&self) -> &PolySet<f64> {
-        &self.polys
+        self.polys_ref()
     }
 
     /// The abstraction forest as configured (the *cleaned* forest the
@@ -478,10 +620,22 @@ impl Session {
         self.compressed.as_ref().map(|s| &s.result)
     }
 
-    /// The cached abstracted poly-set `𝒫↓S`, if
-    /// [`compress`](Self::compress) has run.
+    /// The cached abstracted provenance `𝒫↓S` in interned form, if
+    /// [`compress`](Self::compress) has run — the representation every
+    /// evaluation is derived from.
+    pub fn working(&self) -> Option<&WorkingSet<f64>> {
+        self.compressed.as_ref().map(|s| &s.working)
+    }
+
+    /// The abstracted poly-set `𝒫↓S` as a hash-map materialisation, if
+    /// [`compress`](Self::compress) has run. This is the interop bridge —
+    /// built at most once, counted in
+    /// [`intern_stats`](Self::intern_stats); evaluation paths never use
+    /// it on the default engine.
     pub fn abstracted(&self) -> Option<&PolySet<f64>> {
-        self.compressed.as_ref().map(|s| &s.abstracted)
+        self.compressed
+            .as_ref()
+            .map(|s| Self::abstracted_bridge(&self.materializations, s))
     }
 
     /// Sorted labels of the abstracted variable space — the names
@@ -493,14 +647,27 @@ impl Session {
             .map(|s| s.result.vvs.labels(&s.result.forest))
     }
 
-    /// How many times this session lowered a poly-set into a
+    /// How many times this session lowered provenance into a
     /// [`CompiledPolySet`] — the recompilation observability hook.
     /// Lowerings happen lazily, at most once per side: the first
-    /// compiled-path evaluation of the abstracted set counts one, the
-    /// first measurement touching the original side counts one more, and
-    /// repeated batches leave the count constant (zero throughout when
-    /// the options disable the compiled path).
+    /// compiled-path evaluation freezes the abstracted arena (one), the
+    /// first measurement touching the original side lowers that (one
+    /// more), and repeated batches leave the count constant (zero
+    /// throughout when the options disable the compiled path).
     pub fn compile_count(&self) -> usize {
         self.compile_count
+    }
+
+    /// The interning observability hook — sibling of
+    /// [`compile_count`](Self::compile_count). See [`InternStats`].
+    pub fn intern_stats(&self) -> InternStats {
+        InternStats {
+            polyset_materializations: self.materializations.load(Ordering::Relaxed),
+            arena_monomials: self
+                .compressed
+                .as_ref()
+                .map_or(0, |s| s.working.arena().len()),
+            interned_source: self.interned_source,
+        }
     }
 }

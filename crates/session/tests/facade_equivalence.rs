@@ -1,23 +1,36 @@
 //! The façade contract: `Session` results are bit-for-bit identical to
-//! the direct low-level calls — same VVS, same abstracted poly-set, same
-//! scenario outputs, same accuracy/equivalence numbers — for every
-//! [`Strategy`] variant on the telephony and TPC-H fixtures; the session
-//! serves repeated batches with zero recompilation; and every error path
-//! surfaces through the unified [`Error`].
+//! the direct low-level calls — same VVS, same abstracted working set,
+//! same scenario outputs, same accuracy/equivalence numbers — for every
+//! [`Strategy`] variant on the telephony, TPC-H and supply-chain
+//! fixtures; the session serves repeated batches with zero recompilation
+//! and zero `PolySet` materialisations on the hot path (the
+//! `intern_stats` hook); and every error path surfaces through the
+//! unified [`Error`].
+//!
+//! The low-level pipeline *is* the interned one: compression consumes
+//! and returns `WorkingSet`s over the shared monomial arena, and
+//! evaluation freezes that arena. The hash-map representation remains
+//! the semantics reference — it equals the interned results up to
+//! floating-point merge order (asserted here with a relative tolerance;
+//! exactly, term-set-wise, in the `intern_equivalence` suite).
 
 use provabs_core::brute::{brute_force_vvs, DEFAULT_CUT_LIMIT};
-use provabs_core::competitor::pairwise_summarize;
-use provabs_core::greedy::{greedy_frontier, greedy_vvs, greedy_vvs_reference};
-use provabs_core::online::{online_compress, Solver};
-use provabs_core::optimal::{optimal_frontier, optimal_vvs};
-use provabs_core::problem::{evaluate_vvs, prepare, AbstractionResult};
+use provabs_core::competitor::pairwise_summarize_interned;
+use provabs_core::greedy::{
+    greedy_frontier, greedy_vvs, greedy_vvs_interned, greedy_vvs_reference,
+};
+use provabs_core::online::{online_compress_interned, Solver};
+use provabs_core::optimal::{optimal_frontier, optimal_vvs_interned};
+use provabs_core::problem::{evaluate_vvs_interned, prepare_interned, InternedAbstraction};
 use provabs_datagen::workload::{Workload, WorkloadConfig, WorkloadData};
+use provabs_provenance::compiled::CompiledPolySet;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::valuation::Valuation;
+use provabs_provenance::working::WorkingSet;
 use provabs_provenance::{polyset_to_string, VarTable};
-use provabs_scenario::accuracy::scenario_error_with;
-use provabs_scenario::executor::{apply_batch_parallel, EvalOptions};
-use provabs_scenario::speedup::max_equivalence_error;
+use provabs_scenario::accuracy::{coarse_valuation, error_stats};
+use provabs_scenario::executor::{eval_compiled, EvalOptions};
+use provabs_scenario::speedup::max_equivalence_error_prepared;
 use provabs_scenario::Scenario;
 use provabs_session::{Error, SessionBuilder, Strategy, Target};
 use provabs_trees::cut::Vvs;
@@ -26,7 +39,7 @@ use provabs_trees::forest::Forest;
 
 /// A small, fast fixture: enough structure for every algorithm
 /// (including the quadratic competitor and exhaustive brute force),
-/// small enough to sweep all six strategies in test time.
+/// small enough to sweep all strategies in test time.
 fn fixture(workload: Workload) -> (WorkloadData, Forest) {
     let mut data = workload.generate(&WorkloadConfig {
         scale: 0.05,
@@ -37,26 +50,43 @@ fn fixture(workload: Workload) -> (WorkloadData, Forest) {
     (data, forest)
 }
 
-/// The direct low-level call each strategy promises to be identical to.
+/// The direct low-level interned call each strategy promises to be
+/// identical to — the same dispatch `Session::compress` performs.
 fn low_level_oracle(
     strategy: &Strategy,
+    source: &WorkingSet<f64>,
     polys: &PolySet<f64>,
     forest: &Forest,
     bound: usize,
-) -> Result<AbstractionResult, TreeError> {
+) -> Result<InternedAbstraction<f64>, TreeError> {
     match strategy {
-        Strategy::Optimal => optimal_vvs(polys, forest, bound),
-        Strategy::Greedy { incremental: true } => greedy_vvs(polys, forest, bound),
-        Strategy::Greedy { incremental: false } => greedy_vvs_reference(polys, forest, bound),
-        Strategy::Online { fraction, seed } => {
-            online_compress(polys, forest, bound, *fraction, *seed, Solver::Greedy).map(|o| o.full)
+        Strategy::Optimal => optimal_vvs_interned(source, forest, bound),
+        Strategy::Greedy { incremental: true } => greedy_vvs_interned(source, forest, bound),
+        Strategy::Greedy { incremental: false } => {
+            let result = greedy_vvs_reference(polys, forest, bound)?;
+            Ok(evaluate_vvs_interned(
+                source.clone(),
+                &result.forest,
+                result.vvs,
+            ))
         }
-        Strategy::Competitor => pairwise_summarize(polys, forest, bound).map(|(r, _)| r),
-        Strategy::Brute { cut_limit } => brute_force_vvs(polys, forest, bound, *cut_limit),
+        Strategy::Online { fraction, seed } => {
+            online_compress_interned(source, forest, bound, *fraction, *seed, Solver::Greedy)
+                .map(|o| o.full)
+        }
+        Strategy::Competitor => pairwise_summarize_interned(source, forest, bound).map(|(r, _)| r),
+        Strategy::Brute { cut_limit } => {
+            let result = brute_force_vvs(polys, forest, bound, *cut_limit)?;
+            Ok(evaluate_vvs_interned(
+                source.clone(),
+                &result.forest,
+                result.vvs,
+            ))
+        }
         Strategy::None => {
-            let cleaned = prepare(polys, forest)?;
+            let cleaned = prepare_interned(source, forest)?;
             let vvs = Vvs::identity(&cleaned);
-            Ok(evaluate_vvs(polys, &cleaned, vvs))
+            Ok(evaluate_vvs_interned(source.clone(), &cleaned, vvs))
         }
         _ => unreachable!("non-exhaustive enum: add new strategies here"),
     }
@@ -89,10 +119,26 @@ fn assert_values_bitwise(a: &[Vec<f64>], b: &[Vec<f64>], context: &str) {
     }
 }
 
-/// The tentpole assertion: for every strategy, on both fixtures, the
-/// façade's compression, abstracted poly-set, scenario answers and
-/// deterministic reports equal the low-level pipeline bit for bit — and
-/// repeated `ask` batches never recompile.
+/// Hash-map semantics check: values agree with the reference evaluator up
+/// to floating-point merge order.
+fn assert_values_close(a: &[Vec<f64>], b: &[Vec<f64>], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: batch sizes differ");
+    for (row_a, row_b) in a.iter().zip(b) {
+        for (x, y) in row_a.iter().zip(row_b) {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            assert!(
+                (x - y).abs() / scale < 1e-12,
+                "{context}: {x} vs {y} beyond merge-order noise"
+            );
+        }
+    }
+}
+
+/// The tentpole assertion: for every strategy, on the telephony and
+/// TPC-H fixtures, the façade's compression, abstracted working set,
+/// scenario answers and deterministic reports equal the low-level
+/// interned pipeline bit for bit — repeated `ask` batches never
+/// recompile, and the ask path never materialises a `PolySet`.
 #[test]
 fn facade_equals_low_level_for_every_strategy() {
     for workload in [Workload::Telephony, Workload::TpchQ10] {
@@ -101,6 +147,7 @@ fn facade_equals_low_level_for_every_strategy() {
             forest.count_cuts() <= DEFAULT_CUT_LIMIT,
             "fixture must stay brute-forceable"
         );
+        let source = WorkingSet::from_polyset(&data.polys);
         // A bound between the forest's compression floor and the
         // original size, so every strategy can attain it.
         let total = data.polys.size_m();
@@ -113,9 +160,8 @@ fn facade_equals_low_level_for_every_strategy() {
         let opts = EvalOptions::new().threads(2);
         for strategy in all_strategies() {
             let context = format!("{} / {strategy:?}", workload.name());
-            let expected = low_level_oracle(&strategy, &data.polys, &forest, bound)
+            let expected = low_level_oracle(&strategy, &source, &data.polys, &forest, bound)
                 .unwrap_or_else(|e| panic!("{context}: low-level failed: {e}"));
-            let expected_down = expected.apply(&data.polys);
 
             let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
                 .forest(forest.clone())
@@ -127,29 +173,24 @@ fn facade_equals_low_level_for_every_strategy() {
             let got = session.compress().expect("low-level succeeded").clone();
 
             // Same VVS, same measures.
-            assert_eq!(got.vvs, expected.vvs, "{context}: VVS differs");
-            assert_eq!(got.original_size_m, expected.original_size_m, "{context}");
-            assert_eq!(got.original_size_v, expected.original_size_v, "{context}");
-            assert_eq!(
-                got.compressed_size_m, expected.compressed_size_m,
-                "{context}"
-            );
-            assert_eq!(
-                got.compressed_size_v, expected.compressed_size_v,
-                "{context}"
-            );
+            assert_eq!(got.vvs, expected.result.vvs, "{context}: VVS differs");
+            assert_eq!(got.original_size_m, expected.result.original_size_m);
+            assert_eq!(got.original_size_v, expected.result.original_size_v);
+            assert_eq!(got.compressed_size_m, expected.result.compressed_size_m);
+            assert_eq!(got.compressed_size_v, expected.result.compressed_size_v);
 
-            // Same abstracted poly-set (compared via the canonical text
-            // rendering — PolySet has no PartialEq).
+            // Same abstracted working set (compared through the canonical
+            // deterministic text rendering of the bridge).
+            let expected_down = expected.working.to_polyset();
             assert_eq!(
                 polyset_to_string(session.abstracted().expect("compressed"), session.vars()),
                 polyset_to_string(&expected_down, &data.vars),
-                "{context}: abstracted poly-set differs"
+                "{context}: abstracted set differs"
             );
 
             // Same scenario outputs, bit for bit, against the low-level
-            // batch engine on the same abstracted set.
-            let names = expected.vvs.labels(&expected.forest);
+            // batch engine on the same frozen arena.
+            let names = expected.result.vvs.labels(&expected.result.forest);
             let scenarios: Vec<Scenario> = (0..5)
                 .map(|i| Scenario::random(&names, 0.6, 100 + i))
                 .collect();
@@ -158,15 +199,22 @@ fn facade_equals_low_level_for_every_strategy() {
                 .iter()
                 .map(|s| s.valuation(&mut oracle_vars))
                 .collect();
-            let low = apply_batch_parallel(&expected_down, &vals, &opts).values;
+            let frozen = expected.working.freeze();
+            let low = eval_compiled(&frozen, &vals, &opts).values;
             let high = session.ask(&scenarios).expect("known names").values;
             assert_values_bitwise(&low, &high, &context);
 
+            // Semantics guard: the hash-map reference evaluator agrees up
+            // to merge-order float noise.
+            let reference: Vec<Vec<f64>> =
+                vals.iter().map(|v| v.eval_set(&expected_down)).collect();
+            assert_values_close(&low, &reference, &context);
+
             // Second and third batches: identical values, zero
-            // recompilation (the compile-count hook; the one lazy
-            // lowering happened inside the first ask).
+            // recompilation (the compile-count hook; the one lazy freeze
+            // happened inside the first ask).
             let compile_count = session.compile_count();
-            assert_eq!(compile_count, 1, "{context}: first ask compiles once");
+            assert_eq!(compile_count, 1, "{context}: first ask freezes once");
             let again = session.ask(&scenarios).expect("known names").values;
             assert_values_bitwise(&high, &again, &context);
             let prepared = session.ask_prepared(&vals).expect("compressed").values;
@@ -178,11 +226,22 @@ fn facade_equals_low_level_for_every_strategy() {
             );
 
             // Deterministic reports match the low-level measurements bit
-            // for bit.
+            // for bit, all served off the same lowerings.
             let orig_names: Vec<String> = data.vars.iter().map(|(_, n)| n.to_string()).collect();
             let fine = Scenario::random(&orig_names, 0.5, 99);
             let fine_val = fine.valuation(&mut oracle_vars);
-            let low_acc = scenario_error_with(&data.polys, &expected, &fine_val, &opts);
+            let original_compiled = CompiledPolySet::compile(&data.polys);
+            let coarse_val = coarse_valuation(&expected.result, &fine_val);
+            let low_exact =
+                eval_compiled(&original_compiled, std::slice::from_ref(&fine_val), &opts)
+                    .values
+                    .pop()
+                    .unwrap_or_default();
+            let low_approx = eval_compiled(&frozen, std::slice::from_ref(&coarse_val), &opts)
+                .values
+                .pop()
+                .unwrap_or_default();
+            let low_acc = error_stats(&low_exact, &low_approx);
             let high_acc = session.accuracy_report(&fine).expect("known names");
             assert_eq!(
                 low_acc.mean_relative.to_bits(),
@@ -194,7 +253,25 @@ fn facade_equals_low_level_for_every_strategy() {
                 high_acc.max_relative.to_bits(),
                 "{context}: accuracy max differs"
             );
-            let low_err = max_equivalence_error(&data.polys, &expected, &vals);
+
+            // Everything so far ran in the interned currency (the one
+            // abstracted() bridge above is the only materialisation).
+            assert_eq!(
+                session.intern_stats().polyset_materializations,
+                1,
+                "{context}: evaluation paths must not materialise"
+            );
+            assert!(session.intern_stats().arena_monomials > 0, "{context}");
+
+            // equivalence_error delegates to the hash-map reference on
+            // both sides — its numbers equal the low-level call on the
+            // session's own bridges, bit for bit.
+            let low_err = max_equivalence_error_prepared(
+                &data.polys,
+                &expected_down,
+                &expected.result,
+                &vals,
+            );
             let high_err = session.equivalence_error(&scenarios).expect("known names");
             assert_eq!(low_err.to_bits(), high_err.to_bits(), "{context}");
 
@@ -210,6 +287,145 @@ fn facade_equals_low_level_for_every_strategy() {
             );
         }
     }
+}
+
+/// The acceptance invariant of the interned pipeline: a full
+/// query → compress → ask run through `Session` — provenance emitted by
+/// the engine's interned aggregation, compression consuming the arena,
+/// evaluation freezing it — performs **zero** `PolySet` hash-map
+/// materialisations, asserted by the `intern_stats` hook.
+#[test]
+fn query_compress_ask_is_materialisation_free() {
+    for workload in [
+        Workload::Telephony,
+        Workload::TpchQ10,
+        Workload::SupplyChain,
+    ] {
+        let (data, forest) = fixture(workload);
+        let context = workload.name();
+        // A bound every workload can attain on this fixture.
+        let total = data.polys.size_m();
+        let floor = match greedy_vvs(&data.polys, &forest, 1) {
+            Ok(r) => r.compressed_size_m,
+            Err(TreeError::BoundUnattainable { best_possible, .. }) => best_possible,
+            Err(e) => panic!("floor probe failed: {e}"),
+        };
+        let bound = (floor + (total - floor) / 2).max(1);
+        // The engine-emitted interned form: identical provenance, already
+        // in the id currency (the fixture carries both representations).
+        let mut session =
+            SessionBuilder::from_query_interned(data.interned.clone(), data.vars.clone())
+                .forest(forest.clone())
+                .bound(bound)
+                .build()
+                .expect("valid configuration");
+        session.compress().expect("bound attainable");
+        let stats = session.intern_stats();
+        assert!(stats.interned_source, "{context}");
+        assert_eq!(stats.polyset_materializations, 0, "{context}: compress");
+
+        let names = session.abstracted_labels().expect("compressed");
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| Scenario::random(&names, 0.6, 31 + i))
+            .collect();
+        let first = session.ask(&scenarios).expect("known names").values;
+        let second = session.ask(&scenarios).expect("known names").values;
+        assert_eq!(first, second, "{context}: asks are deterministic");
+        // Speedup on the compiled engine freezes the original side from
+        // the same arena — still no materialisation.
+        let report = session.speedup_report(&scenarios, 2).expect("known names");
+        assert!(report.original.as_nanos() > 0, "{context}");
+
+        let stats = session.intern_stats();
+        assert_eq!(
+            stats.polyset_materializations, 0,
+            "{context}: the query → compress → ask hot path must stay id-only"
+        );
+        assert_eq!(session.compile_count(), 2, "{context}: one freeze per side");
+
+        // The values equal a session built from the materialised polys up
+        // to merge-order float noise (the two arenas were interned in
+        // different orders — emission vs ingest — so monomial layout, and
+        // with it float summation order, legitimately differs).
+        let mut reference = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+            .forest(forest)
+            .bound(bound)
+            .build()
+            .expect("valid configuration");
+        assert_eq!(
+            reference.compress().expect("attainable").vvs,
+            session.result().expect("compressed").vvs,
+            "{context}: same VVS from either representation"
+        );
+        let ref_values = reference.ask(&scenarios).expect("known names").values;
+        assert_values_close(&first, &ref_values, context);
+    }
+}
+
+/// Satellite regression: `Strategy::None` populates the interned
+/// bookkeeping (working set, live variables, arena stats) exactly like
+/// the compressing strategies — the no-op path no longer skips engine
+/// setup.
+#[test]
+fn strategy_none_populates_intern_bookkeeping() {
+    let (data, forest) = fixture(Workload::Telephony);
+    let loose_bound = data.polys.size_m();
+    let mut none = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest.clone())
+        .strategy(Strategy::None)
+        .build()
+        .expect("valid");
+    let mut identity_greedy = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest.clone())
+        .bound(loose_bound)
+        .build()
+        .expect("valid");
+    none.compress().expect("identity always works");
+    identity_greedy.compress().expect("loose bound is identity");
+
+    // Same measures, same live-variable space, same arena bookkeeping.
+    let (a, b) = (none.result().unwrap(), identity_greedy.result().unwrap());
+    assert_eq!(a.compressed_size_m, b.compressed_size_m);
+    assert_eq!(a.compressed_size_v, b.compressed_size_v);
+    assert!(none.working().is_some(), "None caches the working set");
+    assert_eq!(
+        none.intern_stats().arena_monomials,
+        identity_greedy.intern_stats().arena_monomials,
+        "None interns exactly like the other strategies"
+    );
+    assert_eq!(none.intern_stats().polyset_materializations, 0);
+
+    // Live-variable validation behaves like every other strategy: known
+    // variables evaluate, unknown ones are rejected. (Restrict the draw
+    // to variables that occur in the provenance — the fixture's variable
+    // table also holds the forest's meta-variable labels.)
+    let occurring = data.polys.var_set();
+    let names: Vec<String> = data
+        .vars
+        .iter()
+        .filter(|(id, _)| occurring.contains(id))
+        .map(|(_, n)| n.to_string())
+        .collect();
+    let scenario = Scenario::random(&names, 0.5, 5);
+    let run_none = none.ask(std::slice::from_ref(&scenario)).expect("known");
+    let run_greedy = identity_greedy
+        .ask(std::slice::from_ref(&scenario))
+        .expect("known");
+    assert_values_bitwise(&run_none.values, &run_greedy.values, "None vs identity");
+    assert_eq!(
+        none.ask(&[Scenario::new().set("nope", 0.5)]).unwrap_err(),
+        Error::UnknownVariable("nope".into())
+    );
+    assert_eq!(none.intern_stats().polyset_materializations, 0);
+}
+
+/// The session's lazy bridges use `OnceLock`/atomics, not `Cell`s, so a
+/// compressed session can be shared across threads (read-only accessors
+/// from a parallel harness).
+#[test]
+fn session_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<provabs_session::Session>();
 }
 
 #[test]

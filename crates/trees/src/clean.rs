@@ -20,10 +20,16 @@ use provabs_provenance::var::VarId;
 
 /// Restricts `forest` to the variables of `polys`. See module docs.
 pub fn clean_forest<C: Coefficient>(forest: &Forest, polys: &PolySet<C>) -> Forest {
-    let live: FxHashSet<VarId> = polys.var_set();
+    clean_forest_vars(forest, &polys.var_set())
+}
+
+/// [`clean_forest`] against an explicit live-variable set — the entry
+/// point for interned provenance representations that know their
+/// variables without materialising a [`PolySet`].
+pub fn clean_forest_vars(forest: &Forest, live: &FxHashSet<VarId>) -> Forest {
     let mut kept = Vec::new();
     for tree in forest.trees() {
-        if let Some(cleaned) = clean_tree(tree, &live) {
+        if let Some(cleaned) = clean_tree(tree, live) {
             kept.push(cleaned);
         }
     }

@@ -96,7 +96,19 @@ impl Forest {
     /// 2. no internal meta-variable occurs in the polynomials,
     /// 3. every monomial contains at most one node of each tree.
     pub fn check_compatible<C: Coefficient>(&self, polys: &PolySet<C>) -> Result<(), TreeError> {
-        let poly_vars = polys.var_set();
+        self.check_compatible_parts(&polys.var_set(), polys.monomials().map(|(_, m, _)| m))
+    }
+
+    /// [`check_compatible`](Self::check_compatible) over the raw parts —
+    /// the occurring-variable set and an iterator of the (distinct)
+    /// monomials. Interned provenance representations use this to verify
+    /// compatibility without materialising a [`PolySet`]; condition 3 is
+    /// per-monomial, so iterating each distinct monomial once suffices.
+    pub fn check_compatible_parts<'a>(
+        &self,
+        poly_vars: &provabs_provenance::fxhash::FxHashSet<VarId>,
+        monos: impl Iterator<Item = &'a provabs_provenance::monomial::Monomial>,
+    ) -> Result<(), TreeError> {
         for tree in &self.trees {
             for id in tree.node_ids() {
                 let in_polys = poly_vars.contains(&tree.var_of(id));
@@ -114,7 +126,7 @@ impl Forest {
         }
         // Condition 3: per-monomial, at most one variable per tree.
         let mut seen_tree: Vec<Option<VarId>> = vec![None; self.trees.len()];
-        for (_, mono, _) in polys.monomials() {
+        for mono in monos {
             for slot in seen_tree.iter_mut() {
                 *slot = None;
             }

@@ -9,8 +9,13 @@
 //!
 //! The front door is [`Session`]: a compress-once / ask-many handle that
 //! owns the pipeline — provenance in, one compression run, then batch
-//! after batch of what-if scenarios off cached compiled artifacts. The
-//! per-stage crates below remain the low-level API it delegates to:
+//! after batch of what-if scenarios off cached compiled artifacts.
+//! Underneath, the stages exchange provenance in one interned currency
+//! (dense monomial ids over a shared
+//! [`MonoArena`](provabs_provenance::intern::MonoArena) — engine
+//! emission through compression into frozen evaluation, with zero
+//! hash-map materialisations on the hot path). The per-stage crates
+//! below remain the low-level API it delegates to:
 //!
 //! * [`session`] — the [`SessionBuilder`] → [`Session`] façade
 //!   ([`provabs_session`]),
@@ -23,8 +28,8 @@
 //!   the NP-hardness reduction ([`provabs_core`]),
 //! * [`engine`] — an in-memory relational engine with provenance
 //!   annotations ([`provabs_engine`]),
-//! * [`datagen`] — the telephony and TPC-H-style benchmark generators
-//!   ([`provabs_datagen`]),
+//! * [`datagen`] — the telephony, TPC-H-style and supply-chain BOM
+//!   benchmark generators ([`provabs_datagen`]),
 //! * [`scenario`] — what-if scenario application and speedup measurement
 //!   ([`provabs_scenario`]).
 //!

@@ -1,0 +1,99 @@
+//! Criterion ablation of the multi-scenario evaluation kernels on the
+//! 16-scenario analyst batch over the frozen compressed set: the scalar
+//! columnar sweep (the PR 5 baseline) vs the portable lane kernel vs the
+//! runtime-dispatched AVX2 kernel.
+//!
+//! This is the kernel-ablation companion to `bench_parallel` (which
+//! varies the engine: hash-map vs columnar vs thread pool): here the
+//! engine is fixed at the single-threaded compiled path and only the
+//! [`Kernel`] varies, so the deltas are pure lane-batching wins. The
+//! acceptance target is avx2 (or generic-lanes where AVX2 is absent)
+//! ≥ 1.5× over scalar on the telephony batch, with generic-lanes never
+//! regressing scalar by more than 5 %.
+//!
+//! All three kernels return bit-for-bit identical values (asserted at
+//! the end of every group, on top of the `simd_equivalence` suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_provenance::simd::{avx2_available, Kernel};
+use provabs_scenario::executor::{eval_compiled, EvalOptions};
+use provabs_scenario::scenario::Scenario;
+use provabs_trees::error::TreeError;
+
+const SCENARIOS: usize = 16;
+
+/// Compress once through the façade, then race the kernels on the
+/// frozen lowering — the steady-state ask loop a deployment actually
+/// runs, with everything but the kernel held fixed.
+fn bench_kernels(c: &mut Criterion, workload: Workload, group_name: &str) {
+    let mut data = workload.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    let forest = data.primary_tree(2, 1);
+    let names: Vec<String> = data.vars.iter().map(|(_, n)| n.to_string()).collect();
+    let batch: Vec<_> = (0..SCENARIOS as u64)
+        .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
+        .collect();
+    let mut session = provabs_session::SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest.clone())
+        .build()
+        .expect("valid configuration");
+    if let Err(provabs_session::Error::Tree(TreeError::BoundUnattainable {
+        best_possible, ..
+    })) = session.compress()
+    {
+        // Workloads whose primary tree can't halve the size (the BOM
+        // roll-up) still race the kernels on their best compression.
+        session = provabs_session::SessionBuilder::new(data.polys, data.vars)
+            .forest(forest)
+            .bound(best_possible)
+            .build()
+            .expect("valid configuration");
+        session.compress().expect("probed bound is attainable");
+    }
+    // The columnar lowering the session's ask loop runs on.
+    let compiled = provabs_provenance::compiled::CompiledPolySet::compile(
+        session.abstracted().expect("compressed above"),
+    );
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+    for kernel in [Kernel::Scalar, Kernel::Generic, Kernel::Avx2] {
+        if kernel == Kernel::Avx2 && !avx2_available() {
+            continue; // resolve() would demote to Generic — skip the duplicate.
+        }
+        let opts = EvalOptions::new().threads(1).kernel(kernel);
+        group.bench_function(kernel.name(), |b| {
+            b.iter(|| eval_compiled(&compiled, &batch, &opts).values)
+        });
+    }
+    group.finish();
+
+    // Guard: the numbers being raced are the same numbers.
+    let scalar = eval_compiled(
+        &compiled,
+        &batch,
+        &EvalOptions::new().threads(1).kernel(Kernel::Scalar),
+    )
+    .values;
+    for kernel in [Kernel::Generic, Kernel::Avx2, Kernel::Auto] {
+        let got = eval_compiled(
+            &compiled,
+            &batch,
+            &EvalOptions::new().threads(1).kernel(kernel),
+        )
+        .values;
+        assert_eq!(scalar, got, "{group_name}: kernel {kernel} diverged");
+    }
+}
+
+fn bench_simd(c: &mut Criterion) {
+    bench_kernels(c, Workload::Telephony, "simd/telephony");
+    bench_kernels(c, Workload::TpchQ1, "simd/tpch_q1");
+    bench_kernels(c, Workload::SupplyChain, "simd/bom");
+}
+
+criterion_group!(benches, bench_simd);
+criterion_main!(benches);

@@ -62,10 +62,46 @@ impl Coefficient for f64 {
         *self == 0.0
     }
     fn pow(&self, exp: u32) -> Self {
-        f64::powi(*self, exp as i32)
+        pow_f64(*self, exp)
     }
     fn nat_scale(&self, n: u64) -> Self {
         *self * n as f64
+    }
+}
+
+/// `x^e` with the small exponents unrolled and right-to-left binary
+/// exponentiation-by-squaring above.
+///
+/// This is the *one* multiply tree every `f64` evaluation path shares:
+/// the hash-map evaluator ([`Coefficient::pow`] for `f64`), the scalar
+/// columnar sweep ([`crate::compiled::CompiledPolySet::eval_into`]) and
+/// the lane kernels ([`crate::simd`]) all raise variables through this
+/// exact operation sequence (the kernels per lane). IEEE-754
+/// multiplication is commutative and deterministic, so pinning the tree
+/// makes every engine's results bit-for-bit comparable — which is what
+/// the `simd_equivalence` suite asserts. (`f64::powi` makes no such
+/// cross-compilation guarantee, which is why it is not used here.)
+pub fn pow_f64(x: f64, e: u32) -> f64 {
+    match e {
+        0 => 1.0,
+        1 => x,
+        2 => x * x,
+        3 => (x * x) * x,
+        _ => {
+            // Right-to-left binary: multiply `acc` by the squarings whose
+            // bit is set. Starts from `acc = 1.0` — exact, `1.0 * y == y`.
+            let mut e = e;
+            let mut base = x;
+            let mut acc = 1.0;
+            while e > 1 {
+                if e & 1 == 1 {
+                    acc *= base;
+                }
+                base *= base;
+                e >>= 1;
+            }
+            acc * base
+        }
     }
 }
 

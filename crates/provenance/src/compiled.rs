@@ -44,20 +44,20 @@ use crate::working::WorkingSet;
 #[derive(Clone, Debug)]
 pub struct CompiledPolySet<C> {
     /// One coefficient per monomial, in evaluation order.
-    coeffs: Vec<C>,
+    pub(crate) coeffs: Vec<C>,
     /// Per monomial: exclusive end of its factor range in
     /// `factor_vars`/`factor_exps` (prefix ends; the start is the previous
     /// entry, 0 for the first).
-    mono_ends: Vec<u32>,
+    pub(crate) mono_ends: Vec<u32>,
     /// Per polynomial: exclusive end of its monomial range in
     /// `coeffs`/`mono_ends`.
-    poly_ends: Vec<u32>,
+    pub(crate) poly_ends: Vec<u32>,
     /// Dense batch-local variable index per factor.
-    factor_vars: Vec<u32>,
+    pub(crate) factor_vars: Vec<u32>,
     /// Exponent per factor (≥ 1 by monomial canonicalisation).
-    factor_exps: Vec<u32>,
+    pub(crate) factor_exps: Vec<u32>,
     /// Local index → original variable (the densification order).
-    vars: Vec<VarId>,
+    pub(crate) vars: Vec<VarId>,
 }
 
 impl<C: Coefficient> CompiledPolySet<C> {
@@ -183,7 +183,19 @@ impl<C: Coefficient> CompiledPolySet<C> {
     /// Densifies a sparse valuation into the batch-local lookup table:
     /// `table[i]` is the value of local variable `i`.
     pub fn valuation_table(&self, val: &Valuation<C>) -> Vec<C> {
-        self.vars.iter().map(|&v| val.get(v)).collect()
+        let mut table = Vec::with_capacity(self.vars.len());
+        self.valuation_table_into(val, &mut table);
+        table
+    }
+
+    /// [`valuation_table`](Self::valuation_table) into a caller-owned
+    /// buffer: `table` is cleared and refilled, so a batch loop that keeps
+    /// one buffer across scenarios is allocation-free after the first
+    /// iteration (the capacity warms up once and is reused). This is what
+    /// [`eval_all`](Self::eval_all) and the executor's batch loop do.
+    pub fn valuation_table_into(&self, val: &Valuation<C>, table: &mut Vec<C>) {
+        table.clear();
+        table.extend(self.vars.iter().map(|&v| val.get(v)));
     }
 
     /// Evaluates every polynomial against a dense lookup table produced by
@@ -205,13 +217,19 @@ impl<C: Coefficient> CompiledPolySet<C> {
                 while fac < fac_end {
                     let v = &table[self.factor_vars[fac] as usize];
                     let e = self.factor_exps[fac];
-                    // `pow(1)` is the identity for every lawful coefficient
-                    // (and bit-exact for `f64::powi`), so the common
-                    // exponent-1 case can skip it.
-                    term = if e == 1 {
-                        term.mul(v)
-                    } else {
-                        term.mul(&v.pow(e))
+                    // Small-exponent fast path: `pow(1)` is the identity
+                    // for every lawful coefficient and the inlined squares
+                    // below reproduce `pow`'s multiply tree exactly
+                    // (multiplication by `one()` is exact and IEEE-754
+                    // multiplication is commutative), so skipping the
+                    // `pow` call never changes a bit — the scalar engine
+                    // pays no `powi`-shaped overhead the lane kernels
+                    // (`crate::simd`) have specialised away.
+                    term = match e {
+                        1 => term.mul(v),
+                        2 => term.mul(&v.mul(v)),
+                        3 => term.mul(&v.mul(v).mul(v)),
+                        _ => term.mul(&v.pow(e)),
                     };
                     fac += 1;
                 }
@@ -239,8 +257,7 @@ impl<C: Coefficient> CompiledPolySet<C> {
         let mut table = Vec::with_capacity(self.vars.len());
         vals.iter()
             .map(|val| {
-                table.clear();
-                table.extend(self.vars.iter().map(|&v| val.get(v)));
+                self.valuation_table_into(val, &mut table);
                 let mut out = Vec::new();
                 self.eval_into(&table, &mut out);
                 out

@@ -21,6 +21,10 @@
 //!   scenario evaluation (flat arenas, densified `u32` variable space);
 //!   built either from a [`polyset::PolySet`] or by freezing a working
 //!   set's arena directly,
+//! * [`simd`] — runtime-dispatched evaluation kernels over the compiled
+//!   columns (AVX2 + a portable lane fallback, selected behind
+//!   [`simd::Kernel`]): [`simd::LANES`] scenarios per pass off one
+//!   packed block table, bit-for-bit identical to the scalar sweep,
 //! * [`working`] — the interned working-set representation for in-flight
 //!   abstraction rewrites over a [`intern::MonoArena`], the rewriting
 //!   counterpart of [`compiled`],
@@ -67,6 +71,7 @@ pub mod parse;
 pub mod polynomial;
 pub mod polyset;
 pub mod semiring;
+pub mod simd;
 pub mod valuation;
 pub mod var;
 pub mod working;
@@ -80,6 +85,7 @@ pub use monomial::Monomial;
 pub use parse::{parse_polynomial, parse_polyset};
 pub use polynomial::Polynomial;
 pub use polyset::PolySet;
+pub use simd::{Kernel, KernelInfo};
 pub use valuation::Valuation;
 pub use var::{VarId, VarTable};
 pub use working::WorkingSet;

@@ -1,0 +1,86 @@
+//! The AVX2 lane kernel: `__m256d` intrinsics from `std::arch::x86_64`.
+//!
+//! Four scenarios per register. The loop body mirrors [`super::generic`]
+//! operation for operation — broadcast coefficient, multiply by each
+//! factor's power in column order, accumulate in monomial order — using
+//! only `vmulpd`/`vaddpd` (deliberately **no FMA**: a fused
+//! multiply-add rounds once where the scalar engine rounds twice, which
+//! would break the bit-for-bit contract of [`crate::simd`]).
+//!
+//! Compiled with `#[target_feature(enable = "avx2")]` and only ever
+//! called after `is_x86_feature_detected!("avx2")` (see
+//! [`Kernel::resolve`](super::Kernel::resolve)), so the binary stays
+//! runnable on machines without AVX2.
+
+use super::LANES;
+use crate::compiled::CompiledPolySet;
+use std::arch::x86_64::{
+    __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+    _mm256_storeu_pd,
+};
+
+/// Evaluates every polynomial over one packed `[vars × LANES]` block
+/// table; `out[p·LANES + l]` is polynomial `p`'s value in lane `l`.
+/// Bit-for-bit identical to the scalar engine per lane (see the module
+/// docs).
+///
+/// # Safety
+///
+/// The caller must have verified `is_x86_feature_detected!("avx2")` on
+/// this CPU (the dispatcher's [`Kernel::resolve`](super::Kernel::resolve)
+/// guarantees it).
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn eval_block_table(c: &CompiledPolySet<f64>, block: &[f64], out: &mut [f64]) {
+    debug_assert!(block.len() >= c.vars.len() * LANES);
+    debug_assert_eq!(out.len(), c.poly_ends.len() * LANES);
+    let mut mono = 0usize;
+    let mut fac = 0usize;
+    for (p, &poly_end) in c.poly_ends.iter().enumerate() {
+        let mut acc = _mm256_setzero_pd();
+        while mono < poly_end as usize {
+            let mut term = _mm256_set1_pd(c.coeffs[mono]);
+            let fac_end = c.mono_ends[mono] as usize;
+            while fac < fac_end {
+                let at = c.factor_vars[fac] as usize * LANES;
+                // SAFETY: the block table holds LANES values per local
+                // variable and `factor_vars` indexes into `c.vars`
+                // (asserted above), so the load stays in bounds.
+                let base = unsafe { _mm256_loadu_pd(block.as_ptr().add(at)) };
+                term = _mm256_mul_pd(term, pow_pd(base, c.factor_exps[fac]));
+                fac += 1;
+            }
+            acc = _mm256_add_pd(acc, term);
+            mono += 1;
+        }
+        // SAFETY: `out` is `poly_ends.len() * LANES` long (asserted
+        // above), so lane `p` owns a full LANES-wide slot.
+        unsafe { _mm256_storeu_pd(out.as_mut_ptr().add(p * LANES), acc) };
+    }
+}
+
+/// `base^e` per lane with the exact multiply tree of
+/// [`pow_f64`](crate::coeff::pow_f64) — small exponents unrolled,
+/// right-to-left binary exponentiation-by-squaring above.
+#[target_feature(enable = "avx2")]
+#[inline]
+fn pow_pd(base: __m256d, e: u32) -> __m256d {
+    match e {
+        0 => _mm256_set1_pd(1.0),
+        1 => base,
+        2 => _mm256_mul_pd(base, base),
+        3 => _mm256_mul_pd(_mm256_mul_pd(base, base), base),
+        _ => {
+            let mut e = e;
+            let mut base = base;
+            let mut acc = _mm256_set1_pd(1.0);
+            while e > 1 {
+                if e & 1 == 1 {
+                    acc = _mm256_mul_pd(acc, base);
+                }
+                base = _mm256_mul_pd(base, base);
+                e >>= 1;
+            }
+            _mm256_mul_pd(acc, base)
+        }
+    }
+}

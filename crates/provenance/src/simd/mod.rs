@@ -1,0 +1,397 @@
+//! Runtime-dispatched SIMD evaluation kernels over the frozen arena.
+//!
+//! [`CompiledPolySet`] is already struct-of-arrays (coefficient,
+//! exponent-run and variable-index columns with dense lookup-table
+//! valuations) — exactly the layout vector units want. This module adds
+//! the last step: **scenario-major lane batching**. Instead of walking
+//! the columns once per scenario, [`CompiledPolySet::eval_block`]
+//! evaluates [`LANES`] scenarios per pass:
+//!
+//! 1. the per-scenario valuation tables are packed (transposed) into one
+//!    `[vars × LANES]` *block table* — `block[v·LANES + l]` is the value
+//!    of local variable `v` in lane (scenario) `l`, so a variable's
+//!    values for all lanes sit in one contiguous, vector-width load;
+//! 2. the per-monomial power/multiply/accumulate loop is fused over the
+//!    exponent-run columns: a monomial's contribution to all lanes is
+//!    computed in one sweep (small exponents unrolled — 1/2/3 —
+//!    exponentiation-by-squaring above, mirroring
+//!    [`pow_f64`](crate::coeff::pow_f64) per lane);
+//! 3. each polynomial's lane accumulator is scattered back into the
+//!    per-scenario result rows.
+//!
+//! Two kernels implement that loop: a portable `generic` one written
+//! over `[f64; LANES]` arrays (autovectorizes on any target and is the
+//! guaranteed-correct fallback) and an `avx2` one over `__m256d`
+//! intrinsics (`std::arch::x86_64`), guarded by
+//! `is_x86_feature_detected!` so **one binary runs correctly on machines
+//! with and without AVX2**. The choice sits behind the [`Kernel`] enum —
+//! resolved once per batch, observable (e.g. through
+//! `Session::kernel_info`) and forceable, both programmatically and via
+//! the `PROVABS_FORCE_GENERIC_KERNEL=1` environment knob CI uses to keep
+//! the fallback path green on any runner.
+//!
+//! # Equivalence contract
+//!
+//! Lane batching does **not** reorder floating-point sums: each lane
+//! accumulates its scenario's monomials in exactly the order
+//! [`CompiledPolySet::eval_into`] visits them, the kernels use plain IEEE
+//! multiplies and adds (deliberately no FMA — fusing would change
+//! rounding), and every engine raises variables through the one shared
+//! multiply tree of [`pow_f64`](crate::coeff::pow_f64). Every kernel is
+//! therefore **bit-for-bit identical** to the scalar engine — a stronger
+//! guarantee than the documented 1e-12 cross-currency tolerance, and the
+//! `simd_equivalence` suite asserts the bits.
+
+use crate::compiled::CompiledPolySet;
+use crate::valuation::Valuation;
+
+mod generic;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+
+/// Scenarios evaluated per lane-batched pass: four `f64`s, one AVX2
+/// `__m256d` register (the generic kernel uses the same width so both
+/// kernels chunk batches identically).
+pub const LANES: usize = 4;
+
+/// The environment knob honoured by the dispatcher: when set (to
+/// anything but `0` or the empty string), [`Kernel::resolve`] never
+/// selects the AVX2 path — CI uses it to exercise the portable fallback
+/// on runners that do have AVX2.
+pub const FORCE_GENERIC_ENV: &str = "PROVABS_FORCE_GENERIC_KERNEL";
+
+/// Which evaluation kernel a batch runs on.
+///
+/// The default, [`Kernel::Auto`], resolves once per batch to the fastest
+/// available kernel ([`Kernel::Avx2`] where the CPU supports it,
+/// [`Kernel::Generic`] otherwise). The other variants force a specific
+/// engine — how the ablation benches and the equivalence suites pin each
+/// path down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Kernel {
+    /// Resolve at runtime: AVX2 where detected (and not suppressed by
+    /// [`FORCE_GENERIC_ENV`]), the generic lane kernel otherwise.
+    #[default]
+    Auto,
+    /// The one-scenario-at-a-time columnar sweep
+    /// ([`CompiledPolySet::eval_into`]) — the PR 5 baseline the ablation
+    /// benches compare against.
+    Scalar,
+    /// The portable lane kernel over `[f64; LANES]` arrays — correct on
+    /// every target, autovectorized where the compiler can.
+    Generic,
+    /// The `std::arch::x86_64` AVX2 kernel. Forcing it on a machine
+    /// without AVX2 resolves to [`Kernel::Generic`] instead (runtime
+    /// dispatch never executes an unsupported instruction);
+    /// [`Kernel::is_available`] tells the two cases apart.
+    Avx2,
+}
+
+/// Whether this process' CPU supports the AVX2 kernel.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether [`FORCE_GENERIC_ENV`] is set (to anything but `0`/empty).
+pub fn generic_forced_by_env() -> bool {
+    matches!(std::env::var(FORCE_GENERIC_ENV), Ok(v) if !v.is_empty() && v != "0")
+}
+
+impl Kernel {
+    /// Resolves this request to the kernel a batch will actually run on
+    /// — the runtime-dispatch step, performed once per batch:
+    ///
+    /// * [`Kernel::Auto`] → [`Kernel::Avx2`] where
+    ///   [`avx2_available`] and not [`generic_forced_by_env`],
+    ///   else [`Kernel::Generic`];
+    /// * [`Kernel::Avx2`] → itself where available, demoted to
+    ///   [`Kernel::Generic`] otherwise (or when the env knob is set);
+    /// * [`Kernel::Scalar`] / [`Kernel::Generic`] → themselves (the
+    ///   scalar reference is never overridden — it is the baseline).
+    pub fn resolve(self) -> Kernel {
+        match self {
+            Kernel::Scalar => Kernel::Scalar,
+            Kernel::Generic => Kernel::Generic,
+            Kernel::Auto | Kernel::Avx2 => {
+                if avx2_available() && !generic_forced_by_env() {
+                    Kernel::Avx2
+                } else {
+                    Kernel::Generic
+                }
+            }
+        }
+    }
+
+    /// Whether this kernel can run as named on this machine (`Auto` is
+    /// always available — it is the request to pick one that is).
+    pub fn is_available(self) -> bool {
+        match self {
+            Kernel::Avx2 => avx2_available(),
+            Kernel::Auto | Kernel::Scalar | Kernel::Generic => true,
+        }
+    }
+
+    /// A short stable name for logs and bench ids.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Auto => "auto",
+            Kernel::Scalar => "scalar",
+            Kernel::Generic => "generic",
+            Kernel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The kernel-dispatch observability snapshot — sibling of the session's
+/// `intern_stats()` hook, returned by [`kernel_info`] (and re-exported as
+/// `Session::kernel_info`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelInfo {
+    /// The kernel the options asked for (possibly [`Kernel::Auto`]).
+    pub requested: Kernel,
+    /// The kernel batches actually run on — [`Kernel::resolve`] of
+    /// `requested`; never `Auto`.
+    pub selected: Kernel,
+    /// Whether this CPU supports the AVX2 kernel at all.
+    pub avx2_available: bool,
+    /// Whether [`FORCE_GENERIC_ENV`] suppressed the AVX2 path.
+    pub forced_generic_env: bool,
+    /// Scenarios per lane-batched pass ([`LANES`]; `1` for the scalar
+    /// kernel).
+    pub lanes: usize,
+}
+
+/// Resolves `requested` and reports the full dispatch picture.
+pub fn kernel_info(requested: Kernel) -> KernelInfo {
+    let selected = requested.resolve();
+    KernelInfo {
+        requested,
+        selected,
+        avx2_available: avx2_available(),
+        forced_generic_env: generic_forced_by_env(),
+        lanes: if selected == Kernel::Scalar { 1 } else { LANES },
+    }
+}
+
+impl CompiledPolySet<f64> {
+    /// The multi-scenario evaluation entry point: evaluates the whole
+    /// batch on the requested [`Kernel`] — `result[s][p]` is the value
+    /// of polynomial `p` under valuation `s`, bit-for-bit identical to
+    /// [`eval_all`](Self::eval_all) on every kernel (see the
+    /// [module docs](self) for why).
+    ///
+    /// The kernel is resolved once; full [`LANES`]-sized blocks run on
+    /// the lane kernel off one packed `[vars × LANES]` block table, the
+    /// ragged tail (when the batch is not a multiple of [`LANES`]) runs
+    /// on the scalar sweep. All scratch buffers are reused across blocks,
+    /// so the loop performs no per-scenario allocation beyond the result
+    /// rows themselves.
+    pub fn eval_block(&self, vals: &[Valuation<f64>], kernel: Kernel) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(vals.len());
+        self.eval_block_into(vals, kernel, &mut out);
+        out
+    }
+
+    /// [`eval_block`](Self::eval_block) appending into a caller-owned
+    /// vector of rows — the executor's chunk workers use this to fill
+    /// their output slices without intermediate collections.
+    pub fn eval_block_into(
+        &self,
+        vals: &[Valuation<f64>],
+        kernel: Kernel,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        let kernel = kernel.resolve();
+        out.reserve(vals.len());
+        let polys = self.num_polys();
+        let full = if kernel == Kernel::Scalar {
+            0 // everything below goes through the scalar tail loop
+        } else {
+            vals.len() - vals.len() % LANES
+        };
+        if full > 0 {
+            let mut block = vec![0.0f64; self.num_vars() * LANES];
+            let mut lanes_out = vec![0.0f64; polys * LANES];
+            for chunk in vals[..full].chunks_exact(LANES) {
+                self.pack_block_table(chunk, &mut block);
+                match kernel {
+                    Kernel::Generic => generic::eval_block_table(self, &block, &mut lanes_out),
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: `resolve()` returns `Avx2` only when
+                    // `is_x86_feature_detected!("avx2")` holds on this CPU.
+                    Kernel::Avx2 => unsafe { avx2::eval_block_table(self, &block, &mut lanes_out) },
+                    _ => unreachable!("resolve() returns a concrete lane kernel"),
+                }
+                // Scatter the poly-major lane results back into
+                // scenario-major rows.
+                for lane in 0..LANES {
+                    out.push((0..polys).map(|p| lanes_out[p * LANES + lane]).collect());
+                }
+            }
+        }
+        // Ragged tail (and the whole batch for the scalar kernel): the
+        // reference columnar sweep, one reused valuation table.
+        let mut table = Vec::with_capacity(self.num_vars());
+        for val in &vals[full..] {
+            self.valuation_table_into(val, &mut table);
+            let mut row = Vec::with_capacity(polys);
+            self.eval_into(&table, &mut row);
+            out.push(row);
+        }
+    }
+
+    /// Packs (transposes) [`LANES`] scenarios' valuation tables into the
+    /// block table: `block[v·LANES + l]` is local variable `v` under
+    /// `vals[l]` — the gather that turns per-scenario lookups into
+    /// contiguous vector loads.
+    fn pack_block_table(&self, vals: &[Valuation<f64>], block: &mut [f64]) {
+        debug_assert_eq!(vals.len(), LANES);
+        debug_assert_eq!(block.len(), self.vars.len() * LANES);
+        for (slot, &v) in block.chunks_exact_mut(LANES).zip(self.vars.iter()) {
+            for (cell, val) in slot.iter_mut().zip(vals) {
+                *cell = val.get(v);
+            }
+        }
+    }
+}
+
+/// Raises one lane array to `e` with the same multiply tree as
+/// [`pow_f64`](crate::coeff::pow_f64) in every lane — shared by the
+/// generic kernel (the AVX2 kernel mirrors it over `__m256d`).
+#[inline]
+fn pow_lanes(base: [f64; LANES], e: u32) -> [f64; LANES] {
+    let mul = |a: [f64; LANES], b: [f64; LANES]| {
+        let mut r = [0.0; LANES];
+        for l in 0..LANES {
+            r[l] = a[l] * b[l];
+        }
+        r
+    };
+    match e {
+        0 => [1.0; LANES],
+        1 => base,
+        2 => mul(base, base),
+        3 => mul(mul(base, base), base),
+        _ => {
+            let mut e = e;
+            let mut base = base;
+            let mut acc = [1.0; LANES];
+            while e > 1 {
+                if e & 1 == 1 {
+                    acc = mul(acc, base);
+                }
+                base = mul(base, base);
+                e >>= 1;
+            }
+            mul(acc, base)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeff::pow_f64;
+    use crate::parse::parse_polyset;
+    use crate::var::VarTable;
+
+    #[test]
+    fn resolve_never_returns_auto_and_respects_forcing() {
+        for k in [Kernel::Auto, Kernel::Scalar, Kernel::Generic, Kernel::Avx2] {
+            let r = k.resolve();
+            assert_ne!(r, Kernel::Auto);
+            assert!(r.is_available(), "resolve() picked an unrunnable kernel");
+        }
+        assert_eq!(Kernel::Scalar.resolve(), Kernel::Scalar);
+        assert_eq!(Kernel::Generic.resolve(), Kernel::Generic);
+        if avx2_available() && !generic_forced_by_env() {
+            assert_eq!(Kernel::Auto.resolve(), Kernel::Avx2);
+            assert_eq!(Kernel::Avx2.resolve(), Kernel::Avx2);
+        } else {
+            assert_eq!(Kernel::Auto.resolve(), Kernel::Generic);
+            assert_eq!(Kernel::Avx2.resolve(), Kernel::Generic);
+        }
+    }
+
+    #[test]
+    fn kernel_info_reports_the_dispatch() {
+        let info = kernel_info(Kernel::Auto);
+        assert_eq!(info.requested, Kernel::Auto);
+        assert_eq!(info.selected, Kernel::Auto.resolve());
+        assert_eq!(info.avx2_available, avx2_available());
+        assert_eq!(info.lanes, LANES);
+        let scalar = kernel_info(Kernel::Scalar);
+        assert_eq!(scalar.selected, Kernel::Scalar);
+        assert_eq!(scalar.lanes, 1);
+        assert_eq!(format!("{}", Kernel::Avx2), "avx2");
+    }
+
+    #[test]
+    fn pow_lanes_matches_pow_f64_per_lane() {
+        let base = [1.5, -0.75, 0.0, 1e3];
+        for e in 0..12 {
+            let lanes = pow_lanes(base, e);
+            for l in 0..LANES {
+                assert_eq!(
+                    lanes[l].to_bits(),
+                    pow_f64(base[l], e).to_bits(),
+                    "lane {l} exp {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_block_matches_eval_all_on_every_kernel() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset(
+            "220.8·p1·m1 + 240·p1·m3 + 127.4·f1·m1\n75.9·y1·m1 + 72.5·y1·m3\n42·v·m1",
+            &mut vars,
+        )
+        .expect("parse");
+        let compiled = CompiledPolySet::compile(&polys);
+        let ids: Vec<_> = vars.iter().map(|(id, _)| id).collect();
+        // 7 scenarios: one full LANES block + a ragged tail of 3.
+        let vals: Vec<Valuation<f64>> = (0..7)
+            .map(|s| {
+                let mut v = Valuation::neutral();
+                for (i, &id) in ids.iter().enumerate() {
+                    v.assign(id, 0.25 + (s * ids.len() + i) as f64 * 0.125);
+                }
+                v
+            })
+            .collect();
+        let reference = compiled.eval_all(&vals);
+        for kernel in [Kernel::Auto, Kernel::Scalar, Kernel::Generic, Kernel::Avx2] {
+            let got = compiled.eval_block(&vals, kernel);
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                for (a, b) in g.iter().zip(r) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b} on {kernel}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_polyset() {
+        let compiled = CompiledPolySet::compile(&crate::polyset::PolySet::<f64>::new());
+        assert!(compiled.eval_block(&[], Kernel::Auto).is_empty());
+        let rows = compiled.eval_block(&[Valuation::neutral()], Kernel::Generic);
+        assert_eq!(rows, vec![Vec::<f64>::new()]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property suite: every evaluation kernel — the scalar columnar sweep,
+//! the portable lane kernel, the AVX2 kernel (where this machine has
+//! it), and the auto dispatcher — agrees **bit for bit** with
+//! [`CompiledPolySet::eval_one`] on random poly-sets × random valuation
+//! batches.
+//!
+//! Bit-for-bit (not merely approximate) equality holds by construction:
+//! lane batching evaluates each scenario's monomials in exactly the
+//! scalar order (lanes are independent accumulators, so nothing is
+//! reordered), the kernels use plain IEEE multiplies and adds (no FMA),
+//! and every engine raises variables through the one shared multiply
+//! tree of [`pow_f64`](provabs_provenance::coeff::pow_f64). The
+//! documented 1e-12 relative tolerance of the pipeline applies only
+//! *across currencies* (frozen-arena vs hash-map monomial order) — the
+//! kernels never need it, and this suite pins that down.
+//!
+//! Deliberate edge coverage: empty poly-sets, zero-variable (constant)
+//! monomials, ragged last blocks (batches not a multiple of `LANES`),
+//! negative and zero coefficients, exponents through the unrolled 1/2/3
+//! fast path and into the exponentiation-by-squaring range.
+
+use proptest::prelude::*;
+use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::simd::{avx2_available, Kernel, LANES};
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::var::VarId;
+
+/// Every kernel request worth pinning: the forced kernels plus the auto
+/// dispatcher. `Avx2` is exercised as the real AVX2 path where the CPU
+/// has it and as its documented demotion to `Generic` elsewhere — both
+/// must match the scalar engine either way.
+const KERNELS: [Kernel; 4] = [Kernel::Scalar, Kernel::Generic, Kernel::Avx2, Kernel::Auto];
+
+/// A random poly-set over variables v0..v10: up to 6 polynomials of up
+/// to 5 monomials, each with up to 3 factors whose exponents reach past
+/// the unrolled 1/2/3 specialisation into exponentiation-by-squaring
+/// (1..=6). Coefficients are small sixteenths spanning negative, zero
+/// and positive; zero-factor monomials (pure constants) are common.
+fn polyset_strategy() -> impl Strategy<Value = PolySet<f64>> {
+    prop::collection::vec(
+        prop::collection::vec(
+            (prop::collection::vec((0u32..10, 1u32..7), 0..3), -80i32..80),
+            0..5,
+        ),
+        0..6,
+    )
+    .prop_map(|polys| {
+        PolySet::from_vec(
+            polys
+                .into_iter()
+                .map(|terms| {
+                    Polynomial::from_terms(terms.into_iter().map(|(factors, c)| {
+                        (
+                            Monomial::from_factors(factors.into_iter().map(|(v, e)| (VarId(v), e))),
+                            f64::from(c) / 16.0,
+                        )
+                    }))
+                })
+                .collect(),
+        )
+    })
+}
+
+/// A random scenario batch of `0..max` valuations: a handful of
+/// variables get factors in roughly [-2, 2] (sixteenths, exactly
+/// representable, zero included) over a neutral default. Lengths sweep
+/// across full-lane and ragged block shapes.
+fn batch_strategy(max_scenarios: usize) -> impl Strategy<Value = Vec<Valuation<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..10, -32i32..32), 0..8),
+        0..max_scenarios,
+    )
+    .prop_map(|scenarios| {
+        scenarios
+            .into_iter()
+            .map(|assignments| {
+                let mut val = Valuation::neutral();
+                for (v, f) in assignments {
+                    val.assign(VarId(v), f64::from(f) / 16.0);
+                }
+                val
+            })
+            .collect()
+    })
+}
+
+/// Asserts a kernel's batch matches the per-scenario `eval_one`
+/// reference down to the last mantissa bit.
+fn assert_matches_eval_one(compiled: &CompiledPolySet<f64>, batch: &[Valuation<f64>]) {
+    let reference: Vec<Vec<f64>> = batch.iter().map(|v| compiled.eval_one(v)).collect();
+    for kernel in KERNELS {
+        let got = compiled.eval_block(batch, kernel);
+        assert_eq!(reference.len(), got.len(), "{kernel}: scenario count");
+        for (s, (r, g)) in reference.iter().zip(&got).enumerate() {
+            assert_eq!(r.len(), g.len(), "{kernel}: row {s} length");
+            for (p, (a, b)) in r.iter().zip(g).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{kernel}: scenario {s}, polynomial {p}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole invariant: every kernel × every batch shape agrees
+    /// with `eval_one` bit for bit.
+    #[test]
+    fn every_kernel_matches_eval_one(
+        polys in polyset_strategy(),
+        batch in batch_strategy(3 * LANES + 2),
+    ) {
+        let compiled = CompiledPolySet::compile(&polys);
+        assert_matches_eval_one(&compiled, &batch);
+    }
+
+    /// Ragged last blocks: batch lengths that straddle the lane width by
+    /// one either way (and every in-between remainder) are evaluated
+    /// correctly — full blocks on the lane kernel, the tail on the
+    /// scalar sweep.
+    #[test]
+    fn ragged_last_block_shapes(
+        polys in polyset_strategy(),
+        val in batch_strategy(2),
+        extra in 0usize..(2 * LANES),
+    ) {
+        prop_assume!(!val.is_empty());
+        let compiled = CompiledPolySet::compile(&polys);
+        // LANES+extra copies of one valuation: remainder sweeps 0..LANES.
+        let batch: Vec<Valuation<f64>> =
+            std::iter::repeat_with(|| val[0].clone()).take(LANES + extra).collect();
+        assert_matches_eval_one(&compiled, &batch);
+    }
+
+    /// The empty poly-set evaluates every scenario to an empty row on
+    /// every kernel; the empty batch evaluates to no rows at all.
+    #[test]
+    fn empty_polyset_and_empty_batch(batch in batch_strategy(LANES + 1)) {
+        let compiled = CompiledPolySet::compile(&PolySet::<f64>::new());
+        for kernel in KERNELS {
+            let rows = compiled.eval_block(&batch, kernel);
+            prop_assert_eq!(rows.len(), batch.len());
+            prop_assert!(rows.iter().all(Vec::is_empty));
+            prop_assert!(compiled.eval_block(&[], kernel).is_empty());
+        }
+    }
+
+    /// Zero-variable (constant) monomials and zero coefficients: a
+    /// poly-set of pure constants must evaluate to exactly those
+    /// constants in every lane regardless of the valuations.
+    #[test]
+    fn constant_monomials_pass_through(
+        consts in prop::collection::vec(-64i32..64, 1..6),
+        batch in batch_strategy(2 * LANES + 1),
+    ) {
+        prop_assume!(!batch.is_empty());
+        let polys = PolySet::from_vec(
+            consts
+                .iter()
+                .map(|&c| {
+                    Polynomial::from_terms([(Monomial::one(), f64::from(c) / 16.0)])
+                })
+                .collect(),
+        );
+        let compiled = CompiledPolySet::compile(&polys);
+        assert_matches_eval_one(&compiled, &batch);
+        for kernel in KERNELS {
+            for row in compiled.eval_block(&batch, kernel) {
+                for (got, &c) in row.iter().zip(&consts) {
+                    // A zero coefficient vanishes from the polynomial, so
+                    // its row value is an exact 0.0; everything else is
+                    // the exact constant.
+                    prop_assert_eq!(got.to_bits(), (f64::from(c) / 16.0).to_bits());
+                }
+            }
+        }
+    }
+
+    /// High exponents (past the unrolled fast path) on negative bases:
+    /// the exponentiation-by-squaring tree is shared by every kernel, so
+    /// signs and bits agree everywhere.
+    #[test]
+    fn squaring_range_exponents_agree(
+        exp in 4u32..12,
+        base in -48i32..48,
+        scenarios in 1usize..(2 * LANES + 2),
+    ) {
+        let polys = PolySet::from_vec(vec![Polynomial::from_terms([(
+            Monomial::from_factors([(VarId(0), exp)]),
+            1.0,
+        )])]);
+        let compiled = CompiledPolySet::compile(&polys);
+        let batch: Vec<Valuation<f64>> = (0..scenarios)
+            .map(|_| Valuation::neutral().set(VarId(0), f64::from(base) / 16.0))
+            .collect();
+        assert_matches_eval_one(&compiled, &batch);
+    }
+}
+
+/// The dispatcher's promise that makes forcing meaningful: resolution is
+/// deterministic within a process, `Avx2` really is the AVX2 engine
+/// exactly when the CPU supports it, and a forced-available kernel is
+/// what auto dispatch would pick on the fast path.
+#[test]
+fn forced_kernels_resolve_as_documented() {
+    assert_eq!(Kernel::Scalar.resolve(), Kernel::Scalar);
+    assert_eq!(Kernel::Generic.resolve(), Kernel::Generic);
+    assert_eq!(Kernel::Auto.resolve(), Kernel::Auto.resolve());
+    assert!(Kernel::Auto.resolve() != Kernel::Auto);
+    if !avx2_available() {
+        assert_eq!(Kernel::Avx2.resolve(), Kernel::Generic);
+        assert_eq!(Kernel::Auto.resolve(), Kernel::Generic);
+    } else {
+        assert_eq!(Kernel::Avx2.resolve(), Kernel::Auto.resolve());
+    }
+}

@@ -19,6 +19,8 @@
 use crate::apply::TimedRun;
 use provabs_provenance::compiled::CompiledPolySet;
 use provabs_provenance::polyset::PolySet;
+pub use provabs_provenance::simd::Kernel;
+use provabs_provenance::simd::LANES;
 use provabs_provenance::valuation::Valuation;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -26,9 +28,12 @@ use std::time::Instant;
 
 /// Tuning knobs for [`apply_batch_parallel`].
 ///
-/// The default (`threads: 0`, `compiled: true`, `chunk: 0`) auto-sizes
-/// the pool from [`std::thread::available_parallelism`] and evaluates
-/// through the columnar fast path.
+/// The default (`threads: 0`, `compiled: true`, `chunk: 0`,
+/// `kernel: Auto`) auto-sizes the pool from
+/// [`std::thread::available_parallelism`] and evaluates through the
+/// columnar fast path on the fastest evaluation kernel the CPU supports
+/// (AVX2 where detected, the portable lane kernel otherwise — see
+/// [`provabs_provenance::simd`]).
 #[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Worker threads; `0` = one per available core. `1` runs inline on
@@ -40,7 +45,17 @@ pub struct EvalOptions {
     pub compiled: bool,
     /// Scenarios per work-queue chunk; `0` = auto (about four chunks per
     /// worker, so the atomic cursor can balance uneven scenario costs).
+    /// On the compiled path with a lane kernel, the resolved chunk is
+    /// rounded up to a multiple of [`LANES`] so workers receive
+    /// lane-aligned scenario blocks.
     pub chunk: usize,
+    /// Which evaluation kernel compiled-path batches run on.
+    /// [`Kernel::Auto`] (the default) resolves once per batch to the
+    /// fastest available one; forcing [`Kernel::Scalar`] /
+    /// [`Kernel::Generic`] / [`Kernel::Avx2`] pins a specific engine
+    /// (ablations, equivalence suites). Ignored on the hash-map path
+    /// (`compiled: false`). All kernels produce bit-identical results.
+    pub kernel: Kernel,
 }
 
 impl Default for EvalOptions {
@@ -49,6 +64,7 @@ impl Default for EvalOptions {
             threads: 0,
             compiled: true,
             chunk: 0,
+            kernel: Kernel::Auto,
         }
     }
 }
@@ -67,6 +83,7 @@ impl EvalOptions {
             threads: 1,
             compiled: false,
             chunk: 0,
+            kernel: Kernel::Scalar,
         }
     }
 
@@ -88,6 +105,16 @@ impl EvalOptions {
     #[must_use]
     pub fn chunk(mut self, scenarios_per_chunk: usize) -> Self {
         self.chunk = scenarios_per_chunk;
+        self
+    }
+
+    /// Pins the compiled-path evaluation kernel (chainable). The default
+    /// is [`Kernel::Auto`] — runtime dispatch to the fastest available
+    /// kernel; see [`provabs_provenance::simd`] for the dispatch rules
+    /// and the bit-for-bit equivalence contract.
+    #[must_use]
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -195,7 +222,8 @@ pub fn eval_compiled(
     }
 }
 
-/// The untimed compiled-path grid (single-thread or pool).
+/// The untimed compiled-path grid (single-thread or pool). The kernel is
+/// resolved once per batch — every chunk worker runs the same engine.
 fn eval_grid_compiled(
     compiled: &CompiledPolySet<f64>,
     valuations: &[Valuation<f64>],
@@ -204,16 +232,22 @@ fn eval_grid_compiled(
     if valuations.is_empty() {
         return Vec::new();
     }
+    let kernel = opts.kernel.resolve();
     let threads = opts.resolved_threads(valuations.len());
     if threads <= 1 {
-        compiled.eval_all(valuations)
+        compiled.eval_block(valuations, kernel)
     } else {
-        run_chunked(valuations.len(), threads, opts, |start, out| {
+        let mut chunk = opts.resolved_chunk(valuations.len(), threads);
+        if kernel != Kernel::Scalar {
+            // Lane-aligned scenario blocks: only the batch's final chunk
+            // can be ragged, every other worker runs full lane passes.
+            chunk = chunk.next_multiple_of(LANES);
+        }
+        run_chunked(valuations.len(), threads, chunk, |start, out| {
             let end = start + out.len();
-            for (slot, row) in out
-                .iter_mut()
-                .zip(compiled.eval_all(&valuations[start..end]))
-            {
+            let mut rows = Vec::with_capacity(out.len());
+            compiled.eval_block_into(&valuations[start..end], kernel, &mut rows);
+            for (slot, row) in out.iter_mut().zip(rows) {
                 *slot = row;
             }
         })
@@ -237,7 +271,8 @@ fn eval_grid(
     } else if threads <= 1 {
         valuations.iter().map(|v| v.eval_set(polys)).collect()
     } else {
-        run_chunked(valuations.len(), threads, opts, |start, out| {
+        let chunk = opts.resolved_chunk(valuations.len(), threads);
+        run_chunked(valuations.len(), threads, chunk, |start, out| {
             for (k, slot) in out.iter_mut().enumerate() {
                 *slot = valuations[start + k].eval_set(polys);
             }
@@ -286,16 +321,16 @@ impl<'p> PreparedBatch<'p> {
 }
 
 /// The scoped thread-pool work queue: splits `jobs` output slots into
-/// chunks, spawns `threads` workers, and lets each worker claim chunks
-/// through an atomic cursor until the queue drains. `eval_chunk` receives
-/// the chunk's starting scenario index and its output slice.
+/// `chunk`-sized pieces, spawns `threads` workers, and lets each worker
+/// claim pieces through an atomic cursor until the queue drains.
+/// `eval_chunk` receives the chunk's starting scenario index and its
+/// output slice.
 fn run_chunked(
     jobs: usize,
     threads: usize,
-    opts: &EvalOptions,
+    chunk: usize,
     eval_chunk: impl Fn(usize, &mut [Vec<f64>]) + Sync,
 ) -> Vec<Vec<f64>> {
-    let chunk = opts.resolved_chunk(jobs, threads);
     let mut out: Vec<Vec<f64>> = Vec::new();
     out.resize_with(jobs, Vec::new);
     {
@@ -365,6 +400,59 @@ mod tests {
             EvalOptions::new(), // auto everything
         ] {
             assert_matches_reference(&polys, &vals, &opts);
+        }
+    }
+
+    /// Every forced kernel — scalar sweep, portable lanes, AVX2 (where
+    /// this machine has it; `resolve()` demotes it to the generic lanes
+    /// otherwise, which must *still* match) — agrees with the serial
+    /// hash-map reference bit for bit, single-threaded and pooled.
+    #[test]
+    fn all_kernels_match_the_serial_reference() {
+        let (polys, vals) = setup(13);
+        for kernel in [Kernel::Auto, Kernel::Scalar, Kernel::Generic, Kernel::Avx2] {
+            for opts in [
+                EvalOptions::new().threads(1).kernel(kernel),
+                EvalOptions::new().threads(4).kernel(kernel),
+                EvalOptions::new().threads(3).chunk(2).kernel(kernel),
+            ] {
+                assert_matches_reference(&polys, &vals, &opts);
+            }
+        }
+    }
+
+    /// Lane kernels hand workers lane-aligned scenario blocks: a chunk
+    /// size that is not a multiple of LANES still yields bit-identical
+    /// results (the alignment is an executor concern, not a caller one).
+    #[test]
+    fn lane_misaligned_chunks_are_realigned() {
+        let (polys, vals) = setup(11);
+        for chunk in [1, 2, 3, 5, 7] {
+            let opts = EvalOptions::new()
+                .threads(2)
+                .chunk(chunk)
+                .kernel(Kernel::Generic);
+            assert_matches_reference(&polys, &vals, &opts);
+        }
+    }
+
+    /// The batch loop's valuation table is a reused buffer: after the
+    /// first scenario warms the capacity up, re-densifying further
+    /// scenarios performs no allocation (same backing pointer, same
+    /// capacity).
+    #[test]
+    fn valuation_table_reuse_is_allocation_free() {
+        let (polys, vals) = setup(6);
+        let compiled = provabs_provenance::compiled::CompiledPolySet::compile(&polys);
+        let mut table = Vec::new();
+        compiled.valuation_table_into(&vals[0], &mut table);
+        assert_eq!(table, compiled.valuation_table(&vals[0]));
+        let (warm_ptr, warm_cap) = (table.as_ptr(), table.capacity());
+        for val in &vals {
+            compiled.valuation_table_into(val, &mut table);
+            assert_eq!(table.as_ptr(), warm_ptr, "table buffer was reallocated");
+            assert_eq!(table.capacity(), warm_cap, "table capacity changed");
+            assert_eq!(table.len(), compiled.num_vars());
         }
     }
 

@@ -93,5 +93,6 @@ pub mod strategy;
 
 pub use builder::SessionBuilder;
 pub use error::Error;
+pub use provabs_provenance::simd::{Kernel, KernelInfo};
 pub use session::{InternStats, Session};
 pub use strategy::{Strategy, Target};

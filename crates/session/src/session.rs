@@ -42,6 +42,7 @@ use provabs_core::problem::{
 use provabs_provenance::compiled::CompiledPolySet;
 use provabs_provenance::fxhash::FxHashSet;
 use provabs_provenance::polyset::PolySet;
+use provabs_provenance::simd::KernelInfo;
 use provabs_provenance::valuation::Valuation;
 use provabs_provenance::var::{VarId, VarTable};
 use provabs_provenance::working::WorkingSet;
@@ -148,6 +149,7 @@ impl std::fmt::Debug for Session {
             .field("compressed", &self.compressed.is_some())
             .field("compile_count", &self.compile_count)
             .field("intern_stats", &self.intern_stats())
+            .field("kernel_info", &self.kernel_info())
             .finish_non_exhaustive()
     }
 }
@@ -656,6 +658,18 @@ impl Session {
     /// throughout when the options disable the compiled path).
     pub fn compile_count(&self) -> usize {
         self.compile_count
+    }
+
+    /// The kernel-dispatch observability hook — sibling of
+    /// [`compile_count`](Self::compile_count) and
+    /// [`intern_stats`](Self::intern_stats): which evaluation kernel the
+    /// session's [`EvalOptions`] request and which one batches actually
+    /// run on after runtime dispatch (AVX2 where the CPU supports it,
+    /// the portable lane kernel otherwise — see
+    /// [`provabs_provenance::simd`]). One binary serves both kinds of
+    /// machine; this is how a deployment observes which path it got.
+    pub fn kernel_info(&self) -> KernelInfo {
+        provabs_provenance::simd::kernel_info(self.opts.kernel)
     }
 
     /// The interning observability hook — sibling of

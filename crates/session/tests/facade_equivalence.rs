@@ -609,3 +609,57 @@ fn strategy_none_serves_the_original_provenance() {
         .expect("known variable");
     assert_eq!(run.values, vec![vec![14.0]]);
 }
+
+/// The kernel-dispatch hook: `Session::kernel_info` reports exactly what
+/// the builder's [`EvalOptions`] requested and what the dispatcher will
+/// run, and every forced kernel answers bit-for-bit identically through
+/// the façade.
+#[test]
+fn kernel_info_reports_the_dispatch_and_all_kernels_agree() {
+    use provabs_provenance::simd::{avx2_available, LANES};
+    use provabs_session::Kernel;
+
+    let (data, forest) = fixture(Workload::Telephony);
+    // Scenario names come from the compression result (identical across
+    // kernels — the kernel only affects evaluation, never compression).
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    let mut reference: Option<Vec<Vec<f64>>> = None;
+    for kernel in [Kernel::Scalar, Kernel::Generic, Kernel::Avx2, Kernel::Auto] {
+        let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+            .forest(forest.clone())
+            .strategy(Strategy::Greedy { incremental: true })
+            .bound(data.polys.size_m())
+            .eval_options(EvalOptions::new().kernel(kernel))
+            .build()
+            .expect("valid");
+
+        // The observability hook, before any evaluation has happened.
+        let info = session.kernel_info();
+        assert_eq!(info.requested, kernel, "{kernel}: requested");
+        let lanes = if info.selected == Kernel::Scalar {
+            1
+        } else {
+            LANES
+        };
+        assert_eq!(info.lanes, lanes, "{kernel}: lane width");
+        assert_eq!(info.avx2_available, avx2_available(), "{kernel}: cpuid");
+        assert_eq!(info.selected, kernel.resolve(), "{kernel}: selected");
+        assert!(
+            info.selected != Kernel::Auto,
+            "{kernel}: selection must be concrete"
+        );
+
+        let result = session.compress().expect("attainable bound").clone();
+        if scenarios.is_empty() {
+            let names = result.vvs.labels(&result.forest);
+            scenarios = (0..(2 * LANES + 3))
+                .map(|i| Scenario::random(&names, 0.6, 300 + i as u64))
+                .collect();
+        }
+        let values = session.ask(&scenarios).expect("known names").values;
+        match &reference {
+            None => reference = Some(values),
+            Some(expected) => assert_values_bitwise(expected, &values, &format!("kernel {kernel}")),
+        }
+    }
+}

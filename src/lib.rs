@@ -64,4 +64,4 @@ pub use provabs_session as session;
 pub use provabs_trees as trees;
 
 pub use provabs_scenario::Scenario;
-pub use provabs_session::{Session, SessionBuilder, Strategy, Target};
+pub use provabs_session::{Kernel, KernelInfo, Session, SessionBuilder, Strategy, Target};

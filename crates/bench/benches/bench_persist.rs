@@ -1,0 +1,135 @@
+//! Criterion comparison of the cold start (compress + compile from the
+//! raw provenance) against the durable-artifact warm paths: one-time
+//! `save` cost, owned `open`, and zero-copy `open_mapped`.
+//!
+//! This is the persistence companion to `bench_simd` (which races the
+//! evaluation kernels on an already-frozen set): here the evaluation is
+//! fixed and only *how the compiled state comes into existence* varies.
+//! The acceptance target is warm `open` (either path) ≥ 50× faster than
+//! the cold compress on the telephony workload — the compress-once /
+//! ask-many economics extended across process restarts.
+//!
+//! Every opened session is asserted to answer the 16-scenario batch
+//! bit-for-bit identically to the cold session before any timing runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_scenario::scenario::Scenario;
+use provabs_session::{Session, SessionBuilder};
+use provabs_trees::error::TreeError;
+use std::path::PathBuf;
+
+const SCENARIOS: usize = 16;
+
+/// Build and compress the workload's session — the cold path a first
+/// deployment pays before it can answer anything.
+fn cold_session(workload: Workload) -> Session {
+    let mut data = workload.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    let forest = data.primary_tree(2, 1);
+    let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest.clone())
+        .build()
+        .expect("valid configuration");
+    if let Err(provabs_session::Error::Tree(TreeError::BoundUnattainable {
+        best_possible, ..
+    })) = session.compress()
+    {
+        session = SessionBuilder::new(data.polys, data.vars)
+            .forest(forest)
+            .bound(best_possible)
+            .build()
+            .expect("valid configuration");
+        session.compress().expect("probed bound is attainable");
+    }
+    session
+}
+
+fn bench_persist_workload(c: &mut Criterion, workload: Workload, group_name: &str) {
+    let mut cold = cold_session(workload);
+    let names = cold.abstracted_labels().expect("compressed above");
+    let scenarios: Vec<Scenario> = (0..SCENARIOS as u64)
+        .map(|i| Scenario::random(&names, 0.5, 3000 + i))
+        .collect();
+    let expected = cold.ask(&scenarios).expect("known names").values;
+
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "provabs-bench-persist-{}-{}.pvabs",
+        group_name.replace('/', "-"),
+        std::process::id()
+    ));
+    cold.save(&path).expect("save artifact");
+
+    // Guard: both warm paths serve the same numbers, without compiling.
+    for opened in [
+        Session::open(&path).expect("open artifact"),
+        Session::open_mapped(&path).expect("open artifact"),
+    ] {
+        let mut opened = opened;
+        let got = opened.ask(&scenarios).expect("known names").values;
+        assert_eq!(
+            opened.compile_count(),
+            0,
+            "{group_name}: warm path compiled"
+        );
+        for (a, b) in expected.iter().flatten().zip(got.iter().flatten()) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{group_name}: warm answers diverged"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(20);
+    group.bench_function("cold_compress", |b| {
+        b.iter(|| {
+            let mut session = cold_session(workload);
+            // Force the lowering the ask loop runs on, so the cold side
+            // pays everything an opened session gets for free.
+            session.ask(&scenarios[..1]).expect("known names").values
+        })
+    });
+    group.bench_function("save", |b| {
+        let save_path = save_scratch_path(group_name);
+        b.iter(|| cold.save(&save_path).expect("save artifact"));
+        let _ = std::fs::remove_file(&save_path);
+    });
+    group.bench_function("open_owned", |b| {
+        b.iter(|| Session::open(&path).expect("open artifact"))
+    });
+    group.bench_function("open_mapped", |b| {
+        b.iter(|| Session::open_mapped(&path).expect("open artifact"))
+    });
+    group.bench_function("open_mapped_ask", |b| {
+        b.iter(|| {
+            let mut warm = Session::open_mapped(&path).expect("open artifact");
+            warm.ask(&scenarios).expect("known names").values
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_file(&path);
+}
+
+fn save_scratch_path(group_name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "provabs-bench-persist-scratch-{}-{}.pvabs",
+        group_name.replace('/', "-"),
+        std::process::id()
+    ));
+    p
+}
+
+fn bench_persist(c: &mut Criterion) {
+    bench_persist_workload(c, Workload::Telephony, "persist/telephony");
+    bench_persist_workload(c, Workload::TpchQ1, "persist/tpch_q1");
+}
+
+criterion_group!(benches, bench_persist);
+criterion_main!(benches);

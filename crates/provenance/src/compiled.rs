@@ -138,6 +138,21 @@ impl<C: Coefficient> CompiledPolySet<C> {
         }
     }
 
+    /// Borrows the six columns as a [`CompiledView`] — the form every
+    /// evaluation entry point actually consumes, and the type a
+    /// memory-mapped artifact ([`crate::persist`]) produces without
+    /// materialising a `CompiledPolySet` at all.
+    pub fn view(&self) -> CompiledView<'_, C> {
+        CompiledView {
+            coeffs: &self.coeffs,
+            mono_ends: &self.mono_ends,
+            poly_ends: &self.poly_ends,
+            factor_vars: &self.factor_vars,
+            factor_exps: &self.factor_exps,
+            vars: &self.vars,
+        }
+    }
+
     /// Number of polynomials.
     pub fn num_polys(&self) -> usize {
         self.poly_ends.len()
@@ -183,9 +198,7 @@ impl<C: Coefficient> CompiledPolySet<C> {
     /// Densifies a sparse valuation into the batch-local lookup table:
     /// `table[i]` is the value of local variable `i`.
     pub fn valuation_table(&self, val: &Valuation<C>) -> Vec<C> {
-        let mut table = Vec::with_capacity(self.vars.len());
-        self.valuation_table_into(val, &mut table);
-        table
+        self.view().valuation_table(val)
     }
 
     /// [`valuation_table`](Self::valuation_table) into a caller-owned
@@ -193,6 +206,120 @@ impl<C: Coefficient> CompiledPolySet<C> {
     /// one buffer across scenarios is allocation-free after the first
     /// iteration (the capacity warms up once and is reused). This is what
     /// [`eval_all`](Self::eval_all) and the executor's batch loop do.
+    pub fn valuation_table_into(&self, val: &Valuation<C>, table: &mut Vec<C>) {
+        self.view().valuation_table_into(val, table)
+    }
+
+    /// Evaluates every polynomial against a dense lookup table produced by
+    /// [`valuation_table`](Self::valuation_table), appending one value per
+    /// polynomial to `out`.
+    ///
+    /// # Panics
+    /// Panics if `table` is shorter than [`num_vars`](Self::num_vars).
+    pub fn eval_into(&self, table: &[C], out: &mut Vec<C>) {
+        self.view().eval_into(table, out)
+    }
+
+    /// Evaluates every polynomial under one valuation (one value per
+    /// polynomial, same order and bit-identical values as
+    /// [`Valuation::eval_set`]).
+    pub fn eval_one(&self, val: &Valuation<C>) -> Vec<C> {
+        self.view().eval_one(val)
+    }
+
+    /// Evaluates the whole scenario batch: `result[s][p]` is the value of
+    /// polynomial `p` under valuation `s`. The densified lookup table is
+    /// reused across scenarios.
+    pub fn eval_all(&self, vals: &[Valuation<C>]) -> Vec<Vec<C>> {
+        self.view().eval_all(vals)
+    }
+
+    /// The semantics-equivalence bridge: reconstructs the hash-map-backed
+    /// [`PolySet`] this compiled form denotes. `compile` then `to_polyset`
+    /// is the identity up to [`Polynomial`] equality (tested), which is
+    /// what makes the compiled evaluator a drop-in replacement.
+    pub fn to_polyset(&self) -> PolySet<C> {
+        self.view().to_polyset()
+    }
+}
+
+/// A borrowed view of the six compiled columns — the common currency of
+/// every evaluator.
+///
+/// The slices can come from a live [`CompiledPolySet`]
+/// ([`CompiledPolySet::view`]) or be resliced straight out of a durable
+/// artifact's mapped bytes ([`crate::persist::SharedCompiled::view`]);
+/// the evaluation engines (the columnar sweep here, the lane kernels in
+/// [`crate::simd`], the batch executor in `provabs-scenario`) cannot tell
+/// the difference — which is exactly what makes the zero-copy load path
+/// a drop-in.
+#[derive(Debug)]
+pub struct CompiledView<'a, C> {
+    /// One coefficient per monomial, in evaluation order.
+    pub(crate) coeffs: &'a [C],
+    /// Per monomial: exclusive end of its factor range (prefix ends).
+    pub(crate) mono_ends: &'a [u32],
+    /// Per polynomial: exclusive end of its monomial range.
+    pub(crate) poly_ends: &'a [u32],
+    /// Dense batch-local variable index per factor.
+    pub(crate) factor_vars: &'a [u32],
+    /// Exponent per factor (≥ 1 by monomial canonicalisation).
+    pub(crate) factor_exps: &'a [u32],
+    /// Local index → original variable (the densification order).
+    pub(crate) vars: &'a [VarId],
+}
+
+// Manual impls: a view of six slices is Copy regardless of whether `C`
+// itself is (a derive would demand `C: Copy`/`C: Clone`).
+impl<C> Clone for CompiledView<'_, C> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<C> Copy for CompiledView<'_, C> {}
+
+impl<'a, C: Coefficient> CompiledView<'a, C> {
+    /// Number of polynomials.
+    pub fn num_polys(&self) -> usize {
+        self.poly_ends.len()
+    }
+
+    /// Whether the compiled set contains no polynomials.
+    pub fn is_empty(&self) -> bool {
+        self.poly_ends.is_empty()
+    }
+
+    /// Total number of monomials across all polynomials (`|𝒫|_M`).
+    pub fn num_monomials(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Total number of variable factors in the arena.
+    pub fn num_factors(&self) -> usize {
+        self.factor_vars.len()
+    }
+
+    /// Number of distinct variables (`|𝒫|_V`, the densified index space).
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The densification order: local index `i` stands for `vars()[i]`.
+    pub fn vars(&self) -> &'a [VarId] {
+        self.vars
+    }
+
+    /// Densifies a sparse valuation into the batch-local lookup table:
+    /// `table[i]` is the value of local variable `i`.
+    pub fn valuation_table(&self, val: &Valuation<C>) -> Vec<C> {
+        let mut table = Vec::with_capacity(self.vars.len());
+        self.valuation_table_into(val, &mut table);
+        table
+    }
+
+    /// [`valuation_table`](Self::valuation_table) into a caller-owned
+    /// buffer (cleared and refilled; see
+    /// [`CompiledPolySet::valuation_table_into`]).
     pub fn valuation_table_into(&self, val: &Valuation<C>, table: &mut Vec<C>) {
         table.clear();
         table.extend(self.vars.iter().map(|&v| val.get(v)));
@@ -209,7 +336,7 @@ impl<C: Coefficient> CompiledPolySet<C> {
         out.reserve(self.poly_ends.len());
         let mut mono = 0usize;
         let mut fac = 0usize;
-        for &poly_end in &self.poly_ends {
+        for &poly_end in self.poly_ends {
             let mut acc = C::zero();
             while mono < poly_end as usize {
                 let fac_end = self.mono_ends[mono] as usize;
@@ -266,14 +393,13 @@ impl<C: Coefficient> CompiledPolySet<C> {
     }
 
     /// The semantics-equivalence bridge: reconstructs the hash-map-backed
-    /// [`PolySet`] this compiled form denotes. `compile` then `to_polyset`
-    /// is the identity up to [`Polynomial`] equality (tested), which is
-    /// what makes the compiled evaluator a drop-in replacement.
+    /// [`PolySet`] these columns denote (see
+    /// [`CompiledPolySet::to_polyset`]).
     pub fn to_polyset(&self) -> PolySet<C> {
         let mut polys = Vec::with_capacity(self.poly_ends.len());
         let mut mono = 0usize;
         let mut fac = 0usize;
-        for &poly_end in &self.poly_ends {
+        for &poly_end in self.poly_ends {
             let mut p = Polynomial::zero();
             while mono < poly_end as usize {
                 let fac_end = self.mono_ends[mono] as usize;
@@ -286,6 +412,20 @@ impl<C: Coefficient> CompiledPolySet<C> {
             polys.push(p);
         }
         PolySet::from_vec(polys)
+    }
+
+    /// Rebuilds an owned [`CompiledPolySet`] by copying the six columns —
+    /// how a session opened from an artifact detaches from the mapping
+    /// when it needs an owned lowering.
+    pub fn to_owned_set(&self) -> CompiledPolySet<C> {
+        CompiledPolySet {
+            coeffs: self.coeffs.to_vec(),
+            mono_ends: self.mono_ends.to_vec(),
+            poly_ends: self.poly_ends.to_vec(),
+            factor_vars: self.factor_vars.to_vec(),
+            factor_exps: self.factor_exps.to_vec(),
+            vars: self.vars.to_vec(),
+        }
     }
 }
 

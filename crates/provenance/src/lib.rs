@@ -28,6 +28,10 @@
 //! * [`working`] — the interned working-set representation for in-flight
 //!   abstraction rewrites over a [`intern::MonoArena`], the rewriting
 //!   counterpart of [`compiled`],
+//! * [`persist`] — durable compiled artifacts: a versioned, checksummed
+//!   on-disk container with an owned load path and a zero-copy
+//!   memory-mapped one that reslices the compiled columns straight out
+//!   of the file,
 //! * [`coeff`] — coefficient rings (`f64`, integers, exact rationals),
 //! * [`semiring`] — commutative semirings and the specialisation of
 //!   `N[X]` provenance polynomials into them (Green's observation that the
@@ -68,6 +72,7 @@ pub mod fxhash;
 pub mod intern;
 pub mod monomial;
 pub mod parse;
+pub mod persist;
 pub mod polynomial;
 pub mod polyset;
 pub mod semiring;
@@ -78,11 +83,12 @@ pub mod working;
 
 pub use circuit::Circuit;
 pub use coeff::{Coefficient, Rational};
-pub use compiled::CompiledPolySet;
+pub use compiled::{CompiledPolySet, CompiledView};
 pub use display::{poly_to_string, polyset_to_string};
 pub use intern::{MonoArena, MonoId, VarSpace};
 pub use monomial::Monomial;
 pub use parse::{parse_polynomial, parse_polyset};
+pub use persist::PersistError;
 pub use polynomial::Polynomial;
 pub use polyset::PolySet;
 pub use simd::{Kernel, KernelInfo};

@@ -1,0 +1,290 @@
+//! Wire-level primitives of the artifact format: constants, the
+//! word-folding checksum, and the little-endian encoder/decoder the
+//! section codecs (here, in `provabs-trees::persist` and in
+//! `provabs-session`) are written against.
+
+use super::PersistError;
+
+/// The artifact magic: the first eight bytes of every provabs artifact.
+pub const MAGIC: [u8; 8] = *b"PVABSFMT";
+
+/// The newest artifact format version this build reads and writes.
+/// Readers reject anything newer with
+/// [`PersistError::UnsupportedVersion`]; older versions would be
+/// migrated here once one exists.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Well-known section ids of the session artifact layout.
+///
+/// The container itself is agnostic — sections are `(id, bytes)` pairs —
+/// but every layer agrees on these ids so the artifact stays one file
+/// with one table of contents (see ADR 006 for why not per-crate files).
+pub mod section {
+    /// Session configuration: strategy, bound, provenance origin, sizes.
+    pub const SESSION_META: u32 = 1;
+    /// The interned variable table, in id order.
+    pub const VAR_TABLE: u32 = 2;
+    /// The abstraction forest as configured on the session.
+    pub const FOREST_CONFIG: u32 = 3;
+    /// The cleaned forest the chosen VVS refers to.
+    pub const FOREST_CLEAN: u32 = 4;
+    /// The chosen valid variable set (per-tree node cuts).
+    pub const VVS: u32 = 5;
+    /// The variables live in the abstracted provenance (sorted ids).
+    pub const LIVE_VARS: u32 = 6;
+    /// The frozen compiled columns of `𝒫↓S` — the zero-copy payload.
+    pub const COMPILED_ABS: u32 = 7;
+    /// The abstracted working set (arena + terms), decoded lazily.
+    pub const WORKING_ABS: u32 = 8;
+    /// The original working set (arena + terms), decoded lazily.
+    pub const WORKING_ORIG: u32 = 9;
+}
+
+/// A fast 64-bit word-folding checksum (fxhash-style multiply-rotate
+/// over `u64` chunks, length-seeded).
+///
+/// This is an *integrity* check against truncation and bit rot, not a
+/// cryptographic MAC — an adversary who can rewrite payloads can rewrite
+/// checksums too (which is why the decoders validate structure
+/// independently of the checksums). Chosen over a byte-wise FNV because
+/// the µs-scale warm-open budget cannot afford byte-at-a-time hashing of
+/// multi-megabyte sections.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ (bytes.len() as u64);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8"));
+        h = (h ^ w).rotate_left(5).wrapping_mul(SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail))
+            .rotate_left(5)
+            .wrapping_mul(SEED);
+    }
+    h
+}
+
+/// A little-endian section encoder: an append-only byte buffer with
+/// fixed-width writes. Section payloads are assembled with this and
+/// handed to [`ArtifactWriter::section`](super::ArtifactWriter::section).
+#[derive(Default, Debug)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian —
+    /// exact round-trip of every value including NaN payloads.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a whole `u32` slice, little-endian.
+    pub fn u32s(&mut self, vs: &[u32]) {
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Zero-pads to the next 8-byte boundary (within-section alignment;
+    /// the container separately 8-aligns each section's start).
+    pub fn align8(&mut self) {
+        let target = self.buf.len().next_multiple_of(8);
+        self.buf.resize(target, 0);
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder into its payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A little-endian section decoder: a bounds-checked cursor over a
+/// payload. Every read returns [`PersistError::Truncated`] instead of
+/// panicking when the bytes run out — the uniform failure mode the
+/// corruption battery leans on.
+#[derive(Clone, Copy, Debug)]
+pub struct Dec<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    context: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `bytes`, reporting truncation against `context`
+    /// (the section name).
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Self {
+        Self {
+            bytes,
+            at: 0,
+            context,
+        }
+    }
+
+    /// The section name errors are reported against.
+    pub fn context(&self) -> &'static str {
+        self.context
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                context: self.context,
+            });
+        }
+        let out = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) yields 4"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) yields 8"),
+        ))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` and checks it fits a `usize` count bounded by
+    /// `limit` — the guard against oversized length fields walking the
+    /// cursor (or a later allocation) out of bounds.
+    pub fn count(&mut self, what: &'static str, limit: usize) -> Result<usize, PersistError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw).map_err(|_| {
+            PersistError::malformed(self.context, format!("{what} overflows usize"))
+        })?;
+        if n > limit {
+            return Err(PersistError::malformed(
+                self.context,
+                format!("{what} = {n} exceeds the plausible bound {limit}"),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Asserts the payload was consumed exactly (no trailing garbage).
+    pub fn finish(self) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::malformed(
+                self.context,
+                format!("{} trailing bytes", self.remaining()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enc_dec_roundtrip() {
+        let mut e = Enc::new();
+        e.u32(7);
+        e.u64(u64::MAX - 1);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.u32s(&[1, 2, 3]);
+        e.align8();
+        let bytes = e.finish();
+        assert_eq!(bytes.len() % 8, 0);
+        let mut d = Dec::new(&bytes, "test");
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.u32().unwrap(), 1);
+        assert_eq!(d.u32().unwrap(), 2);
+        assert_eq!(d.u32().unwrap(), 3);
+        d.take(d.remaining()).unwrap();
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn dec_reports_truncation_and_trailing_bytes() {
+        let mut d = Dec::new(&[1, 2, 3], "tiny");
+        assert_eq!(
+            d.u32().unwrap_err(),
+            PersistError::Truncated { context: "tiny" }
+        );
+        let d = Dec::new(&[0; 4], "trail");
+        assert!(matches!(
+            d.finish().unwrap_err(),
+            PersistError::Malformed {
+                context: "trail",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn count_rejects_oversized_length_fields() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes, "sec");
+        assert!(matches!(
+            d.count("things", 1024).unwrap_err(),
+            PersistError::Malformed { .. }
+        ));
+        let mut e = Enc::new();
+        e.u64(10);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes, "sec");
+        assert_eq!(d.count("things", 1024).unwrap(), 10);
+        let mut d2 = Dec::new(&bytes, "sec");
+        assert!(d2.count("things", 9).is_err());
+    }
+}

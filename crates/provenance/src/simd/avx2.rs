@@ -13,7 +13,7 @@
 //! runnable on machines without AVX2.
 
 use super::LANES;
-use crate::compiled::CompiledPolySet;
+use crate::compiled::CompiledView;
 use std::arch::x86_64::{
     __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
     _mm256_storeu_pd,
@@ -30,7 +30,7 @@ use std::arch::x86_64::{
 /// this CPU (the dispatcher's [`Kernel::resolve`](super::Kernel::resolve)
 /// guarantees it).
 #[target_feature(enable = "avx2")]
-pub(super) unsafe fn eval_block_table(c: &CompiledPolySet<f64>, block: &[f64], out: &mut [f64]) {
+pub(super) unsafe fn eval_block_table(c: CompiledView<'_, f64>, block: &[f64], out: &mut [f64]) {
     debug_assert!(block.len() >= c.vars.len() * LANES);
     debug_assert_eq!(out.len(), c.poly_ends.len() * LANES);
     let mut mono = 0usize;

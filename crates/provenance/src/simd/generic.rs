@@ -9,17 +9,17 @@
 //! exactly the same way.
 
 use super::{pow_lanes, LANES};
-use crate::compiled::CompiledPolySet;
+use crate::compiled::CompiledView;
 
 /// Evaluates every polynomial over one packed `[vars × LANES]` block
 /// table. `out[p·LANES + l]` receives polynomial `p`'s value in lane `l`
 /// (poly-major; the caller scatters back to scenario-major rows).
 ///
 /// Per lane this performs exactly the operation sequence of
-/// [`CompiledPolySet::eval_into`]: term = coefficient, multiplied by each
+/// [`CompiledView::eval_into`]: term = coefficient, multiplied by each
 /// factor's power in column order, accumulated in monomial order — so
 /// the results are bit-for-bit identical to the scalar engine.
-pub(super) fn eval_block_table(c: &CompiledPolySet<f64>, block: &[f64], out: &mut [f64]) {
+pub(super) fn eval_block_table(c: CompiledView<'_, f64>, block: &[f64], out: &mut [f64]) {
     debug_assert!(block.len() >= c.vars.len() * LANES);
     debug_assert_eq!(out.len(), c.poly_ends.len() * LANES);
     let mut mono = 0usize;

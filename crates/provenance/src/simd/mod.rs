@@ -42,7 +42,7 @@
 //! guarantee than the documented 1e-12 cross-currency tolerance, and the
 //! `simd_equivalence` suite asserts the bits.
 
-use crate::compiled::CompiledPolySet;
+use crate::compiled::{CompiledPolySet, CompiledView};
 use crate::valuation::Valuation;
 
 mod generic;
@@ -201,14 +201,34 @@ impl CompiledPolySet<f64> {
     /// so the loop performs no per-scenario allocation beyond the result
     /// rows themselves.
     pub fn eval_block(&self, vals: &[Valuation<f64>], kernel: Kernel) -> Vec<Vec<f64>> {
+        self.view().eval_block(vals, kernel)
+    }
+
+    /// [`eval_block`](Self::eval_block) appending into a caller-owned
+    /// vector of rows — the executor's chunk workers use this to fill
+    /// their output slices without intermediate collections.
+    pub fn eval_block_into(
+        &self,
+        vals: &[Valuation<f64>],
+        kernel: Kernel,
+        out: &mut Vec<Vec<f64>>,
+    ) {
+        self.view().eval_block_into(vals, kernel, out)
+    }
+}
+
+impl CompiledView<'_, f64> {
+    /// [`CompiledPolySet::eval_block`] off borrowed columns — identical
+    /// semantics, and the entry point a memory-mapped artifact's view
+    /// evaluates through without an owned `CompiledPolySet` existing.
+    pub fn eval_block(&self, vals: &[Valuation<f64>], kernel: Kernel) -> Vec<Vec<f64>> {
         let mut out = Vec::with_capacity(vals.len());
         self.eval_block_into(vals, kernel, &mut out);
         out
     }
 
     /// [`eval_block`](Self::eval_block) appending into a caller-owned
-    /// vector of rows — the executor's chunk workers use this to fill
-    /// their output slices without intermediate collections.
+    /// vector of rows.
     pub fn eval_block_into(
         &self,
         vals: &[Valuation<f64>],
@@ -229,11 +249,13 @@ impl CompiledPolySet<f64> {
             for chunk in vals[..full].chunks_exact(LANES) {
                 self.pack_block_table(chunk, &mut block);
                 match kernel {
-                    Kernel::Generic => generic::eval_block_table(self, &block, &mut lanes_out),
+                    Kernel::Generic => generic::eval_block_table(*self, &block, &mut lanes_out),
                     #[cfg(target_arch = "x86_64")]
                     // SAFETY: `resolve()` returns `Avx2` only when
                     // `is_x86_feature_detected!("avx2")` holds on this CPU.
-                    Kernel::Avx2 => unsafe { avx2::eval_block_table(self, &block, &mut lanes_out) },
+                    Kernel::Avx2 => unsafe {
+                        avx2::eval_block_table(*self, &block, &mut lanes_out)
+                    },
                     _ => unreachable!("resolve() returns a concrete lane kernel"),
                 }
                 // Scatter the poly-major lane results back into

@@ -11,7 +11,13 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A dense identifier of an interned provenance variable.
+///
+/// `#[repr(transparent)]` over the raw `u32` is a load-bearing layout
+/// guarantee: the persistence layer ([`crate::persist`]) reslices
+/// `&[u32]` columns read straight out of a mapped artifact as
+/// `&[VarId]` without copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct VarId(pub u32);
 
 impl VarId {

@@ -1,0 +1,445 @@
+//! The durable-artifact round-trip contract: a session saved with
+//! `Session::save` and reopened — through the owned read path *and* the
+//! zero-copy memory-mapped path — answers scenario batches bit-for-bit
+//! identically to the in-process session, reports the same sizes, VVS
+//! and intern stats, and never compiles (`compile_count() == 0`): the
+//! compiled columns are resliced from the file image, not rebuilt.
+//!
+//! Swept across all three paper workloads (telephony, TPC-H Q10, the
+//! supply-chain BOM), every [`Strategy`] variant, and a battery of
+//! randomly generated poly-sets.
+//!
+//! This suite lives in the provenance crate (which owns the format) and
+//! drives it through the façade via a dev-dependency cycle — Cargo
+//! permits dev-only cycles, and the format's contract *is* a whole-
+//! pipeline property.
+
+use provabs_datagen::workload::{Workload, WorkloadConfig, WorkloadData};
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::polyset_to_string;
+use provabs_provenance::valuation::Valuation;
+use provabs_provenance::var::{VarId, VarTable};
+use provabs_scenario::Scenario;
+use provabs_session::{ArtifactOrigin, Error, Session, SessionBuilder, Strategy};
+use provabs_trees::error::TreeError;
+use provabs_trees::forest::Forest;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A unique temp-file path per call; best-effort cleanup via [`TempFile`].
+fn temp_artifact(tag: &str) -> TempFile {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "provabs-roundtrip-{}-{}-{tag}.pvabs",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    TempFile(path)
+}
+
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn fixture(workload: Workload) -> (WorkloadData, Forest) {
+    let mut data = workload.generate(&WorkloadConfig {
+        scale: 0.05,
+        param_modulus: 16,
+        seed: 11,
+    });
+    let forest = data.primary_tree(1, 0);
+    (data, forest)
+}
+
+/// A bound between the forest's compression floor and the original size,
+/// probed through the façade so this suite needs no algorithm crates.
+fn attainable_bound(polys: &PolySet<f64>, vars: &VarTable, forest: &Forest) -> usize {
+    let total = polys.size_m();
+    let mut probe = SessionBuilder::new(polys.clone(), vars.clone())
+        .forest(forest.clone())
+        .bound(1)
+        .build()
+        .expect("valid probe");
+    let floor = match probe.compress() {
+        Ok(r) => r.compressed_size_m,
+        Err(Error::Tree(TreeError::BoundUnattainable { best_possible, .. })) => best_possible,
+        Err(e) => panic!("floor probe failed: {e}"),
+    };
+    (floor + (total - floor) / 2).max(1)
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Optimal,
+        Strategy::Greedy { incremental: true },
+        Strategy::Greedy { incremental: false },
+        Strategy::Online {
+            fraction: 0.5,
+            seed: 7,
+        },
+        Strategy::Competitor,
+        Strategy::Brute { cut_limit: 1 << 20 },
+        Strategy::None,
+    ]
+}
+
+fn assert_values_bitwise(a: &[Vec<f64>], b: &[Vec<f64>], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: batch sizes differ");
+    for (row_a, row_b) in a.iter().zip(b) {
+        assert_eq!(row_a.len(), row_b.len(), "{context}: row lengths differ");
+        for (x, y) in row_a.iter().zip(row_b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: {x} vs {y}");
+        }
+    }
+}
+
+/// Opens `path` through both load paths and asserts each reopened
+/// session is indistinguishable from `saved` on the given batch.
+fn assert_open_paths_equivalent(
+    saved: &mut Session,
+    path: &TempFile,
+    scenarios: &[Scenario],
+    valuations: &[Valuation<f64>],
+    context: &str,
+) {
+    let expected_run = saved.ask(scenarios).expect("known names").values;
+    let expected_prepared = saved.ask_prepared(valuations).expect("compressed").values;
+    let expected_result = saved.result().expect("compressed").clone();
+    let expected_stats = saved.intern_stats();
+
+    for (mapped, mut reopened) in [
+        (false, Session::open(&path.0).expect("owned open")),
+        (true, Session::open_mapped(&path.0).expect("mapped open")),
+    ] {
+        let context = format!("{context} / mapped={mapped}");
+
+        // Artifact provenance is observable and correct.
+        match reopened.artifact_info() {
+            ArtifactOrigin::Opened {
+                path: p,
+                format_version,
+                mapped: m,
+            } => {
+                assert_eq!(p, &path.0, "{context}");
+                assert_eq!(*format_version, 1, "{context}");
+                assert_eq!(*m, mapped, "{context}");
+            }
+            other => panic!("{context}: expected Opened origin, got {other:?}"),
+        }
+        assert!(
+            format!("{reopened:?}").contains("Opened"),
+            "{context}: Debug must surface the artifact origin"
+        );
+        assert_eq!(
+            saved.artifact_info(),
+            &ArtifactOrigin::Computed,
+            "{context}"
+        );
+
+        // The opened session is already compressed, with identical
+        // selection outcome and configuration.
+        assert!(reopened.is_compressed(), "{context}");
+        let got = reopened.result().expect("opened compressed").clone();
+        assert_eq!(got.vvs, expected_result.vvs, "{context}: VVS differs");
+        assert_eq!(got.original_size_m, expected_result.original_size_m);
+        assert_eq!(got.original_size_v, expected_result.original_size_v);
+        assert_eq!(got.compressed_size_m, expected_result.compressed_size_m);
+        assert_eq!(got.compressed_size_v, expected_result.compressed_size_v);
+        assert_eq!(reopened.bound(), saved.bound(), "{context}");
+        assert_eq!(reopened.strategy(), saved.strategy(), "{context}");
+        assert_eq!(
+            reopened.abstracted_labels(),
+            saved.abstracted_labels(),
+            "{context}"
+        );
+
+        // Bit-for-bit identical answers, by names and by prepared
+        // valuations, without a single compilation: the columns come
+        // straight out of the artifact.
+        let run = reopened.ask(scenarios).expect("known names").values;
+        assert_values_bitwise(&expected_run, &run, &context);
+        let prepared = reopened
+            .ask_prepared(valuations)
+            .expect("compressed")
+            .values;
+        assert_values_bitwise(&expected_prepared, &prepared, &context);
+        let again = reopened.ask(scenarios).expect("known names").values;
+        assert_values_bitwise(&run, &again, &context);
+        assert_eq!(
+            reopened.compile_count(),
+            0,
+            "{context}: opened sessions never compile for the ask path"
+        );
+
+        // Same intern bookkeeping, and the ask path stayed id-only.
+        let stats = reopened.intern_stats();
+        assert_eq!(
+            stats.arena_monomials, expected_stats.arena_monomials,
+            "{context}"
+        );
+        assert_eq!(
+            stats.interned_source, expected_stats.interned_source,
+            "{context}"
+        );
+        assert_eq!(
+            stats.polyset_materializations, 0,
+            "{context}: asks on an opened session must not materialise"
+        );
+
+        // The lazily-decoded abstracted set equals the saver's, term for
+        // term (this forces the WorkingSlot decode path).
+        assert_eq!(
+            polyset_to_string(reopened.abstracted().expect("compressed"), reopened.vars()),
+            polyset_to_string(saved.abstracted().expect("compressed"), saved.vars()),
+            "{context}: abstracted set differs after decode"
+        );
+    }
+}
+
+/// The tentpole acceptance sweep: all three workloads × every strategy,
+/// 16-scenario batches, both open paths, bit-for-bit equality with
+/// `compile_count() == 0`.
+#[test]
+fn saved_sessions_answer_identically_for_every_workload_and_strategy() {
+    for workload in [
+        Workload::Telephony,
+        Workload::TpchQ10,
+        Workload::SupplyChain,
+    ] {
+        let (data, forest) = fixture(workload);
+        let bound = attainable_bound(&data.polys, &data.vars, &forest);
+        for strategy in all_strategies() {
+            let context = format!("{} / {strategy:?}", workload.name());
+            let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+                .forest(forest.clone())
+                .strategy(strategy)
+                .bound(bound)
+                .build()
+                .unwrap_or_else(|e| panic!("{context}: build failed: {e}"));
+            session.compress().expect("attainable bound");
+
+            let names = session.abstracted_labels().expect("compressed");
+            let scenarios: Vec<Scenario> = (0..16)
+                .map(|i| Scenario::random(&names, 0.6, 500 + i))
+                .collect();
+            let mut val_vars = session.vars().clone();
+            let valuations: Vec<Valuation<f64>> = scenarios
+                .iter()
+                .map(|s| s.valuation(&mut val_vars))
+                .collect();
+
+            let file = temp_artifact(workload.name());
+            session.save(&file.0).expect("save succeeds");
+            assert_open_paths_equivalent(&mut session, &file, &scenarios, &valuations, &context);
+        }
+    }
+}
+
+/// Saving is deterministic: saving the same compressed state twice —
+/// before and after evaluations warmed every cache — writes
+/// byte-identical files. (This is what makes the ad-hoc freeze inside a
+/// pre-evaluation `save` indistinguishable from the cached lowering.)
+#[test]
+fn save_is_deterministic_and_cache_independent() {
+    let (data, forest) = fixture(Workload::Telephony);
+    let bound = attainable_bound(&data.polys, &data.vars, &forest);
+    let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest)
+        .bound(bound)
+        .build()
+        .expect("valid");
+
+    // First save: compress has not even run yet (save runs it).
+    let cold = temp_artifact("cold");
+    session.save(&cold.0).expect("save");
+    assert_eq!(session.compile_count(), 0, "save alone must not compile");
+
+    // Warm every cache: asks (freeze), bridges (materialise).
+    let names = session.abstracted_labels().expect("compressed");
+    let scenarios: Vec<Scenario> = (0..4).map(|i| Scenario::random(&names, 0.6, i)).collect();
+    session.ask(&scenarios).expect("known names");
+    let _ = session.abstracted();
+    let _ = session.original();
+
+    let warm = temp_artifact("warm");
+    session.save(&warm.0).expect("save");
+    let a = std::fs::read(&cold.0).expect("cold bytes");
+    let b = std::fs::read(&warm.0).expect("warm bytes");
+    assert_eq!(a, b, "saves before/after cache warm-up must be identical");
+
+    // And a reopened session re-saves the same bytes again.
+    let mut reopened = Session::open(&cold.0).expect("open");
+    let resaved = temp_artifact("resaved");
+    reopened.save(&resaved.0).expect("save");
+    let c = std::fs::read(&resaved.0).expect("resaved bytes");
+    assert_eq!(a, c, "open → save must reproduce the artifact");
+}
+
+/// Reopened sessions serve the *reference* paths too: the uncompiled
+/// hash-map engine, the original-side measurements, and the accuracy
+/// report — all decoded lazily from the artifact's working sets.
+#[test]
+fn opened_sessions_serve_reference_paths_and_reports() {
+    let (data, forest) = fixture(Workload::TpchQ10);
+    let bound = attainable_bound(&data.polys, &data.vars, &forest);
+    let mut session = SessionBuilder::new(data.polys.clone(), data.vars.clone())
+        .forest(forest)
+        .bound(bound)
+        .build()
+        .expect("valid");
+    session.compress().expect("attainable");
+    let file = temp_artifact("reference");
+    session.save(&file.0).expect("save");
+
+    let names = session.abstracted_labels().expect("compressed");
+    let scenarios: Vec<Scenario> = (0..3).map(|i| Scenario::random(&names, 0.6, i)).collect();
+    let orig_names: Vec<String> = data.vars.iter().map(|(_, n)| n.to_string()).collect();
+    let fine = Scenario::random(&orig_names, 0.5, 99);
+
+    for mut reopened in [
+        Session::open(&file.0).expect("open"),
+        Session::open_mapped(&file.0).expect("open mapped"),
+    ] {
+        // The original provenance decodes from the artifact.
+        assert_eq!(
+            polyset_to_string(reopened.original(), reopened.vars()),
+            polyset_to_string(session.original(), session.vars()),
+            "original side must round-trip"
+        );
+        // Accuracy numbers match the saver's bit for bit (both sides
+        // deterministic evaluations off equal state).
+        let a = session.accuracy_report(&fine).expect("known names");
+        let b = reopened.accuracy_report(&fine).expect("known names");
+        assert_eq!(a.mean_relative.to_bits(), b.mean_relative.to_bits());
+        assert_eq!(a.max_relative.to_bits(), b.max_relative.to_bits());
+        // Equivalence error runs on the hash-map reference, whose float
+        // summation order legitimately differs after the decode
+        // re-interns the maps — both sides must still be float noise.
+        let ea = session.equivalence_error(&scenarios).expect("known names");
+        let eb = reopened.equivalence_error(&scenarios).expect("known names");
+        assert!(ea < 1e-9 && eb < 1e-9, "equivalence noise: {ea} vs {eb}");
+        // Speedup reports run (timing-based, not bit-comparable).
+        let report = reopened.speedup_report(&scenarios, 2).expect("known");
+        assert!(report.original.as_nanos() > 0);
+        assert!(report.compressed.as_nanos() > 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Random poly-sets: structural fuzz of the codecs through the façade.
+// ---------------------------------------------------------------------
+
+/// xorshift64* — deterministic, dependency-free randomness for the
+/// generator battery.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random poly-set over `num_vars` variables: mixed arities, repeated
+/// monomials (coefficient accumulation), empty polynomials, higher
+/// exponents — every wire-shape corner the codecs must carry.
+fn random_polys(rng: &mut Rng, vars: &mut VarTable) -> PolySet<f64> {
+    let num_vars = 3 + rng.below(20) as usize;
+    let ids: Vec<VarId> = (0..num_vars)
+        .map(|i| vars.intern(&format!("v{i}")))
+        .collect();
+    let num_polys = 1 + rng.below(8) as usize;
+    let mut polys = Vec::with_capacity(num_polys);
+    for _ in 0..num_polys {
+        let num_terms = rng.below(7) as usize; // 0 → empty polynomial
+        let mut terms = Vec::with_capacity(num_terms);
+        for _ in 0..num_terms {
+            let arity = rng.below(4) as usize; // 0 → constant monomial
+            let mut factors = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let var = ids[rng.below(ids.len() as u64) as usize];
+                let exp = 1 + rng.below(3) as u32;
+                factors.push((var, exp));
+            }
+            let coeff = (rng.below(2001) as f64 - 1000.0) / 8.0;
+            terms.push((Monomial::from_factors(factors), coeff));
+        }
+        polys.push(Polynomial::from_terms(terms));
+    }
+    PolySet::from_vec(polys)
+}
+
+/// Twelve random poly-sets (no forest, `Strategy::None`): save → open
+/// (both paths) preserves the working sets term-for-term and answers
+/// random prepared valuations bit-for-bit.
+#[test]
+fn random_polysets_roundtrip_bitwise() {
+    for seed in 1..=12u64 {
+        let mut rng = Rng(0x9E37_79B9 ^ (seed << 16));
+        let mut vars = VarTable::new();
+        let polys = random_polys(&mut rng, &mut vars);
+        let context = format!("seed {seed}");
+
+        let mut session = SessionBuilder::new(polys.clone(), vars.clone())
+            .strategy(Strategy::None)
+            .build()
+            .expect("no forest needed");
+        session.compress().expect("identity always works");
+
+        let valuations: Vec<Valuation<f64>> = (0..4)
+            .map(|_| {
+                let mut val = Valuation::neutral();
+                for (id, _) in vars.iter() {
+                    if rng.below(3) == 0 {
+                        val.assign(id, (rng.below(41) as f64 - 20.0) / 4.0);
+                    }
+                }
+                val
+            })
+            .collect();
+
+        let file = temp_artifact(&format!("random-{seed}"));
+        session.save(&file.0).expect("save");
+        let expected = session
+            .ask_prepared(&valuations)
+            .expect("compressed")
+            .values;
+
+        for mut reopened in [
+            Session::open(&file.0).expect("open"),
+            Session::open_mapped(&file.0).expect("open mapped"),
+        ] {
+            let got = reopened
+                .ask_prepared(&valuations)
+                .expect("compressed")
+                .values;
+            assert_values_bitwise(&expected, &got, &context);
+            assert_eq!(reopened.compile_count(), 0, "{context}");
+            assert_eq!(
+                polyset_to_string(reopened.abstracted().expect("compressed"), reopened.vars()),
+                polyset_to_string(session.abstracted().expect("compressed"), session.vars()),
+                "{context}: abstracted set differs"
+            );
+            assert_eq!(
+                polyset_to_string(reopened.original(), reopened.vars()),
+                polyset_to_string(session.original(), session.vars()),
+                "{context}: original set differs"
+            );
+        }
+    }
+}

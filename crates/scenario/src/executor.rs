@@ -17,7 +17,7 @@
 //! property suite).
 
 use crate::apply::TimedRun;
-use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::compiled::{CompiledPolySet, CompiledView};
 use provabs_provenance::polyset::PolySet;
 pub use provabs_provenance::simd::Kernel;
 use provabs_provenance::simd::LANES;
@@ -214,6 +214,20 @@ pub fn eval_compiled(
     valuations: &[Valuation<f64>],
     opts: &EvalOptions,
 ) -> TimedRun {
+    eval_compiled_view(compiled.view(), valuations, opts)
+}
+
+/// [`eval_compiled`] over borrowed compiled columns: the entry point for
+/// callers whose lowering is not an owned [`CompiledPolySet`] at all but
+/// a [`CompiledView`] resliced from elsewhere — in particular a durable
+/// artifact's memory-mapped arenas
+/// ([`provabs_provenance::persist`]), which evaluate through this
+/// function without a single column ever being copied.
+pub fn eval_compiled_view(
+    compiled: CompiledView<'_, f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+) -> TimedRun {
     let start = Instant::now();
     let values = eval_grid_compiled(compiled, valuations, opts);
     TimedRun {
@@ -225,7 +239,7 @@ pub fn eval_compiled(
 /// The untimed compiled-path grid (single-thread or pool). The kernel is
 /// resolved once per batch — every chunk worker runs the same engine.
 fn eval_grid_compiled(
-    compiled: &CompiledPolySet<f64>,
+    compiled: CompiledView<'_, f64>,
     valuations: &[Valuation<f64>],
     opts: &EvalOptions,
 ) -> Vec<Vec<f64>> {
@@ -267,7 +281,7 @@ fn eval_grid(
     }
     let threads = opts.resolved_threads(valuations.len());
     if let Some(compiled) = compiled {
-        eval_grid_compiled(compiled, valuations, opts)
+        eval_grid_compiled(compiled.view(), valuations, opts)
     } else if threads <= 1 {
         valuations.iter().map(|v| v.eval_set(polys)).collect()
     } else {

@@ -10,6 +10,7 @@
 
 use provabs_engine::error::EngineError;
 use provabs_provenance::parse::ParseError;
+use provabs_provenance::persist::PersistError;
 use provabs_trees::error::TreeError;
 use std::fmt;
 
@@ -50,6 +51,11 @@ pub enum Error {
     /// nothing. Pose the scenario over the abstracted labels instead, or
     /// measure the fine-grained approximation through `accuracy_report`.
     VariableNotInAbstraction(String),
+    /// A durable-artifact failure: saving, opening, or validating a
+    /// persisted session (`Session::save` / `Session::open` /
+    /// `Session::open_mapped`). Corrupted or truncated artifacts always
+    /// surface here — never as a panic or silently-loaded garbage.
+    Persist(PersistError),
 }
 
 impl fmt::Display for Error {
@@ -76,6 +82,7 @@ impl fmt::Display for Error {
                  provenance (merged or eliminated by the abstraction); use the \
                  abstracted labels, or accuracy_report for fine-grained questions"
             ),
+            Error::Persist(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -86,6 +93,7 @@ impl std::error::Error for Error {
             Error::Tree(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Parse(e) => Some(e),
+            Error::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -106,6 +114,12 @@ impl From<EngineError> for Error {
 impl From<ParseError> for Error {
     fn from(e: ParseError) -> Self {
         Error::Parse(e)
+    }
+}
+
+impl From<PersistError> for Error {
+    fn from(e: PersistError) -> Self {
+        Error::Persist(e)
     }
 }
 
@@ -132,6 +146,10 @@ mod tests {
         assert!(format!("{b}").contains("invalid size bound 0"));
         assert!(format!("{}", Error::MissingForest).contains("forest"));
         assert!(format!("{}", Error::UnknownVariable("zz".into())).contains("\"zz\""));
+
+        let a: Error = PersistError::BadMagic.into();
+        assert!(matches!(a, Error::Persist(PersistError::BadMagic)));
+        assert!(format!("{a}").contains("artifact error"));
     }
 
     #[test]

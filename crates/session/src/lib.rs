@@ -29,6 +29,13 @@
 //!
 //! Errors from every stage unify into [`Error`].
 //!
+//! The compressed state is *durable*: [`Session::save`] writes it as a
+//! versioned, checksummed artifact, and [`Session::open`] /
+//! [`Session::open_mapped`] (zero-copy, memory-mapped) restore a session
+//! that answers identically with `compile_count() == 0` — a warm restart
+//! skips both compression and compilation. [`Session::artifact_info`]
+//! reports where a session's state came from.
+//!
 //! # Example
 //!
 //! ```
@@ -86,11 +93,13 @@
 //! [`AbstractionResult::apply`]: provabs_core::problem::AbstractionResult::apply
 //! [`CompiledPolySet`]: provabs_provenance::compiled::CompiledPolySet
 
+pub mod artifact;
 pub mod builder;
 pub mod error;
 pub mod session;
 pub mod strategy;
 
+pub use artifact::ArtifactOrigin;
 pub use builder::SessionBuilder;
 pub use error::Error;
 pub use provabs_provenance::simd::{Kernel, KernelInfo};

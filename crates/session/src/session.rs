@@ -27,6 +27,8 @@
 //! — a full query → compress → ask run on the default engine performs
 //! zero of them.
 
+pub use crate::artifact::ArtifactOrigin;
+use crate::artifact::{decode_live_vars, decode_meta, encode_live_vars, encode_meta, SessionMeta};
 use crate::error::Error;
 use crate::strategy::Strategy;
 use provabs_core::brute::brute_force_vvs;
@@ -39,8 +41,12 @@ use provabs_core::optimal::{optimal_frontier, optimal_vvs_interned};
 use provabs_core::problem::{
     evaluate_vvs_interned, prepare_interned, AbstractionResult, InternedAbstraction,
 };
-use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::compiled::{CompiledPolySet, CompiledView};
 use provabs_provenance::fxhash::FxHashSet;
+use provabs_provenance::persist::{
+    decode_var_table, encode_compiled, encode_var_table, encode_working, section, ArtifactWriter,
+    RawArtifact, SharedCompiled, WorkingSlot,
+};
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::simd::KernelInfo;
 use provabs_provenance::valuation::Valuation;
@@ -48,13 +54,15 @@ use provabs_provenance::var::{VarId, VarTable};
 use provabs_provenance::working::WorkingSet;
 use provabs_scenario::accuracy::{coarse_valuation, error_stats, ErrorReport};
 use provabs_scenario::apply::TimedRun;
-use provabs_scenario::executor::{eval_compiled, eval_prepared, EvalOptions};
+use provabs_scenario::executor::{eval_compiled_view, eval_prepared, EvalOptions};
 use provabs_scenario::scenario::Scenario;
 use provabs_scenario::speedup::{
     max_equivalence_error_prepared, measure_alternating, SpeedupReport,
 };
 use provabs_trees::cut::Vvs;
 use provabs_trees::forest::Forest;
+use provabs_trees::persist::{decode_forest, decode_vvs, encode_forest, encode_vvs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -93,19 +101,85 @@ pub struct InternStats {
     pub interned_source: bool,
 }
 
+/// A compiled lowering the evaluator can run on: either owned columns
+/// frozen in this process, or validated ranges into an opened artifact's
+/// byte image ([`SharedCompiled`] — zero columns copied). Both present
+/// the same [`CompiledView`] to every engine, which is what makes opened
+/// sessions answer bit-for-bit identically with `compile_count() == 0`.
+enum CompiledHandle {
+    /// Frozen / compiled in this process.
+    Owned(CompiledPolySet<f64>),
+    /// Resliced from an opened artifact (owned buffer or memory map).
+    Shared(SharedCompiled),
+}
+
+impl CompiledHandle {
+    fn view(&self) -> CompiledView<'_, f64> {
+        match self {
+            CompiledHandle::Owned(c) => c.view(),
+            CompiledHandle::Shared(s) => s.view(),
+        }
+    }
+}
+
+/// The abstracted working set — eagerly present when [`Session::compress`]
+/// computed it here, or a validated-but-undecoded artifact section
+/// ([`WorkingSlot`]) for opened sessions, materialised only by the paths
+/// that genuinely need the hash-map form (bridges, re-freezing under
+/// non-default options). The hot ask path of an opened session never
+/// decodes it.
+struct LazyWorking {
+    cell: OnceLock<WorkingSet<f64>>,
+    slot: Option<WorkingSlot>,
+    /// Arena length, known without decoding (observability).
+    arena_len: usize,
+}
+
+impl LazyWorking {
+    fn eager(ws: WorkingSet<f64>) -> Self {
+        let arena_len = ws.arena().len();
+        let cell = OnceLock::new();
+        let _ = cell.set(ws);
+        Self {
+            cell,
+            slot: None,
+            arena_len,
+        }
+    }
+
+    fn lazy(slot: WorkingSlot) -> Self {
+        let arena_len = slot.arena_len();
+        Self {
+            cell: OnceLock::new(),
+            slot: Some(slot),
+            arena_len,
+        }
+    }
+
+    fn get(&self) -> &WorkingSet<f64> {
+        self.cell
+            .get_or_init(|| self.slot.as_ref().expect("eager or slot").decode())
+    }
+
+    fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+}
+
 /// Everything [`Session::compress`] caches.
 struct CompressedState {
     /// The selection outcome: chosen VVS, cleaned forest, size measures.
     result: AbstractionResult,
     /// The abstracted provenance `𝒫↓S` in interned form — the state every
     /// evaluation path is derived from.
-    working: WorkingSet<f64>,
+    working: LazyWorking,
     /// The variables that actually occur in `working` — the space coarse
     /// scenarios are validated against.
     live_vars: FxHashSet<VarId>,
-    /// Columnar freeze of `working`'s arena, built lazily by the first
-    /// evaluation whose options ask for the compiled path.
-    compiled: Option<CompiledPolySet<f64>>,
+    /// Columnar lowering, built lazily by the first evaluation whose
+    /// options ask for the compiled path — or installed directly (and
+    /// zero-copy) when the session was opened from an artifact.
+    compiled: Option<CompiledHandle>,
     /// Bridge: the hash-map materialisation of `working`, built lazily
     /// (and counted) only when a caller explicitly needs a [`PolySet`].
     abstracted: OnceLock<PolySet<f64>>,
@@ -137,6 +211,13 @@ pub struct Session {
     /// atomic so `Session` stays `Sync`).
     materializations: AtomicUsize,
     interned_source: bool,
+    /// For opened sessions: the original provenance as a validated,
+    /// lazily-decoded artifact section (reference measurements only —
+    /// the ask path never touches it).
+    source_slot: Option<WorkingSlot>,
+    /// Where the compiled state came from (computed here vs opened from
+    /// a saved artifact) — see [`Session::artifact_info`].
+    origin: ArtifactOrigin,
 }
 
 impl std::fmt::Debug for Session {
@@ -150,6 +231,7 @@ impl std::fmt::Debug for Session {
             .field("compile_count", &self.compile_count)
             .field("intern_stats", &self.intern_stats())
             .field("kernel_info", &self.kernel_info())
+            .field("artifact", &self.origin)
             .finish_non_exhaustive()
     }
 }
@@ -189,27 +271,30 @@ impl Session {
             compile_count: 0,
             materializations: AtomicUsize::new(0),
             interned_source,
+            source_slot: None,
+            origin: ArtifactOrigin::Computed,
         }
     }
 
-    /// The original provenance in interned form, lowering it from the
-    /// poly-set input on first use (ingest-time interning — *not* a
-    /// bridge materialisation).
+    /// The original provenance in interned form: decoded from the opened
+    /// artifact's slot, or lowered from the poly-set input on first use
+    /// (ingest-time interning — *not* a bridge materialisation).
     fn source_ws(&self) -> &WorkingSet<f64> {
         self.source.get_or_init(|| {
-            WorkingSet::from_polyset(self.polys.get().expect("one source is always present"))
+            if let Some(slot) = &self.source_slot {
+                slot.decode()
+            } else {
+                WorkingSet::from_polyset(self.polys.get().expect("one source is always present"))
+            }
         })
     }
 
     /// The original provenance in hash-map form, bridging (and counting)
-    /// from the interned input on first use.
+    /// from the interned form on first use.
     fn polys_ref(&self) -> &PolySet<f64> {
         self.polys.get_or_init(|| {
             self.materializations.fetch_add(1, Ordering::Relaxed);
-            self.source
-                .get()
-                .expect("one source is always present")
-                .to_polyset()
+            self.source_ws().to_polyset()
         })
     }
 
@@ -274,7 +359,7 @@ impl Session {
             let live_vars = interned.working.live_vars();
             self.compressed = Some(CompressedState {
                 result: interned.result,
-                working: interned.working,
+                working: LazyWorking::eager(interned.working),
                 live_vars,
                 compiled: None,
                 abstracted: OnceLock::new(),
@@ -461,7 +546,7 @@ impl Session {
     ) -> &'a PolySet<f64> {
         state.abstracted.get_or_init(|| {
             materializations.fetch_add(1, Ordering::Relaxed);
-            state.working.to_polyset()
+            state.working.get().to_polyset()
         })
     }
 
@@ -471,7 +556,7 @@ impl Session {
         let state = self.compressed.as_ref().expect("compress ran first");
         if opts.compiled {
             let compiled = state.compiled.as_ref().expect("lowering ensured by caller");
-            eval_compiled(compiled, valuations, opts)
+            eval_compiled_view(compiled.view(), valuations, opts)
         } else {
             let polys = Self::abstracted_bridge(&self.materializations, state);
             eval_prepared(polys, None, valuations, opts)
@@ -485,7 +570,7 @@ impl Session {
                 .original_compiled
                 .as_ref()
                 .expect("lowering ensured by caller");
-            eval_compiled(compiled, valuations, opts)
+            eval_compiled_view(compiled.view(), valuations, opts)
         } else {
             eval_prepared(self.polys_ref(), None, valuations, opts)
         }
@@ -500,19 +585,21 @@ impl Session {
         }
         let state = self.compressed.as_mut().expect("compress ran first");
         if state.compiled.is_none() {
-            state.compiled = Some(state.working.freeze());
+            let frozen = state.working.get().freeze();
+            state.compiled = Some(CompiledHandle::Owned(frozen));
             self.compile_count += 1;
         }
     }
 
     /// Lowers the original provenance once, if `opts` uses the compiled
     /// path and it has not been lowered yet: frozen from the interned
-    /// source when the session was built interned, compiled from the
-    /// input poly-set otherwise (bit-identical to the low-level
-    /// `CompiledPolySet::compile` on that input either way).
+    /// source when the session was built interned or opened from an
+    /// artifact, compiled from the input poly-set otherwise
+    /// (bit-identical to the low-level `CompiledPolySet::compile` on
+    /// that input either way).
     fn ensure_original_compiled(&mut self, opts: &EvalOptions) {
         if opts.compiled && self.original_compiled.is_none() {
-            self.original_compiled = Some(if self.interned_source {
+            self.original_compiled = Some(if self.interned_source || self.source_slot.is_some() {
                 self.source_ws().freeze()
             } else {
                 CompiledPolySet::compile(self.polys_ref())
@@ -626,7 +713,7 @@ impl Session {
     /// [`compress`](Self::compress) has run — the representation every
     /// evaluation is derived from.
     pub fn working(&self) -> Option<&WorkingSet<f64>> {
-        self.compressed.as_ref().map(|s| &s.working)
+        self.compressed.as_ref().map(|s| s.working.get())
     }
 
     /// The abstracted poly-set `𝒫↓S` as a hash-map materialisation, if
@@ -672,6 +759,174 @@ impl Session {
         provabs_provenance::simd::kernel_info(self.opts.kernel)
     }
 
+    /// The artifact-provenance observability hook — sibling of
+    /// [`compile_count`](Self::compile_count) and
+    /// [`intern_stats`](Self::intern_stats): whether this session's
+    /// compiled state was computed in this process or opened from a
+    /// saved artifact (and if so from which path, at which format
+    /// version, over which load path). Also part of the session's
+    /// `Debug` output.
+    pub fn artifact_info(&self) -> &ArtifactOrigin {
+        &self.origin
+    }
+
+    /// Saves the session's compiled state as a durable artifact at
+    /// `path` (compressing first if [`compress`](Self::compress) has not
+    /// run): a versioned, checksummed, little-endian container holding
+    /// the variable table, both forests, the chosen VVS, the live
+    /// variables, the frozen compiled columns and both working sets —
+    /// everything [`open`](Self::open) / [`open_mapped`](Self::open_mapped)
+    /// need to answer scenarios bit-for-bit identically without ever
+    /// recompressing or recompiling.
+    ///
+    /// The write is atomic (temp file + rename), so a crashed save never
+    /// leaves a half-written artifact behind, and repeated saves of the
+    /// same state write byte-identical files (all payloads are
+    /// canonically ordered).
+    ///
+    /// # Errors
+    ///
+    /// Any compression error from the first call;
+    /// [`Error::Persist`] for I/O failures.
+    pub fn save(&mut self, path: impl AsRef<Path>) -> Result<(), Error> {
+        self.compress()?;
+        let state = self.compressed.as_ref().expect("compressed above");
+        let meta = SessionMeta {
+            interned_source: self.interned_source,
+            strategy: self.strategy.clone(),
+            bound: self.bound,
+            original_size_m: state.result.original_size_m,
+            original_size_v: state.result.original_size_v,
+            compressed_size_m: state.result.compressed_size_m,
+            compressed_size_v: state.result.compressed_size_v,
+        };
+        let compiled_bytes = match &state.compiled {
+            Some(handle) => encode_compiled(handle.view()),
+            // Freezing is deterministic, so this ad-hoc freeze writes
+            // the bytes a cached lowering would — without counting as a
+            // session compilation or warming the evaluation cache.
+            None => {
+                let frozen = state.working.get().freeze();
+                encode_compiled(frozen.view())
+            }
+        };
+        let mut w = ArtifactWriter::new();
+        w.section(section::SESSION_META, encode_meta(&meta));
+        w.section(section::VAR_TABLE, encode_var_table(&self.vars));
+        w.section(section::FOREST_CONFIG, encode_forest(&self.forest));
+        w.section(section::FOREST_CLEAN, encode_forest(&state.result.forest));
+        w.section(
+            section::VVS,
+            encode_vvs(&state.result.vvs, state.result.forest.num_trees()),
+        );
+        w.section(section::LIVE_VARS, encode_live_vars(&state.live_vars));
+        w.section(section::COMPILED_ABS, compiled_bytes);
+        w.section(section::WORKING_ABS, encode_working(state.working.get()));
+        w.section(section::WORKING_ORIG, encode_working(self.source_ws()));
+        w.write_atomic(path.as_ref())?;
+        Ok(())
+    }
+
+    /// Opens a session from an artifact saved by [`save`](Self::save),
+    /// reading the file into an owned buffer. The opened session answers
+    /// [`ask`](Self::ask) / [`ask_prepared`](Self::ask_prepared) batches
+    /// bit-for-bit identically to the session that saved it, with
+    /// [`compile_count`](Self::compile_count)` == 0`: the compiled
+    /// columns are validated in place and resliced, never rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Persist`] for I/O failures and for *any* malformed input
+    /// — truncation, bit flips, oversized lengths, bad magic, future
+    /// format versions all surface as typed errors, never a panic.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        let path = path.as_ref();
+        let art = RawArtifact::open(path)?;
+        Self::open_impl(art, path)
+    }
+
+    /// [`open`](Self::open) over a read-only memory mapping — the
+    /// zero-copy load path: the compiled columns the evaluator runs on
+    /// are served straight from the page cache, so a warm restart
+    /// touches only the pages it evaluates.
+    ///
+    /// The artifact must not be mutated in place while the session is
+    /// alive ([`save`](Self::save) publishes by atomic rename, which is
+    /// safe to run concurrently).
+    pub fn open_mapped(path: impl AsRef<Path>) -> Result<Self, Error> {
+        let path = path.as_ref();
+        let art = RawArtifact::open_mapped(path)?;
+        Self::open_impl(art, path)
+    }
+
+    fn open_impl(art: RawArtifact, path: &Path) -> Result<Self, Error> {
+        let meta = decode_meta(art.require(section::SESSION_META, "session meta")?)?;
+        let vars = decode_var_table(art.require(section::VAR_TABLE, "variable table")?)?;
+        let forest = decode_forest(
+            art.require(section::FOREST_CONFIG, "configured forest")?,
+            &vars,
+            "configured forest",
+        )?;
+        let clean = decode_forest(
+            art.require(section::FOREST_CLEAN, "cleaned forest")?,
+            &vars,
+            "cleaned forest",
+        )?;
+        let vvs = decode_vvs(art.require(section::VVS, "vvs")?, &clean, "vvs")?;
+        let live_vars = decode_live_vars(
+            art.require(section::LIVE_VARS, "live variables")?,
+            vars.len(),
+        )?;
+        let compiled = SharedCompiled::validate(&art, vars.len())?;
+        let working = WorkingSlot::validate(
+            &art,
+            section::WORKING_ABS,
+            "abstracted working set",
+            vars.len(),
+        )?;
+        let source_slot = WorkingSlot::validate(
+            &art,
+            section::WORKING_ORIG,
+            "original working set",
+            vars.len(),
+        )?;
+        let result = AbstractionResult {
+            forest: clean,
+            vvs,
+            original_size_m: meta.original_size_m,
+            original_size_v: meta.original_size_v,
+            compressed_size_m: meta.compressed_size_m,
+            compressed_size_v: meta.compressed_size_v,
+        };
+        let origin = ArtifactOrigin::Opened {
+            path: PathBuf::from(path),
+            format_version: art.version(),
+            mapped: art.is_mapped(),
+        };
+        Ok(Self {
+            polys: OnceLock::new(),
+            source: OnceLock::new(),
+            vars,
+            forest,
+            strategy: meta.strategy,
+            bound: meta.bound,
+            opts: EvalOptions::new(),
+            compressed: Some(CompressedState {
+                result,
+                working: LazyWorking::lazy(working),
+                live_vars,
+                compiled: Some(CompiledHandle::Shared(compiled)),
+                abstracted: OnceLock::new(),
+            }),
+            original_compiled: None,
+            compile_count: 0,
+            materializations: AtomicUsize::new(0),
+            interned_source: meta.interned_source,
+            source_slot: Some(source_slot),
+            origin,
+        })
+    }
+
     /// The interning observability hook — sibling of
     /// [`compile_count`](Self::compile_count). See [`InternStats`].
     pub fn intern_stats(&self) -> InternStats {
@@ -680,7 +935,7 @@ impl Session {
             arena_monomials: self
                 .compressed
                 .as_ref()
-                .map_or(0, |s| s.working.arena().len()),
+                .map_or(0, |s| s.working.arena_len()),
             interned_source: self.interned_source,
         }
     }

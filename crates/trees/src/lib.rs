@@ -13,6 +13,8 @@
 //! * [`clean`] — removal of redundant nodes (footnote 1 / Example 15),
 //! * [`builder`] — ergonomic construction,
 //! * [`text`] — a `label(child, …)` notation for storing trees in files,
+//! * [`persist`] — artifact section codecs for forests and VVSs (the
+//!   durable-artifact format of [`provabs_provenance::persist`]),
 //! * [`generate`] — the benchmark trees of the paper's evaluation:
 //!   Figures 2–4 and the seven tree types of Table 2.
 
@@ -22,6 +24,7 @@ pub mod cut;
 pub mod error;
 pub mod forest;
 pub mod generate;
+pub mod persist;
 pub mod text;
 pub mod tree;
 

@@ -1,0 +1,286 @@
+//! Artifact section codecs for forests and valid variable sets.
+//!
+//! The container and wire primitives live in
+//! [`provabs_provenance::persist`]; this module owns the two section
+//! payloads whose *data* this crate owns — the abstraction forest and
+//! the chosen VVS — so the persistence layering mirrors the crate
+//! layering (see ADR 006).
+//!
+//! Wire shapes (all little-endian, via [`Enc`]/[`Dec`]):
+//!
+//! * **Forest** — tree count `u64`, then per tree a node count `u32`
+//!   followed by `(var u32, parent u32)` per node in arena order, with
+//!   `u32::MAX` marking the root's missing parent. Labels are *not*
+//!   stored: a node's label is its variable's name in the artifact's
+//!   variable table (the builder interns labels as variables, so the two
+//!   are equal by construction).
+//! * **VVS** — tree count `u64`, then per tree a length-prefixed list of
+//!   chosen node ids.
+//!
+//! Decoding re-validates everything the in-memory constructors assume:
+//! parents precede children, node variables exist in the table and are
+//! unique per tree, the forest is disjoint ([`Forest::new`]), and the
+//! VVS satisfies Def. 4 ([`Vvs::validate`]). Violations surface as
+//! [`PersistError::Malformed`] — never a panic.
+
+use crate::cut::Vvs;
+use crate::forest::Forest;
+use crate::tree::{AbsTree, NodeId, TreeNode};
+use provabs_provenance::fxhash::FxHashSet;
+use provabs_provenance::persist::{Dec, Enc, PersistError};
+use provabs_provenance::var::{VarId, VarTable};
+use std::sync::Arc;
+
+/// The on-wire "no parent" marker for root nodes.
+const NO_PARENT: u32 = u32::MAX;
+
+/// Encodes a forest (see the [module docs](self) for the wire shape).
+pub fn encode_forest(forest: &Forest) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(forest.num_trees() as u64);
+    for tree in forest.trees() {
+        e.u32(tree.num_nodes() as u32);
+        for id in tree.node_ids() {
+            e.u32(tree.var_of(id).0);
+            e.u32(tree.parent(id).map_or(NO_PARENT, |p| p.0));
+        }
+    }
+    e.finish()
+}
+
+/// Decodes a forest against the artifact's variable table, reporting
+/// errors under `context` (the section name).
+pub fn decode_forest(
+    bytes: &[u8],
+    vars: &VarTable,
+    context: &'static str,
+) -> Result<Forest, PersistError> {
+    let mut d = Dec::new(bytes, context);
+    let num_trees = d.count("tree count", bytes.len())?;
+    let mut trees = Vec::with_capacity(num_trees);
+    for ti in 0..num_trees {
+        let num_nodes = d.u32()? as usize;
+        if num_nodes == 0 {
+            return Err(PersistError::malformed(
+                context,
+                format!("tree {ti} has no nodes"),
+            ));
+        }
+        let mut nodes: Vec<TreeNode> = Vec::with_capacity(num_nodes);
+        let mut seen_vars: FxHashSet<VarId> = FxHashSet::default();
+        for i in 0..num_nodes {
+            let var = d.u32()?;
+            let parent = d.u32()?;
+            if var as usize >= vars.len() {
+                return Err(PersistError::malformed(
+                    context,
+                    format!("tree {ti} node {i} references variable {var} outside the table"),
+                ));
+            }
+            let var = VarId(var);
+            if !seen_vars.insert(var) {
+                // `AbsTree::from_parts` would silently keep only the
+                // last node per variable — reject instead.
+                return Err(PersistError::malformed(
+                    context,
+                    format!("tree {ti} labels two nodes with {:?}", vars.name(var)),
+                ));
+            }
+            let parent = if i == 0 {
+                if parent != NO_PARENT {
+                    return Err(PersistError::malformed(
+                        context,
+                        format!("tree {ti} node 0 is not a root"),
+                    ));
+                }
+                None
+            } else {
+                if parent as usize >= i {
+                    return Err(PersistError::malformed(
+                        context,
+                        format!("tree {ti} node {i} has parent {parent} not preceding it"),
+                    ));
+                }
+                Some(NodeId(parent))
+            };
+            nodes.push(TreeNode {
+                label: Arc::from(vars.name(var)),
+                var,
+                parent,
+                children: Vec::new(),
+            });
+        }
+        for i in 1..num_nodes {
+            let p = nodes[i].parent.expect("non-root checked above").index();
+            nodes[p].children.push(NodeId(i as u32));
+        }
+        trees.push(AbsTree::from_parts(nodes));
+    }
+    d.finish()?;
+    Forest::new(trees).map_err(|e| PersistError::malformed(context, e.to_string()))
+}
+
+/// Encodes a VVS over a forest with `num_trees` trees (see the
+/// [module docs](self) for the wire shape).
+pub fn encode_vvs(vvs: &Vvs, num_trees: usize) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(num_trees as u64);
+    for ti in 0..num_trees {
+        let nodes = vvs.tree_nodes(ti);
+        e.u32(nodes.len() as u32);
+        for n in nodes {
+            e.u32(n.0);
+        }
+    }
+    e.finish()
+}
+
+/// Decodes a VVS and validates it against `forest` (Def. 4), reporting
+/// errors under `context`.
+pub fn decode_vvs(
+    bytes: &[u8],
+    forest: &Forest,
+    context: &'static str,
+) -> Result<Vvs, PersistError> {
+    let mut d = Dec::new(bytes, context);
+    let num_trees = d.count("tree count", bytes.len())?;
+    if num_trees != forest.num_trees() {
+        return Err(PersistError::malformed(
+            context,
+            format!(
+                "VVS covers {num_trees} trees, forest has {}",
+                forest.num_trees()
+            ),
+        ));
+    }
+    let mut per_tree = Vec::with_capacity(num_trees);
+    for ti in 0..num_trees {
+        let len = d.u32()? as usize;
+        let limit = forest.tree(ti).num_nodes();
+        let mut nodes = Vec::with_capacity(len.min(limit));
+        for _ in 0..len {
+            let n = d.u32()?;
+            if n as usize >= limit {
+                return Err(PersistError::malformed(
+                    context,
+                    format!("VVS chooses node {n} of {limit} in tree {ti}"),
+                ));
+            }
+            nodes.push(NodeId(n));
+        }
+        per_tree.push(nodes);
+    }
+    d.finish()?;
+    let vvs = Vvs::from_per_tree(per_tree);
+    vvs.validate(forest)
+        .map_err(|e| PersistError::malformed(context, e.to_string()))?;
+    Ok(vvs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    fn sample(vars: &mut VarTable) -> Forest {
+        let months = TreeBuilder::new("Year")
+            .child("Year", "q1")
+            .leaves("q1", ["m1", "m3"])
+            .build(vars)
+            .expect("valid tree");
+        let plans = TreeBuilder::new("Plans")
+            .leaves("Plans", ["p1", "f1"])
+            .build(vars)
+            .expect("valid tree");
+        Forest::new(vec![months, plans]).expect("disjoint")
+    }
+
+    #[test]
+    fn forest_roundtrips_structure_and_labels() {
+        let mut vars = VarTable::new();
+        let f = sample(&mut vars);
+        let back = decode_forest(&encode_forest(&f), &vars, "forest").expect("roundtrip");
+        assert_eq!(back.num_trees(), f.num_trees());
+        assert_eq!(back.num_nodes(), f.num_nodes());
+        for (a, b) in back.trees().iter().zip(f.trees()) {
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            for id in a.node_ids() {
+                assert_eq!(a.var_of(id), b.var_of(id));
+                assert_eq!(a.label_of(id), b.label_of(id));
+                assert_eq!(a.parent(id), b.parent(id));
+                assert_eq!(a.children(id), b.children(id));
+            }
+        }
+        // The rebuilt index answers lookups identically.
+        let m3 = vars.lookup("m3").expect("interned");
+        assert_eq!(back.locate(m3), f.locate(m3));
+    }
+
+    #[test]
+    fn forest_decode_rejects_structural_corruption() {
+        let mut vars = VarTable::new();
+        let f = sample(&mut vars);
+        let good = encode_forest(&f);
+        // Variable id out of table range (node 0 of tree 0).
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_forest(&bad, &vars, "forest").is_err());
+        // Root with a parent.
+        let mut bad = good.clone();
+        bad[16..20].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_forest(&bad, &vars, "forest").is_err());
+        // A node whose parent does not precede it.
+        let mut bad = good.clone();
+        bad[24..28].copy_from_slice(&9u32.to_le_bytes());
+        assert!(decode_forest(&bad, &vars, "forest").is_err());
+        // Duplicate variable within a tree: make node 1 reuse node 0's var.
+        let root_var = u32::from_le_bytes(good[12..16].try_into().unwrap());
+        let mut bad = good.clone();
+        bad[20..24].copy_from_slice(&root_var.to_le_bytes());
+        assert!(decode_forest(&bad, &vars, "forest").is_err());
+        // Truncation anywhere is a typed error.
+        for len in 0..good.len() {
+            assert!(decode_forest(&good[..len], &vars, "forest").is_err());
+        }
+    }
+
+    #[test]
+    fn vvs_roundtrips_and_validates() {
+        let mut vars = VarTable::new();
+        let f = sample(&mut vars);
+        for labels in [
+            vec!["Year", "Plans"],
+            vec!["q1", "Plans"],
+            vec!["m1", "m3", "p1", "f1"],
+        ] {
+            let vvs = Vvs::from_labels(&f, &vars, &labels).expect("labels");
+            vvs.validate(&f).expect("valid");
+            let back = decode_vvs(&encode_vvs(&vvs, f.num_trees()), &f, "vvs").expect("roundtrip");
+            assert_eq!(back, vvs);
+        }
+    }
+
+    #[test]
+    fn vvs_decode_rejects_bad_choices() {
+        let mut vars = VarTable::new();
+        let f = sample(&mut vars);
+        let vvs = Vvs::from_labels(&f, &vars, &["Year", "Plans"]).expect("labels");
+        let good = encode_vvs(&vvs, f.num_trees());
+        // Node id beyond the tree.
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&99u32.to_le_bytes());
+        assert!(decode_vvs(&bad, &f, "vvs").is_err());
+        // Tree count mismatch.
+        let mut bad = good.clone();
+        bad[0..8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(decode_vvs(&bad, &f, "vvs").is_err());
+        // An invalid cut (root and its child together violate Def. 4):
+        // the roundtrip surfaces `Vvs::validate`'s verdict as Malformed.
+        let invalid = Vvs::from_per_tree(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(0)]]);
+        let bytes = encode_vvs(&invalid, f.num_trees());
+        assert!(matches!(
+            decode_vvs(&bytes, &f, "vvs").unwrap_err(),
+            PersistError::Malformed { context: "vvs", .. }
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for guarded execution (ADR 007):
+//!
+//! * `guarded/compress/*` — the checkpoint overhead claim: greedy
+//!   compression on the telephony workload, unguarded vs. under a
+//!   generous-deadline [`Guard`]. `Checkpoint::tick()` amortises the
+//!   clock read over 64 ticks, so the guarded run must stay within ~2 %
+//!   of the unguarded one.
+//! * `guarded/ask/*` — the same claim on evaluation: a 16-scenario
+//!   batch through the compiled engine, unguarded vs. guarded (workers
+//!   probe at every chunk claim).
+//! * `guarded/cancel-latency` — how long a mid-flight batch takes to
+//!   stop once its [`CancelToken`] trips, measured with `iter_custom`
+//!   from the `cancel()` call to the worker thread returning. Bounded
+//!   by one chunk per worker.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_core::greedy::{greedy_vvs, greedy_vvs_guarded};
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_provenance::compiled::CompiledPolySet;
+use provabs_provenance::guard::{Budget, CancelToken, Completion, Guard};
+use provabs_provenance::valuation::Valuation;
+use provabs_scenario::executor::{eval_compiled, eval_compiled_view_guarded, EvalOptions};
+use provabs_scenario::scenario::Scenario;
+
+/// A deadline no benchmark run can plausibly hit: the guard is armed
+/// (so every checkpoint does its real work) but never trips.
+fn generous_guard() -> Guard {
+    Guard::new(Budget::with_deadline(Duration::from_secs(3600)))
+}
+
+fn bench_guarded_compress(c: &mut Criterion) {
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    let bound = data.polys.size_m() / 2;
+    let forest = data.primary_tree(2, 1);
+
+    // Acceptance invariant before timing: the guarded run completes and
+    // chooses the identical VVS.
+    let plain = greedy_vvs(&data.polys, &forest, bound).expect("attainable");
+    let (guarded, completion) =
+        greedy_vvs_guarded(&data.polys, &forest, bound, &generous_guard()).expect("attainable");
+    assert_eq!(completion, Completion::Complete, "generous deadline trips");
+    assert_eq!(plain.vvs, guarded.vvs, "guarding changed the output");
+
+    let mut group = c.benchmark_group("guarded/compress");
+    group.sample_size(10);
+    group.bench_function("unguarded", |b| {
+        b.iter(|| greedy_vvs(&data.polys, &forest, bound))
+    });
+    group.bench_function("deadline-armed", |b| {
+        let guard = generous_guard();
+        b.iter(|| greedy_vvs_guarded(&data.polys, &forest, bound, &guard))
+    });
+    group.finish();
+}
+
+fn bench_guarded_ask(c: &mut Criterion) {
+    const SCENARIOS: usize = 16;
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    let bound = data.polys.size_m() / 2;
+    let forest = data.primary_tree(2, 1);
+    let result = greedy_vvs(&data.polys, &forest, bound).expect("attainable");
+    let compiled = CompiledPolySet::compile(&result.apply(&data.polys));
+    let names = result.vvs.labels(&result.forest);
+    let batch: Vec<Valuation<f64>> = (0..SCENARIOS as u64)
+        .map(|i| Scenario::random(&names, 0.5, i).valuation(&mut data.vars))
+        .collect();
+    let opts = EvalOptions::new();
+
+    // Acceptance invariant: the guarded engine answers bit-for-bit.
+    let plain = eval_compiled(&compiled, &batch, &opts);
+    let guarded = eval_compiled_view_guarded(compiled.view(), &batch, &opts, &generous_guard())
+        .into_result()
+        .expect("generous deadline trips");
+    assert_eq!(plain.values, guarded.values, "guarding changed answers");
+
+    let mut group = c.benchmark_group("guarded/ask");
+    group.sample_size(20);
+    group.bench_function("unguarded", |b| {
+        b.iter(|| eval_compiled(&compiled, &batch, &opts).values)
+    });
+    group.bench_function("deadline-armed", |b| {
+        let guard = generous_guard();
+        b.iter(|| {
+            eval_compiled_view_guarded(compiled.view(), &batch, &opts, &guard)
+                .into_result()
+                .expect("never trips")
+                .values
+        })
+    });
+    group.finish();
+}
+
+/// Cancellation latency: a worker thread runs a deliberately large
+/// guarded batch; after it is mid-flight the token trips, and the
+/// measured interval is `cancel()` → thread return. Workers probe at
+/// every chunk claim, so the latency bound is one chunk per worker.
+fn bench_cancel_latency(c: &mut Criterion) {
+    const SCENARIOS: usize = 512;
+    let mut data = Workload::Telephony.generate(&WorkloadConfig {
+        scale: 2.0,
+        ..WorkloadConfig::default()
+    });
+    // Uncompressed provenance: the largest (slowest) batch available.
+    let compiled = CompiledPolySet::compile(&data.polys);
+    let batch: Vec<Valuation<f64>> = (0..SCENARIOS)
+        .map(|_| Scenario::new().valuation(&mut data.vars))
+        .collect();
+    let opts = EvalOptions::new();
+
+    // A full run must dwarf the cancellation latency for the
+    // measurement to mean anything; also warms the allocator.
+    let full = Instant::now();
+    eval_compiled(&compiled, &batch, &opts);
+    let full_run = full.elapsed();
+    assert!(
+        full_run > Duration::from_millis(2),
+        "batch too fast ({full_run:?}) to measure cancellation against"
+    );
+
+    let mut group = c.benchmark_group("guarded");
+    group.sample_size(10);
+    group.bench_function("cancel-latency", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let token = CancelToken::new();
+                let guard = Guard::unlimited().with_cancel(token.clone());
+                total += std::thread::scope(|s| {
+                    let worker = s.spawn(|| {
+                        eval_compiled_view_guarded(compiled.view(), &batch, &opts, &guard)
+                    });
+                    // Let the batch get properly mid-flight, then trip
+                    // the token and time until the workers drain.
+                    std::thread::sleep(full_run / 4);
+                    let tripped = Instant::now();
+                    token.cancel();
+                    let run = worker.join().expect("guarded eval never panics");
+                    let latency = tripped.elapsed();
+                    assert!(
+                        run.into_result().is_err(),
+                        "cancellation must interrupt the batch"
+                    );
+                    latency
+                });
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_guarded_compress,
+    bench_guarded_ask,
+    bench_cancel_latency
+);
+criterion_main!(benches);

@@ -94,7 +94,8 @@ pub fn fig_compression_vs_cuts(cfg: &ExpConfig, types: &[u8], with_brute: bool) 
             ],
         );
         for &ty in types {
-            for idx in 0..tree_type_shapes(ty).len() {
+            let shapes = tree_type_shapes(ty).expect("experiment tree types are within 1..=7");
+            for (idx, shape) in shapes.iter().enumerate() {
                 let forest = data.primary_tree(ty, idx);
                 let cuts = forest.count_cuts();
                 let (opt, t_opt) = time(|| optimal_vvs(&data.polys, &forest, bound));
@@ -108,7 +109,7 @@ pub fn fig_compression_vs_cuts(cfg: &ExpConfig, types: &[u8], with_brute: bool) 
                 };
                 report.row(vec![
                     ty.to_string(),
-                    format!("{:?}", tree_type_shapes(ty)[idx]),
+                    format!("{shape:?}"),
                     cuts.to_string(),
                     fmt_ms(Some(t_opt)),
                     fmt_ms(Some(t_greedy)),
@@ -410,7 +411,9 @@ pub fn fig14_num_variables(cfg: &ExpConfig) -> Vec<Report> {
             let bound = half_bound(&data.polys);
             // The tree always covers the first 128 supplier variables.
             let leaves = data.primary_leaves[..128.min(data.primary_leaves.len())].to_vec();
-            let forest = Forest::single(paper_tree(1, 1, "Supp", &leaves, &mut data.vars));
+            let forest = Forest::single(
+                paper_tree(1, 1, "Supp", &leaves, &mut data.vars).expect("type 1 is valid"),
+            );
             let (_, t_opt) = time(|| optimal_vvs(&data.polys, &forest, bound));
             let (_, t_greedy) = time(|| greedy_vvs(&data.polys, &forest, bound));
             report.row(vec![
@@ -561,9 +564,11 @@ pub fn table2_tree_inventory() -> Report {
         &["type", "nodes", "fan-outs", "#VVS"],
     );
     for ty in 1..=7u8 {
-        for (idx, shape) in tree_type_shapes(ty).iter().enumerate() {
+        let shapes = tree_type_shapes(ty).expect("1..=7 are valid types");
+        for (idx, shape) in shapes.iter().enumerate() {
             let mut vars = VarTable::new();
-            let tree = paper_tree(ty, idx, "Supp", &leaves, &mut vars);
+            let tree =
+                paper_tree(ty, idx, "Supp", &leaves, &mut vars).expect("1..=7 are valid types");
             report.row(vec![
                 ty.to_string(),
                 tree.num_nodes().to_string(),
@@ -594,7 +599,7 @@ mod tests {
         let reports = fig_compression_vs_cuts(&tiny(), &[1], false);
         assert_eq!(reports.len(), Workload::ALL.len());
         for r in &reports {
-            assert_eq!(r.rows().len(), tree_type_shapes(1).len());
+            assert_eq!(r.rows().len(), tree_type_shapes(1).expect("type 1").len());
         }
     }
 

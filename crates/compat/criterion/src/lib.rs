@@ -217,6 +217,31 @@ impl Bencher {
         }
     }
 
+    /// Times with a caller-measured routine: `routine(iters)` runs the
+    /// workload `iters` times and returns only the duration it wants
+    /// counted. Mirrors `criterion::Bencher::iter_custom` — the shape
+    /// needed when setup must be excluded per call or when the measured
+    /// interval starts/ends at events inside the routine (e.g.
+    /// cancellation latency).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        // Calibration: grow the per-sample iteration count until the
+        // routine reports ≥ 1 ms (or give up and take single calls).
+        let mut iters: u64 = 1;
+        loop {
+            let elapsed = routine(iters);
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let elapsed = routine(iters);
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
     fn report(&self, full_id: &str) {
         if self.samples_ns.is_empty() {
             println!("{full_id:<50} (no samples)");

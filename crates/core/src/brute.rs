@@ -9,6 +9,7 @@
 
 use crate::problem::{evaluate_vvs, prepare, AbstractionResult};
 use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::guard;
 use provabs_provenance::polyset::PolySet;
 use provabs_trees::cut::{enumerate_forest_cuts, Vvs};
 use provabs_trees::error::TreeError;
@@ -178,31 +179,45 @@ pub fn brute_force_vvs_parallel<C: Coefficient>(
     let chunk = all.len().div_ceil(threads);
     // Per-chunk partial results: (floor, Option<(size_v, global index)>).
     type Partial = (usize, Option<(usize, usize)>);
-    let partials: Vec<Partial> = std::thread::scope(|s| {
+    // Each worker runs behind the shared panic-isolation boundary (the
+    // same helper the scenario executor uses): a panicking chunk yields
+    // a typed TreeError::WorkerPanic while sibling chunks still finish.
+    let partials: Vec<Result<Partial, String>> = std::thread::scope(|s| {
         let handles: Vec<_> = all
             .chunks(chunk.max(1))
             .enumerate()
             .map(|(ci, cuts)| {
                 let score = &score;
                 s.spawn(move || {
-                    let mut floor = usize::MAX;
-                    let mut best: Option<(usize, usize)> = None;
-                    for (i, vvs) in cuts.iter().enumerate() {
-                        let (size_m, size_v) = score(vvs);
-                        floor = floor.min(size_m);
-                        if size_m <= bound && best.is_none_or(|(bv, _)| size_v > bv) {
-                            best = Some((size_v, ci * chunk + i));
+                    guard::run_isolated_mut(|| {
+                        let mut floor = usize::MAX;
+                        let mut best: Option<(usize, usize)> = None;
+                        for (i, vvs) in cuts.iter().enumerate() {
+                            let (size_m, size_v) = score(vvs);
+                            floor = floor.min(size_m);
+                            if size_m <= bound && best.is_none_or(|(bv, _)| size_v > bv) {
+                                best = Some((size_v, ci * chunk + i));
+                            }
                         }
-                    }
-                    (floor, best)
+                        (floor, best)
+                    })
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("scoring threads do not panic"))
+            .map(|h| match h.join() {
+                Ok(isolated) => isolated,
+                // Unreachable in practice (the worker body is fully
+                // wrapped), but a join failure is still a panic report.
+                Err(payload) => Err(guard::panic_message(payload.as_ref())),
+            })
             .collect()
     });
+    let partials: Vec<Partial> = partials
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(|payload| TreeError::WorkerPanic { payload })?;
 
     let floor = partials.iter().map(|&(f, _)| f).min().unwrap_or(usize::MAX);
     // Deterministic reduce: max granularity, then smallest index.

@@ -23,6 +23,7 @@ use crate::problem::{
     evaluate_vvs, prepare, prepare_interned, AbstractionResult, InternedAbstraction,
 };
 use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::guard::{Completion, Guard};
 use provabs_provenance::monomial::Monomial;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarId;
@@ -159,20 +160,35 @@ pub fn pairwise_summarize<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<(AbstractionResult, OracleStats), TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    pairwise_summarize_guarded(polys, forest, bound, &guard).map(|(r, s, _)| (r, s))
+}
+
+/// [`pairwise_summarize`] under an execution [`Guard`], checked once per
+/// pair-scan iteration. A trip returns the summarization reached so far —
+/// every prefix of accepted merges is a sound abstraction, just a larger
+/// one — tagged [`Completion::Interrupted`]; the bound-adequacy check is
+/// skipped for interrupted runs.
+pub fn pairwise_summarize_guarded<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(AbstractionResult, OracleStats, Completion), TreeError> {
     let cleaned = prepare(polys, forest)?;
     let mut ws = WorkingSet::from_polyset(polys);
     let mut stats = OracleStats::default();
-    let antichain = summarize_core(&mut ws, &cleaned, bound, &mut stats);
+    let (antichain, completion) = summarize_core(&mut ws, &cleaned, bound, &mut stats, guard);
     let vvs = vvs_from_antichain(&antichain);
     debug_assert!(vvs.validate(&cleaned).is_ok());
     let result = evaluate_vvs(polys, &cleaned, vvs);
-    if !result.is_adequate_for(bound) {
+    if completion.is_complete() && !result.is_adequate_for(bound) {
         return Err(TreeError::BoundUnattainable {
             bound,
             best_possible: result.compressed_size_m,
         });
     }
-    Ok((result, stats))
+    Ok((result, stats, completion))
 }
 
 /// [`pairwise_summarize`] in the interned currency end-to-end: the
@@ -192,12 +208,24 @@ pub fn pairwise_summarize_interned<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<(InternedAbstraction<C>, OracleStats), TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    pairwise_summarize_interned_guarded(source, forest, bound, &guard).map(|(r, s, _)| (r, s))
+}
+
+/// [`pairwise_summarize_interned`] under an execution [`Guard`] — same
+/// anytime semantics as [`pairwise_summarize_guarded`].
+pub fn pairwise_summarize_interned_guarded<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(InternedAbstraction<C>, OracleStats, Completion), TreeError> {
     let cleaned = prepare_interned(source, forest)?;
     let original_size_m = source.size_m();
     let original_size_v = source.size_v();
     let mut ws = source.clone();
     let mut stats = OracleStats::default();
-    let antichain = summarize_core(&mut ws, &cleaned, bound, &mut stats);
+    let (antichain, completion) = summarize_core(&mut ws, &cleaned, bound, &mut stats, guard);
     let vvs = vvs_from_antichain(&antichain);
     debug_assert!(vvs.validate(&cleaned).is_ok());
     let result = AbstractionResult {
@@ -208,7 +236,7 @@ pub fn pairwise_summarize_interned<C: Coefficient>(
         compressed_size_m: ws.size_m(),
         compressed_size_v: ws.size_v(),
     };
-    if !result.is_adequate_for(bound) {
+    if completion.is_complete() && !result.is_adequate_for(bound) {
         return Err(TreeError::BoundUnattainable {
             bound,
             best_possible: result.compressed_size_m,
@@ -220,6 +248,7 @@ pub fn pairwise_summarize_interned<C: Coefficient>(
             working: ws,
         },
         stats,
+        completion,
     ))
 }
 
@@ -231,7 +260,10 @@ fn summarize_core<C: Coefficient>(
     cleaned: &Forest,
     bound: usize,
     stats: &mut OracleStats,
-) -> Vec<Vec<bool>> {
+    guard: &Guard,
+) -> (Vec<Vec<bool>>, Completion) {
+    let mut checkpoint = guard.checkpoint();
+    let mut completion = Completion::Complete;
     let mut antichain: Vec<Vec<bool>> = cleaned
         .trees()
         .iter()
@@ -246,6 +278,14 @@ fn summarize_core<C: Coefficient>(
     let all_polys: Vec<usize> = (0..ws.num_polys()).collect();
 
     while ws.size_m() > bound {
+        if let Err(reason) = checkpoint.tick() {
+            completion = Completion::Interrupted {
+                reason,
+                steps: stats.merges_applied as usize,
+                size_reached: ws.size_m(),
+            };
+            break;
+        }
         // Full pair scan (this is the point of the baseline).
         let mut best: Option<Lift> = None;
         for pi in 0..ws.num_polys() {
@@ -283,7 +323,7 @@ fn summarize_core<C: Coefficient>(
             ws.apply_group(&group, tree.var_of(target), &all_polys);
         }
     }
-    antichain
+    (antichain, completion)
 }
 
 fn vvs_from_antichain(antichain: &[Vec<bool>]) -> Vvs {

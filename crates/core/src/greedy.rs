@@ -44,6 +44,7 @@ use crate::problem::{
 };
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::fxhash::{FxHashMap, FxHashSet};
+use provabs_provenance::guard::{Completion, Guard};
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::var::VarId;
 use provabs_provenance::working::WorkingSet;
@@ -167,7 +168,25 @@ pub fn greedy_vvs<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<AbstractionResult, TreeError> {
-    greedy_vvs_with(polys, forest, bound, run_incremental)
+    let guard = Guard::ambient().unwrap_or_default();
+    greedy_vvs_guarded(polys, forest, bound, &guard).map(|(result, _)| result)
+}
+
+/// [`greedy_vvs`] under an execution [`Guard`].
+///
+/// The selection loop checks the guard once per step. On a trip the run
+/// does not error: greedy compression is *anytime* — the prefix of
+/// merges applied so far is itself a sound abstraction, just a larger
+/// one — so the best-so-far result comes back tagged
+/// [`Completion::Interrupted`]. The bound-adequacy check (and its
+/// [`TreeError::BoundUnattainable`]) only applies to complete runs.
+pub fn greedy_vvs_guarded<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(AbstractionResult, Completion), TreeError> {
+    greedy_vvs_with(polys, forest, bound, guard, run_incremental)
 }
 
 /// [`greedy_vvs`] driven by the reference engine (full per-iteration
@@ -178,7 +197,20 @@ pub fn greedy_vvs_reference<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<AbstractionResult, TreeError> {
-    greedy_vvs_with(polys, forest, bound, run_reference)
+    let guard = Guard::ambient().unwrap_or_default();
+    greedy_vvs_reference_guarded(polys, forest, bound, &guard).map(|(result, _)| result)
+}
+
+/// [`greedy_vvs_guarded`] driven by the reference engine — the same
+/// anytime contract, checked step-for-step against the incremental
+/// engine by the guarded-compression suite.
+pub fn greedy_vvs_reference_guarded<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(AbstractionResult, Completion), TreeError> {
+    greedy_vvs_with(polys, forest, bound, guard, run_reference)
 }
 
 /// The greedy trade-off trace: runs Algorithm 2 to exhaustion and records
@@ -201,24 +233,32 @@ pub fn greedy_frontier_reference<C: Coefficient>(
     greedy_frontier_with(polys, forest, run_reference)
 }
 
-/// What an engine returns: the final membership bitmaps, plus the final
+/// What an engine returns: the final membership bitmaps, the final
 /// working set when the engine maintains one (the incremental engine's
 /// working set *is* `𝒫↓S`, so no re-application is needed; the reference
-/// engine returns `None` and defers to [`evaluate_vvs`]).
-type EngineOutcome<C> = (Vec<Vec<bool>>, Option<WorkingSet<C>>);
+/// engine returns `None` and defers to [`evaluate_vvs`]), and how the
+/// run ended (complete, or interrupted by its guard mid-selection).
+type EngineOutcome<C> = (Vec<Vec<bool>>, Option<WorkingSet<C>>, Completion);
+
+/// An engine's signature: polynomials, cleaned forest, loss budget `k`,
+/// the guard its selection loop checks per step, and a per-step
+/// observer.
+type Engine<C> =
+    fn(&PolySet<C>, &Forest, usize, &Guard, &mut dyn FnMut(usize, usize)) -> EngineOutcome<C>;
 
 /// Shared preamble/postamble of [`greedy_vvs`] over a pluggable engine.
 fn greedy_vvs_with<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
     bound: usize,
-    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome<C>,
-) -> Result<AbstractionResult, TreeError> {
+    guard: &Guard,
+    engine: Engine<C>,
+) -> Result<(AbstractionResult, Completion), TreeError> {
     let cleaned = prepare(polys, forest)?;
     let total_m = polys.size_m();
     if bound >= total_m {
         let vvs = Vvs::identity(&cleaned);
-        return Ok(evaluate_vvs(polys, &cleaned, vvs));
+        return Ok((evaluate_vvs(polys, &cleaned, vvs), Completion::Complete));
     }
     if cleaned.num_trees() == 0 {
         return Err(TreeError::BoundUnattainable {
@@ -227,7 +267,7 @@ fn greedy_vvs_with<C: Coefficient>(
         });
     }
     let k = total_m - bound;
-    let (in_s, ws) = engine(polys, &cleaned, k, &mut |_, _| {});
+    let (in_s, ws, completion) = engine(polys, &cleaned, k, guard, &mut |_, _| {});
     let vvs = vvs_from_membership(&in_s);
     debug_assert!(vvs.validate(&cleaned).is_ok());
     let result = match ws {
@@ -241,13 +281,16 @@ fn greedy_vvs_with<C: Coefficient>(
         },
         None => evaluate_vvs(polys, &cleaned, vvs),
     };
-    if !result.is_adequate_for(bound) {
+    // An interrupted run is exempt from the adequacy check: its contract
+    // is "the best valid abstraction reached in the budget", which may
+    // legitimately still be above the bound.
+    if completion.is_complete() && !result.is_adequate_for(bound) {
         return Err(TreeError::BoundUnattainable {
             bound,
             best_possible: result.compressed_size_m,
         });
     }
-    Ok(result)
+    Ok((result, completion))
 }
 
 /// [`greedy_vvs`] in the interned currency end-to-end: consumes an
@@ -261,11 +304,28 @@ pub fn greedy_vvs_interned<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<InternedAbstraction<C>, TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    greedy_vvs_interned_guarded(source, forest, bound, &guard).map(|(abs, _)| abs)
+}
+
+/// [`greedy_vvs_interned`] under an execution [`Guard`] — the same
+/// anytime contract as [`greedy_vvs_guarded`]: a tripped guard returns
+/// the best-so-far working set tagged [`Completion::Interrupted`], and
+/// only complete runs can fail with [`TreeError::BoundUnattainable`].
+pub fn greedy_vvs_interned_guarded<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(InternedAbstraction<C>, Completion), TreeError> {
     let cleaned = prepare_interned(source, forest)?;
     let total_m = source.size_m();
     if bound >= total_m {
         let vvs = Vvs::identity(&cleaned);
-        return Ok(evaluate_vvs_interned(source.clone(), &cleaned, vvs));
+        return Ok((
+            evaluate_vvs_interned(source.clone(), &cleaned, vvs),
+            Completion::Complete,
+        ));
     }
     if cleaned.num_trees() == 0 {
         return Err(TreeError::BoundUnattainable {
@@ -275,7 +335,8 @@ pub fn greedy_vvs_interned<C: Coefficient>(
     }
     let original_size_v = source.size_v();
     let k = total_m - bound;
-    let (in_s, ws) = run_incremental_ws(source.clone(), &cleaned, k, &mut |_, _| {});
+    let (in_s, ws, completion) =
+        run_incremental_ws(source.clone(), &cleaned, k, guard, &mut |_, _| {});
     let vvs = vvs_from_membership(&in_s);
     debug_assert!(vvs.validate(&cleaned).is_ok());
     let result = AbstractionResult {
@@ -286,23 +347,26 @@ pub fn greedy_vvs_interned<C: Coefficient>(
         compressed_size_m: ws.size_m(),
         compressed_size_v: ws.size_v(),
     };
-    if !result.is_adequate_for(bound) {
+    if completion.is_complete() && !result.is_adequate_for(bound) {
         return Err(TreeError::BoundUnattainable {
             bound,
             best_possible: result.compressed_size_m,
         });
     }
-    Ok(InternedAbstraction {
-        result,
-        working: ws,
-    })
+    Ok((
+        InternedAbstraction {
+            result,
+            working: ws,
+        },
+        completion,
+    ))
 }
 
 /// Shared scaffolding of [`greedy_frontier`] over a pluggable engine.
 fn greedy_frontier_with<C: Coefficient>(
     polys: &PolySet<C>,
     forest: &Forest,
-    engine: impl FnOnce(&PolySet<C>, &Forest, usize, &mut dyn FnMut(usize, usize)) -> EngineOutcome<C>,
+    engine: Engine<C>,
 ) -> Result<Vec<(usize, usize)>, TreeError> {
     let cleaned = prepare(polys, forest)?;
     let total_m = polys.size_m();
@@ -311,7 +375,8 @@ fn greedy_frontier_with<C: Coefficient>(
     if cleaned.num_trees() == 0 {
         return Ok(out);
     }
-    engine(polys, &cleaned, usize::MAX, &mut |ml, vl| {
+    let guard = Guard::ambient().unwrap_or_default();
+    engine(polys, &cleaned, usize::MAX, &guard, &mut |ml, vl| {
         out.push((total_m - ml, total_v - vl));
     });
     Ok(out)
@@ -372,6 +437,7 @@ fn run_reference<C: Coefficient>(
     polys: &PolySet<C>,
     cleaned: &Forest,
     k: usize,
+    guard: &Guard,
     observer: &mut dyn FnMut(usize, usize),
 ) -> EngineOutcome<C> {
     let mut in_s = leaf_membership(cleaned);
@@ -385,9 +451,20 @@ fn run_reference<C: Coefficient>(
     let mut postings = build_postings(&current);
     let mut ml_total = 0usize;
     let mut vl_total = 0usize;
+    let mut completion = Completion::Complete;
+    let mut checkpoint = guard.checkpoint();
+    let mut steps_done = 0usize;
 
     // Main loop (lines 10–14).
     while ml_total < k && !candidates.is_empty() {
+        if let Err(reason) = checkpoint.tick() {
+            completion = Completion::Interrupted {
+                reason,
+                steps: steps_done,
+                size_reached: polys.size_m() - ml_total,
+            };
+            break;
+        }
         // Variable loss of swapping in a candidate: children − 1 (after
         // cleaning every child variable occurs in the polynomials).
         let min_vl = candidates
@@ -452,9 +529,10 @@ fn run_reference<C: Coefficient>(
                 candidates.push((ti, parent));
             }
         }
+        steps_done += 1;
         observer(ml_total, vl_total);
     }
-    (in_s, None)
+    (in_s, None, completion)
 }
 
 /// A cached candidate of the incremental engine.
@@ -487,10 +565,12 @@ fn run_incremental<C: Coefficient>(
     polys: &PolySet<C>,
     cleaned: &Forest,
     k: usize,
+    guard: &Guard,
     observer: &mut dyn FnMut(usize, usize),
 ) -> EngineOutcome<C> {
-    let (in_s, ws) = run_incremental_ws(WorkingSet::from_polyset(polys), cleaned, k, observer);
-    (in_s, Some(ws))
+    let (in_s, ws, completion) =
+        run_incremental_ws(WorkingSet::from_polyset(polys), cleaned, k, guard, observer);
+    (in_s, Some(ws), completion)
 }
 
 /// The incremental greedy main loop: same selection rule and step
@@ -502,8 +582,9 @@ fn run_incremental_ws<C: Coefficient>(
     mut ws: WorkingSet<C>,
     cleaned: &Forest,
     k: usize,
+    guard: &Guard,
     observer: &mut dyn FnMut(usize, usize),
-) -> (Vec<Vec<bool>>, WorkingSet<C>) {
+) -> (Vec<Vec<bool>>, WorkingSet<C>, Completion) {
     let mut in_s = leaf_membership(cleaned);
     let mut postings = build_postings_ws(&ws);
 
@@ -562,8 +643,19 @@ fn run_incremental_ws<C: Coefficient>(
 
     let mut ml_total = 0usize;
     let mut vl_total = 0usize;
+    let mut completion = Completion::Complete;
+    let mut checkpoint = guard.checkpoint();
+    let mut steps_done = 0usize;
 
     while ml_total < k && live_candidates > 0 {
+        if let Err(reason) = checkpoint.tick() {
+            completion = Completion::Interrupted {
+                reason,
+                steps: steps_done,
+                size_reached: ws.size_m(),
+            };
+            break;
+        }
         // The minimal-VL bucket with a live candidate, compacting dead
         // entries on the way.
         let bucket_vl = buckets
@@ -649,11 +741,12 @@ fn run_incremental_ws<C: Coefficient>(
                 live_candidates += 1;
             }
         }
+        steps_done += 1;
         observer(ml_total, vl_total);
     }
     // The working set already is `𝒫↓S`: hand it back so the caller skips
     // the wholesale re-application (and can keep speaking ids).
-    (in_s, ws)
+    (in_s, ws, completion)
 }
 
 #[cfg(test)]

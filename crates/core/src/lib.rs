@@ -40,6 +40,6 @@ pub mod online;
 pub mod optimal;
 pub mod problem;
 
-pub use greedy::{greedy_vvs, greedy_vvs_reference};
-pub use optimal::{optimal_vvs, optimal_vvs_dense};
+pub use greedy::{greedy_vvs, greedy_vvs_guarded, greedy_vvs_reference};
+pub use optimal::{optimal_vvs, optimal_vvs_dense, optimal_vvs_guarded};
 pub use problem::{evaluate_vvs, AbstractionResult};

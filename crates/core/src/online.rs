@@ -18,10 +18,11 @@
 //!    extrapolation from growing samples ([`estimate_full_size`],
 //!    following the paper's pointer to extrapolation methods).
 
-use crate::greedy::{greedy_vvs, greedy_vvs_interned};
-use crate::optimal::{optimal_vvs, optimal_vvs_interned};
+use crate::greedy::{greedy_vvs_guarded, greedy_vvs_interned_guarded};
+use crate::optimal::{optimal_vvs_guarded, optimal_vvs_interned_guarded};
 use crate::problem::{evaluate_vvs, evaluate_vvs_interned, AbstractionResult, InternedAbstraction};
 use provabs_provenance::coeff::Coefficient;
+use provabs_provenance::guard::{Completion, Guard};
 use provabs_provenance::polynomial::Polynomial;
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::working::WorkingSet;
@@ -157,22 +158,44 @@ pub fn online_compress<C: Coefficient>(
     seed: u64,
     solver: Solver,
 ) -> Result<OnlineOutcome, TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    online_compress_guarded(polys, forest, bound, fraction, seed, solver, &guard)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`online_compress`] under an execution [`Guard`], which is handed
+/// through to the inner solver: a trip mid-solve surfaces the solver's
+/// anytime result (greedy prefix, or the optimal DP's identity
+/// fallback) as the sampled VVS, tagged [`Completion::Interrupted`].
+#[allow(clippy::too_many_arguments)]
+pub fn online_compress_guarded<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    fraction: f64,
+    seed: u64,
+    solver: Solver,
+    guard: &Guard,
+) -> Result<(OnlineOutcome, Completion), TreeError> {
     let sample = sample_polys(polys, fraction, seed);
     let adapted = adapt_bound(bound, polys.size_m(), sample.size_m());
-    let on_sample = match solver {
-        Solver::Optimal => optimal_vvs(&sample, forest, adapted)?,
-        Solver::Greedy => greedy_vvs(&sample, forest, adapted)?,
+    let (on_sample, completion) = match solver {
+        Solver::Optimal => optimal_vvs_guarded(&sample, forest, adapted, guard)?,
+        Solver::Greedy => greedy_vvs_guarded(&sample, forest, adapted, guard)?,
     };
     // Re-evaluate the chosen VVS against the full provenance. The VVS
     // lives on the sample-cleaned forest; variables absent from the
     // sample but present in the full set stay unabstracted, exactly as
     // the scheme prescribes.
     let full = evaluate_vvs(polys, &on_sample.forest, on_sample.vvs);
-    Ok(OnlineOutcome {
-        sample_size_m: sample.size_m(),
-        adapted_bound: adapted,
-        full,
-    })
+    Ok((
+        OnlineOutcome {
+            sample_size_m: sample.size_m(),
+            adapted_bound: adapted,
+            full,
+        },
+        completion,
+    ))
 }
 
 /// The outcome of one interned online-compression run: like
@@ -205,29 +228,51 @@ pub fn online_compress_interned<C: Coefficient>(
     seed: u64,
     solver: Solver,
 ) -> Result<OnlineOutcomeInterned<C>, TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    online_compress_interned_guarded(source, forest, bound, fraction, seed, solver, &guard)
+        .map(|(outcome, _)| outcome)
+}
+
+/// [`online_compress_interned`] under an execution [`Guard`]; the guard
+/// is handed to the inner solver and its completion status is bubbled
+/// alongside the outcome.
+#[allow(clippy::too_many_arguments)]
+pub fn online_compress_interned_guarded<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+    fraction: f64,
+    seed: u64,
+    solver: Solver,
+    guard: &Guard,
+) -> Result<(OnlineOutcomeInterned<C>, Completion), TreeError> {
     let indices = sample_indices(source.num_polys(), fraction, seed);
     let sample = source.subset(&indices);
     let sample_size_m = sample.size_m();
     let adapted = adapt_bound(bound, source.size_m(), sample_size_m);
-    let on_sample = match solver {
-        Solver::Optimal => optimal_vvs_interned(&sample, forest, adapted)?,
-        Solver::Greedy => greedy_vvs_interned(&sample, forest, adapted)?,
+    let (on_sample, completion) = match solver {
+        Solver::Optimal => optimal_vvs_interned_guarded(&sample, forest, adapted, guard)?,
+        Solver::Greedy => greedy_vvs_interned_guarded(&sample, forest, adapted, guard)?,
     };
     let full = evaluate_vvs_interned(
         source.clone(),
         &on_sample.result.forest,
         on_sample.result.vvs,
     );
-    Ok(OnlineOutcomeInterned {
-        sample_size_m,
-        adapted_bound: adapted,
-        full,
-    })
+    Ok((
+        OnlineOutcomeInterned {
+            sample_size_m,
+            adapted_bound: adapted,
+            full,
+        },
+        completion,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optimal::optimal_vvs;
     use provabs_provenance::monomial::Monomial;
     use provabs_provenance::var::{VarId, VarTable};
     use provabs_trees::builder::TreeBuilder;

@@ -27,6 +27,7 @@ use crate::problem::{
 };
 use provabs_provenance::coeff::Coefficient;
 use provabs_provenance::fxhash::FxHashMap;
+use provabs_provenance::guard::{Completion, Guard, Interrupt};
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::working::WorkingSet;
 use provabs_trees::cut::Vvs;
@@ -65,9 +66,26 @@ fn better(slot: &mut Option<Entry>, vl: u64, choice: impl FnOnce() -> Choice) {
 }
 
 /// Runs the sparse DP over one (cleaned) tree; returns per-node arrays.
-fn solve_sparse(tree: &AbsTree, loss: &TreeLoss, k: usize) -> Vec<SparseArray> {
+///
+/// The guard is checked once per postorder node and once per child
+/// folded into a knapsack. Unlike the greedy engines the DP has no
+/// usable intermediate state, so a trip aborts the solve: the caller
+/// falls back to the identity abstraction (always sound) tagged
+/// [`Completion::Interrupted`], with `steps` = checks passed.
+fn solve_sparse(
+    tree: &AbsTree,
+    loss: &TreeLoss,
+    k: usize,
+    guard: &Guard,
+) -> Result<Vec<SparseArray>, (Interrupt, usize)> {
+    let mut checkpoint = guard.checkpoint();
+    let tick = |cp: &mut provabs_provenance::guard::Checkpoint<'_>| match cp.tick() {
+        Ok(()) => Ok(()),
+        Err(reason) => Err((reason, cp.ticks() as usize)),
+    };
     let mut arrays: Vec<SparseArray> = vec![SparseArray::default(); tree.num_nodes()];
     for v in tree.postorder() {
+        tick(&mut checkpoint)?;
         let mut arr = SparseArray::default();
         if tree.is_leaf(v) {
             arr.insert(
@@ -97,6 +115,7 @@ fn solve_sparse(tree: &AbsTree, loss: &TreeLoss, k: usize) -> Vec<SparseArray> {
                     cur.insert(*s, (e.vl, vec![*s]));
                 }
                 for &c in &children[1..] {
+                    tick(&mut checkpoint)?;
                     let carr = &arrays[c.index()];
                     let mut next: FxHashMap<usize, (u64, Vec<usize>)> = FxHashMap::default();
                     for (s, (vs, alloc)) in &cur {
@@ -142,7 +161,7 @@ fn solve_sparse(tree: &AbsTree, loss: &TreeLoss, k: usize) -> Vec<SparseArray> {
         }
         arrays[v.index()] = arr;
     }
-    arrays
+    Ok(arrays)
 }
 
 /// Walks the recorded choices, collecting the chosen nodes.
@@ -214,13 +233,42 @@ pub fn optimal_vvs<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<AbstractionResult, TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    optimal_vvs_guarded(polys, forest, bound, &guard).map(|(result, _)| result)
+}
+
+/// [`optimal_vvs`] under an execution [`Guard`].
+///
+/// The DP, unlike the greedy engines, has no usable partial state: a
+/// guard trip mid-solve falls back to the *identity abstraction* (the
+/// only abstraction that is sound without finishing the search), tagged
+/// [`Completion::Interrupted`] with `size_reached = |𝒫|_M`. The
+/// bound-adequacy error only applies to complete runs.
+pub fn optimal_vvs_guarded<C: Coefficient>(
+    polys: &PolySet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(AbstractionResult, Completion), TreeError> {
     let (cleaned, k) = match preamble(polys, forest, bound)? {
-        Err(done) => return Ok(done),
+        Err(done) => return Ok((done, Completion::Complete)),
         Ok(v) => v,
     };
     let tree = cleaned.tree(0);
     let loss = TreeLoss::build(polys, tree);
-    let arrays = solve_sparse(tree, &loss, k);
+    let arrays = match solve_sparse(tree, &loss, k, guard) {
+        Ok(arrays) => arrays,
+        Err((reason, steps)) => {
+            let vvs = Vvs::identity(&cleaned);
+            let result = evaluate_vvs(polys, &cleaned, vvs);
+            let completion = Completion::Interrupted {
+                reason,
+                steps,
+                size_reached: result.compressed_size_m,
+            };
+            return Ok((result, completion));
+        }
+    };
     let root = tree.root();
     if !arrays[root.index()].contains_key(&k) {
         let best_ml = arrays[root.index()].keys().copied().max().unwrap_or(0);
@@ -233,7 +281,7 @@ pub fn optimal_vvs<C: Coefficient>(
     reconstruct(tree, &arrays, root, k, &mut chosen);
     let vvs = Vvs::from_per_tree(vec![chosen]);
     debug_assert!(vvs.validate(&cleaned).is_ok());
-    Ok(evaluate_vvs(polys, &cleaned, vvs))
+    Ok((evaluate_vvs(polys, &cleaned, vvs), Completion::Complete))
 }
 
 /// [`optimal_vvs`] in the interned currency end-to-end: the per-node loss
@@ -247,11 +295,26 @@ pub fn optimal_vvs_interned<C: Coefficient>(
     forest: &Forest,
     bound: usize,
 ) -> Result<InternedAbstraction<C>, TreeError> {
+    let guard = Guard::ambient().unwrap_or_default();
+    optimal_vvs_interned_guarded(source, forest, bound, &guard).map(|(abs, _)| abs)
+}
+
+/// [`optimal_vvs_interned`] under an execution [`Guard`] — the same
+/// identity-fallback contract as [`optimal_vvs_guarded`].
+pub fn optimal_vvs_interned_guarded<C: Coefficient>(
+    source: &WorkingSet<C>,
+    forest: &Forest,
+    bound: usize,
+    guard: &Guard,
+) -> Result<(InternedAbstraction<C>, Completion), TreeError> {
     let cleaned = prepare_interned(source, forest)?;
     let total_m = source.size_m();
     if bound >= total_m {
         let vvs = Vvs::identity(&cleaned);
-        return Ok(evaluate_vvs_interned(source.clone(), &cleaned, vvs));
+        return Ok((
+            evaluate_vvs_interned(source.clone(), &cleaned, vvs),
+            Completion::Complete,
+        ));
     }
     if cleaned.num_trees() == 0 {
         return Err(TreeError::BoundUnattainable {
@@ -266,7 +329,21 @@ pub fn optimal_vvs_interned<C: Coefficient>(
     let mut work = source.clone();
     let tree = cleaned.tree(0);
     let loss = TreeLoss::build_interned(&mut work, tree);
-    let arrays = solve_sparse(tree, &loss, k);
+    let arrays = match solve_sparse(tree, &loss, k, guard) {
+        Ok(arrays) => arrays,
+        Err((reason, steps)) => {
+            // `work` was only used to memoise losses; the identity
+            // fallback starts from the untouched source.
+            let vvs = Vvs::identity(&cleaned);
+            let abs = evaluate_vvs_interned(source.clone(), &cleaned, vvs);
+            let completion = Completion::Interrupted {
+                reason,
+                steps,
+                size_reached: abs.result.compressed_size_m,
+            };
+            return Ok((abs, completion));
+        }
+    };
     let root = tree.root();
     if !arrays[root.index()].contains_key(&k) {
         let best_ml = arrays[root.index()].keys().copied().max().unwrap_or(0);
@@ -279,7 +356,10 @@ pub fn optimal_vvs_interned<C: Coefficient>(
     reconstruct(tree, &arrays, root, k, &mut chosen);
     let vvs = Vvs::from_per_tree(vec![chosen]);
     debug_assert!(vvs.validate(&cleaned).is_ok());
-    Ok(evaluate_vvs_interned(work, &cleaned, vvs))
+    Ok((
+        evaluate_vvs_interned(work, &cleaned, vvs),
+        Completion::Complete,
+    ))
 }
 
 /// Algorithm 1 with dense `k+1`-length arrays — the straightforward
@@ -409,7 +489,14 @@ pub fn optimal_frontier<C: Coefficient>(
     let tree = cleaned.tree(0);
     let loss = TreeLoss::build(polys, tree);
     let k_max = loss.ml_of(tree.root()); // coarsening is monotone in ML
-    let arrays = solve_sparse(tree, &loss, k_max);
+
+    // Under an ambient guard a tripped frontier solve degrades to the
+    // identity-only frontier — the anytime floor of this API.
+    let guard = Guard::ambient().unwrap_or_default();
+    let arrays = match solve_sparse(tree, &loss, k_max, &guard) {
+        Ok(arrays) => arrays,
+        Err(_) => return Ok(vec![(total_m, total_v)]),
+    };
     let mut points: Vec<(usize, u64)> = arrays[tree.root().index()]
         .iter()
         .map(|(&j, e)| (j, e.vl))

@@ -1,0 +1,245 @@
+//! Property suite for guarded compression: the **anytime-prefix**
+//! invariant.
+//!
+//! Two claims, on random poly-sets × random forests × swept bounds:
+//!
+//! 1. **Unlimited guards are free** — every `*_guarded` engine under
+//!    [`Guard::unlimited`] returns bit-for-bit the output of its
+//!    unguarded entry point, tagged [`Completion::Complete`]. Guarding
+//!    changes *when* a run may stop, never *what* it computes.
+//! 2. **A step-capped run is a prefix of the uninterrupted trace** — a
+//!    greedy run interrupted after `k` selection steps sits exactly on
+//!    the `k`-th point of the full run's [`greedy_frontier`] trace, and
+//!    the two independent greedy engines (incremental working-set vs.
+//!    reference full-rescan) agree bit-for-bit on the interrupted VVS at
+//!    every cap. An interrupted prefix is a *sound* abstraction: its VVS
+//!    validates and its sizes are consistent.
+
+use proptest::prelude::*;
+use provabs_core::competitor::{pairwise_summarize, pairwise_summarize_guarded};
+use provabs_core::greedy::{
+    greedy_frontier, greedy_vvs, greedy_vvs_guarded, greedy_vvs_reference,
+    greedy_vvs_reference_guarded,
+};
+use provabs_core::optimal::{optimal_vvs, optimal_vvs_guarded};
+use provabs_provenance::guard::{Budget, CancelToken, Completion, Guard, Interrupt};
+use provabs_provenance::monomial::Monomial;
+use provabs_provenance::polynomial::Polynomial;
+use provabs_provenance::polyset::PolySet;
+use provabs_provenance::var::{VarId, VarTable};
+use provabs_trees::forest::Forest;
+use provabs_trees::generate::random_tree;
+
+/// Number of leaf variables the random instances draw from.
+const NUM_LEAVES: u32 = 12;
+
+fn leaf_table() -> (VarTable, Vec<String>) {
+    let mut vars = VarTable::new();
+    let names: Vec<String> = (0..NUM_LEAVES).map(|i| format!("x{i}")).collect();
+    for (i, n) in names.iter().enumerate() {
+        let id = vars.intern(n);
+        assert_eq!(id, VarId(i as u32), "interning order is dense");
+    }
+    (vars, names)
+}
+
+/// A random poly-set over `x0..x11`, telephony-shaped: each monomial
+/// draws at most one factor per tree-leaf half (forest compatibility).
+fn polyset_strategy() -> impl Strategy<Value = PolySet<f64>> {
+    let factor_a = prop::option::of((0u32..NUM_LEAVES / 2, 1u32..3));
+    let factor_b = prop::option::of((NUM_LEAVES / 2..NUM_LEAVES, 1u32..3));
+    prop::collection::vec(
+        prop::collection::vec((factor_a, factor_b, 1i32..40), 0..10),
+        0..7,
+    )
+    .prop_map(|polys| {
+        PolySet::from_vec(
+            polys
+                .into_iter()
+                .map(|terms| {
+                    Polynomial::from_terms(terms.into_iter().map(|(fa, fb, c)| {
+                        let factors = fa.into_iter().chain(fb);
+                        (
+                            Monomial::from_factors(factors.map(|(v, e)| (VarId(v), e))),
+                            f64::from(c) / 4.0,
+                        )
+                    }))
+                })
+                .collect(),
+        )
+    })
+}
+
+fn random_forest(vars: &mut VarTable, names: &[String], seed: u64, two: bool) -> Forest {
+    let (lo, hi) = names.split_at(names.len() / 2);
+    let mut trees = vec![random_tree("A", lo, seed, vars)];
+    if two {
+        trees.push(random_tree("B", hi, seed.rotate_left(17) ^ 0xabcd, vars));
+    }
+    Forest::new(trees).expect("disjoint leaf halves")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Claim 1: `Guard::unlimited()` output is bit-identical to the
+    /// unguarded engines, for every engine and a sweep of bounds.
+    #[test]
+    fn unlimited_guard_output_is_bit_identical(
+        polys in polyset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let (mut vars, names) = leaf_table();
+        let forest = random_forest(&mut vars, &names, seed, true);
+        let single = random_forest(&mut leaf_table().0, &names, seed, false);
+        let guard = Guard::unlimited();
+        let total = polys.size_m();
+        for bound in [1, 2, total / 2, total, total + 3] {
+            if bound == 0 {
+                continue;
+            }
+            // Greedy, both engines.
+            match (greedy_vvs(&polys, &forest, bound), greedy_vvs_guarded(&polys, &forest, bound, &guard)) {
+                (Ok(a), Ok((b, c))) => {
+                    prop_assert_eq!(c, Completion::Complete);
+                    prop_assert_eq!(&a.vvs, &b.vvs, "greedy bound {}", bound);
+                    prop_assert_eq!(a.compressed_size_m, b.compressed_size_m);
+                    prop_assert_eq!(a.compressed_size_v, b.compressed_size_v);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("greedy disagrees at bound {bound}: {a:?} vs {b:?}"),
+            }
+            match (greedy_vvs_reference(&polys, &forest, bound), greedy_vvs_reference_guarded(&polys, &forest, bound, &guard)) {
+                (Ok(a), Ok((b, c))) => {
+                    prop_assert_eq!(c, Completion::Complete);
+                    prop_assert_eq!(&a.vvs, &b.vvs, "reference bound {}", bound);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("reference disagrees at bound {bound}: {a:?} vs {b:?}"),
+            }
+            // Optimal (single-tree regime).
+            match (optimal_vvs(&polys, &single, bound), optimal_vvs_guarded(&polys, &single, bound, &guard)) {
+                (Ok(a), Ok((b, c))) => {
+                    prop_assert_eq!(c, Completion::Complete);
+                    prop_assert_eq!(&a.vvs, &b.vvs, "optimal bound {}", bound);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("optimal disagrees at bound {bound}: {a:?} vs {b:?}"),
+            }
+            // Competitor baseline.
+            match (pairwise_summarize(&polys, &forest, bound), pairwise_summarize_guarded(&polys, &forest, bound, &guard)) {
+                (Ok((a, sa)), Ok((b, sb, c))) => {
+                    prop_assert_eq!(c, Completion::Complete);
+                    prop_assert_eq!(&a.vvs, &b.vvs, "competitor bound {}", bound);
+                    prop_assert_eq!(sa.merges_applied, sb.merges_applied);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => panic!("competitor disagrees at bound {bound}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Claim 2: the interrupted greedy state is a bit-for-bit prefix of
+    /// the uninterrupted run — at every step cap `k`, both engines land
+    /// on the same VVS, and its sizes are exactly the `k`-th point of
+    /// the full run's frontier trace.
+    #[test]
+    fn step_capped_greedy_is_a_prefix_of_the_uninterrupted_trace(
+        polys in polyset_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let (mut vars, names) = leaf_table();
+        let forest = random_forest(&mut vars, &names, seed, true);
+        // The frontier IS the uninterrupted run-to-exhaustion trace:
+        // point `k` is the working-set size after `k` selection steps.
+        // Target the trace's floor so the bound is attainable and the
+        // uncapped run walks the whole trace.
+        let trace = greedy_frontier(&polys, &forest).expect("frontier runs");
+        let bound = trace.last().expect("non-empty trace").0.max(1);
+        for cap in 0..trace.len() {
+            let guard = Guard::new(Budget::with_steps(cap as u64));
+            let (inc, inc_done) =
+                greedy_vvs_guarded(&polys, &forest, bound, &guard).expect("anytime result");
+            let (refr, ref_done) =
+                greedy_vvs_reference_guarded(&polys, &forest, bound, &guard).expect("anytime result");
+            // Engines agree bit-for-bit on the prefix.
+            prop_assert_eq!(&inc.vvs, &refr.vvs, "cap {}", cap);
+            prop_assert_eq!(inc_done, ref_done, "cap {}", cap);
+            inc.vvs.validate(&inc.forest).expect("prefix VVS is sound");
+            // The bounded run stops at the first trace point meeting the
+            // bound (the frontier itself continues to exhaustion through
+            // zero-ML merges).
+            let first_hit = trace
+                .iter()
+                .position(|&(ml, _)| ml <= bound)
+                .expect("the floor is on the trace");
+            match inc_done {
+                Completion::Complete => {
+                    prop_assert!(
+                        first_hit <= cap,
+                        "completed in {} steps under cap {}", first_hit, cap
+                    );
+                    prop_assert_eq!(inc.compressed_size_m, trace[first_hit].0);
+                    prop_assert_eq!(inc.compressed_size_v, trace[first_hit].1);
+                }
+                Completion::Interrupted { reason, steps, size_reached } => {
+                    prop_assert_eq!(reason, Interrupt::StepCapExhausted);
+                    prop_assert_eq!(steps, cap, "exact interruption point");
+                    prop_assert!(cap < first_hit, "would have finished otherwise");
+                    let (ml, vl) = trace[steps];
+                    prop_assert_eq!(size_reached, ml, "on the trace at step {}", steps);
+                    prop_assert_eq!(inc.compressed_size_m, ml);
+                    prop_assert_eq!(inc.compressed_size_v, vl);
+                }
+            }
+        }
+    }
+}
+
+/// Cancellation is observed before any selection step: a pre-tripped
+/// token yields the identity prefix (zero steps), typed `Cancelled`.
+#[test]
+fn pre_cancelled_guard_returns_the_identity_prefix() {
+    let (mut vars, names) = leaf_table();
+    let forest = random_forest(&mut vars, &names, 3, true);
+    let polys = PolySet::from_vec(vec![Polynomial::from_terms([
+        (Monomial::var(VarId(0)), 2.0),
+        (Monomial::var(VarId(1)), 3.0),
+        (Monomial::var(VarId(6)), 4.0),
+    ])]);
+    let token = CancelToken::new();
+    token.cancel();
+    let guard = Guard::unlimited().with_cancel(token);
+    let (result, completion) = greedy_vvs_guarded(&polys, &forest, 1, &guard).expect("anytime");
+    assert_eq!(result.compressed_size_m, result.original_size_m);
+    let Completion::Interrupted { reason, steps, .. } = completion else {
+        panic!("expected an interruption, got {completion:?}");
+    };
+    assert_eq!(reason, Interrupt::Cancelled);
+    assert_eq!(steps, 0, "no selection step ran");
+}
+
+/// The optimal DP has no usable partial state, so an interrupted solve
+/// degrades to the identity abstraction — sound, tagged, never an error.
+#[test]
+fn interrupted_optimal_falls_back_to_the_identity() {
+    let (mut vars, names) = leaf_table();
+    let forest = random_forest(&mut vars, &names, 5, false);
+    let polys = PolySet::from_vec(vec![Polynomial::from_terms([
+        (Monomial::var(VarId(0)), 1.0),
+        (Monomial::var(VarId(1)), 2.0),
+        (Monomial::var(VarId(2)), 3.0),
+        (Monomial::var(VarId(3)), 4.0),
+    ])]);
+    let guard = Guard::new(Budget::with_steps(0));
+    let (result, completion) = optimal_vvs_guarded(&polys, &forest, 1, &guard).expect("anytime");
+    assert!(!completion.is_complete(), "the cap must trip the DP");
+    assert_eq!(
+        result.compressed_size_m, result.original_size_m,
+        "identity fallback leaves the poly-set unchanged"
+    );
+    result
+        .vvs
+        .validate(&result.forest)
+        .expect("identity VVS is sound");
+}

@@ -192,13 +192,16 @@ impl WorkloadData {
     /// The paper's tree of `tree_type ∈ 1..=7` and shape index, over the
     /// primary leaves (the "suppliers abstraction tree" of the figures).
     pub fn primary_tree(&mut self, tree_type: u8, shape_idx: usize) -> Forest {
-        Forest::single(paper_tree(
-            tree_type,
-            shape_idx,
-            "Supp",
-            &self.primary_leaves,
-            &mut self.vars,
-        ))
+        Forest::single(
+            paper_tree(
+                tree_type,
+                shape_idx,
+                "Supp",
+                &self.primary_leaves,
+                &mut self.vars,
+            )
+            .expect("workload tree types are within 1..=7"),
+        )
     }
 
     /// A layered tree with explicit fan-outs over the primary leaves.

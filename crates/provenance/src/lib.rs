@@ -31,7 +31,13 @@
 //! * [`persist`] — durable compiled artifacts: a versioned, checksummed
 //!   on-disk container with an owned load path and a zero-copy
 //!   memory-mapped one that reslices the compiled columns straight out
-//!   of the file,
+//!   of the file, plus the deterministic fault-injection seam
+//!   ([`persist::FaultFs`]) the torn-write proofs run on,
+//! * [`guard`] — guarded execution: wall-clock/step [`guard::Budget`]s,
+//!   shareable [`guard::CancelToken`]s and the amortised
+//!   [`guard::Checkpoint`] probe the long-running loops carry, with
+//!   anytime [`guard::Completion`] reporting and the shared
+//!   panic-isolation seam,
 //! * [`coeff`] — coefficient rings (`f64`, integers, exact rationals),
 //! * [`semiring`] — commutative semirings and the specialisation of
 //!   `N[X]` provenance polynomials into them (Green's observation that the
@@ -69,6 +75,7 @@ pub mod compiled;
 pub mod display;
 #[doc(hidden)] // an implementation detail shared with the sibling crates, not public API
 pub mod fxhash;
+pub mod guard;
 pub mod intern;
 pub mod monomial;
 pub mod parse;
@@ -85,6 +92,7 @@ pub use circuit::Circuit;
 pub use coeff::{Coefficient, Rational};
 pub use compiled::{CompiledPolySet, CompiledView};
 pub use display::{poly_to_string, polyset_to_string};
+pub use guard::{Budget, CancelToken, Completion, Guard, Interrupt};
 pub use intern::{MonoArena, MonoId, VarSpace};
 pub use monomial::Monomial;
 pub use parse::{parse_polynomial, parse_polyset};

@@ -2,6 +2,7 @@
 //! checksummed file, and validating + indexing one back out of owned or
 //! memory-mapped bytes.
 
+use super::fault::{FaultFs, FaultOp};
 use super::format::{checksum64, FORMAT_VERSION, MAGIC};
 use super::PersistError;
 use std::fs::File;
@@ -9,6 +10,13 @@ use std::io::{Read, Write};
 use std::ops::Range;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Attempts [`ArtifactWriter::write_atomic`] makes before giving up on
+/// transient I/O errors (`Interrupted` / `WouldBlock` / `TimedOut`).
+const WRITE_ATTEMPTS: u32 = 3;
+/// Backoff before retry attempt `i` (doubles each time).
+const WRITE_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Header: magic (8) + version + flags + section_count + reserved (4 × 4).
 const HEADER_LEN: usize = 24;
@@ -122,18 +130,63 @@ impl ArtifactWriter {
     }
 
     /// Writes the artifact to `path` via a temporary sibling file and an
-    /// atomic rename.
+    /// atomic rename, honouring a `PROVABS_FAULT_FS` injection plan when
+    /// one is set (see [`FaultFs::from_env`]).
     pub fn write_atomic(&self, path: &Path) -> Result<(), PersistError> {
+        self.write_atomic_with(path, &FaultFs::from_env())
+    }
+
+    /// [`write_atomic`](Self::write_atomic) through an explicit
+    /// fault-injection plan — the seam the torn-write and retry proofs
+    /// drive.
+    ///
+    /// The invariant either way: the target path only ever holds the
+    /// complete previous artifact or the complete new one. The new
+    /// bytes are staged in a temporary sibling, fsynced, then renamed
+    /// over the target; any failure before the rename leaves the target
+    /// untouched (and removes the staging file), and a failed rename
+    /// cannot tear — POSIX `rename(2)` replaces atomically or not at
+    /// all. Transient errors (`Interrupted`/`WouldBlock`/`TimedOut`)
+    /// are retried up to three times with doubling
+    /// backoff; anything else (or exhausted retries) surfaces as
+    /// [`PersistError::Io`].
+    pub fn write_atomic_with(&self, path: &Path, faults: &FaultFs) -> Result<(), PersistError> {
         let bytes = self.to_bytes();
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-        let mut f = File::create(&tmp).map_err(PersistError::io)?;
-        f.write_all(&bytes).map_err(PersistError::io)?;
-        f.sync_all().map_err(PersistError::io)?;
+        let mut attempt = 0;
+        loop {
+            match Self::try_publish(&bytes, &tmp, path, faults) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let _ = std::fs::remove_file(&tmp);
+                    attempt += 1;
+                    let transient = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted
+                            | std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                    );
+                    if !transient || attempt >= WRITE_ATTEMPTS {
+                        return Err(PersistError::io(e));
+                    }
+                    std::thread::sleep(WRITE_BACKOFF * (1 << (attempt - 1)));
+                }
+            }
+        }
+    }
+
+    /// One staged-write-and-rename attempt, with every filesystem call
+    /// routed through the injection seam first.
+    fn try_publish(bytes: &[u8], tmp: &Path, path: &Path, faults: &FaultFs) -> std::io::Result<()> {
+        faults.check(FaultOp::Create)?;
+        let mut f = File::create(tmp)?;
+        faults.check(FaultOp::Write)?;
+        f.write_all(bytes)?;
+        faults.check(FaultOp::Sync)?;
+        f.sync_all()?;
         drop(f);
-        std::fs::rename(&tmp, path).map_err(|e| {
-            let _ = std::fs::remove_file(&tmp);
-            PersistError::io(e)
-        })
+        faults.check(FaultOp::Rename)?;
+        std::fs::rename(tmp, path)
     }
 }
 

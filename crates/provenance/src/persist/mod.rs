@@ -50,6 +50,7 @@
 
 mod artifact;
 mod codec;
+mod fault;
 mod format;
 
 pub use artifact::{ArtifactWriter, RawArtifact};
@@ -57,6 +58,7 @@ pub use codec::{
     decode_var_table, encode_compiled, encode_var_table, encode_working, SharedCompiled,
     WorkingSlot,
 };
+pub use fault::{FaultFs, FaultOp};
 pub use format::{checksum64, section, Dec, Enc, FORMAT_VERSION, MAGIC};
 
 use std::fmt;

@@ -18,13 +18,15 @@
 
 use crate::apply::TimedRun;
 use provabs_provenance::compiled::{CompiledPolySet, CompiledView};
+use provabs_provenance::guard::{self, Guard, Interrupt};
 use provabs_provenance::polyset::PolySet;
 pub use provabs_provenance::simd::Kernel;
 use provabs_provenance::simd::LANES;
 use provabs_provenance::valuation::Valuation;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`apply_batch_parallel`].
 ///
@@ -236,6 +238,200 @@ pub fn eval_compiled_view(
     }
 }
 
+/// One worker panic, isolated to the scenario that raised it. The rest
+/// of the batch is unaffected: sibling scenarios in the same chunk are
+/// replayed individually, other chunks complete normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanicReport {
+    /// The batch index of the scenario whose evaluation panicked.
+    pub scenario_index: usize,
+    /// The rendered panic payload.
+    pub payload: String,
+}
+
+/// Why a guarded batch evaluation did not complete cleanly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A scenario's evaluation panicked; the panic was caught at the
+    /// chunk boundary and pinned to the offending scenario.
+    WorkerPanic {
+        /// The batch index of the poisoned scenario.
+        scenario_index: usize,
+        /// The rendered panic payload.
+        payload: String,
+    },
+    /// The guard tripped (cancellation or deadline) before the batch
+    /// drained; workers stopped within one chunk each.
+    Interrupted(Interrupt),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WorkerPanic {
+                scenario_index,
+                payload,
+            } => write!(
+                f,
+                "worker panicked evaluating scenario {scenario_index}: {payload}"
+            ),
+            ExecError::Interrupted(reason) => write!(f, "batch evaluation interrupted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The full outcome of a guarded batch evaluation: every row the engine
+/// managed to produce, plus everything that went wrong. Rows belonging
+/// to panicked scenarios — and to chunks never claimed after an
+/// interrupt — are left empty.
+#[derive(Clone, Debug)]
+pub struct GuardedRun {
+    /// `values[s][p]`, bit-identical to the serial reference for every
+    /// scenario that evaluated cleanly.
+    pub values: Vec<Vec<f64>>,
+    /// Wall-clock time of the evaluation.
+    pub elapsed: Duration,
+    /// Per-scenario panics, sorted by scenario index. Empty on a clean
+    /// run.
+    pub panics: Vec<PanicReport>,
+    /// Set when the guard tripped before the batch drained.
+    pub interrupted: Option<Interrupt>,
+}
+
+impl GuardedRun {
+    /// Collapses the outcome into the all-or-nothing form: the timed
+    /// values if the batch drained cleanly, the first panic (by scenario
+    /// index) or the interrupt otherwise.
+    pub fn into_result(self) -> Result<TimedRun, ExecError> {
+        if let Some(first) = self.panics.into_iter().next() {
+            return Err(ExecError::WorkerPanic {
+                scenario_index: first.scenario_index,
+                payload: first.payload,
+            });
+        }
+        if let Some(reason) = self.interrupted {
+            return Err(ExecError::Interrupted(reason));
+        }
+        Ok(TimedRun {
+            values: self.values,
+            elapsed: self.elapsed,
+        })
+    }
+}
+
+/// [`eval_prepared`] under an execution [`Guard`]: workers poll the
+/// guard at every chunk claim (a cancelled batch stops within one chunk
+/// per worker) and every chunk runs behind a panic isolation boundary —
+/// a poisoned scenario loses its own row only, pinned in
+/// [`GuardedRun::panics`], while the rest of the batch completes.
+pub fn eval_prepared_guarded(
+    polys: &PolySet<f64>,
+    compiled: Option<&CompiledPolySet<f64>>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+    guard: &Guard,
+) -> GuardedRun {
+    let start = Instant::now();
+    let (values, panics, interrupted) = if let Some(compiled) = compiled {
+        eval_grid_compiled_guarded(compiled.view(), valuations, opts, guard)
+    } else {
+        eval_grid_serial_guarded(polys, valuations, opts, guard)
+    };
+    GuardedRun {
+        values,
+        elapsed: start.elapsed(),
+        panics,
+        interrupted,
+    }
+}
+
+/// [`eval_compiled_view`] under an execution [`Guard`] — same isolation
+/// and cancellation contract as [`eval_prepared_guarded`].
+pub fn eval_compiled_view_guarded(
+    compiled: CompiledView<'_, f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+    guard: &Guard,
+) -> GuardedRun {
+    let start = Instant::now();
+    let (values, panics, interrupted) =
+        eval_grid_compiled_guarded(compiled, valuations, opts, guard);
+    GuardedRun {
+        values,
+        elapsed: start.elapsed(),
+        panics,
+        interrupted,
+    }
+}
+
+/// Guarded compiled-path grid: the chunk evaluator runs the columnar
+/// kernel block-wise; the per-scenario evaluator replays single rows
+/// when a chunk trips the isolation boundary.
+fn eval_grid_compiled_guarded(
+    compiled: CompiledView<'_, f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+    guard: &Guard,
+) -> GridOutcome {
+    if valuations.is_empty() {
+        return (Vec::new(), Vec::new(), None);
+    }
+    let kernel = opts.kernel.resolve();
+    let threads = opts.resolved_threads(valuations.len());
+    let mut chunk = opts.resolved_chunk(valuations.len(), threads);
+    if kernel != Kernel::Scalar {
+        chunk = chunk.next_multiple_of(LANES);
+    }
+    run_chunked_guarded(
+        valuations.len(),
+        threads,
+        chunk,
+        guard,
+        |start, out| {
+            let end = start + out.len();
+            let mut rows = Vec::with_capacity(out.len());
+            compiled.eval_block_into(&valuations[start..end], kernel, &mut rows);
+            for (slot, row) in out.iter_mut().zip(rows) {
+                *slot = row;
+            }
+        },
+        |s, out| {
+            let mut rows = Vec::with_capacity(1);
+            compiled.eval_block_into(&valuations[s..s + 1], kernel, &mut rows);
+            *out = rows.pop().unwrap_or_default();
+        },
+    )
+}
+
+/// Guarded hash-map-path grid (the `compiled: false` configuration).
+fn eval_grid_serial_guarded(
+    polys: &PolySet<f64>,
+    valuations: &[Valuation<f64>],
+    opts: &EvalOptions,
+    guard: &Guard,
+) -> GridOutcome {
+    if valuations.is_empty() {
+        return (Vec::new(), Vec::new(), None);
+    }
+    let threads = opts.resolved_threads(valuations.len());
+    let chunk = opts.resolved_chunk(valuations.len(), threads);
+    run_chunked_guarded(
+        valuations.len(),
+        threads,
+        chunk,
+        guard,
+        |start, out| {
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = valuations[start + k].eval_set(polys);
+            }
+        },
+        |s, out| *out = valuations[s].eval_set(polys),
+    )
+}
+
 /// The untimed compiled-path grid (single-thread or pool). The kernel is
 /// resolved once per batch — every chunk worker runs the same engine.
 fn eval_grid_compiled(
@@ -365,6 +561,78 @@ fn run_chunked(
         });
     }
     out
+}
+
+/// `(values, panics, interrupted)` of one guarded grid run.
+type GridOutcome = (Vec<Vec<f64>>, Vec<PanicReport>, Option<Interrupt>);
+
+/// [`run_chunked`] with the robustness contract: workers poll the guard
+/// before every chunk claim and stop claiming once it trips (in-flight
+/// chunks finish — cancellation latency is bounded by one chunk per
+/// worker), and each chunk runs inside [`guard::run_isolated_mut`]. A
+/// chunk that panics is replayed one scenario at a time through
+/// `eval_one`, so only the scenario that actually panicked loses its row
+/// — its index and payload land in the returned reports.
+fn run_chunked_guarded(
+    jobs: usize,
+    threads: usize,
+    chunk: usize,
+    guard: &Guard,
+    eval_chunk: impl Fn(usize, &mut [Vec<f64>]) + Sync,
+    eval_one: impl Fn(usize, &mut Vec<f64>) + Sync,
+) -> GridOutcome {
+    let mut out: Vec<Vec<f64>> = Vec::new();
+    out.resize_with(jobs, Vec::new);
+    let panics: Mutex<Vec<PanicReport>> = Mutex::new(Vec::new());
+    let interrupted: Mutex<Option<Interrupt>> = Mutex::new(None);
+    {
+        let slots: Vec<Mutex<&mut [Vec<f64>]>> = out.chunks_mut(chunk).map(Mutex::new).collect();
+        let cursor = AtomicUsize::new(0);
+        let worker = || loop {
+            if let Err(reason) = guard.probe() {
+                interrupted
+                    .lock()
+                    .expect("interrupt slot poisoned")
+                    .get_or_insert(reason);
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = slots.get(i) else { break };
+            let mut rows = slot.lock().expect("chunk mutex poisoned");
+            let start = i * chunk;
+            if guard::run_isolated_mut(|| eval_chunk(start, &mut rows)).is_ok() {
+                continue;
+            }
+            // The chunk poisoned mid-write: replay it one scenario at a
+            // time so only the culprit's row is lost.
+            for (k, row) in rows.iter_mut().enumerate() {
+                row.clear();
+                if let Err(payload) = guard::run_isolated_mut(|| eval_one(start + k, row)) {
+                    row.clear();
+                    panics
+                        .lock()
+                        .expect("panic list poisoned")
+                        .push(PanicReport {
+                            scenario_index: start + k,
+                            payload,
+                        });
+                }
+            }
+        };
+        if threads <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(worker);
+                }
+            });
+        }
+    }
+    let mut panics = panics.into_inner().expect("panic list poisoned");
+    panics.sort_by_key(|p| p.scenario_index);
+    let interrupted = interrupted.into_inner().expect("interrupt slot poisoned");
+    (out, panics, interrupted)
 }
 
 #[cfg(test)]
@@ -551,6 +819,197 @@ mod tests {
         }
         let serial = PreparedBatch::new(&polys, &EvalOptions::serial_reference());
         assert_eq!(serial.apply(&vals).values, reference);
+    }
+
+    /// The acceptance scenario for panic isolation: a 16-scenario batch
+    /// in which exactly one scenario's evaluation panics. The poisoned
+    /// scenario is reported — by exact index, with its payload — and the
+    /// other 15 rows are bit-identical to the serial reference.
+    #[test]
+    fn one_poisoned_scenario_loses_only_its_own_row() {
+        let (polys, vals) = setup(16);
+        let reference = apply_batch(&polys, &vals).values;
+        let poison = 11usize;
+        // The injected panics are caught and reported; keep them off the
+        // test harness's stderr.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        for threads in [1, 2, 4] {
+            for chunk in [1, 3, 4, 16] {
+                let guard = Guard::unlimited();
+                let (values, panics, interrupted) = run_chunked_guarded(
+                    vals.len(),
+                    threads,
+                    chunk,
+                    &guard,
+                    |start, out| {
+                        for (k, slot) in out.iter_mut().enumerate() {
+                            assert_ne!(start + k, poison, "scenario {poison} is poisoned");
+                            *slot = vals[start + k].eval_set(&polys);
+                        }
+                    },
+                    |s, out| {
+                        assert_ne!(s, poison, "scenario {poison} is poisoned");
+                        *out = vals[s].eval_set(&polys);
+                    },
+                );
+                assert_eq!(interrupted, None);
+                assert_eq!(panics.len(), 1, "threads {threads} chunk {chunk}");
+                assert_eq!(panics[0].scenario_index, poison);
+                assert!(
+                    panics[0].payload.contains("poisoned"),
+                    "{}",
+                    panics[0].payload
+                );
+                for (s, row) in values.iter().enumerate() {
+                    if s == poison {
+                        assert!(row.is_empty(), "poisoned row must stay empty");
+                    } else {
+                        assert_eq!(
+                            row, &reference[s],
+                            "row {s} diverged (threads {threads} chunk {chunk})"
+                        );
+                    }
+                }
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    /// `GuardedRun::into_result` surfaces the lowest-indexed panic as the
+    /// typed error, and a clean run round-trips into a `TimedRun`.
+    #[test]
+    fn guarded_run_collapses_to_typed_errors() {
+        let run = GuardedRun {
+            values: vec![vec![1.0]],
+            elapsed: Duration::from_millis(1),
+            panics: vec![
+                PanicReport {
+                    scenario_index: 3,
+                    payload: "boom".into(),
+                },
+                PanicReport {
+                    scenario_index: 9,
+                    payload: "later".into(),
+                },
+            ],
+            interrupted: Some(Interrupt::Cancelled),
+        };
+        match run.into_result() {
+            Err(ExecError::WorkerPanic {
+                scenario_index,
+                payload,
+            }) => {
+                assert_eq!(scenario_index, 3);
+                assert_eq!(payload, "boom");
+            }
+            other => panic!("expected the first panic, got {other:?}"),
+        }
+        let cancelled = GuardedRun {
+            values: Vec::new(),
+            elapsed: Duration::ZERO,
+            panics: Vec::new(),
+            interrupted: Some(Interrupt::Cancelled),
+        };
+        assert_eq!(
+            cancelled.into_result().unwrap_err(),
+            ExecError::Interrupted(Interrupt::Cancelled)
+        );
+        let clean = GuardedRun {
+            values: vec![vec![2.0]],
+            elapsed: Duration::ZERO,
+            panics: Vec::new(),
+            interrupted: None,
+        };
+        assert_eq!(clean.into_result().unwrap().values, vec![vec![2.0]]);
+    }
+
+    /// A guarded run with an unlimited guard matches the serial reference
+    /// bit for bit across engine configurations — the guarded path is the
+    /// same engine, not a different one.
+    #[test]
+    fn guarded_paths_match_reference_when_unlimited() {
+        let (polys, vals) = setup(13);
+        let reference = apply_batch(&polys, &vals).values;
+        let compiled = provabs_provenance::compiled::CompiledPolySet::compile(&polys);
+        let guard = Guard::unlimited();
+        for opts in [
+            EvalOptions::new(),
+            EvalOptions::new().threads(1),
+            EvalOptions::new().threads(3).chunk(2),
+            EvalOptions::serial_reference(),
+        ] {
+            let with = eval_prepared_guarded(&polys, Some(&compiled), &vals, &opts, &guard);
+            assert!(with.panics.is_empty() && with.interrupted.is_none());
+            assert_eq!(with.values, reference, "{opts:?}");
+            let without = eval_prepared_guarded(&polys, None, &vals, &opts, &guard);
+            assert_eq!(without.values, reference, "{opts:?}");
+            let view = eval_compiled_view_guarded(compiled.view(), &vals, &opts, &guard);
+            assert_eq!(view.values, reference, "{opts:?}");
+        }
+    }
+
+    /// A token cancelled before the batch starts stops every worker at
+    /// its first claim: no rows are produced and the run reports
+    /// `Interrupt::Cancelled`.
+    #[test]
+    fn cancelled_token_stops_workers_at_the_claim() {
+        let (polys, vals) = setup(12);
+        let token = provabs_provenance::guard::CancelToken::new();
+        token.cancel();
+        let guard = Guard::unlimited().with_cancel(token);
+        let run = eval_prepared_guarded(
+            &polys,
+            None,
+            &vals,
+            &EvalOptions::new().threads(3).chunk(1),
+            &guard,
+        );
+        assert_eq!(run.interrupted, Some(Interrupt::Cancelled));
+        assert!(run.values.iter().all(Vec::is_empty), "no chunk may run");
+        assert!(matches!(
+            run.into_result(),
+            Err(ExecError::Interrupted(Interrupt::Cancelled))
+        ));
+    }
+
+    /// A cancellation raised mid-batch stops within one chunk per worker:
+    /// with single-scenario chunks and a token tripped by the first
+    /// evaluation, strictly fewer rows complete than the batch holds.
+    #[test]
+    fn mid_batch_cancellation_stops_within_a_chunk() {
+        let (polys, vals) = setup(64);
+        let token = provabs_provenance::guard::CancelToken::new();
+        let guard = Guard::unlimited().with_cancel(token.clone());
+        let (values, panics, interrupted) = run_chunked_guarded(
+            vals.len(),
+            2,
+            1,
+            &guard,
+            |start, out| {
+                token.cancel();
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = vals[start + k].eval_set(&polys);
+                }
+            },
+            |s, out| *out = vals[s].eval_set(&polys),
+        );
+        assert!(panics.is_empty());
+        assert_eq!(interrupted, Some(Interrupt::Cancelled));
+        let done = values.iter().filter(|r| !r.is_empty()).count();
+        assert!(done <= 2, "workers kept claiming after the cancel: {done}");
+    }
+
+    #[test]
+    fn exec_error_display_names_the_failure() {
+        let e = ExecError::WorkerPanic {
+            scenario_index: 7,
+            payload: "boom".into(),
+        };
+        assert!(format!("{e}").contains("scenario 7"));
+        assert!(format!("{e}").contains("boom"));
+        let e = ExecError::Interrupted(Interrupt::DeadlineExpired);
+        assert!(format!("{e}").contains("interrupted"));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 //! and a scenario naming a variable the session has never seen.
 
 use provabs_engine::error::EngineError;
+use provabs_provenance::guard::Interrupt;
 use provabs_provenance::parse::ParseError;
 use provabs_provenance::persist::PersistError;
+use provabs_scenario::executor::ExecError;
 use provabs_trees::error::TreeError;
 use std::fmt;
 
@@ -56,6 +58,22 @@ pub enum Error {
     /// `Session::open_mapped`). Corrupted or truncated artifacts always
     /// surface here — never as a panic or silently-loaded garbage.
     Persist(PersistError),
+    /// A guarded evaluation was stopped by the session's guard — deadline
+    /// expired, step budget exhausted, or the attached
+    /// [`CancelToken`](provabs_provenance::guard::CancelToken) tripped —
+    /// before the batch produced its answers. (Compression never surfaces
+    /// this: its loops are anytime and return their best-so-far state,
+    /// tagged in `Session::run_stats`.)
+    Cancelled(Interrupt),
+    /// A worker thread panicked while evaluating one scenario of a batch.
+    /// The panic was contained (every other scenario completed) and comes
+    /// back typed instead of aborting the process.
+    WorkerPanic {
+        /// Index of the scenario whose evaluation panicked.
+        scenario_index: usize,
+        /// The rendered panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -83,6 +101,16 @@ impl fmt::Display for Error {
                  abstracted labels, or accuracy_report for fine-grained questions"
             ),
             Error::Persist(e) => write!(f, "artifact error: {e}"),
+            Error::Cancelled(reason) => {
+                write!(f, "evaluation stopped before completion: {reason}")
+            }
+            Error::WorkerPanic {
+                scenario_index,
+                payload,
+            } => write!(
+                f,
+                "worker panicked evaluating scenario {scenario_index}: {payload}"
+            ),
         }
     }
 }
@@ -123,6 +151,24 @@ impl From<PersistError> for Error {
     }
 }
 
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        match e {
+            ExecError::WorkerPanic {
+                scenario_index,
+                payload,
+            } => Error::WorkerPanic {
+                scenario_index,
+                payload,
+            },
+            ExecError::Interrupted(reason) => Error::Cancelled(reason),
+            // ExecError is #[non_exhaustive]; any future executor failure
+            // still surfaces as an interruption rather than a panic.
+            _ => Error::Cancelled(Interrupt::Cancelled),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +196,25 @@ mod tests {
         let a: Error = PersistError::BadMagic.into();
         assert!(matches!(a, Error::Persist(PersistError::BadMagic)));
         assert!(format!("{a}").contains("artifact error"));
+
+        let c: Error = ExecError::Interrupted(Interrupt::DeadlineExpired).into();
+        assert_eq!(c, Error::Cancelled(Interrupt::DeadlineExpired));
+        assert!(format!("{c}").contains("deadline expired"));
+
+        let w: Error = ExecError::WorkerPanic {
+            scenario_index: 11,
+            payload: "poisoned".into(),
+        }
+        .into();
+        assert_eq!(
+            w,
+            Error::WorkerPanic {
+                scenario_index: 11,
+                payload: "poisoned".into()
+            }
+        );
+        assert!(format!("{w}").contains("scenario 11"));
+        assert!(format!("{w}").contains("poisoned"));
     }
 
     #[test]

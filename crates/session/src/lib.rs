@@ -36,6 +36,16 @@
 //! skips both compression and compilation. [`Session::artifact_info`]
 //! reports where a session's state came from.
 //!
+//! Execution is *guarded*: [`SessionBuilder::deadline`] /
+//! [`SessionBuilder::budget`] / [`SessionBuilder::cancel_token`] bound
+//! every long-running stage. Compression is **anytime** — a tripped
+//! guard leaves the best-so-far (sound, just larger) abstraction
+//! installed and answering, tagged in [`Session::run_stats`] — while
+//! evaluation batches fail typed ([`Error::Cancelled`],
+//! [`Error::WorkerPanic`]) with panics isolated to the one scenario
+//! that raised them. Saving is torn-file-proof under injected
+//! filesystem faults ([`Session::save_with_faults`]).
+//!
 //! # Example
 //!
 //! ```
@@ -102,6 +112,8 @@ pub mod strategy;
 pub use artifact::ArtifactOrigin;
 pub use builder::SessionBuilder;
 pub use error::Error;
+pub use provabs_provenance::guard::{Budget, CancelToken, Completion, Guard, Interrupt};
+pub use provabs_provenance::persist::{FaultFs, FaultOp};
 pub use provabs_provenance::simd::{Kernel, KernelInfo};
-pub use session::{InternStats, Session};
+pub use session::{InternStats, RunStats, Session};
 pub use strategy::{Strategy, Target};

@@ -32,20 +32,22 @@ use crate::artifact::{decode_live_vars, decode_meta, encode_live_vars, encode_me
 use crate::error::Error;
 use crate::strategy::Strategy;
 use provabs_core::brute::brute_force_vvs;
-use provabs_core::competitor::pairwise_summarize_interned;
+use provabs_core::competitor::pairwise_summarize_interned_guarded;
 use provabs_core::greedy::{
-    greedy_frontier, greedy_frontier_reference, greedy_vvs_interned, greedy_vvs_reference,
+    greedy_frontier, greedy_frontier_reference, greedy_vvs_interned_guarded,
+    greedy_vvs_reference_guarded,
 };
-use provabs_core::online::{online_compress_interned, Solver};
-use provabs_core::optimal::{optimal_frontier, optimal_vvs_interned};
+use provabs_core::online::{online_compress_interned_guarded, Solver};
+use provabs_core::optimal::{optimal_frontier, optimal_vvs_interned_guarded};
 use provabs_core::problem::{
     evaluate_vvs_interned, prepare_interned, AbstractionResult, InternedAbstraction,
 };
 use provabs_provenance::compiled::{CompiledPolySet, CompiledView};
 use provabs_provenance::fxhash::FxHashSet;
+use provabs_provenance::guard::{Completion, Guard};
 use provabs_provenance::persist::{
     decode_var_table, encode_compiled, encode_var_table, encode_working, section, ArtifactWriter,
-    RawArtifact, SharedCompiled, WorkingSlot,
+    FaultFs, RawArtifact, SharedCompiled, WorkingSlot,
 };
 use provabs_provenance::polyset::PolySet;
 use provabs_provenance::simd::KernelInfo;
@@ -54,7 +56,10 @@ use provabs_provenance::var::{VarId, VarTable};
 use provabs_provenance::working::WorkingSet;
 use provabs_scenario::accuracy::{coarse_valuation, error_stats, ErrorReport};
 use provabs_scenario::apply::TimedRun;
-use provabs_scenario::executor::{eval_compiled_view, eval_prepared, EvalOptions};
+use provabs_scenario::executor::{
+    eval_compiled_view, eval_compiled_view_guarded, eval_prepared, eval_prepared_guarded,
+    EvalOptions,
+};
 use provabs_scenario::scenario::Scenario;
 use provabs_scenario::speedup::{
     max_equivalence_error_prepared, measure_alternating, SpeedupReport,
@@ -65,6 +70,7 @@ use provabs_trees::persist::{decode_forest, decode_vvs, encode_forest, encode_vv
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 /// How the session's provenance was supplied (builder-internal).
 #[derive(Clone, Debug)]
@@ -99,6 +105,33 @@ pub struct InternStats {
     /// Whether the provenance was supplied already interned (engine
     /// emission) rather than as a poly-set lowered at ingest.
     pub interned_source: bool,
+}
+
+/// The guarded-execution observability snapshot — fifth sibling of
+/// [`Session::compile_count`], [`Session::intern_stats`],
+/// [`Session::kernel_info`] and [`Session::artifact_info`], returned by
+/// [`Session::run_stats`].
+///
+/// The robustness invariant it observes: guarded work always ends in a
+/// *typed* state — [`Completion::Complete`] when the guard never
+/// tripped, [`Completion::Interrupted`] (with the best-so-far
+/// abstraction still installed and answering) when it did. Never a hang,
+/// never an abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunStats {
+    /// Guard checkpoints ticked across all work this session's guard
+    /// supervised (compression selection steps; 0 for an unlimited guard
+    /// on the fast paths, which never instantiate probes).
+    pub checkpoints_hit: u64,
+    /// Cumulative wall-clock time spent inside the session's guarded
+    /// stages (compression, plus evaluation batches when a real guard is
+    /// attached).
+    pub elapsed: Duration,
+    /// How compression ended: [`Completion::Complete`], or
+    /// [`Completion::Interrupted`] with the reason, the selection steps
+    /// done, and the size the anytime prefix reached.
+    /// [`Completion::Complete`] before [`Session::compress`] runs.
+    pub completion: Completion,
 }
 
 /// A compiled lowering the evaluator can run on: either owned columns
@@ -218,6 +251,14 @@ pub struct Session {
     /// Where the compiled state came from (computed here vs opened from
     /// a saved artifact) — see [`Session::artifact_info`].
     origin: ArtifactOrigin,
+    /// The execution guard every long-running stage runs under: explicit
+    /// (builder deadline/budget/token), ambient
+    /// (`PROVABS_AMBIENT_DEADLINE_MS`), or unlimited.
+    guard: Guard,
+    /// Wall-clock accumulated by the guarded stages (see [`RunStats`]).
+    run_elapsed: Duration,
+    /// How compression ended (see [`RunStats`]).
+    completion: Completion,
 }
 
 impl std::fmt::Debug for Session {
@@ -245,6 +286,7 @@ impl Session {
         strategy: Strategy,
         bound: usize,
         opts: EvalOptions,
+        guard: Guard,
     ) -> Self {
         let polys = OnceLock::new();
         let source = OnceLock::new();
@@ -273,6 +315,9 @@ impl Session {
             interned_source,
             source_slot: None,
             origin: ArtifactOrigin::Computed,
+            guard,
+            run_elapsed: Duration::ZERO,
+            completion: Completion::Complete,
         }
     }
 
@@ -313,47 +358,94 @@ impl Session {
     /// (`Greedy { incremental: false }`, `Brute`) bridge to the hash-map
     /// representation they are defined on (counted in
     /// [`intern_stats`](Self::intern_stats)).
+    /// Every compression loop runs under the session's guard (builder
+    /// deadline / budget / cancellation token, or the ambient deadline).
+    /// When the guard trips mid-run, the anytime engines (Greedy, Online,
+    /// Competitor) install their best-so-far prefix — a sound, just
+    /// larger, abstraction — and Optimal falls back to the identity
+    /// abstraction; how the run ended is reported by
+    /// [`run_stats`](Self::run_stats) (or returned directly by
+    /// [`compress_guarded`](Self::compress_guarded)).
     pub fn compress(&mut self) -> Result<&AbstractionResult, Error> {
+        self.compress_guarded().map(|(result, _)| result)
+    }
+
+    /// [`compress`](Self::compress), additionally returning how the run
+    /// ended: [`Completion::Complete`], or [`Completion::Interrupted`]
+    /// when the guard stopped it at the anytime prefix the result now
+    /// holds.
+    pub fn compress_guarded(&mut self) -> Result<(&AbstractionResult, Completion), Error> {
         if self.compressed.is_none() {
-            let interned: InternedAbstraction<f64> = match self.strategy.clone() {
-                Strategy::Optimal => {
-                    optimal_vvs_interned(self.source_ws(), &self.forest, self.bound)?
-                }
+            let started = Instant::now();
+            let guard = self.guard.clone();
+            let (interned, completion): (InternedAbstraction<f64>, Completion) = match self
+                .strategy
+                .clone()
+            {
+                Strategy::Optimal => optimal_vvs_interned_guarded(
+                    self.source_ws(),
+                    &self.forest,
+                    self.bound,
+                    &guard,
+                )?,
                 Strategy::Greedy { incremental: true } => {
-                    greedy_vvs_interned(self.source_ws(), &self.forest, self.bound)?
+                    greedy_vvs_interned_guarded(self.source_ws(), &self.forest, self.bound, &guard)?
                 }
                 Strategy::Greedy { incremental: false } => {
                     // The paper-faithful full-rescan engine is defined on
                     // hash-map polynomials; run it there, then carry its
                     // VVS back into the interned currency.
-                    let result = greedy_vvs_reference(self.polys_ref(), &self.forest, self.bound)?;
-                    evaluate_vvs_interned(self.source_ws().clone(), &result.forest, result.vvs)
+                    let (result, completion) = greedy_vvs_reference_guarded(
+                        self.polys_ref(),
+                        &self.forest,
+                        self.bound,
+                        &guard,
+                    )?;
+                    (
+                        evaluate_vvs_interned(self.source_ws().clone(), &result.forest, result.vvs),
+                        completion,
+                    )
                 }
                 Strategy::Online { fraction, seed } => {
-                    online_compress_interned(
+                    let (outcome, completion) = online_compress_interned_guarded(
                         self.source_ws(),
                         &self.forest,
                         self.bound,
                         fraction,
                         seed,
                         Solver::Greedy,
-                    )?
-                    .full
+                        &guard,
+                    )?;
+                    (outcome.full, completion)
                 }
                 Strategy::Competitor => {
-                    pairwise_summarize_interned(self.source_ws(), &self.forest, self.bound)?.0
+                    let (interned, _, completion) = pairwise_summarize_interned_guarded(
+                        self.source_ws(),
+                        &self.forest,
+                        self.bound,
+                        &guard,
+                    )?;
+                    (interned, completion)
                 }
                 Strategy::Brute { cut_limit } => {
                     // Exhaustive enumeration scores cuts on the hash-map
-                    // representation; carry the winner back.
+                    // representation; carry the winner back. The search is
+                    // a test oracle — not guarded, but its worker panics
+                    // come back typed (`TreeError::WorkerPanic`).
                     let result =
                         brute_force_vvs(self.polys_ref(), &self.forest, self.bound, cut_limit)?;
-                    evaluate_vvs_interned(self.source_ws().clone(), &result.forest, result.vvs)
+                    (
+                        evaluate_vvs_interned(self.source_ws().clone(), &result.forest, result.vvs),
+                        Completion::Complete,
+                    )
                 }
                 Strategy::None => {
                     let cleaned = prepare_interned(self.source_ws(), &self.forest)?;
                     let vvs = Vvs::identity(&cleaned);
-                    evaluate_vvs_interned(self.source_ws().clone(), &cleaned, vvs)
+                    (
+                        evaluate_vvs_interned(self.source_ws().clone(), &cleaned, vvs),
+                        Completion::Complete,
+                    )
                 }
             };
             let live_vars = interned.working.live_vars();
@@ -364,8 +456,13 @@ impl Session {
                 compiled: None,
                 abstracted: OnceLock::new(),
             });
+            self.completion = completion;
+            self.run_elapsed += started.elapsed();
         }
-        Ok(&self.compressed.as_ref().expect("cached above").result)
+        Ok((
+            &self.compressed.as_ref().expect("cached above").result,
+            self.completion,
+        ))
     }
 
     /// Answers a batch of named scenarios against the compressed
@@ -398,7 +495,9 @@ impl Session {
         self.compress()?;
         let opts = self.opts.clone();
         self.ensure_compressed_compiled(&opts);
-        Ok(self.eval_compressed_with(valuations, &opts))
+        let run = self.eval_compressed_checked(valuations, &opts)?;
+        self.run_elapsed += run.elapsed;
+        Ok(run)
     }
 
     /// [`ask`](Self::ask) under a one-off engine configuration — e.g.
@@ -416,7 +515,9 @@ impl Session {
         self.compress()?;
         let valuations = self.coarse_valuations(scenarios)?;
         self.ensure_compressed_compiled(opts);
-        Ok(self.eval_compressed_with(&valuations, opts))
+        let run = self.eval_compressed_checked(&valuations, opts)?;
+        self.run_elapsed += run.elapsed;
+        Ok(run)
     }
 
     /// Measures the assignment-time speedup of the session's abstraction
@@ -561,6 +662,32 @@ impl Session {
             let polys = Self::abstracted_bridge(&self.materializations, state);
             eval_prepared(polys, None, valuations, opts)
         }
+    }
+
+    /// The fallible evaluation path the `ask*` entry points run on. With
+    /// a real guard attached the batch runs on the *guarded* executor:
+    /// cancellation and deadlines stop it within one chunk claim per
+    /// worker ([`Error::Cancelled`]) and a panicking scenario is isolated
+    /// and pinned ([`Error::WorkerPanic`]) while the rest of the batch
+    /// completes. An unlimited guard keeps today's infallible
+    /// zero-overhead path.
+    fn eval_compressed_checked(
+        &self,
+        valuations: &[Valuation<f64>],
+        opts: &EvalOptions,
+    ) -> Result<TimedRun, Error> {
+        if self.guard.is_unlimited() {
+            return Ok(self.eval_compressed_with(valuations, opts));
+        }
+        let state = self.compressed.as_ref().expect("compress ran first");
+        let run = if opts.compiled {
+            let compiled = state.compiled.as_ref().expect("lowering ensured by caller");
+            eval_compiled_view_guarded(compiled.view(), valuations, opts, &self.guard)
+        } else {
+            let polys = Self::abstracted_bridge(&self.materializations, state);
+            eval_prepared_guarded(polys, None, valuations, opts, &self.guard)
+        };
+        run.into_result().map_err(Error::from)
     }
 
     /// The evaluation core for the original (uncompressed) side.
@@ -789,6 +916,23 @@ impl Session {
     /// Any compression error from the first call;
     /// [`Error::Persist`] for I/O failures.
     pub fn save(&mut self, path: impl AsRef<Path>) -> Result<(), Error> {
+        self.save_with_faults(path, &FaultFs::from_env())
+    }
+
+    /// [`save`](Self::save) through an explicit fault-injection plan —
+    /// the deterministic seam the durability proofs drive. Under *any*
+    /// injected create/write/fsync/rename failure the artifact already
+    /// at `path` survives bit-for-bit (the write goes to a temp file and
+    /// publishes by atomic rename) and the failure surfaces as typed
+    /// [`Error::Persist`] — never a torn file, never a panic; transient
+    /// failures are retried with backoff. [`FaultFs::disabled`] makes
+    /// this identical to [`save`](Self::save) without the
+    /// `PROVABS_FAULT_FS` environment override.
+    pub fn save_with_faults(
+        &mut self,
+        path: impl AsRef<Path>,
+        faults: &FaultFs,
+    ) -> Result<(), Error> {
         self.compress()?;
         let state = self.compressed.as_ref().expect("compressed above");
         let meta = SessionMeta {
@@ -823,7 +967,7 @@ impl Session {
         w.section(section::COMPILED_ABS, compiled_bytes);
         w.section(section::WORKING_ABS, encode_working(state.working.get()));
         w.section(section::WORKING_ORIG, encode_working(self.source_ws()));
-        w.write_atomic(path.as_ref())?;
+        w.write_atomic_with(path.as_ref(), faults)?;
         Ok(())
     }
 
@@ -924,7 +1068,23 @@ impl Session {
             interned_source: meta.interned_source,
             source_slot: Some(source_slot),
             origin,
+            guard: Guard::ambient().unwrap_or_default(),
+            run_elapsed: Duration::ZERO,
+            completion: Completion::Complete,
         })
+    }
+
+    /// The guarded-execution observability hook — fifth sibling of
+    /// [`compile_count`](Self::compile_count),
+    /// [`intern_stats`](Self::intern_stats),
+    /// [`kernel_info`](Self::kernel_info) and
+    /// [`artifact_info`](Self::artifact_info). See [`RunStats`].
+    pub fn run_stats(&self) -> RunStats {
+        RunStats {
+            checkpoints_hit: self.guard.checkpoints_hit(),
+            elapsed: self.run_elapsed,
+            completion: self.completion,
+        }
     }
 
     /// The interning observability hook — sibling of

@@ -63,6 +63,18 @@ pub enum TreeError {
         /// The configured enumeration limit.
         limit: u128,
     },
+    /// A tree-type family outside Table 2's `1..=7` range was requested
+    /// from the generators.
+    UnknownTreeType {
+        /// The requested type.
+        ty: u8,
+    },
+    /// A worker thread panicked; the panic was caught at the thread
+    /// boundary and its payload rendered — sibling workers completed.
+    WorkerPanic {
+        /// The rendered panic payload.
+        payload: String,
+    },
 }
 
 impl fmt::Display for TreeError {
@@ -112,6 +124,12 @@ impl fmt::Display for TreeError {
             TreeError::ParseError(msg) => write!(f, "tree syntax error: {msg}"),
             TreeError::SearchSpaceTooLarge { cuts, limit } => {
                 write!(f, "forest admits {cuts} cuts, above the limit {limit}")
+            }
+            TreeError::UnknownTreeType { ty } => {
+                write!(f, "tree types are 1..=7, got {ty}")
+            }
+            TreeError::WorkerPanic { payload } => {
+                write!(f, "worker thread panicked: {payload}")
             }
         }
     }

@@ -11,6 +11,7 @@
 //! * [`random_tree`] — seeded random trees for property tests.
 
 use crate::builder::TreeBuilder;
+use crate::error::TreeError;
 use crate::forest::Forest;
 use crate::tree::AbsTree;
 use provabs_provenance::var::VarTable;
@@ -105,8 +106,8 @@ pub fn shaped_tree(
 /// * type 1: 2-level trees, root fan-out 2..64 (Figure 4a),
 /// * types 2–4: 3-level trees with root fan-out 2, 4, 8 (Figure 4b),
 /// * types 5–7: 4-level trees (Figure 4c).
-pub fn tree_type_shapes(ty: u8) -> Vec<Vec<usize>> {
-    match ty {
+pub fn tree_type_shapes(ty: u8) -> Result<Vec<Vec<usize>>, TreeError> {
+    Ok(match ty {
         1 => vec![vec![2], vec![4], vec![8], vec![16], vec![32], vec![64]],
         2 => vec![vec![2, 2], vec![2, 4], vec![2, 8], vec![2, 16], vec![2, 32]],
         3 => vec![vec![4, 2], vec![4, 4], vec![4, 8], vec![4, 16]],
@@ -114,8 +115,8 @@ pub fn tree_type_shapes(ty: u8) -> Vec<Vec<usize>> {
         5 => vec![vec![2, 2, 2], vec![2, 2, 4], vec![2, 2, 8], vec![2, 2, 16]],
         6 => vec![vec![2, 4, 2], vec![2, 4, 4], vec![2, 4, 8]],
         7 => vec![vec![4, 2, 2], vec![4, 2, 4], vec![4, 2, 8]],
-        _ => panic!("tree types are 1..=7, got {ty}"),
-    }
+        _ => return Err(TreeError::UnknownTreeType { ty }),
+    })
 }
 
 /// Builds the `shape_idx`-th tree of type `ty` over `leaves`.
@@ -125,9 +126,9 @@ pub fn paper_tree(
     prefix: &str,
     leaves: &[String],
     vars: &mut VarTable,
-) -> AbsTree {
-    let shapes = tree_type_shapes(ty);
-    shaped_tree(prefix, leaves, &shapes[shape_idx], vars)
+) -> Result<AbsTree, TreeError> {
+    let shapes = tree_type_shapes(ty)?;
+    Ok(shaped_tree(prefix, leaves, &shapes[shape_idx], vars))
 }
 
 /// The forest of the multiple-trees experiment (Figure 11): `num_trees`
@@ -239,7 +240,7 @@ mod tests {
         ];
         for &(ty, idx, nodes, cuts) in cases {
             let mut vars = VarTable::new();
-            let t = paper_tree(ty, idx, "Supp", &leaves, &mut vars);
+            let t = paper_tree(ty, idx, "Supp", &leaves, &mut vars).expect("in-range type");
             assert_eq!(t.num_nodes(), nodes, "nodes of type {ty} shape {idx}");
             assert_eq!(t.count_cuts(), cuts, "cuts of type {ty} shape {idx}");
         }
@@ -249,9 +250,33 @@ mod tests {
     fn type_1_largest_shape_saturates_beyond_u64() {
         let leaves = leaf_names("s", 128);
         let mut vars = VarTable::new();
-        let t = paper_tree(1, 5, "Supp", &leaves, &mut vars);
+        let t = paper_tree(1, 5, "Supp", &leaves, &mut vars).expect("in-range type");
         assert_eq!(t.num_nodes(), 193);
         assert_eq!(t.count_cuts(), (1u128 << 64) + 1); // 1.84e19, Table 2
+    }
+
+    /// Both sides of the tree-type boundary: every in-range family
+    /// resolves to shapes, and both out-of-range neighbours surface the
+    /// typed error instead of panicking.
+    #[test]
+    fn tree_type_boundaries_are_typed() {
+        for ty in 1..=7u8 {
+            assert!(
+                !tree_type_shapes(ty).expect("in range").is_empty(),
+                "type {ty}"
+            );
+        }
+        for ty in [0u8, 8, 255] {
+            assert_eq!(
+                tree_type_shapes(ty).expect_err("out of range"),
+                TreeError::UnknownTreeType { ty }
+            );
+        }
+        let leaves = leaf_names("s", 16);
+        let mut vars = VarTable::new();
+        let err = paper_tree(0, 0, "Supp", &leaves, &mut vars).expect_err("type 0");
+        assert_eq!(err, TreeError::UnknownTreeType { ty: 0 });
+        assert!(format!("{err}").contains("1..=7"));
     }
 
     #[test]

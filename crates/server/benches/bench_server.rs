@@ -1,0 +1,98 @@
+//! Criterion wire-level latency: one keep-alive client driving an
+//! in-process server. Measures the full request path — HTTP framing,
+//! JSON codec, registry lookup, guarded evaluation, chunked streaming —
+//! for the routes the load generator hammers. The concurrent picture
+//! (hundreds of clients, p50/p99) lives in the `loadgen` binary; this
+//! bench pins the single-connection floor those numbers sit on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use provabs_server::{Client, Json, ServerConfig, ServerHandle};
+
+const ASK_SCENARIOS: usize = 16;
+
+fn ask_body(labels: &[String], scenarios: usize) -> Json {
+    let list: Vec<Json> = (0..scenarios)
+        .map(|i| {
+            Json::obj([(
+                labels[i % labels.len()].clone(),
+                Json::from(0.5 + (i as f64) / 32.0),
+            )])
+        })
+        .collect();
+    Json::obj([("scenarios", Json::Arr(list))])
+}
+
+/// The variables the compressed session can valuate, read off the wire.
+fn abstracted_labels(client: &mut Client, session: &str) -> Vec<String> {
+    let stats = client
+        .get(&format!("/sessions/{session}"))
+        .expect("session stats")
+        .json()
+        .expect("json body");
+    stats
+        .get("abstracted_labels")
+        .and_then(Json::as_arr)
+        .expect("compressed session exposes its labels")
+        .iter()
+        .filter_map(|l| l.as_str().map(str::to_string))
+        .collect()
+}
+
+fn bench_server(c: &mut Criterion) {
+    let server = ServerHandle::start(ServerConfig::default()).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let create = client
+        .post(
+            "/sessions",
+            &Json::obj([
+                ("name", Json::from("bench")),
+                ("workload", Json::from("telephony")),
+            ]),
+        )
+        .expect("create session");
+    assert_eq!(create.status, 201, "{:?}", create.json());
+    let compress = client
+        .post("/sessions/bench/compress", &Json::obj::<&str>([]))
+        .expect("compress");
+    assert_eq!(compress.status, 200, "{:?}", compress.json());
+    let labels = abstracted_labels(&mut client, "bench");
+    let body = ask_body(&labels, ASK_SCENARIOS);
+
+    let mut group = c.benchmark_group("server");
+    group.sample_size(30);
+    group.bench_function("healthz_roundtrip", |b| {
+        b.iter(|| {
+            let r = client.get("/healthz").expect("healthz");
+            assert_eq!(r.status, 200);
+        })
+    });
+    group.bench_function("stats_roundtrip", |b| {
+        b.iter(|| {
+            let r = client.get("/stats").expect("stats");
+            assert_eq!(r.status, 200);
+        })
+    });
+    group.bench_function(format!("ask_{ASK_SCENARIOS}_streamed"), |b| {
+        b.iter(|| {
+            let r = client.post("/sessions/bench/ask", &body).expect("ask");
+            assert_eq!(r.status, 200);
+            r.body.len()
+        })
+    });
+    group.finish();
+
+    // The cached lowering was built exactly once under all that traffic.
+    let stats = client.get("/sessions/bench").expect("session stats");
+    assert_eq!(
+        stats
+            .json()
+            .expect("json body")
+            .get("compile_count")
+            .and_then(Json::as_u64),
+        Some(1),
+        "wire traffic must not recompile"
+    );
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -1,0 +1,420 @@
+//! The concurrent load generator: hundreds of real-socket clients
+//! hammering one shared session, then the warm-vs-cold session-creation
+//! comparison — results land in `BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p provabs-server --bin loadgen -- \
+//!     --clients 128 --requests 20 --scenarios 8 --out BENCH_server.json
+//! ```
+//!
+//! What it measures and asserts:
+//!
+//! - per-request ask latency (p50 / p99 / mean) across `--clients`
+//!   concurrent keep-alive connections, and scenarios answered per
+//!   second of wall clock;
+//! - `compile_count == 1` on the shared session *after* all that
+//!   traffic — the compress-once / ask-many contract held over the wire;
+//! - creating a session from a saved artifact (`open_mapped` over the
+//!   wire) vs building it cold (workload generate + compress) — the
+//!   warm path must win.
+
+use provabs_server::{Client, Json, ServerConfig, ServerHandle};
+use std::io::Write;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant, SystemTime};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    scenarios: usize,
+    out: String,
+}
+
+fn main() {
+    let args = parse_args();
+    let config = ServerConfig {
+        max_connections: args.clients + 16,
+        ..ServerConfig::default()
+    };
+    let mut server = ServerHandle::start(config).unwrap_or_else(|e| die(&format!("start: {e}")));
+    let addr = server.addr();
+    println!(
+        "loadgen: server on {addr}, {} clients x {} requests x {} scenarios",
+        args.clients, args.requests, args.scenarios
+    );
+
+    // One shared telephony session, compressed once, for every client.
+    let mut admin = Client::connect(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    expect_status(
+        admin.post(
+            "/sessions",
+            &Json::obj([
+                ("name", Json::from("load")),
+                ("workload", Json::from("telephony")),
+            ]),
+        ),
+        201,
+        "create",
+    );
+    expect_status(
+        admin.post("/sessions/load/compress", &Json::obj::<&str>([])),
+        200,
+        "compress",
+    );
+    let labels = abstracted_labels(&mut admin, "load");
+    println!(
+        "loadgen: session compressed, {} askable variables",
+        labels.len()
+    );
+
+    // Fan out: every client connects, then a barrier drops them all at
+    // once; each runs its requests back-to-back on its own connection.
+    let barrier = Arc::new(Barrier::new(args.clients + 1));
+    let labels = Arc::new(labels);
+    let handles: Vec<_> = (0..args.clients)
+        .map(|client_idx| {
+            let barrier = Arc::clone(&barrier);
+            let labels = Arc::clone(&labels);
+            let (requests, scenarios) = (args.requests, args.scenarios);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("client connect: {e}"))?;
+                let body = ask_body(&labels, client_idx, scenarios);
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(requests);
+                for _ in 0..requests {
+                    let start = Instant::now();
+                    let response = client
+                        .post("/sessions/load/ask", &body)
+                        .map_err(|e| format!("ask: {e}"))?;
+                    latencies.push(start.elapsed().as_nanos() as u64);
+                    if response.status != 200 {
+                        return Err(format!("ask answered {}", response.status));
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let wall_start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(args.clients * args.requests);
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(mut client_latencies)) => latencies.append(&mut client_latencies),
+            Ok(Err(e)) => die(&format!("client failed: {e}")),
+            Err(_) => die("client thread panicked"),
+        }
+    }
+    let wall = wall_start.elapsed();
+    latencies.sort_unstable();
+    let total_scenarios = (latencies.len() * args.scenarios) as f64;
+    let scenarios_per_sec = total_scenarios / wall.as_secs_f64();
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    println!(
+        "loadgen: {} asks in {:.2}s — p50 {:.2} ms, p99 {:.2} ms, {:.0} scenarios/s",
+        latencies.len(),
+        wall.as_secs_f64(),
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        scenarios_per_sec
+    );
+
+    // The contract the whole tier exists for: all that traffic compiled
+    // the session's lowering exactly once.
+    let compile_count = session_field(&mut admin, "load", "compile_count");
+    assert_eq!(
+        compile_count,
+        Some(1),
+        "shared session recompiled under load"
+    );
+    let answered = session_field(&mut admin, "load", "scenarios_answered");
+    assert_eq!(
+        answered,
+        Some((latencies.len() * args.scenarios) as u64),
+        "scenario accounting diverged"
+    );
+    println!(
+        "loadgen: compile_count == 1 after {} requests",
+        latencies.len()
+    );
+
+    // Warm vs cold session creation over the wire.
+    expect_status(
+        admin.post(
+            "/sessions/load/save",
+            &Json::obj([("artifact", Json::from("loadgen"))]),
+        ),
+        200,
+        "save",
+    );
+    let cold = time_creations(&mut admin, 5, |i| {
+        Json::obj([
+            ("name", Json::from(format!("cold{i}"))),
+            ("workload", Json::from("telephony")),
+        ])
+    });
+    let warm = time_creations(&mut admin, 5, |i| {
+        Json::obj([
+            ("name", Json::from(format!("warm{i}"))),
+            ("artifact", Json::from("loadgen")),
+            ("mapped", Json::from(true)),
+        ])
+    });
+    let cold_median = percentile(&cold.1, 50.0);
+    let warm_median = percentile(&warm.1, 50.0);
+    println!(
+        "loadgen: cold create+compress {:.2} ms vs warm artifact open {:.2} ms ({:.0}x)",
+        cold_median as f64 / 1e6,
+        warm_median as f64 / 1e6,
+        cold_median as f64 / warm_median as f64
+    );
+    assert!(
+        warm_median < cold_median,
+        "warm artifact-open creation must beat cold compress over the wire"
+    );
+
+    write_report(
+        &args,
+        &latencies,
+        mean,
+        p50,
+        p99,
+        scenarios_per_sec,
+        &cold,
+        &warm,
+    );
+    println!("loadgen: wrote {}", args.out);
+
+    // Cold sessions compress per creation; deleting them keeps the
+    // shutdown drain instant.
+    for i in 0..5 {
+        let _ = admin.delete(&format!("/sessions/cold{i}"));
+        let _ = admin.delete(&format!("/sessions/warm{i}"));
+    }
+    drop(admin);
+    assert!(
+        server.stop(Duration::from_secs(30)),
+        "server failed to drain"
+    );
+}
+
+/// Times `n` create calls over the wire; cold bodies also pay compress
+/// (one request each). Returns (mean_ns, sorted samples).
+fn time_creations(admin: &mut Client, n: usize, body: impl Fn(usize) -> Json) -> (f64, Vec<u64>) {
+    let mut samples = Vec::with_capacity(n);
+    for i in 0..n {
+        let body = body(i);
+        let cold = body.get("workload").is_some();
+        let name = body
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("creation bodies carry a name")
+            .to_string();
+        let start = Instant::now();
+        expect_status(admin.post("/sessions", &body), 201, "create");
+        if cold {
+            expect_status(
+                admin.post(
+                    &format!("/sessions/{name}/compress"),
+                    &Json::obj::<&str>([]),
+                ),
+                200,
+                "compress",
+            );
+        }
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+    (mean, samples)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    args: &Args,
+    latencies: &[u64],
+    mean: f64,
+    p50: u64,
+    p99: u64,
+    scenarios_per_sec: f64,
+    cold: &(f64, Vec<u64>),
+    warm: &(f64, Vec<u64>),
+) {
+    let ask = Json::obj([
+        ("id", Json::from("server/loadgen/ask_roundtrip")),
+        ("mean_ns", Json::from(mean)),
+        ("median_ns", Json::from(p50)),
+        ("p99_ns", Json::from(p99)),
+        ("samples", Json::from(latencies.len())),
+        ("clients", Json::from(args.clients)),
+        ("scenarios_per_request", Json::from(args.scenarios)),
+        ("scenarios_per_sec", Json::from(scenarios_per_sec)),
+    ]);
+    let creation = |id: &str, (mean, samples): &(f64, Vec<u64>)| {
+        Json::obj([
+            ("id", Json::from(id)),
+            ("mean_ns", Json::from(*mean)),
+            ("median_ns", Json::from(percentile(samples, 50.0))),
+            ("samples", Json::from(samples.len())),
+        ])
+    };
+    let report = Json::obj([
+        ("schema", Json::from("provabs-bench-baseline/1")),
+        ("recorded", Json::from(today())),
+        (
+            "bench",
+            Json::from("loadgen (provabs-server wire benchmark)"),
+        ),
+        (
+            "note",
+            Json::from(format!(
+                "Concurrent what-if service load: {} keep-alive clients x {} ask requests x {} \
+                 scenarios each against one shared telephony session on a single-core host. \
+                 ask_roundtrip is the full wire path (HTTP framing, JSON codec, registry, guarded \
+                 chunked evaluation); median_ns is p50 and p99_ns the tail; scenarios_per_sec is \
+                 total scenarios answered over wall clock. After the run the shared session \
+                 reports compile_count == 1 — the compress-once/ask-many contract held across \
+                 every connection. create_cold_compress is POST /sessions (telephony workload) + \
+                 compress over the wire; create_warm_open_mapped creates from the saved artifact \
+                 with the zero-copy mapped path — the warm median must beat the cold median.",
+                args.clients, args.requests, args.scenarios
+            )),
+        ),
+        (
+            "command",
+            Json::from(format!(
+                "cargo run --release -p provabs-server --bin loadgen -- --clients {} --requests \
+                 {} --scenarios {}",
+                args.clients, args.requests, args.scenarios
+            )),
+        ),
+        (
+            "benchmarks",
+            Json::Arr(vec![
+                ask,
+                creation("server/loadgen/create_cold_compress", cold),
+                creation("server/loadgen/create_warm_open_mapped", warm),
+            ]),
+        ),
+    ]);
+    let mut file =
+        std::fs::File::create(&args.out).unwrap_or_else(|e| die(&format!("{}: {e}", args.out)));
+    writeln!(file, "{report}").unwrap_or_else(|e| die(&format!("write: {e}")));
+}
+
+fn ask_body(labels: &[String], client_idx: usize, scenarios: usize) -> Json {
+    let list: Vec<Json> = (0..scenarios)
+        .map(|i| {
+            Json::obj([(
+                labels[(client_idx + i) % labels.len()].clone(),
+                Json::from(0.25 + ((client_idx + i) % 8) as f64 * 0.25),
+            )])
+        })
+        .collect();
+    Json::obj([("scenarios", Json::Arr(list))])
+}
+
+fn abstracted_labels(client: &mut Client, session: &str) -> Vec<String> {
+    let stats = expect_status(client.get(&format!("/sessions/{session}")), 200, "stats");
+    stats
+        .get("abstracted_labels")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| die("compressed session reports no abstracted_labels"))
+        .iter()
+        .filter_map(|l| l.as_str().map(str::to_string))
+        .collect()
+}
+
+fn session_field(client: &mut Client, session: &str, field: &str) -> Option<u64> {
+    expect_status(client.get(&format!("/sessions/{session}")), 200, "stats")
+        .get(field)
+        .and_then(Json::as_u64)
+}
+
+fn expect_status(
+    response: std::io::Result<provabs_server::Response>,
+    want: u16,
+    what: &str,
+) -> Json {
+    let response = response.unwrap_or_else(|e| die(&format!("{what}: {e}")));
+    let body = response.json().unwrap_or(Json::Null);
+    if response.status != want {
+        die(&format!(
+            "{what}: expected {want}, got {} ({body})",
+            response.status
+        ));
+    }
+    body
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Today as `YYYY-MM-DD` (civil-from-days on the Unix epoch count).
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 128,
+        requests: 20,
+        scenarios: 8,
+        out: "BENCH_server.json".to_string(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || {
+            argv.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = parse(&value(), "--clients"),
+            "--requests" => args.requests = parse(&value(), "--requests"),
+            "--scenarios" => args.scenarios = parse(&value(), "--scenarios"),
+            "--out" => args.out = value(),
+            "--help" | "-h" => {
+                println!("loadgen [--clients N] [--requests N] [--scenarios N] [--out FILE]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 || args.scenarios == 0 {
+        die("--clients, --requests, and --scenarios must be positive");
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse()
+        .unwrap_or_else(|_| die(&format!("{flag} could not parse {text:?}")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("loadgen: {message}");
+    std::process::exit(2)
+}

@@ -1,0 +1,518 @@
+//! Hand-rolled HTTP/1.1 over `std::net` — request parsing, plain and
+//! chunked response writing.
+//!
+//! The build environment has no registry access, so there is no hyper or
+//! tokio to lean on; in the spirit of the `crates/compat/` shims this
+//! module implements exactly the protocol slice the service needs:
+//! `Content-Length` request bodies (with a hard size cap), persistent
+//! connections with a read-timeout-driven idle poll (which is what makes
+//! graceful shutdown bounded — see [`crate::server`]), `Expect:
+//! 100-continue`, and `Transfer-Encoding: chunked` responses for
+//! streaming scenario results.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::json::Json;
+
+/// Hard cap on one header line (request line included).
+const MAX_LINE: usize = 8 * 1024;
+/// Hard cap on the number of request headers.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The path, without the query string.
+    pub path: String,
+    /// The raw query string (empty if absent).
+    pub query: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The non-empty `/`-separated path segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// response.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The request body parsed as JSON; an empty body parses as `{}` so
+    /// routes with all-optional parameters accept bare POSTs.
+    pub fn json(&self) -> Result<Json, HttpError> {
+        if self.body.is_empty() {
+            return Ok(Json::Obj(Vec::new()));
+        }
+        let text =
+            std::str::from_utf8(&self.body).map_err(|_| HttpError::Malformed("non-UTF-8 body"))?;
+        Json::parse(text).map_err(|_| HttpError::Malformed("body is not valid JSON"))
+    }
+}
+
+/// What one read attempt on a persistent connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out before the first byte of a request — the idle
+    /// poll tick the connection loop uses to check the shutdown flag.
+    Idle,
+}
+
+/// A protocol-level failure while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The declared body exceeds the server's cap → `413`.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The bytes on the wire are not a request this server accepts
+    /// → `400`.
+    Malformed(&'static str),
+    /// The peer stalled mid-request (timeout after the first byte)
+    /// → `408`.
+    SlowClient,
+    /// The connection failed mid-read; no response can be sent.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status + JSON error body this protocol failure maps to, or
+    /// `None` when the connection is beyond responding ([`HttpError::Io`]).
+    pub fn response(&self) -> Option<(u16, Json)> {
+        let (status, code, message) = match self {
+            HttpError::BodyTooLarge { declared, limit } => (
+                413,
+                "body_too_large",
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+            ),
+            HttpError::Malformed(why) => (400, "malformed_request", (*why).to_string()),
+            HttpError::SlowClient => (408, "request_timeout", "request arrived too slowly".into()),
+            HttpError::Io(_) => return None,
+        };
+        Some((
+            status,
+            Json::obj([
+                ("error", Json::from(code)),
+                ("status", Json::from(u64::from(status))),
+                ("message", Json::from(message)),
+            ]),
+        ))
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one CRLF-terminated line, with [`MAX_LINE`] as the cap.
+/// `Ok(None)` means clean EOF before any byte.
+fn read_line(reader: &mut BufReader<TcpStream>, first: bool) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => {
+                if buf.is_empty() && first {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("truncated request"));
+            }
+            Ok(_) if buf.last() == Some(&b'\n') => break,
+            Ok(_) => {
+                if buf.len() > MAX_LINE {
+                    return Err(HttpError::Malformed("header line too long"));
+                }
+            }
+            Err(e) if is_timeout(&e) => {
+                if buf.is_empty() && first {
+                    return Ok(Some(String::new())); // sentinel: idle tick
+                }
+                return Err(HttpError::SlowClient);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        if buf.len() > MAX_LINE {
+            return Err(HttpError::Malformed("header line too long"));
+        }
+    }
+    while matches!(buf.last(), Some(b'\n' | b'\r')) {
+        buf.pop();
+    }
+    if buf.len() > MAX_LINE {
+        return Err(HttpError::Malformed("header line too long"));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| HttpError::Malformed("non-UTF-8 header"))
+}
+
+/// Reads one request off a persistent connection.
+///
+/// `stream` is the write side of the same connection, used only to send
+/// `100 Continue` when the client expects it. A read timeout before the
+/// first byte surfaces as [`ReadOutcome::Idle`] (never an error): the
+/// caller's connection loop uses that tick to poll the shutdown flag, so
+/// an idle keep-alive connection notices shutdown within one timeout
+/// quantum.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    stream: &mut TcpStream,
+    max_body: usize,
+) -> Result<ReadOutcome, HttpError> {
+    let line = match read_line(reader, true)? {
+        None => return Ok(ReadOutcome::Closed),
+        Some(l) if l.is_empty() => return Ok(ReadOutcome::Idle),
+        Some(l) => l,
+    };
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::Malformed("bad request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, false)?.ok_or(HttpError::Malformed("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("bad header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if req
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed("chunked request bodies unsupported"));
+    }
+    let content_length = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    if content_length > 0 {
+        if req
+            .header("expect")
+            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+        {
+            stream
+                .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                .map_err(HttpError::Io)?;
+        }
+        let mut body = vec![0u8; content_length];
+        let mut read = 0;
+        while read < content_length {
+            match reader.read(&mut body[read..]) {
+                Ok(0) => return Err(HttpError::Malformed("truncated body")),
+                Ok(n) => read += n,
+                Err(e) if is_timeout(&e) => return Err(HttpError::SlowClient),
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+        req.body = body;
+    }
+    Ok(ReadOutcome::Request(req))
+}
+
+/// The reason phrase for the status codes this service emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Content-Length` response.
+pub fn respond_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        status_text(status),
+        body.len()
+    );
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a complete JSON response.
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    close: bool,
+) -> std::io::Result<()> {
+    respond_bytes(
+        stream,
+        status,
+        "application/json",
+        body.to_string().as_bytes(),
+        close,
+    )
+}
+
+/// A `Transfer-Encoding: chunked` response in progress — the streaming
+/// path `ask` uses to push one result line per scenario.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    finished: bool,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and hands back the chunk writer.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+        close: bool,
+    ) -> std::io::Result<Self> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n",
+            status_text(status)
+        );
+        if close {
+            head.push_str("connection: close\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        Ok(Self {
+            stream,
+            finished: false,
+        })
+    }
+
+    /// Sends one chunk (empty input is skipped — an empty chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")
+    }
+
+    /// The underlying socket, for read-side probes (disconnect checks)
+    /// between chunks.
+    pub fn stream(&self) -> &TcpStream {
+        self.stream
+    }
+
+    /// Sends one JSON value followed by a newline, as one chunk.
+    pub fn json_line(&mut self, value: &Json) -> std::io::Result<()> {
+        let mut line = value.to_string();
+        line.push('\n');
+        self.chunk(line.as_bytes())
+    }
+
+    /// Terminates the stream (the zero-length chunk) and flushes.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.finished = true;
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+impl Drop for ChunkedWriter<'_> {
+    /// Best-effort termination if the handler bailed early, so the
+    /// client's chunk decoder does not hang until its own timeout.
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.stream.write_all(b"0\r\n\r\n");
+            let _ = self.stream.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Feeds `input` through a real socket pair and parses it.
+    fn parse(input: &[u8]) -> Result<ReadOutcome, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let input = input.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&input).expect("write");
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut stream = stream;
+        let out = read_request(&mut reader, &mut stream, 1024);
+        writer.join().expect("writer");
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let out = parse(b"POST /sessions?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\n\r\nhi")
+            .expect("parses");
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected a request, got {out:?}");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.segments(), vec!["sessions"]);
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"hi");
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn rejects_protocol_garbage() {
+        assert!(matches!(
+            parse(b"NOT A REQUEST\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/9\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn caps_the_body_with_a_typed_413() {
+        let out = parse(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        let Err(e @ HttpError::BodyTooLarge { declared, limit }) = out else {
+            panic!("expected BodyTooLarge, got {out:?}");
+        };
+        assert_eq!((declared, limit), (9999, 1024));
+        let (status, body) = e.response().expect("responds");
+        assert_eq!(status, 413);
+        assert_eq!(
+            body.get("error").and_then(Json::as_str),
+            Some("body_too_large")
+        );
+    }
+
+    #[test]
+    fn idle_and_closed_are_distinguished() {
+        // A connection that sends nothing and stays open: idle tick.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let open = TcpStream::connect(addr).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut w = stream.try_clone().expect("clone");
+        assert!(matches!(
+            read_request(&mut reader, &mut w, 1024),
+            Ok(ReadOutcome::Idle)
+        ));
+        // The same connection closed cleanly: Closed.
+        drop(open);
+        assert!(matches!(
+            read_request(&mut reader, &mut w, 1024),
+            Ok(ReadOutcome::Closed)
+        ));
+    }
+
+    #[test]
+    fn stalled_mid_request_is_a_slow_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut half = TcpStream::connect(addr).expect("connect");
+        half.write_all(b"GET / HT").expect("write");
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut w = stream.try_clone().expect("clone");
+        let out = read_request(&mut reader, &mut w, 1024);
+        assert!(matches!(out, Err(HttpError::SlowClient)), "{out:?}");
+        let (status, _) = HttpError::SlowClient.response().expect("responds");
+        assert_eq!(status, 408);
+    }
+}

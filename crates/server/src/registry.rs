@@ -1,0 +1,207 @@
+//! The sharded session registry: N named [`Session`]s behind one
+//! concurrent map.
+//!
+//! Lookups hash the session name onto one of `shards` independent
+//! `Mutex<HashMap>` shards, so creating or resolving one session never
+//! contends with traffic to sessions on other shards. The [`Session`]
+//! itself sits behind a per-entry `Mutex` — the façade's `ask` takes
+//! `&mut self` (it may lazily freeze the compiled lowering on first
+//! use), so requests against *one* session serialise, which is exactly
+//! what makes "hundreds of requests, `compile_count() == 1`" observable:
+//! the first request compiles, every later one reuses the cache.
+
+use crate::error::WireError;
+use provabs_session::Session;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One hosted session plus its per-session wire counters.
+pub struct SessionEntry {
+    /// The registry name.
+    pub name: String,
+    session: Mutex<Session>,
+    /// Requests served against this session (any route).
+    pub requests: AtomicU64,
+    /// Scenario answers streamed from this session.
+    pub scenarios: AtomicU64,
+}
+
+impl std::fmt::Debug for SessionEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionEntry")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionEntry {
+    /// Locks the session for one request. Poisoning is tolerated: a
+    /// panicking handler is isolated to its own request ([`crate::server`]
+    /// catches it), and the session state it could have been mutating is
+    /// the lazily-built cache, which stays structurally valid.
+    pub fn lock(&self) -> MutexGuard<'_, Session> {
+        self.session
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The sharded name → session map.
+pub struct Registry {
+    shards: Vec<Mutex<HashMap<String, Arc<SessionEntry>>>>,
+}
+
+impl Registry {
+    /// A registry with `shards` independent shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> MutexGuard<'_, HashMap<String, Arc<SessionEntry>>> {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        let idx = (hasher.finish() as usize) % self.shards.len();
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers a fresh session under `name`; `409` if taken.
+    pub fn insert(&self, name: &str, session: Session) -> Result<Arc<SessionEntry>, WireError> {
+        let entry = Arc::new(SessionEntry {
+            name: name.to_string(),
+            session: Mutex::new(session),
+            requests: AtomicU64::new(0),
+            scenarios: AtomicU64::new(0),
+        });
+        let mut shard = self.shard(name);
+        if shard.contains_key(name) {
+            return Err(WireError::new(
+                409,
+                "session_exists",
+                format!("a session named {name:?} already exists"),
+            ));
+        }
+        shard.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Resolves a session by name.
+    pub fn get(&self, name: &str) -> Option<Arc<SessionEntry>> {
+        self.shard(name).get(name).cloned()
+    }
+
+    /// Removes and returns a session.
+    pub fn remove(&self, name: &str) -> Option<Arc<SessionEntry>> {
+        self.shard(name).remove(name)
+    }
+
+    /// All entries, sorted by name (for `/stats` and `/sessions`).
+    pub fn entries(&self) -> Vec<Arc<SessionEntry>> {
+        let mut all: Vec<Arc<SessionEntry>> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .values()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Number of hosted sessions.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether no session is hosted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provabs_session::SessionBuilder;
+
+    fn session() -> Session {
+        SessionBuilder::from_text("1·x + 2·y")
+            .expect("parses")
+            .forest_text("X(x, y)")
+            .expect("parses")
+            .bound(1)
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn insert_get_remove_and_name_collisions() {
+        let reg = Registry::new(8);
+        assert!(reg.is_empty());
+        reg.insert("a", session()).expect("fresh name");
+        reg.insert("b", session()).expect("fresh name");
+        let dup = reg.insert("a", session()).expect_err("taken");
+        assert_eq!((dup.status, dup.code), (409, "session_exists"));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("zz").is_none());
+        let names: Vec<String> = reg.entries().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(reg.remove("a").is_some());
+        assert!(reg.remove("a").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn shards_spread_names_and_single_shard_works() {
+        for shards in [1, 4] {
+            let reg = Registry::new(shards);
+            for i in 0..16 {
+                reg.insert(&format!("s{i}"), session()).expect("fresh");
+            }
+            assert_eq!(reg.len(), 16);
+            assert_eq!(reg.entries().len(), 16);
+        }
+    }
+
+    #[test]
+    fn entries_are_usable_concurrently() {
+        let reg = Arc::new(Registry::new(4));
+        reg.insert("shared", session()).expect("fresh");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let entry = reg.get("shared").expect("present");
+                    let mut session = entry.lock();
+                    session.compress().expect("compresses");
+                    session.compile_count()
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panic");
+        }
+        // Four threads compressed; the compiled lowering is still built
+        // at most once because the per-entry mutex serialises them.
+        let entry = reg.get("shared").expect("present");
+        assert!(entry.lock().compile_count() <= 1);
+    }
+}

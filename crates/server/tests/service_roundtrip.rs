@@ -1,0 +1,469 @@
+//! Wire-level integration: real sockets, real concurrency, against the
+//! in-process [`Session`] oracle.
+//!
+//! The invariants proved here are the service tier's reason to exist:
+//! answers over the wire are bit-for-bit what a direct [`Session::ask`]
+//! returns (the JSON codec's shortest-round-trip floats), hundreds of
+//! requests across many connections compile the shared session's
+//! lowering exactly once, artifacts survive a save → reopen round trip
+//! over the wire, malformed input comes back typed instead of as
+//! connection resets, and shutdown drains in-flight work then releases
+//! the port.
+
+use provabs_datagen::workload::{Workload, WorkloadConfig};
+use provabs_scenario::Scenario;
+use provabs_server::{Client, Json, ServerConfig, ServerHandle};
+use provabs_session::SessionBuilder;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start() -> ServerHandle {
+    ServerHandle::start(ServerConfig::default()).expect("bind loopback")
+}
+
+fn post_ok(client: &mut Client, path: &str, body: &Json, want: u16) -> Json {
+    let response = client.post(path, body).expect("request");
+    let json = response.json().unwrap_or(Json::Null);
+    assert_eq!(response.status, want, "{path}: {json}");
+    json
+}
+
+fn create_telephony(client: &mut Client, name: &str) -> Json {
+    post_ok(
+        client,
+        "/sessions",
+        &Json::obj([
+            ("name", Json::from(name)),
+            ("workload", Json::from("telephony")),
+        ]),
+        201,
+    )
+}
+
+fn labels_of(client: &mut Client, name: &str) -> Vec<String> {
+    let stats = client
+        .get(&format!("/sessions/{name}"))
+        .expect("stats")
+        .json()
+        .expect("json");
+    stats
+        .get("abstracted_labels")
+        .and_then(Json::as_arr)
+        .expect("compressed session exposes labels")
+        .iter()
+        .filter_map(|l| l.as_str().map(str::to_string))
+        .collect()
+}
+
+/// `values` lines of a streamed ask, in scenario order.
+fn streamed_values(response: &provabs_server::Response) -> Vec<Vec<f64>> {
+    assert!(response.chunked, "ask must stream chunked");
+    let lines = response.json_lines().expect("NDJSON stream");
+    let done = lines.last().expect("non-empty stream");
+    assert_eq!(
+        done.get("done").and_then(Json::as_bool),
+        Some(true),
+        "stream must end with the done line: {done}"
+    );
+    lines
+        .iter()
+        .filter(|l| l.get("index").is_some())
+        .map(|l| {
+            l.get("values")
+                .and_then(Json::as_arr)
+                .expect("values line")
+                .iter()
+                .map(|v| v.as_f64().expect("numeric"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Builds the same scenario batch twice: as the wire JSON and as the
+/// oracle's [`Scenario`] values.
+fn wire_scenarios(labels: &[String], salt: usize, count: usize) -> (Json, Vec<Scenario>) {
+    let mut wire = Vec::with_capacity(count);
+    let mut oracle = Vec::with_capacity(count);
+    for i in 0..count {
+        let name = &labels[(salt + i) % labels.len()];
+        let factor = 0.25 + ((salt + i) % 7) as f64 * 0.5;
+        wire.push(Json::obj([(name.clone(), Json::from(factor))]));
+        oracle.push(Scenario::new().set(name.clone(), factor));
+    }
+    (Json::obj([("scenarios", Json::Arr(wire))]), oracle)
+}
+
+#[test]
+fn wire_answers_match_direct_session_oracle_under_concurrency() {
+    let server = start();
+    let addr = server.addr();
+    let mut admin = Client::connect(addr).expect("connect");
+    create_telephony(&mut admin, "shared");
+    post_ok(
+        &mut admin,
+        "/sessions/shared/compress",
+        &Json::obj::<&str>([]),
+        200,
+    );
+    let labels = Arc::new(labels_of(&mut admin, "shared"));
+
+    // The oracle: the same workload, tree, and defaults, in-process.
+    let mut data = Workload::Telephony.generate(&WorkloadConfig::default());
+    let forest = data.primary_tree(2, 1);
+    let mut oracle = SessionBuilder::new(data.polys, data.vars)
+        .forest(forest)
+        .build()
+        .expect("valid configuration");
+    oracle.compress().expect("compresses");
+    assert_eq!(
+        oracle.abstracted_labels().expect("compressed"),
+        *labels,
+        "wire and oracle disagree about the askable variables"
+    );
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 60;
+    const SCENARIOS: usize = 2;
+    // Expected answers for every (client, request) batch, bit-for-bit.
+    let mut expected = Vec::new();
+    for client_idx in 0..CLIENTS {
+        let (_, scenarios) = wire_scenarios(&labels, client_idx, SCENARIOS);
+        expected.push(oracle.ask(&scenarios).expect("oracle answers").values);
+    }
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client_idx| {
+            let labels = Arc::clone(&labels);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let (body, _) = wire_scenarios(&labels, client_idx, SCENARIOS);
+                let mut answers = Vec::new();
+                for _ in 0..REQUESTS {
+                    let response = client.post("/sessions/shared/ask", &body).expect("ask");
+                    assert_eq!(response.status, 200);
+                    answers.push(streamed_values(&response));
+                }
+                answers
+            })
+        })
+        .collect();
+    for (client_idx, worker) in workers.into_iter().enumerate() {
+        let answers = worker.join().expect("no panic");
+        assert_eq!(answers.len(), REQUESTS);
+        for run in answers {
+            assert_eq!(run.len(), SCENARIOS);
+            for (scenario_idx, values) in run.iter().enumerate() {
+                let want = &expected[client_idx][scenario_idx];
+                assert_eq!(values.len(), want.len());
+                for (got, want) in values.iter().zip(want) {
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "wire answer diverged from the direct session"
+                    );
+                }
+            }
+        }
+    }
+
+    // 240 asks + compress + stats across five connections: one compile.
+    let stats = admin
+        .get("/sessions/shared")
+        .expect("stats")
+        .json()
+        .expect("json");
+    assert_eq!(
+        stats.get("compile_count").and_then(Json::as_u64),
+        Some(1),
+        "the shared session recompiled under concurrent wire traffic"
+    );
+    assert_eq!(
+        stats.get("scenarios_answered").and_then(Json::as_u64),
+        Some((CLIENTS * REQUESTS * SCENARIOS) as u64)
+    );
+}
+
+#[test]
+fn create_compress_ask_save_reopen_round_trip() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    create_telephony(&mut client, "origin");
+    let compress = post_ok(
+        &mut client,
+        "/sessions/origin/compress",
+        &Json::obj::<&str>([]),
+        200,
+    );
+    assert_eq!(
+        compress
+            .get("completion")
+            .and_then(|c| c.get("complete"))
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    let labels = labels_of(&mut client, "origin");
+    let (ask, _) = wire_scenarios(&labels, 3, 4);
+    let original = streamed_values(&client.post("/sessions/origin/ask", &ask).expect("ask"));
+
+    // save → create-from-artifact (zero-copy mapped) → identical answers.
+    post_ok(
+        &mut client,
+        "/sessions/origin/save",
+        &Json::obj([("artifact", Json::from("roundtrip"))]),
+        200,
+    );
+    post_ok(
+        &mut client,
+        "/sessions",
+        &Json::obj([
+            ("name", Json::from("reopened")),
+            ("artifact", Json::from("roundtrip")),
+            ("mapped", Json::from(true)),
+        ]),
+        201,
+    );
+    let reopened = streamed_values(&client.post("/sessions/reopened/ask", &ask).expect("ask"));
+    assert_eq!(original.len(), reopened.len());
+    for (a, b) in original.iter().flatten().zip(reopened.iter().flatten()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "reopened session diverged");
+    }
+    let stats = client
+        .get("/sessions/reopened")
+        .expect("stats")
+        .json()
+        .expect("json");
+    let artifact = stats.get("artifact_info").expect("hook present");
+    assert_eq!(
+        artifact.get("origin").and_then(Json::as_str),
+        Some("opened")
+    );
+    assert_eq!(artifact.get("mapped").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        stats.get("compile_count").and_then(Json::as_u64),
+        Some(0),
+        "a reopened session must answer without compiling"
+    );
+}
+
+#[test]
+fn typed_rejections_over_the_wire() {
+    let server = start();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    create_telephony(&mut client, "victim");
+
+    // Unknown session → 404 with the stable code.
+    let missing = client.get("/sessions/nope").expect("request");
+    assert_eq!(missing.status, 404);
+    assert_eq!(
+        missing
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("unknown_session")
+    );
+
+    // Duplicate name → 409.
+    let dup = client
+        .post(
+            "/sessions",
+            &Json::obj([
+                ("name", Json::from("victim")),
+                ("workload", Json::from("telephony")),
+            ]),
+        )
+        .expect("request");
+    assert_eq!(dup.status, 409);
+
+    // Unparseable strategy → 422 from the FromStr satellite.
+    let strategy = client
+        .post(
+            "/sessions",
+            &Json::obj([
+                ("name", Json::from("s2")),
+                ("workload", Json::from("telephony")),
+                ("strategy", Json::from("online:2.5:7")),
+            ]),
+        )
+        .expect("request");
+    assert_eq!(strategy.status, 422);
+    assert_eq!(
+        strategy
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("bad_strategy")
+    );
+
+    // A scenario naming an unknown variable → 422 typed.
+    post_ok(
+        &mut client,
+        "/sessions/victim/compress",
+        &Json::obj::<&str>([]),
+        200,
+    );
+    let unknown_var = client
+        .post(
+            "/sessions/victim/ask",
+            &Json::obj([(
+                "scenarios",
+                Json::Arr(vec![Json::obj([("no_such_var", Json::from(2.0))])]),
+            )]),
+        )
+        .expect("request");
+    assert_eq!(unknown_var.status, 422);
+    assert_eq!(
+        unknown_var
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("unknown_variable")
+    );
+
+    // An already-expired per-request deadline → 503 "cancelled" with
+    // best-so-far run info, before any stream bytes.
+    let labels = labels_of(&mut client, "victim");
+    let (ask, _) = wire_scenarios(&labels, 0, 2);
+    let mut expired = match ask {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!(),
+    };
+    expired.push(("deadline_ms".to_string(), Json::from(0u64)));
+    let expired = client
+        .post("/sessions/victim/ask", &Json::Obj(expired))
+        .expect("request");
+    assert_eq!(expired.status, 503);
+    let body = expired.json().expect("json");
+    assert_eq!(body.get("error").and_then(Json::as_str), Some("cancelled"));
+    assert!(
+        body.get("completion").is_some(),
+        "503 carries completion info"
+    );
+
+    // Bodies that are not JSON → 400; wrong method → 405; unknown route
+    // → 404; oversized declared body → 413. Each on a throwaway
+    // connection (the server closes after protocol-level rejections).
+    let mut raw = Client::connect(addr).expect("connect");
+    let bad_json = raw
+        .request_raw_body("POST", "/sessions", b"{not json")
+        .expect("request");
+    assert_eq!(bad_json.status, 400);
+    assert_eq!(
+        bad_json
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("malformed_request")
+    );
+
+    let mut raw = Client::connect(addr).expect("connect");
+    let wrong_method = raw.delete("/healthz").expect("request");
+    assert_eq!(wrong_method.status, 405);
+
+    let mut raw = Client::connect(addr).expect("connect");
+    let no_route = raw.get("/sessions/x/y/z").expect("request");
+    assert_eq!(no_route.status, 404);
+    assert_eq!(
+        no_route
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("unknown_route")
+    );
+
+    let mut raw = Client::connect(addr).expect("connect");
+    let oversized = raw
+        .request_oversized("POST", "/sessions", (1 << 20) + 1)
+        .expect("request");
+    assert_eq!(oversized.status, 413);
+    assert_eq!(
+        oversized
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("body_too_large")
+    );
+}
+
+#[test]
+fn healthz_and_stats_expose_the_five_hooks() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let health = client.get("/healthz").expect("request");
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health
+            .json()
+            .expect("json")
+            .get("ok")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+
+    create_telephony(&mut client, "observed");
+    post_ok(
+        &mut client,
+        "/sessions/observed/compress",
+        &Json::obj::<&str>([]),
+        200,
+    );
+    let stats = client.get("/stats").expect("request").json().expect("json");
+    let sessions = stats.get("sessions").and_then(Json::as_arr).expect("array");
+    assert_eq!(sessions.len(), 1);
+    let observed = &sessions[0];
+    for hook in [
+        "compile_count",
+        "intern_stats",
+        "kernel_info",
+        "artifact_info",
+        "run_stats",
+    ] {
+        assert!(
+            observed.get(hook).is_some(),
+            "/stats must surface the {hook} hook"
+        );
+    }
+    assert_eq!(
+        observed
+            .get("kernel_info")
+            .and_then(|k| k.get("lanes"))
+            .and_then(Json::as_u64)
+            .map(|l| l >= 1),
+        Some(true)
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_and_releases_the_port() {
+    let mut server = start();
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).expect("connect");
+    create_telephony(&mut setup, "draining");
+
+    // Kick off a compress (hundreds of milliseconds of real work) and
+    // begin shutdown while it is in flight.
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client
+            .post("/sessions/draining/compress", &Json::obj::<&str>([]))
+            .expect("the in-flight request must complete through shutdown")
+            .status
+    });
+    // Give the request time to reach the handler.
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(
+        server.stop(Duration::from_secs(60)),
+        "shutdown must drain every connection"
+    );
+    assert_eq!(in_flight.join().expect("no panic"), 200);
+
+    // The port is actually free again.
+    let rebound = std::net::TcpListener::bind(addr);
+    assert!(rebound.is_ok(), "shutdown leaked the port: {rebound:?}");
+}

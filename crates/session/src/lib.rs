@@ -116,4 +116,4 @@ pub use provabs_provenance::guard::{Budget, CancelToken, Completion, Guard, Inte
 pub use provabs_provenance::persist::{FaultFs, FaultOp};
 pub use provabs_provenance::simd::{Kernel, KernelInfo};
 pub use session::{InternStats, RunStats, Session};
-pub use strategy::{Strategy, Target};
+pub use strategy::{SpecParseError, Strategy, Target};

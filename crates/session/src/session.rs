@@ -1074,6 +1074,24 @@ impl Session {
         })
     }
 
+    /// The guard every subsequent guarded stage runs under.
+    ///
+    /// Replacing the guard is how a *server* applies per-request limits
+    /// to a long-lived session: arm a fresh deadline (and a cancellation
+    /// token wired to the client's connection) before each request,
+    /// restore the previous guard after. Swapping guards resets the
+    /// [`checkpoints_hit`](RunStats::checkpoints_hit) counter the new
+    /// guard accumulates; [`run_stats`](Self::run_stats) reads the
+    /// *current* guard's counters.
+    pub fn set_guard(&mut self, guard: Guard) {
+        self.guard = guard;
+    }
+
+    /// The guard currently installed (see [`set_guard`](Self::set_guard)).
+    pub fn guard(&self) -> &Guard {
+        &self.guard
+    }
+
     /// The guarded-execution observability hook — fifth sibling of
     /// [`compile_count`](Self::compile_count),
     /// [`intern_stats`](Self::intern_stats),

@@ -1,0 +1,160 @@
+//! The full service tier in one transcript: start the server, create a
+//! session from a workload over the wire, compress it under a deadline,
+//! stream scenario answers, read the five observability hooks, save the
+//! compiled artifact, and reopen it as a second session that answers
+//! identically without compiling — the CI smoke for `provabs-server`.
+//!
+//! Run with `cargo run --release --example whatif_service`.
+
+use provabs_server::{Client, Json, ServerConfig, ServerHandle};
+use std::time::Duration;
+
+fn main() {
+    let mut server = ServerHandle::start(ServerConfig::default()).expect("bind loopback");
+    println!("service on http://{}", server.addr());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // 1. Create: the telephony workload fixture becomes a hosted session.
+    let created = post(
+        &mut client,
+        "/sessions",
+        Json::obj([
+            ("name", Json::from("tel")),
+            ("workload", Json::from("telephony")),
+        ]),
+        201,
+    );
+    println!(
+        "created: {} polynomials, |P|_M = {}",
+        created.get("polys").and_then(Json::as_u64).expect("polys"),
+        created.get("size_m").and_then(Json::as_u64).expect("size"),
+    );
+
+    // 2. Compress, bounded by a 30-second request deadline.
+    let compressed = post(
+        &mut client,
+        "/sessions/tel/compress",
+        Json::obj([("deadline_ms", Json::from(30_000u64))]),
+        200,
+    );
+    println!(
+        "compressed: {} -> {} monomials (complete: {})",
+        compressed
+            .get("original_size_m")
+            .and_then(Json::as_u64)
+            .expect("size"),
+        compressed
+            .get("compressed_size_m")
+            .and_then(Json::as_u64)
+            .expect("size"),
+        compressed
+            .get("completion")
+            .and_then(|c| c.get("complete"))
+            .and_then(Json::as_bool)
+            .expect("completion"),
+    );
+
+    // 3. Ask: what if the first two abstract plan groups were discounted?
+    let stats = get(&mut client, "/sessions/tel", 200);
+    let labels = stats
+        .get("abstracted_labels")
+        .and_then(Json::as_arr)
+        .expect("compressed sessions expose their askable variables");
+    let scenarios: Vec<Json> = labels
+        .iter()
+        .take(2)
+        .filter_map(|l| l.as_str())
+        .map(|l| Json::obj([(l, Json::from(0.5))]))
+        .collect();
+    let ask = Json::obj([("scenarios", Json::Arr(scenarios))]);
+    let answers = client.post("/sessions/tel/ask", &ask).expect("ask streams");
+    assert_eq!(answers.status, 200);
+    let lines = answers.json_lines().expect("NDJSON");
+    println!(
+        "ask: {} streamed lines (chunked: {})",
+        lines.len(),
+        answers.chunked
+    );
+
+    // 4. Observability: the five hooks, over the wire.
+    let hooks = get(&mut client, "/sessions/tel", 200);
+    println!(
+        "hooks: compile_count={} kernel={} arena_monomials={}",
+        hooks
+            .get("compile_count")
+            .and_then(Json::as_u64)
+            .expect("hook"),
+        hooks
+            .get("kernel_info")
+            .and_then(|k| k.get("selected"))
+            .and_then(Json::as_str)
+            .expect("hook"),
+        hooks
+            .get("intern_stats")
+            .and_then(|i| i.get("arena_monomials"))
+            .and_then(Json::as_u64)
+            .expect("hook"),
+    );
+
+    // 5. Save, then reopen as a new session via the zero-copy mapped path.
+    post(
+        &mut client,
+        "/sessions/tel/save",
+        Json::obj([("artifact", Json::from("whatif-example"))]),
+        200,
+    );
+    post(
+        &mut client,
+        "/sessions",
+        Json::obj([
+            ("name", Json::from("tel-warm")),
+            ("artifact", Json::from("whatif-example")),
+            ("mapped", Json::from(true)),
+        ]),
+        201,
+    );
+    let warm = client
+        .post("/sessions/tel-warm/ask", &ask)
+        .expect("warm ask");
+    assert_eq!(warm.status, 200);
+    let warm_stats = get(&mut client, "/sessions/tel-warm", 200);
+    let compile_count = warm_stats
+        .get("compile_count")
+        .and_then(Json::as_u64)
+        .expect("hook");
+    assert_eq!(
+        compile_count, 0,
+        "reopened sessions answer without compiling"
+    );
+    println!("reopened artifact answered with compile_count == {compile_count}");
+
+    // Identical answers, bit for bit, through two sessions and the wire.
+    let original: Vec<&Json> = lines.iter().filter(|l| l.get("index").is_some()).collect();
+    let reopened_lines = warm.json_lines().expect("NDJSON");
+    let reopened: Vec<&Json> = reopened_lines
+        .iter()
+        .filter(|l| l.get("index").is_some())
+        .collect();
+    assert_eq!(original.len(), reopened.len());
+    for (a, b) in original.iter().zip(&reopened) {
+        assert_eq!(a.to_string(), b.to_string(), "warm session diverged");
+    }
+    println!("warm answers identical to the original session");
+
+    assert!(server.stop(Duration::from_secs(30)), "graceful drain");
+    println!("server drained and stopped");
+}
+
+fn post(client: &mut Client, path: &str, body: Json, want: u16) -> Json {
+    let response = client.post(path, &body).expect("request");
+    let json = response.json().unwrap_or(Json::Null);
+    assert_eq!(response.status, want, "{path}: {json}");
+    json
+}
+
+fn get(client: &mut Client, path: &str, want: u16) -> Json {
+    let response = client.get(path).expect("request");
+    let json = response.json().unwrap_or(Json::Null);
+    assert_eq!(response.status, want, "{path}: {json}");
+    json
+}

@@ -134,29 +134,51 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 /// Reads one CRLF-terminated line, with [`MAX_LINE`] as the cap.
 /// `Ok(None)` means clean EOF before any byte.
+///
+/// Reads go through `fill_buf` so the cap is enforced on every batch of
+/// bytes as it arrives: `read_until` only returns on delimiter/EOF/error,
+/// so a client drip-feeding an endless header line (one byte per
+/// read-timeout quantum keeps the socket "live") could otherwise grow the
+/// buffer without bound. Here the line is rejected the moment the
+/// buffered prefix exceeds [`MAX_LINE`], however slowly it trickles in.
 fn read_line(reader: &mut BufReader<TcpStream>, first: bool) -> Result<Option<String>, HttpError> {
-    let mut buf = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
     loop {
-        match reader.read_until(b'\n', &mut buf) {
-            Ok(0) => {
-                if buf.is_empty() && first {
-                    return Ok(None);
+        let (take, found_newline) = {
+            let available = match reader.fill_buf() {
+                Ok([]) => {
+                    if buf.is_empty() && first {
+                        return Ok(None);
+                    }
+                    return Err(HttpError::Malformed("truncated request"));
                 }
-                return Err(HttpError::Malformed("truncated request"));
-            }
-            Ok(_) if buf.last() == Some(&b'\n') => break,
-            Ok(_) => {
-                if buf.len() > MAX_LINE {
-                    return Err(HttpError::Malformed("header line too long"));
+                Ok(bytes) => bytes,
+                Err(e) if is_timeout(&e) => {
+                    if buf.is_empty() && first {
+                        return Ok(Some(String::new())); // sentinel: idle tick
+                    }
+                    return Err(HttpError::SlowClient);
+                }
+                Err(e) => return Err(HttpError::Io(e)),
+            };
+            // Never buffer more than MAX_LINE + 1 bytes: one byte past
+            // the cap already proves the line is too long.
+            let budget = MAX_LINE + 1 - buf.len();
+            match available.iter().take(budget).position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    let take = available.len().min(budget);
+                    buf.extend_from_slice(&available[..take]);
+                    (take, false)
                 }
             }
-            Err(e) if is_timeout(&e) => {
-                if buf.is_empty() && first {
-                    return Ok(Some(String::new())); // sentinel: idle tick
-                }
-                return Err(HttpError::SlowClient);
-            }
-            Err(e) => return Err(HttpError::Io(e)),
+        };
+        reader.consume(take);
+        if found_newline {
+            break;
         }
         if buf.len() > MAX_LINE {
             return Err(HttpError::Malformed("header line too long"));
@@ -164,9 +186,6 @@ fn read_line(reader: &mut BufReader<TcpStream>, first: bool) -> Result<Option<St
     }
     while matches!(buf.last(), Some(b'\n' | b'\r')) {
         buf.pop();
-    }
-    if buf.len() > MAX_LINE {
-        return Err(HttpError::Malformed("header line too long"));
     }
     String::from_utf8(buf)
         .map(Some)
@@ -472,6 +491,31 @@ mod tests {
             body.get("error").and_then(Json::as_str),
             Some("body_too_large")
         );
+    }
+
+    #[test]
+    fn caps_header_lines_without_waiting_for_a_newline() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut open = TcpStream::connect(addr).expect("connect");
+        // Twice the cap, no newline — and the socket stays open, so only
+        // the as-bytes-arrive check can reject it (there is no EOF and,
+        // with a 10s read timeout, no prompt timeout either).
+        open.write_all(&vec![b'A'; 2 * MAX_LINE]).expect("write");
+        let (stream, _) = listener.accept().expect("accept");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut w = stream.try_clone().expect("clone");
+        let start = std::time::Instant::now();
+        let out = read_request(&mut reader, &mut w, 1024);
+        assert!(
+            matches!(out, Err(HttpError::Malformed("header line too long"))),
+            "{out:?}"
+        );
+        // The reject came from the cap, not from the read timeout.
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! surrogate pairs), arrays, and order-preserving objects. Numbers are
 //! `f64`s serialised through Rust's shortest-round-trip `Display`, so a
 //! scenario answer survives a service round-trip bit-for-bit — the
-//! property the `service_roundtrip` suite leans on.
+//! property the `service_roundtrip` suite leans on. Integers therefore
+//! round-trip exactly only up to 2^53 (the wire format's integer limit).
 
 use std::fmt;
 
@@ -97,10 +98,12 @@ impl Json {
     }
 
     /// The numeric payload as a non-negative integer, if it is one
-    /// exactly (no fractional part, no overflow).
+    /// exactly (no fractional part, no overflow). `u64::MAX as f64`
+    /// rounds *up* to 2^64, which no `u64` can hold, so the comparison
+    /// must be strict — otherwise 2^64 would silently saturate.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < u64::MAX as f64 => {
                 Some(*n as u64)
             }
             _ => None,
@@ -144,12 +147,18 @@ impl From<f64> for Json {
     }
 }
 
+/// Integers ride the wire as `f64` (JSON's only number type here), so
+/// values are exact up to 2^53; larger counters round to the nearest
+/// representable double. That is this wire format's documented integer
+/// limit — every quantity the service serialises (request counts, byte
+/// sizes, elapsed microseconds) sits far below it in practice.
 impl From<usize> for Json {
     fn from(n: usize) -> Json {
         Json::Num(n as f64)
     }
 }
 
+/// Same 2^53 exactness limit as the `usize` conversion.
 impl From<u64> for Json {
     fn from(n: u64) -> Json {
         Json::Num(n as f64)
@@ -545,5 +554,9 @@ mod tests {
         assert_eq!(j.get("missing"), None);
         assert_eq!(Json::Num(1.5).as_u64(), None);
         assert_eq!(Json::Num(-1.0).as_u64(), None);
+        // 2^53 is still exact; 2^64 (== u64::MAX as f64) is out of range
+        // and must not saturate to u64::MAX.
+        assert_eq!(Json::Num((1u64 << 53) as f64).as_u64(), Some(1 << 53));
+        assert_eq!(Json::Num(18_446_744_073_709_551_616.0).as_u64(), None);
     }
 }

@@ -39,6 +39,13 @@ pub struct ServerConfig {
     /// `read` before re-checking the shutdown flag. Also the slow-client
     /// timeout for mid-request reads.
     pub read_timeout: Duration,
+    /// Write timeout on each connection. A client that stops *reading*
+    /// its response without disconnecting stalls writes on TCP
+    /// backpressure; once a write blocks this long the client is treated
+    /// as gone and the connection is closed. This bounds how long a
+    /// stalled reader can hold a session lock mid-stream (and therefore
+    /// how long it can wedge `/stats`, which locks every session).
+    pub write_timeout: Duration,
     /// Deadline applied to compress/ask requests that do not send their
     /// own `deadline_ms`; `None` means unlimited.
     pub default_deadline_ms: Option<u64>,
@@ -53,6 +60,7 @@ impl Default for ServerConfig {
             max_connections: 512,
             artifact_dir: std::env::temp_dir().join("provabs-artifacts"),
             read_timeout: Duration::from_millis(250),
+            write_timeout: Duration::from_secs(5),
             default_deadline_ms: None,
         }
     }
@@ -172,7 +180,14 @@ fn accept_loop(
             // The wakeup connection (or a late client) during shutdown.
             return;
         }
-        if live.load(Ordering::Relaxed) >= config.max_connections {
+        // Reserve the slot atomically: a load-then-add pair could race
+        // the decrement of exiting handlers past `max_connections`.
+        let reserved = live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < config.max_connections).then_some(n + 1)
+            })
+            .is_ok();
+        if !reserved {
             let mut stream = stream;
             let busy = WireError::new(
                 503,
@@ -182,7 +197,6 @@ fn accept_loop(
             let _ = respond_json(&mut stream, 503, &busy.body(), true);
             continue;
         }
-        live.fetch_add(1, Ordering::Relaxed);
         let service = Arc::clone(service);
         let shutdown = Arc::clone(shutdown);
         let conn_live = Arc::clone(live);
@@ -219,6 +233,15 @@ fn serve_connection(
 ) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(config.read_timeout)).is_err() {
+        return;
+    }
+    // A write that blocks past this is a client that stopped reading;
+    // the resulting timeout error closes the connection like any other
+    // mid-response I/O failure.
+    if stream
+        .set_write_timeout(Some(config.write_timeout))
+        .is_err()
+    {
         return;
     }
     let Ok(clone) = stream.try_clone() else {

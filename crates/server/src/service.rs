@@ -33,9 +33,10 @@ use provabs_session::{
 };
 use std::io;
 use std::net::TcpStream;
+use std::ops::{Deref, DerefMut};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, MutexGuard};
 use std::time::Duration;
 
 /// Scenarios evaluated per streamed chunk when the request does not pick
@@ -69,6 +70,43 @@ enum Action {
         deadline_ms: Option<u64>,
         chunk: usize,
     },
+}
+
+/// The locked session with a per-request [`Guard`] installed; dropping
+/// it restores [`Guard::unlimited()`] before the lock is released. Every
+/// exit path — including early `?` returns on client I/O errors
+/// mid-stream — leaves the session guard clean, so later `/stats` reads
+/// never see a stale expired deadline or a dead request's cancel token.
+struct RequestGuard<'a> {
+    session: MutexGuard<'a, Session>,
+}
+
+impl<'a> RequestGuard<'a> {
+    fn install(entry: &'a SessionEntry, guard: Guard) -> Self {
+        let mut session = entry.lock();
+        session.set_guard(guard);
+        Self { session }
+    }
+}
+
+impl Deref for RequestGuard<'_> {
+    type Target = Session;
+
+    fn deref(&self) -> &Session {
+        &self.session
+    }
+}
+
+impl DerefMut for RequestGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+impl Drop for RequestGuard<'_> {
+    fn drop(&mut self) {
+        self.session.set_guard(Guard::unlimited());
+    }
 }
 
 impl Service {
@@ -353,8 +391,8 @@ impl Service {
         stream: &mut TcpStream,
     ) -> io::Result<()> {
         let token = CancelToken::new();
-        let mut session = entry.lock();
-        session.set_guard(self.request_guard(deadline_ms, &token));
+        let mut session =
+            RequestGuard::install(entry, self.request_guard(deadline_ms, &token));
         let outcome = with_disconnect_cancel(stream, &token, || {
             session
                 .compress_guarded()
@@ -370,8 +408,7 @@ impl Service {
                 })
                 .map_err(WireError::from)
         });
-        session.set_guard(Guard::unlimited());
-        drop(session);
+        drop(session); // resets the guard, then releases the lock
         match outcome {
             Ok(body) => respond_json(stream, 200, &body, close),
             Err(e) => respond_json(stream, e.status, &e.body(), close),
@@ -395,16 +432,14 @@ impl Service {
         stream: &mut TcpStream,
     ) -> io::Result<()> {
         let token = CancelToken::new();
-        let mut session = entry.lock();
-        session.set_guard(self.request_guard(deadline_ms, &token));
+        let mut session =
+            RequestGuard::install(entry, self.request_guard(deadline_ms, &token));
 
-        let finish = |session: &mut Session| session.set_guard(Guard::unlimited());
         let first = session.ask(&scenarios[..scenarios.len().min(chunk)]);
         let first = match first {
             Ok(run) => run,
             Err(e) => {
                 let wire = self.interrupted_error(e, &session);
-                finish(&mut session);
                 drop(session);
                 return respond_json(stream, wire.status, &wire.body(), close);
             }
@@ -453,11 +488,10 @@ impl Service {
                 streamed += 1;
             }
         }
-        finish(&mut session);
         entry
             .scenarios
             .fetch_add(streamed as u64, Ordering::Relaxed);
-        drop(session);
+        drop(session); // resets the guard, then releases the lock
 
         match failure {
             // The status line is long gone; the typed error body becomes

@@ -573,17 +573,49 @@ fn run_incremental<C: Coefficient>(
     (in_s, Some(ws), completion)
 }
 
+/// One applied selection step, as recorded by the traced engine: the
+/// variable of the node swapped into `S`, the step's variable loss, and
+/// the monomial-loss delta it realised on the engine's working set.
+///
+/// The sharding layer replays these records through its k-way merge —
+/// the variable (not the [`NodeId`]) is what survives the move between a
+/// shard's locally-cleaned forest and the global one, because cleaning
+/// preserves variables while renumbering nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TraceStep {
+    /// The variable of the node this step swapped into `S`.
+    pub(crate) var: VarId,
+    /// Variable loss of the step (children − 1).
+    pub(crate) vl: usize,
+    /// Monomial-loss delta measured on the engine's working set.
+    pub(crate) delta: usize,
+}
+
 /// The incremental greedy main loop: same selection rule and step
 /// sequence as [`run_reference`], with the per-iteration work
 /// delta-maintained (see the [module docs](self)). Consumes the working
 /// set (rewriting it in place) and returns it — the final state *is*
 /// `𝒫↓S` in interned form.
 fn run_incremental_ws<C: Coefficient>(
-    mut ws: WorkingSet<C>,
+    ws: WorkingSet<C>,
     cleaned: &Forest,
     k: usize,
     guard: &Guard,
     observer: &mut dyn FnMut(usize, usize),
+) -> (Vec<Vec<bool>>, WorkingSet<C>, Completion) {
+    run_incremental_ws_traced(ws, cleaned, k, guard, &mut |_, ml, vl| observer(ml, vl))
+}
+
+/// [`run_incremental_ws`] with a richer observer that also receives each
+/// applied step as a [`TraceStep`] — the entry point of the shard trace
+/// pass. The selection sequence is byte-for-byte the plain engine's; the
+/// adapter in [`run_incremental_ws`] is the only difference.
+pub(crate) fn run_incremental_ws_traced<C: Coefficient>(
+    mut ws: WorkingSet<C>,
+    cleaned: &Forest,
+    k: usize,
+    guard: &Guard,
+    observer: &mut dyn FnMut(TraceStep, usize, usize),
 ) -> (Vec<Vec<bool>>, WorkingSet<C>, Completion) {
     let mut in_s = leaf_membership(cleaned);
     let mut postings = build_postings_ws(&ws);
@@ -742,7 +774,15 @@ fn run_incremental_ws<C: Coefficient>(
             }
         }
         steps_done += 1;
-        observer(ml_total, vl_total);
+        observer(
+            TraceStep {
+                var: chosen_var,
+                vl: slab[chosen_id].vl,
+                delta,
+            },
+            ml_total,
+            vl_total,
+        );
     }
     // The working set already is `𝒫↓S`: hand it back so the caller skips
     // the wholesale re-application (and can keep speaking ids).

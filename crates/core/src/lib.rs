@@ -28,7 +28,11 @@
 //!   Vertex Cover,
 //! * [`online`] — the sampling-based online compression scheme the paper
 //!   sketches as future work in §6, implemented end to end (sampling,
-//!   bound adaptation, size extrapolation).
+//!   bound adaptation, size extrapolation),
+//! * [`shard`] — sharded multi-core compression (size-balanced
+//!   partitioning, concurrent per-shard greedy traces, k-way frontier
+//!   merge) and the bounded-memory streaming ingest path for
+//!   larger-than-RAM provenance.
 
 pub mod brute;
 pub mod competitor;
@@ -39,6 +43,7 @@ pub mod loss;
 pub mod online;
 pub mod optimal;
 pub mod problem;
+pub mod shard;
 
 pub use greedy::{greedy_vvs, greedy_vvs_guarded, greedy_vvs_reference};
 pub use optimal::{optimal_vvs, optimal_vvs_dense, optimal_vvs_guarded};

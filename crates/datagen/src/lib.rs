@@ -23,10 +23,15 @@
 //!   (hash-map and interned) off one shared join pipeline,
 //! * [`fixture`] — the exact Figure 1 database fragment, whose revenue
 //!   provenance reproduces the polynomials of Examples 2 and 13 to the
-//!   digit, plus a small fixed BOM fragment for the supply-chain family.
+//!   digit, plus a small fixed BOM fragment for the supply-chain family,
+//! * [`scale`] — the million-monomial telephony-shaped fixture for the
+//!   sharded/out-of-core compression benches: provenance emitted
+//!   straight into the interned currency, whole or in bounded chunks,
+//!   from a chunk-order-independent per-monomial hash.
 
 pub mod bom;
 pub mod fixture;
+pub mod scale;
 pub mod telephony;
 pub mod tpch;
 pub mod workload;

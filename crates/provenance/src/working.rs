@@ -50,6 +50,34 @@ use crate::var::VarId;
 
 pub use crate::intern::MonoId;
 
+/// Reusable scratch state for [`WorkingSet::subset_with`].
+///
+/// Extracting one subset needs an old-id → new-id remap table sized by
+/// the subset's distinct monomials. Callers cutting *many* subsets out of
+/// one working set (the shard partitioner above all) reuse one scratch
+/// across calls so the table's allocation is paid once and then only
+/// grows to the largest subset seen — instead of K fresh tables, each
+/// re-growing through the same doubling sequence.
+#[derive(Debug, Default)]
+pub struct SubsetScratch {
+    remap: FxHashMap<MonoId, MonoId>,
+}
+
+impl SubsetScratch {
+    /// A fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The remap table's current capacity — exposed so tests can assert
+    /// that repeated [`WorkingSet::subset_with`] calls stop allocating
+    /// once the scratch has warmed up (the subset analogue of the
+    /// executor's stable-pointer check).
+    pub fn capacity(&self) -> usize {
+        self.remap.capacity()
+    }
+}
+
 /// A poly-set lowered into an interned, id-addressed form that supports
 /// cheap incremental substitution. See the [module docs](self).
 #[derive(Clone, Debug)]
@@ -210,23 +238,61 @@ impl<C: Coefficient> WorkingSet<C> {
     /// sample, not to the full provenance (a 5 % draw does not drag the
     /// other 95 %'s arena, postings and memo indexes along).
     pub fn subset(&self, indices: &[usize]) -> Self {
+        self.subset_with(indices, &mut SubsetScratch::new())
+    }
+
+    /// [`subset`](Self::subset) with caller-provided scratch: the remap
+    /// table lives in `scratch` (cleared, capacity retained), so a loop
+    /// cutting many subsets — the shard partitioner constructs K
+    /// per-shard working sets from one source — allocates the table once
+    /// instead of per call. Per-polynomial term maps are pre-reserved
+    /// from the source sizes.
+    pub fn subset_with(&self, indices: &[usize], scratch: &mut SubsetScratch) -> Self {
         let mut arena = MonoArena::new();
-        let mut remap: FxHashMap<MonoId, MonoId> = FxHashMap::default();
+        let remap = &mut scratch.remap;
+        remap.clear();
+        remap.reserve(indices.iter().map(|&pi| self.terms[pi].len()).sum());
         let terms = indices
             .iter()
             .map(|&pi| {
-                self.terms[pi]
-                    .iter()
-                    .map(|(&id, c)| {
-                        let new_id = *remap
-                            .entry(id)
-                            .or_insert_with(|| arena.intern(self.arena.mono(id).clone()));
-                        (new_id, c.clone())
-                    })
-                    .collect()
+                let mut map = FxHashMap::default();
+                map.reserve(self.terms[pi].len());
+                for (&id, c) in &self.terms[pi] {
+                    let new_id = *remap
+                        .entry(id)
+                        .or_insert_with(|| arena.intern(self.arena.mono(id).clone()));
+                    map.insert(new_id, c.clone());
+                }
+                map
             })
             .collect();
         Self { arena, terms }
+    }
+
+    /// Appends every polynomial of `other` to this working set, interning
+    /// `other`'s live monomials into this arena — the chunk-ingest
+    /// primitive of the streaming compression path: each incoming chunk
+    /// is absorbed into the carried (already compressed) working set, and
+    /// only then rewritten under the cumulative abstraction.
+    ///
+    /// Polynomial indices of `other` shift by `self.num_polys()`; the
+    /// polynomials themselves are unchanged (same term sets, same
+    /// coefficients).
+    pub fn absorb(&mut self, other: &WorkingSet<C>) {
+        let mut remap: FxHashMap<MonoId, MonoId> = FxHashMap::default();
+        remap.reserve(other.arena.len());
+        self.terms.reserve(other.num_polys());
+        for src in &other.terms {
+            let mut map = FxHashMap::default();
+            map.reserve(src.len());
+            for (&id, c) in src {
+                let new_id = *remap
+                    .entry(id)
+                    .or_insert_with(|| self.arena.intern(other.arena.mono(id).clone()));
+                map.insert(new_id, c.clone());
+            }
+            self.terms.push(map);
+        }
     }
 
     /// The monomials a substitution of `group` can touch, paired with the
@@ -559,6 +625,52 @@ mod tests {
         assert_eq!(sub.arena().len(), 2);
         let back = sub.to_polyset();
         assert_eq!(back.iter().next(), polys.iter().nth(1));
+    }
+
+    #[test]
+    fn subset_with_reuses_the_scratch_table() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        let mut scratch = SubsetScratch::new();
+        // Warm-up call sizes the remap table.
+        let warm = ws.subset_with(&[0, 1], &mut scratch);
+        assert_eq!(warm.size_m(), ws.size_m());
+        let warmed_capacity = scratch.capacity();
+        assert!(warmed_capacity > 0);
+        // Every further subset of no larger footprint must run inside the
+        // retained capacity — no re-allocation of the remap table.
+        for indices in [&[0usize, 1][..], &[1], &[0], &[1, 0]] {
+            let sub = ws.subset_with(indices, &mut scratch);
+            assert_eq!(sub.num_polys(), indices.len());
+            assert_eq!(
+                scratch.capacity(),
+                warmed_capacity,
+                "subset_with grew the scratch on {indices:?}"
+            );
+        }
+        // And the output matches the allocating variant exactly.
+        let a = ws.subset(&[1]);
+        let b = ws.subset_with(&[1], &mut scratch);
+        for (x, y) in a.to_polyset().iter().zip(b.to_polyset().iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn absorb_appends_and_interns_once() {
+        let polys = sample();
+        let ws = WorkingSet::from_polyset(&polys);
+        let mut acc: WorkingSet<f64> = WorkingSet::from_parts(MonoArena::new(), Vec::new());
+        acc.absorb(&ws.subset(&[0]));
+        acc.absorb(&ws.subset(&[1]));
+        assert_eq!(acc.num_polys(), 2);
+        assert_eq!(acc.size_m(), ws.size_m());
+        assert_eq!(acc.size_v(), ws.size_v());
+        // The shared monomial 1·8 is interned once across the two chunks.
+        assert_eq!(acc.arena().len(), ws.arena().len());
+        for (a, b) in acc.to_polyset().iter().zip(polys.iter()) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

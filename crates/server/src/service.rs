@@ -62,6 +62,10 @@ enum Action {
     Compress {
         entry: Arc<SessionEntry>,
         deadline_ms: Option<u64>,
+        /// Per-request shard count (`Session::set_shards`): `> 1` runs
+        /// the sharded engine, `0`/`1` the plain one, absent keeps the
+        /// session's configured strategy.
+        shards: Option<u64>,
     },
     /// Stream scenario answers from a session.
     Ask {
@@ -132,9 +136,11 @@ impl Service {
         let close = req.wants_close();
         match self.route(req) {
             Ok(Action::Respond(status, body)) => respond_json(stream, status, &body, close),
-            Ok(Action::Compress { entry, deadline_ms }) => {
-                self.run_compress(&entry, deadline_ms, close, stream)
-            }
+            Ok(Action::Compress {
+                entry,
+                deadline_ms,
+                shards,
+            }) => self.run_compress(&entry, deadline_ms, shards, close, stream),
             Ok(Action::Ask {
                 entry,
                 scenarios,
@@ -187,6 +193,7 @@ impl Service {
                 Ok(Action::Compress {
                     entry,
                     deadline_ms: opt_u64(&body, "deadline_ms")?,
+                    shards: opt_u64(&body, "shards")?,
                 })
             }
             ("POST", ["sessions", name, "ask"]) => {
@@ -387,12 +394,22 @@ impl Service {
         &self,
         entry: &SessionEntry,
         deadline_ms: Option<u64>,
+        shards: Option<u64>,
         close: bool,
         stream: &mut TcpStream,
     ) -> io::Result<()> {
         let token = CancelToken::new();
-        let mut session =
-            RequestGuard::install(entry, self.request_guard(deadline_ms, &token));
+        let mut session = RequestGuard::install(entry, self.request_guard(deadline_ms, &token));
+        // The per-request shard knob is applied under the same lock the
+        // compression runs under; an unshardable strategy answers 422
+        // before any work starts.
+        if let Some(shards) = shards {
+            if let Err(e) = session.set_shards(shards as usize) {
+                let wire = WireError::from(e);
+                drop(session);
+                return respond_json(stream, wire.status, &wire.body(), close);
+            }
+        }
         let outcome = with_disconnect_cancel(stream, &token, || {
             session
                 .compress_guarded()
@@ -432,8 +449,7 @@ impl Service {
         stream: &mut TcpStream,
     ) -> io::Result<()> {
         let token = CancelToken::new();
-        let mut session =
-            RequestGuard::install(entry, self.request_guard(deadline_ms, &token));
+        let mut session = RequestGuard::install(entry, self.request_guard(deadline_ms, &token));
 
         let first = session.ask(&scenarios[..scenarios.len().min(chunk)]);
         let first = match first {

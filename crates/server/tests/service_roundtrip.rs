@@ -440,6 +440,118 @@ fn healthz_and_stats_expose_the_five_hooks() {
 }
 
 #[test]
+fn sharded_compress_over_the_wire() {
+    let server = start();
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Plain baseline for the whole-set bound semantics.
+    create_telephony(&mut client, "plain");
+    let plain = post_ok(
+        &mut client,
+        "/sessions/plain/compress",
+        &Json::obj::<&str>([]),
+        200,
+    );
+    let original_m = plain
+        .get("original_size_m")
+        .and_then(Json::as_u64)
+        .expect("size");
+    // The default target is ratio:0.5 of the whole set.
+    let bound = (original_m / 2).max(1);
+
+    // The same workload compressed with a per-request shard count: the
+    // merged selection must satisfy the same global bound.
+    create_telephony(&mut client, "sharded");
+    let sharded = post_ok(
+        &mut client,
+        "/sessions/sharded/compress",
+        &Json::obj([("shards", Json::from(4u64))]),
+        200,
+    );
+    assert_eq!(
+        sharded
+            .get("completion")
+            .and_then(|c| c.get("complete"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "{sharded}"
+    );
+    assert_eq!(
+        sharded.get("original_size_m").and_then(Json::as_u64),
+        Some(original_m)
+    );
+    let sharded_m = sharded
+        .get("compressed_size_m")
+        .and_then(Json::as_u64)
+        .expect("size");
+    assert!(
+        sharded_m <= bound,
+        "sharded result {sharded_m} misses the global bound {bound}"
+    );
+
+    // The compressed session keeps answering.
+    let labels = labels_of(&mut client, "sharded");
+    let (ask, _) = wire_scenarios(&labels, 1, 2);
+    let streamed = client.post("/sessions/sharded/ask", &ask).expect("ask");
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed_values(&streamed).len(), 2);
+
+    // Regression: an already-expired per-request deadline must interrupt
+    // the shard workers at their first guard probe — a 200 with an
+    // anytime (interrupted) completion, never a hang or a reset.
+    create_telephony(&mut client, "stalled");
+    let stalled = post_ok(
+        &mut client,
+        "/sessions/stalled/compress",
+        &Json::obj([
+            ("shards", Json::from(4u64)),
+            ("deadline_ms", Json::from(0u64)),
+        ]),
+        200,
+    );
+    let completion = stalled.get("completion").expect("completion");
+    assert_eq!(
+        completion.get("complete").and_then(Json::as_bool),
+        Some(false),
+        "{stalled}"
+    );
+    assert!(
+        completion
+            .get("reason")
+            .and_then(Json::as_str)
+            .is_some_and(|r| r.contains("deadline")),
+        "{stalled}"
+    );
+
+    // A strategy the shard pipeline cannot run → 422 typed, no work done.
+    post_ok(
+        &mut client,
+        "/sessions",
+        &Json::obj([
+            ("name", Json::from("unshardable")),
+            ("workload", Json::from("telephony")),
+            ("strategy", Json::from("competitor")),
+        ]),
+        201,
+    );
+    let rejected = client
+        .post(
+            "/sessions/unshardable/compress",
+            &Json::obj([("shards", Json::from(2u64))]),
+        )
+        .expect("request");
+    assert_eq!(rejected.status, 422);
+    assert_eq!(
+        rejected
+            .json()
+            .expect("json")
+            .get("error")
+            .and_then(Json::as_str),
+        Some("unshardable_strategy")
+    );
+}
+
+#[test]
 fn graceful_shutdown_drains_in_flight_work_and_releases_the_port() {
     let mut server = start();
     let addr = server.addr();

@@ -56,14 +56,13 @@ mod tag {
     pub const COMPETITOR: u32 = 3;
     pub const BRUTE: u32 = 4;
     pub const NONE: u32 = 5;
+    pub const SHARDED: u32 = 6;
 }
 
 const CTX: &str = "session meta";
 
-pub(crate) fn encode_meta(meta: &SessionMeta) -> Vec<u8> {
-    let mut e = Enc::new();
-    e.u32(u32::from(meta.interned_source));
-    match &meta.strategy {
+fn encode_strategy(e: &mut Enc, strategy: &Strategy) {
+    match strategy {
         Strategy::Optimal => e.u32(tag::OPTIMAL),
         Strategy::Greedy { incremental } => {
             e.u32(tag::GREEDY);
@@ -81,7 +80,59 @@ pub(crate) fn encode_meta(meta: &SessionMeta) -> Vec<u8> {
             e.u64((cut_limit >> 64) as u64);
         }
         Strategy::None => e.u32(tag::NONE),
+        Strategy::Sharded { shards, inner } => {
+            e.u32(tag::SHARDED);
+            e.u64(*shards as u64);
+            encode_strategy(e, inner);
+        }
     }
+}
+
+fn decode_strategy(d: &mut Dec<'_>) -> Result<Strategy, PersistError> {
+    Ok(match d.u32()? {
+        tag::OPTIMAL => Strategy::Optimal,
+        tag::GREEDY => Strategy::Greedy {
+            incremental: d.u32()? != 0,
+        },
+        tag::ONLINE => Strategy::Online {
+            fraction: d.f64()?,
+            seed: d.u64()?,
+        },
+        tag::COMPETITOR => Strategy::Competitor,
+        tag::BRUTE => {
+            let lo = d.u64()?;
+            let hi = d.u64()?;
+            Strategy::Brute {
+                cut_limit: (u128::from(hi) << 64) | u128::from(lo),
+            }
+        }
+        tag::NONE => Strategy::None,
+        tag::SHARDED => {
+            let shards = d.count("shard count", usize::MAX)?;
+            let inner = decode_strategy(d)?;
+            // The text form enforces the same invariants; a hand-forged
+            // artifact must not smuggle them past validation.
+            if shards == 0 || matches!(inner, Strategy::Sharded { .. }) {
+                return Err(PersistError::malformed(CTX, "invalid sharded strategy"));
+            }
+            Strategy::Sharded {
+                shards,
+                inner: Box::new(inner),
+            }
+        }
+        other => {
+            return Err(PersistError::malformed(
+                CTX,
+                format!("unknown strategy tag {other}"),
+            ))
+        }
+    })
+}
+
+pub(crate) fn encode_meta(meta: &SessionMeta) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(u32::from(meta.interned_source));
+    encode_strategy(&mut e, &meta.strategy);
     e.u64(meta.bound as u64);
     e.u64(meta.original_size_m as u64);
     e.u64(meta.original_size_v as u64);
@@ -102,31 +153,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<SessionMeta, PersistError> {
             ))
         }
     };
-    let strategy = match d.u32()? {
-        tag::OPTIMAL => Strategy::Optimal,
-        tag::GREEDY => Strategy::Greedy {
-            incremental: d.u32()? != 0,
-        },
-        tag::ONLINE => Strategy::Online {
-            fraction: d.f64()?,
-            seed: d.u64()?,
-        },
-        tag::COMPETITOR => Strategy::Competitor,
-        tag::BRUTE => {
-            let lo = d.u64()?;
-            let hi = d.u64()?;
-            Strategy::Brute {
-                cut_limit: (u128::from(hi) << 64) | u128::from(lo),
-            }
-        }
-        tag::NONE => Strategy::None,
-        other => {
-            return Err(PersistError::malformed(
-                CTX,
-                format!("unknown strategy tag {other}"),
-            ))
-        }
-    };
+    let strategy = decode_strategy(&mut d)?;
     let bound = d.count("bound", usize::MAX)?;
     let original_size_m = d.count("original |𝒫|_M", usize::MAX)?;
     let original_size_v = d.count("original |𝒫|_V", usize::MAX)?;
@@ -198,6 +225,10 @@ mod tests {
                 cut_limit: (7u128 << 64) | 9,
             },
             Strategy::None,
+            Strategy::Sharded {
+                shards: 8,
+                inner: Box::new(Strategy::Greedy { incremental: true }),
+            },
         ] {
             let meta = SessionMeta {
                 interned_source: true,

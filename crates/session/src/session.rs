@@ -42,6 +42,7 @@ use provabs_core::optimal::{optimal_frontier, optimal_vvs_interned_guarded};
 use provabs_core::problem::{
     evaluate_vvs_interned, prepare_interned, AbstractionResult, InternedAbstraction,
 };
+use provabs_core::shard::{sharded_greedy_frontier, sharded_greedy_interned_guarded};
 use provabs_provenance::compiled::{CompiledPolySet, CompiledView};
 use provabs_provenance::fxhash::FxHashSet;
 use provabs_provenance::guard::{Completion, Guard};
@@ -447,6 +448,18 @@ impl Session {
                         Completion::Complete,
                     )
                 }
+                Strategy::Sharded { shards, inner } => match *inner {
+                    // Only the incremental engine records the per-step
+                    // traces the shard merge consumes.
+                    Strategy::Greedy { incremental: true } => sharded_greedy_interned_guarded(
+                        self.source_ws(),
+                        &self.forest,
+                        self.bound,
+                        shards,
+                        &guard,
+                    )?,
+                    other => return Err(Error::UnshardableStrategy(other.to_string())),
+                },
             };
             let live_vars = interned.working.live_vars();
             self.compressed = Some(CompressedState {
@@ -632,6 +645,9 @@ impl Session {
             Strategy::Optimal => optimal_frontier(self.polys_ref(), &self.forest)?,
             Strategy::Greedy { incremental: false } => {
                 greedy_frontier_reference(self.polys_ref(), &self.forest)?
+            }
+            Strategy::Sharded { shards, .. } => {
+                sharded_greedy_frontier(self.polys_ref(), &self.forest, *shards)?
             }
             _ => greedy_frontier(self.polys_ref(), &self.forest)?,
         };
@@ -1090,6 +1106,35 @@ impl Session {
     /// The guard currently installed (see [`set_guard`](Self::set_guard)).
     pub fn guard(&self) -> &Guard {
         &self.guard
+    }
+
+    /// Reconfigures how many shards the next [`compress`](Self::compress)
+    /// runs with — how a *server* applies a per-request `shards` knob to
+    /// a long-lived session. `shards > 1` wraps the current strategy in
+    /// [`Strategy::Sharded`] (replacing the count if already sharded);
+    /// `shards <= 1` unwraps back to the inner strategy. Rejects
+    /// strategies the shard pipeline cannot run
+    /// ([`Error::UnshardableStrategy`]) without modifying the session.
+    /// No effect on an already-compressed session (compression runs
+    /// once); call before the first compression.
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), Error> {
+        let inner = match &self.strategy {
+            Strategy::Sharded { inner, .. } => inner.as_ref(),
+            other => other,
+        };
+        if shards > 1 && !matches!(inner, Strategy::Greedy { incremental: true }) {
+            return Err(Error::UnshardableStrategy(inner.to_string()));
+        }
+        let inner = inner.clone();
+        self.strategy = if shards > 1 {
+            Strategy::Sharded {
+                shards,
+                inner: Box::new(inner),
+            }
+        } else {
+            inner
+        };
+        Ok(())
     }
 
     /// The guarded-execution observability hook — fifth sibling of

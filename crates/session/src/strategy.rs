@@ -66,6 +66,21 @@ pub enum Strategy {
     /// identity abstraction). Useful as the uncompressed baseline and
     /// for sessions that only want the batch-evaluation engine.
     None,
+    /// Sharded multi-core compression
+    /// ([`provabs_core::shard::sharded_greedy_interned_guarded`]): the
+    /// poly-set is partitioned into `shards` size-balanced shards, each
+    /// compressed concurrently by the `inner` strategy, and the
+    /// per-shard frontiers are merged by marginal loss so the session's
+    /// [`Target`] keeps its whole-set meaning. Only the incremental
+    /// greedy engine is shardable today — any other `inner` is rejected
+    /// at compress time with [`Error::UnshardableStrategy`].
+    Sharded {
+        /// Number of shards (≥ 1; clamped to the polynomial count).
+        /// `1` is bit-for-bit the unsharded engine.
+        shards: usize,
+        /// The per-shard selection algorithm.
+        inner: Box<Strategy>,
+    },
 }
 
 impl Default for Strategy {
@@ -121,6 +136,7 @@ impl fmt::Display for Strategy {
             Strategy::Competitor => write!(f, "competitor"),
             Strategy::Brute { cut_limit } => write!(f, "brute:{cut_limit}"),
             Strategy::None => write!(f, "none"),
+            Strategy::Sharded { shards, inner } => write!(f, "sharded:{shards}:{inner}"),
         }
     }
 }
@@ -167,6 +183,29 @@ impl FromStr for Strategy {
                 _ => Err(err()),
             },
             "none" => no_args(Strategy::None),
+            "sharded" => match rest.as_slice() {
+                [] => Err(err()),
+                [shards, inner @ ..] => {
+                    let shards: usize = shards.parse().map_err(|_| err())?;
+                    if shards == 0 {
+                        return Err(err());
+                    }
+                    let inner = if inner.is_empty() {
+                        Strategy::default()
+                    } else {
+                        inner.join(":").parse::<Strategy>().map_err(|_| err())?
+                    };
+                    // One level only: sharding a sharded strategy is
+                    // meaningless nesting.
+                    if matches!(inner, Strategy::Sharded { .. }) {
+                        return Err(err());
+                    }
+                    Ok(Strategy::Sharded {
+                        shards,
+                        inner: Box::new(inner),
+                    })
+                }
+            },
             _ => Err(err()),
         }
     }
@@ -281,6 +320,17 @@ mod tests {
             Strategy::Competitor,
             Strategy::Brute { cut_limit: 1234 },
             Strategy::None,
+            Strategy::Sharded {
+                shards: 4,
+                inner: Box::new(Strategy::Greedy { incremental: true }),
+            },
+            Strategy::Sharded {
+                shards: 2,
+                inner: Box::new(Strategy::Online {
+                    fraction: 0.1,
+                    seed: 7,
+                }),
+            },
         ];
         for s in all {
             let text = s.to_string();
@@ -303,6 +353,14 @@ mod tests {
                 cut_limit: DEFAULT_CUT_LIMIT
             })
         );
+        // Bare `sharded:K` defaults the inner engine.
+        assert_eq!(
+            "sharded:4".parse::<Strategy>(),
+            Ok(Strategy::Sharded {
+                shards: 4,
+                inner: Box::new(Strategy::default()),
+            })
+        );
         for bad in [
             "",
             "gredy",
@@ -314,6 +372,11 @@ mod tests {
             "online:x:42",
             "brute:many",
             "none:really",
+            "sharded",
+            "sharded:0",
+            "sharded:x",
+            "sharded:2:sharded:2",
+            "sharded:2:gredy",
         ] {
             let err = bad.parse::<Strategy>().unwrap_err();
             assert!(err.to_string().contains("strategy"), "{bad}: {err}");

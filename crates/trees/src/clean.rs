@@ -38,20 +38,87 @@ pub fn clean_forest_vars(forest: &Forest, live: &FxHashSet<VarId>) -> Forest {
 
 /// Cleans one tree; `None` when nothing (or a single node) remains.
 pub fn clean_tree(tree: &AbsTree, live: &FxHashSet<VarId>) -> Option<AbsTree> {
-    // First pass: prune dead leaves / empty subtrees and collapse chains,
-    // producing a recursive shape of surviving original node ids.
+    restrict_tree(tree, &|t, v| {
+        if t.is_leaf(v) {
+            if live.contains(&t.var_of(v)) {
+                Verdict::Keep
+            } else {
+                Verdict::Drop
+            }
+        } else {
+            Verdict::Descend
+        }
+    })
+}
+
+/// Restricts `tree` to the region *above* a frontier of variables:
+/// frontier nodes become leaves, everything below them is dropped, and
+/// the usual cleaning rules apply above — internal nodes left without
+/// descendants are removed, single-child chains collapse, and a tree
+/// reduced to a single node yields `None`.
+///
+/// This is how the streaming compressor re-compresses an already
+/// abstracted working set: its live variables form an antichain in each
+/// tree (chosen meta-variables plus untouched leaves), and the
+/// remaining abstraction headroom is exactly the forest above that
+/// antichain.
+pub fn truncate_tree(tree: &AbsTree, frontier: &FxHashSet<VarId>) -> Option<AbsTree> {
+    restrict_tree(tree, &|t, v| {
+        if frontier.contains(&t.var_of(v)) {
+            Verdict::Keep
+        } else if t.is_leaf(v) {
+            Verdict::Drop
+        } else {
+            Verdict::Descend
+        }
+    })
+}
+
+/// [`truncate_tree`] over every tree of a forest, dropping the trees
+/// that truncate away entirely.
+pub fn truncate_forest(forest: &Forest, frontier: &FxHashSet<VarId>) -> Forest {
+    let mut kept = Vec::new();
+    for tree in forest.trees() {
+        if let Some(truncated) = truncate_tree(tree, frontier) {
+            kept.push(truncated);
+        }
+    }
+    Forest::new(kept).expect("truncation preserves disjointness")
+}
+
+/// What a restriction decides for one node: keep it (as a leaf of the
+/// restricted tree), drop it with its whole subtree, or descend and let
+/// the children decide.
+enum Verdict {
+    Keep,
+    Drop,
+    Descend,
+}
+
+/// Shared skeleton of [`clean_tree`] and [`truncate_tree`]: applies a
+/// per-node verdict, prunes empty subtrees, collapses single-child
+/// chains, and rebuilds the surviving shape with original labels and
+/// variables. `None` when nothing (or a single node) remains.
+fn restrict_tree(tree: &AbsTree, verdict: &dyn Fn(&AbsTree, NodeId) -> Verdict) -> Option<AbsTree> {
+    // First pass: produce a recursive shape of surviving original ids.
     enum Shape {
         Leaf(NodeId),
         Node(NodeId, Vec<Shape>),
     }
-    fn rec(tree: &AbsTree, v: NodeId, live: &FxHashSet<VarId>) -> Option<Shape> {
-        if tree.is_leaf(v) {
-            return live.contains(&tree.var_of(v)).then_some(Shape::Leaf(v));
+    fn rec(
+        tree: &AbsTree,
+        v: NodeId,
+        verdict: &dyn Fn(&AbsTree, NodeId) -> Verdict,
+    ) -> Option<Shape> {
+        match verdict(tree, v) {
+            Verdict::Keep => return Some(Shape::Leaf(v)),
+            Verdict::Drop => return None,
+            Verdict::Descend => {}
         }
         let mut children: Vec<Shape> = tree
             .children(v)
             .iter()
-            .filter_map(|&c| rec(tree, c, live))
+            .filter_map(|&c| rec(tree, c, verdict))
             .collect();
         match children.len() {
             0 => None,
@@ -61,7 +128,7 @@ pub fn clean_tree(tree: &AbsTree, live: &FxHashSet<VarId>) -> Option<AbsTree> {
         }
     }
 
-    let shape = rec(tree, tree.root(), live)?;
+    let shape = rec(tree, tree.root(), verdict)?;
     if matches!(shape, Shape::Leaf(_)) {
         return None; // single-node tree: no abstraction possible
     }
@@ -192,6 +259,64 @@ mod tests {
         assert_eq!(cleaned.num_trees(), 1);
         assert_eq!(cleaned.tree(0).label_of(cleaned.tree(0).root()), "SB");
         cleaned.check_compatible(&polys).expect("now compatible");
+    }
+
+    #[test]
+    fn truncate_makes_frontier_nodes_leaves() {
+        let mut vars = VarTable::new();
+        let tree = fig2_plans_tree(&mut vars);
+        // Frontier: the Special meta-node plus raw leaves b1, b2.
+        let frontier: FxHashSet<VarId> = ["Special", "b1", "b2"]
+            .iter()
+            .map(|l| vars.intern(l))
+            .collect();
+        let truncated = truncate_tree(&tree, &frontier).expect("non-trivial");
+        // Standard has no frontier descendant → dropped. Under Business,
+        // e is dropped while SB keeps both children, so Business (left
+        // with the single child SB) collapses into it.
+        let root = truncated.root();
+        let labels: Vec<_> = truncated
+            .children(root)
+            .iter()
+            .map(|&c| truncated.label_of(c).to_string())
+            .collect();
+        assert_eq!(labels, ["Special", "SB"]);
+        // Special is now a leaf — nothing below it survives.
+        let special = truncated
+            .node_of_var(vars.lookup("Special").expect("interned"))
+            .expect("kept");
+        assert!(truncated.is_leaf(special));
+        assert_eq!(truncated.num_leaves(), 3);
+    }
+
+    #[test]
+    fn truncate_to_root_or_nothing_drops_the_tree() {
+        let mut vars = VarTable::new();
+        let tree = fig2_plans_tree(&mut vars);
+        // A frontier containing the root alone: single-node tree → None.
+        let root_only: FxHashSet<VarId> = [vars.intern("Plans")].into_iter().collect();
+        assert!(truncate_tree(&tree, &root_only).is_none());
+        // A frontier disjoint from the tree: nothing survives.
+        let disjoint: FxHashSet<VarId> = [vars.intern("unrelated")].into_iter().collect();
+        assert!(truncate_tree(&tree, &disjoint).is_none());
+        // Forest-level: both cases drop the tree.
+        let forest = Forest::single(fig2_plans_tree(&mut vars));
+        assert_eq!(truncate_forest(&forest, &root_only).num_trees(), 0);
+    }
+
+    #[test]
+    fn truncate_with_all_leaves_matches_clean() {
+        let mut vars = VarTable::new();
+        let polys = parse_polyset("1·b1 + 1·b2 + 1·e", &mut vars).expect("parse");
+        let tree = fig2_plans_tree(&mut vars);
+        let live = polys.var_set();
+        let cleaned = clean_tree(&tree, &live).expect("non-trivial");
+        let truncated = truncate_tree(&tree, &live).expect("non-trivial");
+        assert_eq!(cleaned.num_nodes(), truncated.num_nodes());
+        assert_eq!(
+            cleaned.label_of(cleaned.root()),
+            truncated.label_of(truncated.root())
+        );
     }
 
     #[test]
